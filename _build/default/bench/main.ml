@@ -1,0 +1,199 @@
+(* Benchmark harness.
+
+   Default run (no arguments): regenerate every table and figure of the
+   paper's evaluation at full scale, then run the Bechamel micro/meso
+   benchmarks (one Test.make per figure/table at reduced scale, plus kernel
+   benchmarks of the supporting data structures).
+
+   Usage:
+     main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|micro|all] [--scale S] [--budget N]
+*)
+
+module Flavors = Ipa_core.Flavors
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|micro|all] [--scale S] [--budget N]";
+  exit 2
+
+type selection = Fig1 | Fig4 | Fig of Flavors.spec | Figs | Ablation | Micro | All
+
+let parse_args () =
+  let selection = ref All in
+  let cfg = ref Ipa_harness.Config.default in
+  let rec go = function
+    | [] -> ()
+    | "fig1" :: rest ->
+      selection := Fig1;
+      go rest
+    | "fig4" :: rest ->
+      selection := Fig4;
+      go rest
+    | "fig5" :: rest ->
+      selection := Fig (Flavors.Object_sens { depth = 2; heap = 1 });
+      go rest
+    | "fig6" :: rest ->
+      selection := Fig (Flavors.Type_sens { depth = 2; heap = 1 });
+      go rest
+    | "fig7" :: rest ->
+      selection := Fig (Flavors.Call_site { depth = 2; heap = 1 });
+      go rest
+    | "figs" :: rest ->
+      selection := Figs;
+      go rest
+    | "ablation" :: rest ->
+      selection := Ablation;
+      go rest
+    | "micro" :: rest ->
+      selection := Micro;
+      go rest
+    | "all" :: rest ->
+      selection := All;
+      go rest
+    | "--scale" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some s when s > 0.0 -> cfg := { !cfg with scale = s }
+      | _ -> usage ());
+      go rest
+    | "--budget" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some b when b >= 0 -> cfg := { !cfg with budget = b }
+      | _ -> usage ());
+      go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!selection, !cfg)
+
+(* ---------- Bechamel micro-benchmarks ---------- *)
+
+let kernel_tests () =
+  let open Bechamel in
+  let intset_add =
+    Test.make ~name:"int_set/add-mem-1k"
+      (Staged.stage (fun () ->
+           let s = Ipa_support.Int_set.create () in
+           for i = 0 to 999 do
+             ignore (Ipa_support.Int_set.add s (i * 7919))
+           done;
+           for i = 0 to 999 do
+             ignore (Ipa_support.Int_set.mem s (i * 7919))
+           done))
+  in
+  let interner =
+    Test.make ~name:"interner/intern-1k"
+      (Staged.stage (fun () ->
+           let t = Ipa_support.Interner.create ~dummy:[||] () in
+           for i = 0 to 999 do
+             ignore (Ipa_support.Interner.intern t [| i; i + 1 |])
+           done))
+  in
+  let pair_tbl =
+    Test.make ~name:"pair_tbl/intern-1k"
+      (Staged.stage (fun () ->
+           let t = Ipa_support.Pair_tbl.create () in
+           for i = 0 to 999 do
+             ignore (Ipa_support.Pair_tbl.intern t i (i * 3))
+           done))
+  in
+  let datalog_tc =
+    (* Transitive closure of a 200-node chain: exercises the semi-naive
+       engine's join machinery. *)
+    Test.make ~name:"datalog/trans-closure-200"
+      (Staged.stage (fun () ->
+           let edge = Ipa_datalog.Relation.create ~name:"edge" ~arity:2 in
+           let path = Ipa_datalog.Relation.create ~name:"path" ~arity:2 in
+           for i = 0 to 198 do
+             ignore (Ipa_datalog.Relation.add edge [| i; i + 1 |])
+           done;
+           let v i = Ipa_datalog.Rule.Var i in
+           let base =
+             Ipa_datalog.Rule.make ~n_vars:2 ~heads:[ (path, [| v 0; v 1 |]) ]
+               ~body:[ (edge, [| v 0; v 1 |]) ] ()
+           in
+           let step =
+             Ipa_datalog.Rule.make ~n_vars:3 ~heads:[ (path, [| v 0; v 2 |]) ]
+               ~body:[ (edge, [| v 0; v 1 |]); (path, [| v 1; v 2 |]) ] ()
+           in
+           ignore (Ipa_datalog.Engine.fixpoint [ base; step ])))
+  in
+  let solver_small =
+    let program = Ipa_synthetic.Dacapo.build ~scale:0.05 (List.hd Ipa_synthetic.Dacapo.all) in
+    Test.make ~name:"solver/antlr-5pct-2objH"
+      (Staged.stage (fun () ->
+           ignore
+             (Ipa_core.Analysis.run_plain program (Flavors.Object_sens { depth = 2; heap = 1 }))))
+  in
+  [ intset_add; interner; pair_tbl; datalog_tc; solver_small ]
+
+(* One Test.make per reproduced table/figure, at reduced scale so a
+   Bechamel run stays tractable. *)
+let figure_tests () =
+  let open Bechamel in
+  let cfg = { Ipa_harness.Config.scale = 0.05; budget = 2_000_000 } in
+  let silent f =
+    (* compute, discard printing *)
+    fun () -> ignore (f ())
+  in
+  [
+    Test.make ~name:"fig1/insens-vs-2objH"
+      (Staged.stage (silent (fun () -> Ipa_harness.Experiments.Fig1.compute cfg)));
+    Test.make ~name:"fig4/refinement-selection"
+      (Staged.stage (silent (fun () -> Ipa_harness.Experiments.Fig4.compute cfg)));
+    Test.make ~name:"fig5/2objH-introspective"
+      (Staged.stage
+         (silent (fun () ->
+              Ipa_harness.Experiments.Figs567.compute cfg
+                (Flavors.Object_sens { depth = 2; heap = 1 }))));
+    Test.make ~name:"fig6/2typeH-introspective"
+      (Staged.stage
+         (silent (fun () ->
+              Ipa_harness.Experiments.Figs567.compute cfg
+                (Flavors.Type_sens { depth = 2; heap = 1 }))));
+    Test.make ~name:"fig7/2callH-introspective"
+      (Staged.stage
+         (silent (fun () ->
+              Ipa_harness.Experiments.Figs567.compute cfg
+                (Flavors.Call_site { depth = 2; heap = 1 }))));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  print_endline "== Bechamel micro-benchmarks (ns per run, OLS estimate) ==";
+  let tests = kernel_tests () @ figure_tests () in
+  let instances = Instance.[ monotonic_clock ] in
+  let benchmark_cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false ~kde:None ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all benchmark_cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/run\n%!" name est
+          | Some ests ->
+            Printf.printf "  %-28s %s\n%!" name
+              (String.concat ", " (List.map (Printf.sprintf "%.1f") ests))
+          | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        analyzed)
+    tests
+
+let () =
+  let selection, cfg = parse_args () in
+  (match selection with
+  | Fig1 -> Ipa_harness.Experiments.Fig1.print cfg
+  | Fig4 -> Ipa_harness.Experiments.Fig4.print cfg
+  | Fig flavor -> Ipa_harness.Experiments.Figs567.print cfg flavor
+  | Figs -> Ipa_harness.Experiments.print_all cfg
+  | All ->
+    Ipa_harness.Experiments.print_all cfg;
+    Ipa_harness.Ablation.print_all cfg
+  | Ablation -> Ipa_harness.Ablation.print_all cfg
+  | Micro -> ());
+  match selection with Micro | All -> run_bechamel () | _ -> ()

@@ -1,0 +1,446 @@
+(* introspect — command-line front door to the introspective points-to
+   analysis library.
+
+   Subcommands:
+     check        parse and well-formedness-check a .jir file
+     analyze      run a (possibly introspective) points-to analysis
+     metrics      print the paper's six cost metrics over a program
+     gen          emit a synthetic DaCapo-like benchmark as .jir text
+     experiments  regenerate the paper's tables and figures *)
+
+module Program = Ipa_ir.Program
+module Flavors = Ipa_core.Flavors
+module Heuristics = Ipa_core.Heuristics
+open Cmdliner
+
+let load_program path =
+  match Ipa_frontend.Jir.parse_file path with
+  | Ok p -> Ok p
+  | Error e -> Error (Printf.sprintf "%s: %s" path (Ipa_frontend.Jir.error_to_string e))
+
+(* ---------- common arguments ---------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input .jir program.")
+
+let flavor_arg =
+  let parse s =
+    match Flavors.of_string s with
+    | Some f -> Ok f
+    | None -> Error (`Msg (Printf.sprintf "unknown analysis %S (try insens, 2objH, 2callH, 2typeH, 2hybH)" s))
+  in
+  let print ppf f = Format.pp_print_string ppf (Flavors.to_string f) in
+  Arg.conv (parse, print)
+
+let analysis_arg =
+  Arg.(
+    value
+    & opt flavor_arg (Flavors.Object_sens { depth = 2; heap = 1 })
+    & info [ "a"; "analysis" ] ~docv:"ANALYSIS"
+        ~doc:"Context-sensitivity flavor: insens, 1callH, 2callH, 1objH, 2objH, 2typeH, 2hybH, ...")
+
+let heuristic_arg =
+  let parse s =
+    match String.uppercase_ascii s with
+    | "A" -> Ok (Some Heuristics.default_a)
+    | "B" -> Ok (Some Heuristics.default_b)
+    | "NONE" -> Ok None
+    | _ -> Error (`Msg "expected A, B or none")
+  in
+  let print ppf = function
+    | Some h -> Format.pp_print_string ppf (Heuristics.name h)
+    | None -> Format.pp_print_string ppf "none"
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) None
+    & info [ "i"; "introspective" ] ~docv:"HEURISTIC"
+        ~doc:"Run introspectively with the paper's Heuristic A or B.")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "budget" ] ~docv:"N"
+        ~doc:"Derivation budget (deterministic timeout); 0 means unlimited.")
+
+let scale_arg =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "scale" ] ~docv:"S" ~doc:"Benchmark size multiplier (default 1.0).")
+
+(* ---------- check ---------- *)
+
+let check_cmd =
+  let run path =
+    match load_program path with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok p ->
+      Printf.printf "%s: ok (%d classes, %d methods, %d variables, %d allocation sites)\n" path
+        (Program.n_classes p) (Program.n_meths p) (Program.n_vars p) (Program.n_heaps p);
+      0
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse and validate a .jir program.")
+    Term.(const run $ file_arg)
+
+(* ---------- analyze ---------- *)
+
+let print_result ~verbose p (r : Ipa_core.Analysis.result) =
+  let st = Ipa_core.Solution.stats r.solution in
+  Printf.printf "analysis      %s\n" r.label;
+  Printf.printf "time          %.3fs%s\n" r.seconds (if r.timed_out then "  (budget exceeded)" else "");
+  Printf.printf "derivations   %d\n" r.solution.derivations;
+  Printf.printf "var-points-to %d tuples   field-points-to %d   call edges %d   contexts %d\n"
+    st.vpt_tuples st.fpt_tuples st.cg_edges st.n_contexts;
+  if not r.timed_out then begin
+    let prec = Ipa_core.Precision.compute r.solution in
+    Printf.printf
+      "precision     poly-vcalls %d   reachable methods %d   may-fail casts %d\n"
+      prec.poly_vcalls prec.reachable_methods prec.may_fail_casts
+  end;
+  if verbose then begin
+    let vpt = Ipa_core.Solution.collapsed_var_pts r.solution in
+    Array.iteri
+      (fun v set ->
+        if Ipa_support.Int_set.cardinal set > 0 then
+          Printf.printf "%s -> {%s}\n" (Program.var_full_name p v)
+            (String.concat ", "
+               (List.map (Program.heap_full_name p) (Ipa_support.Int_set.to_sorted_list set))))
+      vpt
+  end
+
+let analyze_cmd =
+  let run path flavor heuristic budget verbose =
+    match load_program path with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok p ->
+      (match heuristic with
+      | None -> print_result ~verbose p (Ipa_core.Analysis.run_plain ~budget p flavor)
+      | Some h ->
+        let ir = Ipa_core.Analysis.run_introspective ~budget p flavor h in
+        Printf.printf "first pass    %s  %.3fs  (%d derivations)\n" ir.base.label ir.base.seconds
+          ir.base.solution.derivations;
+        Printf.printf "selection     %d/%d sites and %d/%d objects kept context-insensitive\n"
+          ir.selection.sites_skipped ir.selection.sites_total ir.selection.objects_skipped
+          ir.selection.objects_total;
+        print_result ~verbose p ir.second);
+      0
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "points-to" ] ~doc:"Print the collapsed var-points-to relation.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Run a points-to analysis on a .jir program.")
+    Term.(const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ verbose_arg)
+
+(* ---------- client-analysis commands ---------- *)
+
+(* Run the configured analysis and hand its solution to a report printer. *)
+let with_solution path flavor heuristic budget k =
+  match load_program path with
+  | Error msg ->
+    prerr_endline msg;
+    1
+  | Ok p ->
+    let result =
+      match heuristic with
+      | None -> Ipa_core.Analysis.run_plain ~budget p flavor
+      | Some h -> (Ipa_core.Analysis.run_introspective ~budget p flavor h).second
+    in
+    if result.timed_out then begin
+      Printf.eprintf "%s exceeded its derivation budget; results are partial\n" result.label;
+      k p result.solution;
+      1
+    end
+    else begin
+      Printf.printf "analysis: %s (%.3fs)\n\n" result.label result.seconds;
+      k p result.solution;
+      0
+    end
+
+let client_cmd name ~doc k =
+  let run path flavor heuristic budget = with_solution path flavor heuristic budget k in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg)
+
+let devirt_cmd =
+  client_cmd "devirt" ~doc:"Report devirtualizable and polymorphic call sites." (fun _ s ->
+      let summary = Ipa_clients.Devirtualize.summarize s in
+      Printf.printf "monomorphic %d   polymorphic %d   unreachable %d\n\n" summary.monomorphic
+        summary.polymorphic summary.unreachable;
+      Ipa_clients.Devirtualize.print ~only_poly:true s)
+
+let casts_cmd =
+  client_cmd "casts" ~doc:"Report casts that may fail under the analysis." (fun _ s ->
+      Printf.printf "casts that may fail: %d\n\n" (Ipa_clients.Cast_check.unsafe_count s);
+      Ipa_clients.Cast_check.print ~only_unsafe:true s)
+
+let exceptions_cmd =
+  client_cmd "exceptions" ~doc:"Report uncaught exceptions and handler contents." (fun _ s ->
+      Ipa_clients.Exception_report.print s)
+
+let hotspots_cmd =
+  client_cmd "hotspots"
+    ~doc:"Show the methods and allocation sites dominating the analysis cost." (fun _ s ->
+      Ipa_core.Diagnostics.print s)
+
+let callgraph_cmd =
+  let run path flavor heuristic budget output =
+    with_solution path flavor heuristic budget (fun _ s ->
+        match output with
+        | Some out ->
+          Ipa_clients.Callgraph_export.write_dot s ~path:out;
+          Printf.printf "wrote %s (%d edges)\n" out
+            (List.length (Ipa_clients.Callgraph_export.to_edges s))
+        | None -> print_string (Ipa_clients.Callgraph_export.to_dot s))
+  in
+  let output_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"DOT file.")
+  in
+  Cmd.v
+    (Cmd.info "callgraph" ~doc:"Export the collapsed call graph as Graphviz DOT.")
+    Term.(const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ output_arg)
+
+let compare_cmd =
+  let run path coarse fine budget =
+    match load_program path with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok p ->
+      let a = Ipa_core.Analysis.run_plain ~budget p coarse in
+      let b = Ipa_core.Analysis.run_plain ~budget p fine in
+      if a.timed_out || b.timed_out then begin
+        prerr_endline "an analysis exceeded its budget; diff would be misleading";
+        1
+      end
+      else begin
+        Printf.printf "%s (%.3fs)  vs  %s (%.3fs)\n\n" a.label a.seconds b.label b.seconds;
+        Ipa_clients.Compare.print a.solution b.solution;
+        0
+      end
+  in
+  let coarse_arg =
+    Arg.(
+      value
+      & opt flavor_arg Flavors.Insensitive
+      & info [ "from" ] ~docv:"ANALYSIS" ~doc:"Coarse analysis (default insens).")
+  in
+  let fine_arg =
+    Arg.(
+      value
+      & opt flavor_arg (Flavors.Object_sens { depth = 2; heap = 1 })
+      & info [ "to" ] ~docv:"ANALYSIS" ~doc:"Fine analysis (default 2objH).")
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Diff the precision of two analyses, site by site.")
+    Term.(const run $ file_arg $ coarse_arg $ fine_arg $ budget_arg)
+
+let dump_cmd =
+  let run path flavor heuristic budget full output =
+    with_solution path flavor heuristic budget (fun _ s ->
+        match output with
+        | Some out ->
+          Ipa_clients.Facts_dump.write ~full s ~path:out;
+          Printf.printf "wrote %s\n" out
+        | None ->
+          List.iter print_endline
+            (if full then Ipa_clients.Facts_dump.full_lines s
+             else Ipa_clients.Facts_dump.collapsed_lines s))
+  in
+  let full_arg =
+    Arg.(value & flag & info [ "full" ] ~doc:"Dump the context-sensitive relations.")
+  in
+  let output_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Dump the computed relations as diffable text facts.")
+    Term.(const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ full_arg $ output_arg)
+
+(* ---------- metrics ---------- *)
+
+let metrics_cmd =
+  let run path top =
+    match load_program path with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok p ->
+      let base = Ipa_core.Analysis.run_plain p Flavors.Insensitive in
+      let m = Ipa_core.Introspection.compute base.solution in
+      let show name values describe =
+        let ranked =
+          List.filter
+            (fun (v, _) -> v > 0)
+            (List.sort (fun a b -> compare b a)
+               (Array.to_list (Array.mapi (fun i v -> (v, i)) values)))
+        in
+        Printf.printf "-- %s (top %d of %d non-zero) --\n" name top (List.length ranked);
+        List.iteri
+          (fun rank (v, i) -> if rank < top then Printf.printf "%8d  %s\n" v (describe i))
+          ranked
+      in
+      let meth = Program.meth_full_name p in
+      let heap = Program.heap_full_name p in
+      let invo i = (Program.invo_info p i).invo_name in
+      show "argument in-flow (metric 1)" m.in_flow invo;
+      show "method total points-to volume (metric 2)" m.meth_total_volume meth;
+      show "object max field points-to (metric 3)" m.obj_max_field heap;
+      show "method max var-field points-to (metric 4)" m.meth_max_var_field meth;
+      show "pointed-by-vars (metric 5)" m.pointed_by_vars heap;
+      show "pointed-by-objs (metric 6)" m.pointed_by_objs heap;
+      0
+  in
+  let top_arg = Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc:"Entries per metric.") in
+  Cmd.v
+    (Cmd.info "metrics" ~doc:"Print the six introspection cost metrics of the paper (§3).")
+    Term.(const run $ file_arg $ top_arg)
+
+(* ---------- gen ---------- *)
+
+let gen_cmd =
+  let run name scale output =
+    match Ipa_synthetic.Dacapo.find name with
+    | None ->
+      Printf.eprintf "unknown benchmark %S; available: %s\n" name
+        (String.concat ", "
+           (List.map (fun (s : Ipa_synthetic.Dacapo.spec) -> s.name) Ipa_synthetic.Dacapo.all));
+      1
+    | Some spec ->
+      let p = Ipa_synthetic.Dacapo.build ~scale spec in
+      let text = Ipa_ir.Pretty.program p in
+      (match output with
+      | Some path ->
+        Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text);
+        Printf.printf "wrote %s (%d classes, %d methods)\n" path (Program.n_classes p)
+          (Program.n_meths p)
+      | None -> print_string text);
+      0
+  in
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH" ~doc:"Benchmark name (antlr, bloat, ..., xalan).")
+  in
+  let output_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic DaCapo-like benchmark as .jir text.")
+    Term.(const run $ name_arg $ scale_arg $ output_arg)
+
+let export_dl_cmd =
+  let run path output =
+    match load_program path with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok p ->
+      let text = Ipa_clients.Dl_export.script p in
+      (match output with
+      | Some out ->
+        Out_channel.with_open_text out (fun oc -> Out_channel.output_string oc text);
+        Printf.printf "wrote %s\n" out
+      | None -> print_string text);
+      0
+  in
+  let output_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "export-dl"
+       ~doc:"Export the program and the context-insensitive analysis as a runnable .dl file.")
+    Term.(const run $ file_arg $ output_arg)
+
+(* ---------- datalog ---------- *)
+
+let datalog_cmd =
+  let run path budget =
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error msg ->
+      prerr_endline msg;
+      1
+    | src -> (
+      match Ipa_datalog.Dl.parse src with
+      | Error msg ->
+        Printf.eprintf "%s: %s\n" path msg;
+        1
+      | Ok program -> (
+        match Ipa_datalog.Dl.run_to_string ~budget program with
+        | Error msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          1
+        | Ok out ->
+          print_string out;
+          0))
+  in
+  let dl_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Datalog program (.dl).")
+  in
+  Cmd.v
+    (Cmd.info "datalog"
+       ~doc:"Evaluate a standalone Datalog program on the analysis engine.")
+    Term.(const run $ dl_file $ budget_arg)
+
+(* ---------- experiments ---------- *)
+
+let experiments_cmd =
+  let run figure scale budget =
+    let cfg = { Ipa_harness.Config.scale; budget } in
+    (match figure with
+    | None -> Ipa_harness.Experiments.print_all cfg
+    | Some 1 -> Ipa_harness.Experiments.Fig1.print cfg
+    | Some 4 -> Ipa_harness.Experiments.Fig4.print cfg
+    | Some 5 -> Ipa_harness.Experiments.Figs567.print cfg (Flavors.Object_sens { depth = 2; heap = 1 })
+    | Some 6 -> Ipa_harness.Experiments.Figs567.print cfg (Flavors.Type_sens { depth = 2; heap = 1 })
+    | Some 7 -> Ipa_harness.Experiments.Figs567.print cfg (Flavors.Call_site { depth = 2; heap = 1 })
+    | Some n ->
+      Printf.eprintf "no figure %d (have 1, 4, 5, 6, 7)\n" n;
+      exit 1);
+    0
+  in
+  let figure_arg =
+    Arg.(value & opt (some int) None & info [ "figure" ] ~docv:"N" ~doc:"Figure number (1, 4-7).")
+  in
+  let budget_arg' =
+    Arg.(
+      value
+      & opt int Ipa_harness.Config.default.budget
+      & info [ "budget" ] ~docv:"N" ~doc:"Derivation budget per run.")
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures.")
+    Term.(const run $ figure_arg $ scale_arg $ budget_arg')
+
+let () =
+  let info =
+    Cmd.info "introspect" ~version:"1.0.0"
+      ~doc:"Introspective context-sensitive points-to analysis (PLDI 2014 reproduction)."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            check_cmd;
+            analyze_cmd;
+            metrics_cmd;
+            gen_cmd;
+            experiments_cmd;
+            devirt_cmd;
+            casts_cmd;
+            exceptions_cmd;
+            hotspots_cmd;
+            callgraph_cmd;
+            compare_cmd;
+            dump_cmd;
+            datalog_cmd;
+            export_dl_cmd;
+          ]))

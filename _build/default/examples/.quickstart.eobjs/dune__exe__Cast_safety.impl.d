@@ -1,0 +1,1 @@
+examples/cast_safety.ml: Array Ipa_core Ipa_frontend Ipa_ir Ipa_support Printf

@@ -1,0 +1,1 @@
+examples/devirtualize.ml: Hashtbl Ipa_core Ipa_ir Ipa_support Ipa_synthetic Option Printf

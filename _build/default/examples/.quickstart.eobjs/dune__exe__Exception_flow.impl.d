@@ -1,0 +1,1 @@
+examples/exception_flow.ml: Ipa_clients Ipa_core Ipa_frontend Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ipa_core Ipa_ir Ipa_support List Printf String

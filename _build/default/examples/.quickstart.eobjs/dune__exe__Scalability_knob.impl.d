@@ -1,0 +1,1 @@
+examples/scalability_knob.ml: Ipa_core Ipa_synthetic List Option Printf

@@ -1,0 +1,79 @@
+(* Quickstart: build a small program with the Builder API, run a
+   context-insensitive and a 2-object-sensitive analysis, and inspect the
+   points-to results.
+
+   The program is the classic motivating example for object-sensitivity:
+   two container objects mutated through a shared setter method. Context-
+   insensitively the setter's [this] and [x] parameters conflate, so both
+   containers appear to hold both payloads; object-sensitively the setter is
+   analyzed once per receiver object and the containers stay separate.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module B = Ipa_ir.Builder
+module Program = Ipa_ir.Program
+module Int_set = Ipa_support.Int_set
+
+let build_program () =
+  let b = B.create () in
+  let object_cls = B.add_class b "Object" in
+  let a_cls = B.add_class b ~super:object_cls "A" in
+  let b_cls = B.add_class b ~super:object_cls "B" in
+  (* class Box { field val;
+       method set/1 (x) { this.val = x; }
+       method get/0 ()  { var t; t = this.val; return t; } } *)
+  let box_cls = B.add_class b ~super:object_cls "Box" in
+  let val_fld = B.add_field b ~owner:box_cls "val" in
+  let set = B.add_method b ~owner:box_cls ~name:"set" ~params:[ "x" ] () in
+  B.store b set ~base:(B.this b set) ~field:val_fld ~source:(B.formal b set 0);
+  let get = B.add_method b ~owner:box_cls ~name:"get" ~params:[] () in
+  let t = B.add_var b get "t" in
+  B.load b get ~target:t ~base:(B.this b get) ~field:val_fld;
+  B.return_ b get t;
+  (* static method main/0:
+       b1 = new Box; b2 = new Box; oa = new A; ob = new B;
+       b1.set(oa); b2.set(ob);
+       ra = b1.get(); rb = b2.get(); rb2 = (B) rb; *)
+  let main_cls = B.add_class b ~super:object_cls "Main" in
+  let main = B.add_method b ~owner:main_cls ~name:"main" ~static:true ~params:[] () in
+  let v name = B.add_var b main name in
+  let b1 = v "b1" and b2 = v "b2" and oa = v "oa" and ob = v "ob" in
+  let ra = v "ra" and rb = v "rb" and rb2 = v "rb2" in
+  ignore (B.alloc b main ~target:b1 ~cls:box_cls);
+  ignore (B.alloc b main ~target:b2 ~cls:box_cls);
+  ignore (B.alloc b main ~target:oa ~cls:a_cls);
+  ignore (B.alloc b main ~target:ob ~cls:b_cls);
+  ignore (B.vcall b main ~base:b1 ~name:"set" ~actuals:[ oa ] ());
+  ignore (B.vcall b main ~base:b2 ~name:"set" ~actuals:[ ob ] ());
+  ignore (B.vcall b main ~base:b1 ~name:"get" ~actuals:[] ~recv:ra ());
+  ignore (B.vcall b main ~base:b2 ~name:"get" ~actuals:[] ~recv:rb ());
+  B.cast b main ~target:rb2 ~source:rb ~cls:b_cls;
+  B.add_entry b main;
+  B.finish b
+
+let report p label flavor =
+  let result = Ipa_core.Analysis.run_plain p flavor in
+  let prec = Ipa_core.Precision.compute result.solution in
+  Printf.printf "--- %s ---\n" label;
+  let vpt = Ipa_core.Solution.collapsed_var_pts result.solution in
+  Array.iteri
+    (fun var set ->
+      if Int_set.cardinal set > 0 then
+        Printf.printf "  %-16s -> {%s}\n"
+          (Program.var_full_name p var)
+          (String.concat ", "
+             (List.map (Program.heap_full_name p) (Int_set.to_sorted_list set))))
+    vpt;
+  Printf.printf "  casts that may fail: %d\n\n" prec.may_fail_casts
+
+let () =
+  let p = build_program () in
+  print_endline "The program:";
+  print_endline (Ipa_ir.Pretty.program p);
+  (* Context-insensitively [set] is analyzed once: its [this] points to both
+     boxes and its [x] to both payloads, so each box's field receives both
+     objects and the cast (B) rb is reported as possibly failing. *)
+  report p "context-insensitive" Ipa_core.Flavors.Insensitive;
+  (* Object-sensitively [set] is analyzed per receiver object: b1 holds only
+     the A, b2 only the B, and the cast is proven safe. *)
+  report p "2-object-sensitive (2objH)" (Ipa_core.Flavors.Object_sens { depth = 2; heap = 1 })

@@ -1,0 +1,45 @@
+(* The scalability "dial": sweep the heuristic constants.
+
+   The paper's central promise is a knob between scalability and precision:
+   lower the heuristic thresholds and the analysis gets cheaper but coarser;
+   raise them and it converges to the full context-sensitive analysis (and
+   eventually to its blow-ups). This example sweeps Heuristic A's constants
+   on the hsqldb-like benchmark — the one whose full 2objH analysis does not
+   terminate — and prints cost and precision at each setting.
+
+   Run with: dune exec examples/scalability_knob.exe *)
+
+module Flavors = Ipa_core.Flavors
+module Heuristics = Ipa_core.Heuristics
+
+let () =
+  let spec = Option.get (Ipa_synthetic.Dacapo.find "hsqldb") in
+  let p = Ipa_synthetic.Dacapo.build ~scale:0.5 spec in
+  let budget = 10_000_000 in
+  let flavor = Flavors.Object_sens { depth = 2; heap = 1 } in
+  Printf.printf "%-26s %9s %12s %7s %7s %7s\n" "setting" "time(s)" "derivations" "poly"
+    "reach" "casts";
+  let row label (r : Ipa_core.Analysis.result) =
+    if r.timed_out then
+      Printf.printf "%-26s %9s %12d %7s %7s %7s\n" label "timeout" r.solution.derivations "-" "-"
+        "-"
+    else begin
+      let prec = Ipa_core.Precision.compute r.solution in
+      Printf.printf "%-26s %9.2f %12d %7d %7d %7d\n" label r.seconds r.solution.derivations
+        prec.poly_vcalls prec.reachable_methods prec.may_fail_casts
+    end
+  in
+  row "insens" (Ipa_core.Analysis.run_plain ~budget p Flavors.Insensitive);
+  (* Tighten and loosen Heuristic A around its paper constants
+     (K=100, L=100, M=200). Small K/L/M = aggressive skipping = fast and
+     coarse; large = nearly the full analysis. *)
+  List.iter
+    (fun factor ->
+      let k = 100 * factor / 10 in
+      let l = 100 * factor / 10 in
+      let m = 200 * factor / 10 in
+      let h = Heuristics.A { k = max 1 k; l = max 1 l; m = max 1 m } in
+      let ir = Ipa_core.Analysis.run_introspective ~budget p flavor h in
+      row (Printf.sprintf "IntroA x%.1f (K=%d)" (float_of_int factor /. 10.) (max 1 k)) ir.second)
+    [ 1; 5; 10; 50; 400; 10000 ];
+  row "full 2objH" (Ipa_core.Analysis.run_plain ~budget p flavor)

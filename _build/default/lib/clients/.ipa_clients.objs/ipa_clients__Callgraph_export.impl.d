@@ -1,0 +1,1 @@
+lib/clients/callgraph_export.ml: Buffer Hashtbl Ipa_core Ipa_ir List Out_channel Printf String

@@ -1,0 +1,1 @@
+lib/clients/callgraph_export.mli: Ipa_core Ipa_ir

@@ -1,0 +1,1 @@
+lib/clients/cast_check.ml: Array Ipa_core Ipa_ir Ipa_support List Printf String

@@ -1,0 +1,1 @@
+lib/clients/cast_check.mli: Ipa_core Ipa_ir

@@ -1,0 +1,1 @@
+lib/clients/compare.ml: Cast_check Devirtualize Exception_report Ipa_core Ipa_ir Ipa_support List Printf

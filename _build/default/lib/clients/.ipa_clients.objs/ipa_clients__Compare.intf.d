@@ -1,0 +1,1 @@
+lib/clients/compare.mli: Ipa_core Ipa_ir

@@ -1,0 +1,1 @@
+lib/clients/devirtualize.ml: Hashtbl Ipa_core Ipa_ir Ipa_support List Printf String

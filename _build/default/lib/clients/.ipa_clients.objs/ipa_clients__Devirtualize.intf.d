@@ -1,0 +1,1 @@
+lib/clients/devirtualize.mli: Ipa_core Ipa_ir

@@ -1,0 +1,1 @@
+lib/clients/dl_export.ml: Array Buffer Ipa_ir List Printf String

@@ -1,0 +1,1 @@
+lib/clients/dl_export.mli: Ipa_ir

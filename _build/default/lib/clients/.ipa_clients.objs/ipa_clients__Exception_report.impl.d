@@ -1,0 +1,1 @@
+lib/clients/exception_report.ml: Array Hashtbl Ipa_core Ipa_ir Ipa_support List Printf String

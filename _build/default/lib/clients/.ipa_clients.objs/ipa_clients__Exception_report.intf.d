@@ -1,0 +1,1 @@
+lib/clients/exception_report.mli: Ipa_core Ipa_ir

@@ -1,0 +1,1 @@
+lib/clients/facts_dump.ml: Array Hashtbl Ipa_core Ipa_ir Ipa_support List Out_channel Printf String

@@ -1,0 +1,1 @@
+lib/clients/facts_dump.mli: Ipa_core

@@ -1,0 +1,35 @@
+module Program = Ipa_ir.Program
+module Solution = Ipa_core.Solution
+
+let to_edges (s : Solution.t) =
+  let p = s.program in
+  let edges = Hashtbl.create 256 in
+  Solution.iter_cg s (fun ~invo ~caller:_ ~meth ~callee:_ ->
+      let from = (Program.invo_info p invo).invo_owner in
+      Hashtbl.replace edges (from, meth) ());
+  List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) edges [])
+
+let escape name = String.concat "\\\"" (String.split_on_char '"' name)
+
+let to_dot (s : Solution.t) =
+  let p = s.program in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph callgraph {\n  rankdir=LR;\n  node [shape=box];\n";
+  List.iter
+    (fun m ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" [style=filled, fillcolor=lightblue];\n"
+           (escape (Program.meth_full_name p m))))
+    (Program.entries p);
+  List.iter
+    (fun (from, to_) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\";\n"
+           (escape (Program.meth_full_name p from))
+           (escape (Program.meth_full_name p to_))))
+    (to_edges s);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_dot s ~path =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_dot s))

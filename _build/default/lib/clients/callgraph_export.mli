@@ -1,0 +1,12 @@
+(** Call-graph export: the collapsed (context-insensitive projection of the)
+    call graph in Graphviz DOT and in an edge-list text format.
+
+    Nodes are methods; an edge [m -> n] exists when some call site in [m]
+    may invoke [n] under some context pair. Entry points are marked. *)
+
+val to_dot : Ipa_core.Solution.t -> string
+
+val to_edges : Ipa_core.Solution.t -> (Ipa_ir.Program.meth_id * Ipa_ir.Program.meth_id) list
+(** Deduplicated, sorted caller/callee pairs. *)
+
+val write_dot : Ipa_core.Solution.t -> path:string -> unit

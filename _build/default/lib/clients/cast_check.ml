@@ -1,0 +1,53 @@
+module Program = Ipa_ir.Program
+module Int_set = Ipa_support.Int_set
+module Solution = Ipa_core.Solution
+
+type t = {
+  meth : Program.meth_id;
+  source : Program.var_id;
+  target_type : Program.class_id;
+  witnesses : Program.heap_id list;
+}
+
+let analyze (s : Solution.t) =
+  let p = s.program in
+  let vpt = Solution.collapsed_var_pts s in
+  let reachable = Solution.reachable_meths s in
+  let out = ref [] in
+  for m = Program.n_meths p - 1 downto 0 do
+    if Int_set.mem reachable m then
+      Array.iter
+        (fun (i : Program.instr) ->
+          match i with
+          | Cast { source; cast_to; _ } ->
+            let witnesses =
+              List.filter
+                (fun h ->
+                  not (Program.subtype p ~sub:(Program.heap_info p h).heap_class ~super:cast_to))
+                (Int_set.to_sorted_list vpt.(source))
+            in
+            out := { meth = m; source; target_type = cast_to; witnesses } :: !out
+          | Alloc _ | Move _ | Load _ | Store _ | Load_static _ | Store_static _ | Call _
+          | Return _ | Throw _ -> ())
+        (Program.meth_info p m).body
+  done;
+  !out
+
+let unsafe_count s = List.length (List.filter (fun c -> c.witnesses <> []) (analyze s))
+
+let print ?(only_unsafe = false) (s : Solution.t) =
+  let p = s.program in
+  List.iter
+    (fun { meth; source; target_type; witnesses } ->
+      match witnesses with
+      | [] ->
+        if not only_unsafe then
+          Printf.printf "%s: (%s) %s : safe\n" (Program.meth_full_name p meth)
+            (Program.class_name p target_type)
+            (Program.var_info p source).var_name
+      | ws ->
+        Printf.printf "%s: (%s) %s : MAY FAIL on {%s}\n" (Program.meth_full_name p meth)
+          (Program.class_name p target_type)
+          (Program.var_info p source).var_name
+          (String.concat ", " (List.map (Program.heap_full_name p) ws)))
+    (analyze s)

@@ -1,0 +1,20 @@
+(** Cast-safety client: which downcasts can be proven safe?
+
+    The paper's "casts that may fail" metric, per cast site: a cast is safe
+    when every object its source may point to is a subtype of the target
+    type; otherwise the objects witnessing potential failure are reported. *)
+
+type t = {
+  meth : Ipa_ir.Program.meth_id;  (** enclosing method *)
+  source : Ipa_ir.Program.var_id;
+  target_type : Ipa_ir.Program.class_id;
+  witnesses : Ipa_ir.Program.heap_id list;  (** objects that would fail; [] = safe *)
+}
+
+val analyze : Ipa_core.Solution.t -> t list
+(** Every cast in a reachable method, in program order. *)
+
+val unsafe_count : Ipa_core.Solution.t -> int
+(** The paper's metric: casts with at least one witness. *)
+
+val print : ?only_unsafe:bool -> Ipa_core.Solution.t -> unit

@@ -1,0 +1,28 @@
+(** Precision diff between two analyses of the same program.
+
+    Answers "what did the extra context buy?" site by site: casts proven
+    safe, call sites devirtualized, methods shown unreachable, exceptions
+    shown caught — the per-program-element view behind the aggregate deltas
+    in the paper's Figures 5-7. The first solution is conventionally the
+    coarser one (e.g. insens), the second the finer one (e.g. 2objH or an
+    introspective variant). *)
+
+type delta = {
+  casts_proven_safe : (Ipa_ir.Program.meth_id * Ipa_ir.Program.class_id) list;
+      (** casts unsafe under the first analysis, safe under the second *)
+  casts_lost : (Ipa_ir.Program.meth_id * Ipa_ir.Program.class_id) list;
+      (** the reverse direction — non-empty only if the "finer" analysis is
+          not actually a refinement *)
+  devirtualized : Ipa_ir.Program.invo_id list;
+      (** polymorphic sites that became monomorphic or unreachable *)
+  newly_unreachable : Ipa_ir.Program.meth_id list;
+      (** methods reachable only under the first analysis *)
+  uncaught_delta : int;
+      (** first's uncaught-exception sites minus second's *)
+}
+
+val diff : Ipa_core.Solution.t -> Ipa_core.Solution.t -> delta
+(** Raises [Invalid_argument] when the two solutions analyze different
+    programs (compared physically). *)
+
+val print : Ipa_core.Solution.t -> Ipa_core.Solution.t -> unit

@@ -1,0 +1,60 @@
+module Program = Ipa_ir.Program
+module Int_set = Ipa_support.Int_set
+module Solution = Ipa_core.Solution
+
+type verdict =
+  | Monomorphic of Program.meth_id
+  | Polymorphic of Program.meth_id list
+  | Unreachable
+
+type t = {
+  site : Program.invo_id;
+  verdict : verdict;
+}
+
+let analyze (s : Solution.t) =
+  let p = s.program in
+  let targets = Solution.call_targets s in
+  let out = ref [] in
+  for invo = Program.n_invos p - 1 downto 0 do
+    match (Program.invo_info p invo).call with
+    | Static _ -> ()
+    | Virtual _ ->
+      let verdict =
+        match Hashtbl.find_opt targets invo with
+        | None -> Unreachable
+        | Some ms -> (
+          match Int_set.to_sorted_list ms with
+          | [ m ] -> Monomorphic m
+          | ms -> Polymorphic ms)
+      in
+      out := { site = invo; verdict } :: !out
+  done;
+  !out
+
+type summary = { monomorphic : int; polymorphic : int; unreachable : int }
+
+let summarize s =
+  List.fold_left
+    (fun acc { verdict; _ } ->
+      match verdict with
+      | Monomorphic _ -> { acc with monomorphic = acc.monomorphic + 1 }
+      | Polymorphic _ -> { acc with polymorphic = acc.polymorphic + 1 }
+      | Unreachable -> { acc with unreachable = acc.unreachable + 1 })
+    { monomorphic = 0; polymorphic = 0; unreachable = 0 }
+    (analyze s)
+
+let print ?(only_poly = false) (s : Solution.t) =
+  let p = s.program in
+  List.iter
+    (fun { site; verdict } ->
+      let name = (Program.invo_info p site).invo_name in
+      match verdict with
+      | Monomorphic m ->
+        if not only_poly then
+          Printf.printf "%-40s -> %s\n" name (Program.meth_full_name p m)
+      | Polymorphic ms ->
+        Printf.printf "%-40s POLYMORPHIC {%s}\n" name
+          (String.concat ", " (List.map (Program.meth_full_name p) ms))
+      | Unreachable -> if not only_poly then Printf.printf "%-40s unreachable\n" name)
+    (analyze s)

@@ -1,0 +1,25 @@
+(** Devirtualization client: which virtual call sites have a unique target?
+
+    A monomorphic site can be compiled as a direct call (and inlined); the
+    fraction of such sites is the paper's "calls that cannot be
+    devirtualized" precision metric seen from the optimizer's side. *)
+
+type verdict =
+  | Monomorphic of Ipa_ir.Program.meth_id  (** exactly one target *)
+  | Polymorphic of Ipa_ir.Program.meth_id list  (** two or more targets *)
+  | Unreachable  (** no call-graph edge: dead code under this analysis *)
+
+type t = {
+  site : Ipa_ir.Program.invo_id;
+  verdict : verdict;
+}
+
+val analyze : Ipa_core.Solution.t -> t list
+(** One entry per virtual call site of the program, in site order. *)
+
+type summary = { monomorphic : int; polymorphic : int; unreachable : int }
+
+val summarize : Ipa_core.Solution.t -> summary
+
+val print : ?only_poly:bool -> Ipa_core.Solution.t -> unit
+(** Human-readable site-by-site report. *)

@@ -1,0 +1,112 @@
+module Program = Ipa_ir.Program
+
+let insens_rules =
+  {|// Context-insensitive points-to analysis: the paper's Figure 3 rules with
+// the context columns erased (plus casts, static calls, static fields).
+.decl vpt(2)      // variable, heap
+.decl fpt(3)      // base heap, field, heap
+.decl sfpt(2)     // static field, heap
+.decl cg(2)       // invocation, target method
+.decl reach(1)    // method
+
+reach(M) :- entry(M).
+vpt(V, H) :- reach(M), alloc(V, H, M).
+vpt(T, H) :- move(T, S), vpt(S, H).
+vpt(T, H) :- cast(T, C, S), vpt(S, H), heaptype(H, HT), subtype(HT, C).
+vpt(T, H) :- load(T, B, F), vpt(B, BH), fpt(BH, F, H).
+fpt(BH, F, H) :- store(B, F, S), vpt(B, BH), vpt(S, H).
+vpt(T, H) :- loadstatic(T, F, M), reach(M), sfpt(F, H).
+sfpt(F, H) :- storestatic(F, S), vpt(S, H).
+
+cg(I, M2) :- vcall(B, Sg, I, M), reach(M), vpt(B, H), heaptype(H, T), lookup(T, Sg, M2).
+cg(I, M2) :- staticcall(I, M2, M), reach(M).
+reach(M2) :- cg(_, M2).
+vpt(This, H) :-
+  vcall(B, Sg, I, M), reach(M), vpt(B, H), heaptype(H, T), lookup(T, Sg, M2),
+  thisvar(M2, This).
+vpt(F, H) :- cg(I, M2), formalarg(M2, N, F), actualarg(I, N, A), vpt(A, H).
+vpt(R, H) :- cg(I, M2), formalreturn(M2, Ret), actualreturn(I, R), vpt(Ret, H).
+|}
+
+let input_decls =
+  {|.decl entry(1)
+.decl alloc(3)        // var, heap, method
+.decl move(2)         // to, from (returns are normalized to moves)
+.decl cast(3)         // to, type, from
+.decl load(3)         // to, base, field
+.decl store(3)        // base, field, from
+.decl loadstatic(3)   // to, field, method
+.decl storestatic(2)  // field, from
+.decl vcall(4)        // base, signature, invocation, method
+.decl staticcall(3)   // invocation, callee, method
+.decl formalarg(3)    // method, index, var
+.decl actualarg(3)    // invocation, index, var
+.decl formalreturn(2) // method, return var
+.decl actualreturn(2) // invocation, receiver var
+.decl thisvar(2)      // method, this var
+.decl heaptype(2)     // heap, class
+.decl lookup(3)       // class, signature, method
+.decl subtype(2)      // sub, super
+|}
+
+let facts (p : Program.t) =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf input_decls;
+  let fact name args =
+    Buffer.add_string buf
+      (Printf.sprintf "%s(%s).\n" name
+         (String.concat ", " (List.map (Printf.sprintf "%S") args)))
+  in
+  let v = Program.var_full_name p in
+  let h = Program.heap_full_name p in
+  let f = Program.field_full_name p in
+  let m = Program.meth_full_name p in
+  let cls = Program.class_name p in
+  let sg s =
+    let si = Program.sig_info p s in
+    Printf.sprintf "%s/%d" si.sig_name si.arity
+  in
+  let i invo = (Program.invo_info p invo).invo_name in
+  List.iter (fun entry -> fact "entry" [ m entry ]) (Program.entries p);
+  for meth = 0 to Program.n_meths p - 1 do
+    let mi = Program.meth_info p meth in
+    (match mi.this_var with Some this -> fact "thisvar" [ m meth; v this ] | None -> ());
+    Array.iteri (fun n arg -> fact "formalarg" [ m meth; string_of_int n; v arg ]) mi.formals;
+    (match mi.ret_var with Some ret -> fact "formalreturn" [ m meth; v ret ] | None -> ());
+    Array.iter
+      (fun (instr : Program.instr) ->
+        match instr with
+        | Alloc { target; heap } -> fact "alloc" [ v target; h heap; m meth ]
+        | Move { target; source } -> fact "move" [ v target; v source ]
+        | Cast { target; source; cast_to } -> fact "cast" [ v target; cls cast_to; v source ]
+        | Load { target; base; field } -> fact "load" [ v target; v base; f field ]
+        | Store { base; field; source } -> fact "store" [ v base; f field; v source ]
+        | Load_static { target; field } -> fact "loadstatic" [ v target; f field; m meth ]
+        | Store_static { field; source } -> fact "storestatic" [ f field; v source ]
+        | Return { source } -> (
+          match mi.ret_var with
+          | Some ret -> fact "move" [ v ret; v source ]
+          | None -> ())
+        | Throw _ -> () (* not modeled in the surface-language export *)
+        | Call invo -> (
+          let ii = Program.invo_info p invo in
+          Array.iteri (fun n a -> fact "actualarg" [ i invo; string_of_int n; v a ]) ii.actuals;
+          (match ii.recv with Some r -> fact "actualreturn" [ i invo; v r ] | None -> ());
+          match ii.call with
+          | Virtual { base; signature } -> fact "vcall" [ v base; sg signature; i invo; m meth ]
+          | Static { callee } -> fact "staticcall" [ i invo; m callee; m meth ]))
+      mi.body
+  done;
+  for heap = 0 to Program.n_heaps p - 1 do
+    fact "heaptype" [ h heap; cls (Program.heap_info p heap).heap_class ]
+  done;
+  Program.iter_dispatch p (fun c s target -> fact "lookup" [ cls c; sg s; m target ]);
+  for sub = 0 to Program.n_classes p - 1 do
+    for super = 0 to Program.n_classes p - 1 do
+      if Program.subtype p ~sub ~super then fact "subtype" [ cls sub; cls super ]
+    done
+  done;
+  Buffer.contents buf
+
+let script p =
+  insens_rules ^ facts p ^ ".output vpt\n.output fpt\n.output cg\n.output reach\n"

@@ -1,0 +1,25 @@
+(** Export a program as a standalone Datalog points-to analysis.
+
+    Emits the program's input relations as [.dl] facts (entities rendered as
+    readable symbols) together with the context-insensitive points-to rules
+    written in the {!Ipa_datalog.Dl} surface language — the paper's Figure 3
+    with the context columns erased, as an executable artifact:
+
+    {v introspect export-dl prog.jir -o prog.dl && introspect datalog prog.dl v}
+
+    reproduces the native insensitive [VarPointsTo]/[CallGraph] (asserted by
+    tests). Exception flow is omitted — ordered catch-chain routing needs
+    the external routing function that the pure surface language does not
+    have (the {!Ipa_core.Datalog_backend} covers it with guards). *)
+
+val facts : Ipa_ir.Program.t -> string
+(** Declarations plus ground facts for every input relation, including the
+    subtype and dispatch tables. *)
+
+val insens_rules : string
+(** The context-insensitive analysis rules ([.decl]s of the computed
+    relations included). *)
+
+val script : Ipa_ir.Program.t -> string
+(** [insens_rules ^ facts p] plus [.output] directives for [vpt], [fpt],
+    [cg] and [reach] — a complete, runnable program. *)

@@ -1,0 +1,75 @@
+module Program = Ipa_ir.Program
+module Int_set = Ipa_support.Int_set
+module Solution = Ipa_core.Solution
+
+type uncaught = {
+  entry : Program.meth_id;
+  objects : Program.heap_id list;
+}
+
+let uncaught (s : Solution.t) =
+  let entries = Program.entries s.program in
+  let per_entry = Hashtbl.create 4 in
+  Solution.iter_exc_pts s (fun ~meth ~ctx:_ ~heap ~hctx:_ ->
+      if List.mem meth entries then begin
+        let set =
+          match Hashtbl.find_opt per_entry meth with
+          | Some set -> set
+          | None ->
+            let set = Int_set.create () in
+            Hashtbl.add per_entry meth set;
+            set
+        in
+        ignore (Int_set.add set heap)
+      end);
+  List.filter_map
+    (fun entry ->
+      match Hashtbl.find_opt per_entry entry with
+      | Some set -> Some { entry; objects = Int_set.to_sorted_list set }
+      | None -> None)
+    entries
+
+type handler = {
+  meth : Program.meth_id;
+  clause : int;
+  catch_type : Program.class_id;
+  objects : Program.heap_id list;
+}
+
+let handlers (s : Solution.t) =
+  let p = s.program in
+  let vpt = Solution.collapsed_var_pts s in
+  let reachable = Solution.reachable_meths s in
+  let out = ref [] in
+  for m = Program.n_meths p - 1 downto 0 do
+    if Int_set.mem reachable m then
+      Array.iteri
+        (fun i (clause : Program.catch_clause) ->
+          out :=
+            {
+              meth = m;
+              clause = i;
+              catch_type = clause.catch_type;
+              objects = Int_set.to_sorted_list vpt.(clause.catch_var);
+            }
+            :: !out)
+        (Program.meth_info p m).catches
+  done;
+  !out
+
+let print (s : Solution.t) =
+  let p = s.program in
+  let heaps hs = String.concat ", " (List.map (Program.heap_full_name p) hs) in
+  (match uncaught s with
+  | [] -> print_endline "no exceptions escape the entry points"
+  | us ->
+    List.iter
+      (fun { entry; objects } ->
+        Printf.printf "UNCAUGHT at %s: {%s}\n" (Program.meth_full_name p entry) (heaps objects))
+      us);
+  List.iter
+    (fun { meth; clause; catch_type; objects } ->
+      Printf.printf "%s catch[%d] (%s): %s\n" (Program.meth_full_name p meth) clause
+        (Program.class_name p catch_type)
+        (match objects with [] -> "(never reached)" | hs -> "{" ^ heaps hs ^ "}"))
+    (handlers s)

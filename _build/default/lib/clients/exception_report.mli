@@ -1,0 +1,26 @@
+(** Exception-flow client: what escapes, and what does each handler see?
+
+    Built on the analysis's escaping-exception relation: reports the
+    exception objects that may reach an entry point uncaught, and the
+    contents of every catch variable (collapsed over contexts). *)
+
+type uncaught = {
+  entry : Ipa_ir.Program.meth_id;
+  objects : Ipa_ir.Program.heap_id list;
+}
+
+val uncaught : Ipa_core.Solution.t -> uncaught list
+(** Per entry point with a non-empty escape set. *)
+
+type handler = {
+  meth : Ipa_ir.Program.meth_id;
+  clause : int;  (** index in the method's catch chain *)
+  catch_type : Ipa_ir.Program.class_id;
+  objects : Ipa_ir.Program.heap_id list;  (** what the clause may bind *)
+}
+
+val handlers : Ipa_core.Solution.t -> handler list
+(** Every catch clause of a reachable method (empty binding lists included —
+    a dead handler is a finding too). *)
+
+val print : Ipa_core.Solution.t -> unit

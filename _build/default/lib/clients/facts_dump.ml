@@ -1,0 +1,82 @@
+module Program = Ipa_ir.Program
+module Solution = Ipa_core.Solution
+module Int_set = Ipa_support.Int_set
+
+let namers (s : Solution.t) =
+  let p = s.program in
+  ( Program.var_full_name p,
+    Program.heap_full_name p,
+    Program.field_full_name p,
+    Program.meth_full_name p,
+    fun invo -> (Program.invo_info p invo).invo_name )
+
+let ctx_str (s : Solution.t) c =
+  "["
+  ^ String.concat ";"
+      (Array.to_list
+         (Array.map (Ipa_core.Ctx.Elem.to_string s.program) (Ipa_core.Ctx.elems s.ctxs c)))
+  ^ "]"
+
+let collapsed_lines (s : Solution.t) =
+  let v, h, f, m, i = namers s in
+  let acc = ref [] in
+  let add fmt = Printf.ksprintf (fun str -> acc := str :: !acc) fmt in
+  Array.iteri
+    (fun var set -> Int_set.iter (fun heap -> add "vpt %s %s" (v var) (h heap)) set)
+    (Solution.collapsed_var_pts s);
+  Hashtbl.iter
+    (fun key set ->
+      let n_fields = Program.n_fields s.program in
+      let base = key / n_fields and field = key mod n_fields in
+      Int_set.iter (fun heap -> add "fpt %s %s %s" (h base) (f field) (h heap)) set)
+    (Solution.collapsed_fld_pts s);
+  Hashtbl.iter
+    (fun invo targets -> Int_set.iter (fun meth -> add "cg %s %s" (i invo) (m meth)) targets)
+    (Solution.call_targets s);
+  Int_set.iter (fun meth -> add "reach %s" (m meth)) (Solution.reachable_meths s);
+  let exc_seen = Hashtbl.create 64 in
+  Solution.iter_exc_pts s (fun ~meth ~ctx:_ ~heap ~hctx:_ ->
+      Hashtbl.replace exc_seen (meth, heap) ());
+  Hashtbl.iter (fun (meth, heap) () -> add "exc %s %s" (m meth) (h heap)) exc_seen;
+  List.sort_uniq compare !acc
+
+let full_lines (s : Solution.t) =
+  let v, h, f, m, i = namers s in
+  let c = ctx_str s in
+  let acc = ref [] in
+  let add fmt = Printf.ksprintf (fun str -> acc := str :: !acc) fmt in
+  Solution.iter_var_pts s (fun ~var ~ctx ~heap ~hctx ->
+      add "vpt %s %s %s %s" (v var) (c ctx) (h heap) (c hctx));
+  Solution.iter_fld_pts s (fun ~base_heap ~base_hctx ~field ~heap ~hctx ->
+      add "fpt %s %s %s %s %s" (h base_heap) (c base_hctx) (f field) (h heap) (c hctx));
+  Solution.iter_static_fld_pts s (fun ~field ~heap ~hctx ->
+      add "sfpt %s %s %s" (f field) (h heap) (c hctx));
+  Solution.iter_cg s (fun ~invo ~caller ~meth ~callee ->
+      add "cg %s %s %s %s" (i invo) (c caller) (m meth) (c callee));
+  Solution.iter_reachable s (fun ~meth ~ctx -> add "reach %s %s" (m meth) (c ctx));
+  Solution.iter_exc_pts s (fun ~meth ~ctx ~heap ~hctx ->
+      add "exc %s %s %s %s" (m meth) (c ctx) (h heap) (c hctx));
+  List.sort_uniq compare !acc
+
+let write ?(full = false) s ~path =
+  let lines = if full then full_lines s else collapsed_lines s in
+  Out_channel.with_open_text path (fun oc ->
+      List.iter
+        (fun line ->
+          Out_channel.output_string oc line;
+          Out_channel.output_char oc '\n')
+        lines)
+
+(* Merge walk over two sorted lists. *)
+let diff a b =
+  let rec go a b only_a only_b =
+    match (a, b) with
+    | [], [] -> (List.rev only_a, List.rev only_b)
+    | x :: a', [] -> go a' [] (x :: only_a) only_b
+    | [], y :: b' -> go [] b' only_a (y :: only_b)
+    | x :: a', y :: b' ->
+      if x = y then go a' b' only_a only_b
+      else if x < y then go a' b (x :: only_a) only_b
+      else go a b' only_a (y :: only_b)
+  in
+  go a b [] []

@@ -1,0 +1,19 @@
+(** Stable textual dumps of analysis results.
+
+    One fact per line, entities rendered by name and contexts decoded to
+    their element sequences, sorted — so dumps are diffable across runs,
+    machines, and even across engines (the Datalog backend produces the same
+    lines). Used for regression testing and for eyeballing what changed
+    between two analyses. *)
+
+val collapsed_lines : Ipa_core.Solution.t -> string list
+(** Context-insensitive projection: [vpt var heap], [fpt heap field heap],
+    [cg invo meth], [reach meth], [exc meth heap]. Sorted, deduplicated. *)
+
+val full_lines : Ipa_core.Solution.t -> string list
+(** The full context-sensitive relations, contexts decoded. Sorted. *)
+
+val write : ?full:bool -> Ipa_core.Solution.t -> path:string -> unit
+
+val diff : string list -> string list -> string list * string list
+(** [diff a b] is [(only_in_a, only_in_b)]; inputs must be sorted. *)

@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Client_driven Flavors Heuristics Introspection Ipa_support Printf Refine Solution Solver

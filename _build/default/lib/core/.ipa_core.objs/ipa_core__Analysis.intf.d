@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Client_driven Flavors Heuristics Introspection Ipa_ir Refine Solution

@@ -1,0 +1,1 @@
+lib/core/client_driven.ml: Array Hashtbl Heuristics Ipa_ir Ipa_support List Refine Solution

@@ -1,0 +1,1 @@
+lib/core/client_driven.mli: Ipa_ir Refine Solution

@@ -1,0 +1,1 @@
+lib/core/ctx.ml: Array Ipa_ir Ipa_support Printf String

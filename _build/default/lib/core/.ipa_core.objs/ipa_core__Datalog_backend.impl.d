@@ -1,0 +1,1 @@
+lib/core/datalog_backend.ml: Array Ctx Ipa_datalog Ipa_ir List Refine Strategy

@@ -1,0 +1,1 @@
+lib/core/datalog_backend.mli: Ctx Ipa_datalog Ipa_ir Refine Strategy

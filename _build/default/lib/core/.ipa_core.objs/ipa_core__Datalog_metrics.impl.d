@@ -1,0 +1,1 @@
+lib/core/datalog_metrics.ml: Array Datalog_backend Hashtbl Ipa_datalog Ipa_ir

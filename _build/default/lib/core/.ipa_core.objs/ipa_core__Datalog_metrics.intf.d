@@ -1,0 +1,1 @@
+lib/core/datalog_metrics.mli: Datalog_backend Hashtbl Ipa_ir

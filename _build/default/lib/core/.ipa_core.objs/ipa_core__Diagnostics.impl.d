@@ -1,0 +1,1 @@
+lib/core/diagnostics.ml: Array Hashtbl Ipa_ir Ipa_support List Option Solution

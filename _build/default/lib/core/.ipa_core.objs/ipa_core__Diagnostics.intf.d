@@ -1,0 +1,1 @@
+lib/core/diagnostics.mli: Ipa_ir Solution

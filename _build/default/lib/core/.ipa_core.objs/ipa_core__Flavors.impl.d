@@ -1,0 +1,1 @@
+lib/core/flavors.ml: Array Ctx Ipa_ir List Printf Strategy String

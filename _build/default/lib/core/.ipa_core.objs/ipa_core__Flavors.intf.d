@@ -1,0 +1,1 @@
+lib/core/flavors.mli: Ipa_ir Strategy

@@ -1,0 +1,1 @@
+lib/core/heuristics.ml: Array Hashtbl Introspection Ipa_ir Ipa_support Printf Refine Solution

@@ -1,0 +1,1 @@
+lib/core/introspection.ml: Array Hashtbl Ipa_ir Ipa_support Solution

@@ -1,0 +1,1 @@
+lib/core/introspection.mli: Solution

@@ -1,0 +1,1 @@
+lib/core/precision.ml: Array Hashtbl Ipa_ir Ipa_support List Solution

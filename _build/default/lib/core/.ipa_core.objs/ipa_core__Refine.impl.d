@@ -1,0 +1,1 @@
+lib/core/refine.ml: Ipa_support Printf

@@ -1,0 +1,1 @@
+lib/core/solution.ml: Array Ctx Hashtbl Ipa_ir Ipa_support

@@ -1,0 +1,1 @@
+lib/core/solution.mli: Ctx Hashtbl Ipa_ir Ipa_support

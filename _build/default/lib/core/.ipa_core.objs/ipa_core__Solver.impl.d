@@ -1,0 +1,1 @@
+lib/core/solver.ml: Array Ctx Ipa_ir Ipa_support List Refine Solution Strategy

@@ -1,0 +1,81 @@
+module Timer = Ipa_support.Timer
+
+type result = {
+  label : string;
+  solution : Solution.t;
+  seconds : float;
+  timed_out : bool;
+}
+
+let run_config p ~label config =
+  let solution, seconds = Timer.time (fun () -> Solver.run p config) in
+  { label; solution; seconds; timed_out = solution.Solution.outcome = Budget_exceeded }
+
+let run_plain ?(budget = 0) p flavor =
+  let strategy = Flavors.strategy p flavor in
+  run_config p ~label:(Flavors.to_string flavor) (Solver.plain p ~budget strategy)
+
+type introspective = {
+  base : result;
+  metrics : Introspection.t;
+  heuristic : Heuristics.t;
+  refine : Refine.t;
+  selection : Heuristics.stats;
+  second : result;
+}
+
+let run_introspective ?(budget = 0) p flavor heuristic =
+  let base = run_plain ~budget p Flavors.Insensitive in
+  let metrics = Introspection.compute base.solution in
+  let refine = Heuristics.select base.solution metrics heuristic in
+  let selection = Heuristics.selection_stats base.solution refine in
+  let config =
+    {
+      Solver.default_strategy = Flavors.strategy p Flavors.Insensitive;
+      refined_strategy = Flavors.strategy p flavor;
+      refine;
+      budget;
+      order = Solver.Lifo;
+      field_sensitive = true;
+    }
+  in
+  let label = Printf.sprintf "%s-%s" (Flavors.to_string flavor) (Heuristics.name heuristic) in
+  let second = run_config p ~label config in
+  { base; metrics; heuristic; refine; selection; second }
+
+type client_driven = {
+  cd_base : result;
+  cd_refine : Refine.t;
+  cd_second : result;
+}
+
+let run_client_driven ?(budget = 0) p flavor query =
+  let cd_base = run_plain ~budget p Flavors.Insensitive in
+  let cd_refine = Client_driven.select cd_base.solution query in
+  let config =
+    {
+      Solver.default_strategy = Flavors.strategy p Flavors.Insensitive;
+      refined_strategy = Flavors.strategy p flavor;
+      refine = cd_refine;
+      budget;
+      order = Solver.Lifo;
+      field_sensitive = true;
+    }
+  in
+  let label = Printf.sprintf "%s-query" (Flavors.to_string flavor) in
+  let cd_second = run_config p ~label config in
+  { cd_base; cd_refine; cd_second }
+
+let run_mixed ?(budget = 0) p ~default ~refined ~refine =
+  let config =
+    {
+      Solver.default_strategy = Flavors.strategy p default;
+      refined_strategy = Flavors.strategy p refined;
+      refine;
+      budget;
+      order = Solver.Lifo;
+      field_sensitive = true;
+    }
+  in
+  let label = Printf.sprintf "%s+%s" (Flavors.to_string default) (Flavors.to_string refined) in
+  run_config p ~label config

@@ -1,0 +1,69 @@
+(** High-level drivers: plain and introspective analyses.
+
+    This is the main entry point of the library. [run_plain] executes one
+    context-sensitivity flavor directly; [run_introspective] implements the
+    paper's two-pass recipe:
+
+    + run a context-insensitive analysis;
+    + compute the {!Introspection} cost metrics over its results;
+    + apply a {!Heuristics} to populate the refine sets;
+    + re-run with default = context-insensitive constructors and refined =
+      the requested flavor's constructors.
+
+    As in the paper's evaluation, the reported time of an introspective
+    analysis is the second pass only (the first pass is a reusable,
+    uniformly cheap artifact). *)
+
+type result = {
+  label : string;  (** e.g. ["2objH"] or ["2objH-IntroA"] *)
+  solution : Solution.t;
+  seconds : float;  (** wall-clock of the solver run *)
+  timed_out : bool;  (** derivation budget exceeded; tables are partial *)
+}
+
+val run_plain : ?budget:int -> Ipa_ir.Program.t -> Flavors.spec -> result
+(** [budget] is the maximum number of derivations (default unlimited). *)
+
+type introspective = {
+  base : result;  (** the context-insensitive first pass *)
+  metrics : Introspection.t;
+  heuristic : Heuristics.t;
+  refine : Refine.t;
+  selection : Heuristics.stats;
+  second : result;  (** the refined second pass *)
+}
+
+val run_introspective :
+  ?budget:int -> Ipa_ir.Program.t -> Flavors.spec -> Heuristics.t -> introspective
+(** The [budget] applies to each pass separately. If the first pass itself
+    exceeds the budget (which defeats the technique's premise), the
+    heuristics run on its partial results and [base.timed_out] is set. *)
+
+(** {1 Client-driven baseline} *)
+
+type client_driven = {
+  cd_base : result;  (** the context-insensitive first pass *)
+  cd_refine : Refine.t;
+  cd_second : result;
+}
+
+val run_client_driven :
+  ?budget:int -> Ipa_ir.Program.t -> Flavors.spec -> Client_driven.query -> client_driven
+(** The §5 comparison baseline: refine only the dependence slice of the
+    query variables (see {!Client_driven}), everything else stays
+    context-insensitive. *)
+
+(** {1 Mixed context-sensitivity} *)
+
+val run_mixed :
+  ?budget:int ->
+  Ipa_ir.Program.t ->
+  default:Flavors.spec ->
+  refined:Flavors.spec ->
+  refine:Refine.t ->
+  result
+(** §3's general form of the machinery: any two flavors side by side, the
+    refine sets choosing per allocation/call site — e.g. object-sensitivity
+    for the sites in [refine] and call-site-sensitivity elsewhere.
+    [run_plain] and the introspective second pass are the two special cases
+    the paper evaluates. *)

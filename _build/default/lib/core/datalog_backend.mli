@@ -1,0 +1,38 @@
+(** Reference implementation: the paper's Figure 3 rules, executed verbatim
+    on the generic Datalog engine.
+
+    This backend exists for fidelity and cross-validation: it encodes the
+    analysis exactly as the paper's logical model (input relations, computed
+    relations, context constructors as external head functions, and the
+    refine-set dispatch between default and refined constructors), extended —
+    as Doop is — with casts, static calls and static fields so it computes
+    the same relations as the native {!Solver}. Integration tests assert
+    that both produce identical (context-decoded) relation contents.
+
+    It is orders of magnitude slower than the native solver; use it on small
+    and medium programs. *)
+
+type t = {
+  ctxs : Ctx.t;
+  var_points_to : Ipa_datalog.Relation.t;  (** var, ctx, heap, hctx *)
+  fld_points_to : Ipa_datalog.Relation.t;  (** baseHeap, baseHctx, fld, heap, hctx *)
+  static_fld_points_to : Ipa_datalog.Relation.t;  (** fld, heap, hctx *)
+  exc_points_to : Ipa_datalog.Relation.t;  (** meth, ctx, heap, hctx — escaping exceptions *)
+  call_graph : Ipa_datalog.Relation.t;  (** invo, callerCtx, meth, calleeCtx *)
+  reachable : Ipa_datalog.Relation.t;  (** meth, ctx *)
+  derivations : int;
+}
+
+val run :
+  Ipa_ir.Program.t ->
+  default:Strategy.t ->
+  refined:Strategy.t ->
+  refine:Refine.t ->
+  ?budget:int ->
+  unit ->
+  t
+(** Evaluate to fixpoint. Raises [Ipa_datalog.Engine.Out_of_budget] when the
+    budget (0 = unlimited) is exceeded. *)
+
+val run_plain : Ipa_ir.Program.t -> Strategy.t -> t
+(** [run] with empty refine sets and the same strategy everywhere. *)

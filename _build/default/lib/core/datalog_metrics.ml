@@ -1,0 +1,87 @@
+module Program = Ipa_ir.Program
+module Relation = Ipa_datalog.Relation
+module Rule = Ipa_datalog.Rule
+module Engine = Ipa_datalog.Engine
+module Aggregate = Ipa_datalog.Aggregate
+
+let v i = Rule.Var i
+
+(* Project VarPointsTo down to distinct (var, heap) pairs — the collapsed
+   relation every metric query starts from. *)
+let collapsed_vpt (d : Datalog_backend.t) =
+  let out = Relation.create ~name:"VarHeap" ~arity:2 in
+  let rule =
+    Rule.make ~name:"collapse" ~n_vars:4
+      ~heads:[ (out, [| v 0; v 2 |]) ]
+      ~body:[ (d.var_points_to, [| v 0; v 1; v 2; v 3 |]) ]
+      ()
+  in
+  ignore (Engine.fixpoint [ rule ]);
+  out
+
+let to_table rel =
+  let tbl = Hashtbl.create 64 in
+  Relation.iter (fun t -> Hashtbl.replace tbl t.(0) t.(1)) rel;
+  tbl
+
+let in_flow (p : Program.t) (d : Datalog_backend.t) =
+  (* ActualArg is an input relation of the backend; rebuild it here (the
+     backend does not expose its EDB). *)
+  let actual_arg = Relation.create ~name:"ActualArg" ~arity:3 in
+  for invo = 0 to Program.n_invos p - 1 do
+    Array.iteri
+      (fun i arg -> ignore (Relation.add actual_arg [| invo; i; arg |]))
+      (Program.invo_info p invo).actuals
+  done;
+  let var_heap = collapsed_vpt d in
+  (* HeapsPerInvocationPerArg(invo, arg, heap) — note the paper's
+     CallGraph(invo, _, _, _) conjunct restricting to reachable calls. *)
+  let hpia = Relation.create ~name:"HeapsPerInvocationPerArg" ~arity:3 in
+  let rule =
+    Rule.make ~name:"hpia" ~n_vars:7
+      ~heads:[ (hpia, [| v 0; v 1; v 2 |]) ]
+      ~body:
+        [
+          (d.call_graph, [| v 0; v 3; v 4; v 5 |]);
+          (actual_arg, [| v 0; v 6; v 1 |]);
+          (var_heap, [| v 1; v 2 |]);
+        ]
+      ()
+  in
+  ignore (Engine.fixpoint [ rule ]);
+  let result = Relation.create ~name:"InFlow" ~arity:2 in
+  Aggregate.count hpia ~group_by:[ 0 ] ~into:result;
+  to_table result
+
+let meth_total_volume (p : Program.t) (d : Datalog_backend.t) =
+  let var_owner = Relation.create ~name:"VarOwner" ~arity:2 in
+  for var = 0 to Program.n_vars p - 1 do
+    ignore (Relation.add var_owner [| var; (Program.var_info p var).var_owner |])
+  done;
+  let var_heap = collapsed_vpt d in
+  let meth_var_heap = Relation.create ~name:"MethVarHeap" ~arity:3 in
+  let rule =
+    Rule.make ~name:"mvh" ~n_vars:3
+      ~heads:[ (meth_var_heap, [| v 2; v 0; v 1 |]) ]
+      ~body:[ (var_heap, [| v 0; v 1 |]); (var_owner, [| v 0; v 2 |]) ]
+      ()
+  in
+  ignore (Engine.fixpoint [ rule ]);
+  let result = Relation.create ~name:"Volume" ~arity:2 in
+  Aggregate.count meth_var_heap ~group_by:[ 0 ] ~into:result;
+  to_table result
+
+let pointed_by_vars (_p : Program.t) (d : Datalog_backend.t) =
+  let var_heap = collapsed_vpt d in
+  (* group by the heap column *)
+  let heap_var = Relation.create ~name:"HeapVar" ~arity:2 in
+  let rule =
+    Rule.make ~name:"flip" ~n_vars:2
+      ~heads:[ (heap_var, [| v 1; v 0 |]) ]
+      ~body:[ (var_heap, [| v 0; v 1 |]) ]
+      ()
+  in
+  ignore (Engine.fixpoint [ rule ]);
+  let result = Relation.create ~name:"PointedByVars" ~arity:2 in
+  Aggregate.count heap_var ~group_by:[ 0 ] ~into:result;
+  to_table result

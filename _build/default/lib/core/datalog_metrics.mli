@@ -1,0 +1,27 @@
+(** The paper's §3 metric queries, as actual Datalog.
+
+    §3 ("Implementation") gives the in-flow metric as a Datalog query — an
+    intermediate predicate plus a count aggregation:
+
+    {v
+    HeapsPerInvocationPerArg(invo, arg, heap) <-
+      CallGraph(invo, _, _, _), ActualArg(invo, _, arg),
+      VarPointsTo(arg, _, heap, _).
+    InFlow(invo, result) <- agg<result = count()>
+      (HeapsPerInvocationPerArg(invo, _, _)).
+    v}
+
+    This module executes that query (and the analogous ones for metrics 2
+    and 5) on the generic Datalog engine over a {!Datalog_backend} result.
+    It exists for fidelity — tests assert it agrees with the native
+    {!Introspection} computation. *)
+
+val in_flow : Ipa_ir.Program.t -> Datalog_backend.t -> (int, int) Hashtbl.t
+(** Per invocation site (absent = 0): the paper's metric #1. *)
+
+val meth_total_volume : Ipa_ir.Program.t -> Datalog_backend.t -> (int, int) Hashtbl.t
+(** Per method: metric #2 (total variant), counting distinct (var, heap)
+    pairs over the method's variables. *)
+
+val pointed_by_vars : Ipa_ir.Program.t -> Datalog_backend.t -> (int, int) Hashtbl.t
+(** Per heap object: metric #5. *)

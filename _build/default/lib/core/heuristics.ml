@@ -1,0 +1,81 @@
+module Int_set = Ipa_support.Int_set
+module Program = Ipa_ir.Program
+
+type t =
+  | A of { k : int; l : int; m : int }
+  | B of { p : int; q : int }
+
+let default_a = A { k = 100; l = 100; m = 200 }
+let default_b = B { p = 10000; q = 10000 }
+
+let name = function A _ -> "IntroA" | B _ -> "IntroB"
+
+let to_string = function
+  | A { k; l; m } -> Printf.sprintf "IntroA(K=%d,L=%d,M=%d)" k l m
+  | B { p; q } -> Printf.sprintf "IntroB(P=%d,Q=%d)" p q
+
+(* Candidate call sites are the (invo, target) pairs observed by the first
+   pass; a more precise second pass can only see a subset of them. *)
+let iter_site_candidates (s : Solution.t) f =
+  Hashtbl.iter
+    (fun invo targets -> Int_set.iter (fun meth -> f invo meth) targets)
+    (Solution.call_targets s)
+
+let select (s : Solution.t) (metrics : Introspection.t) heuristic =
+  let skip_objects = Int_set.create () in
+  let skip_sites = Int_set.create () in
+  (match heuristic with
+  | A { k; l; m } ->
+    Array.iteri
+      (fun h count -> if count > k then ignore (Int_set.add skip_objects h))
+      metrics.pointed_by_vars;
+    iter_site_candidates s (fun invo meth ->
+        if metrics.in_flow.(invo) > l || metrics.meth_max_var_field.(meth) > m then
+          ignore (Int_set.add skip_sites (Refine.pack_site ~invo ~meth)))
+  | B { p; q } ->
+    Array.iteri
+      (fun h total_field ->
+        if total_field * metrics.pointed_by_vars.(h) > q then
+          ignore (Int_set.add skip_objects h))
+      metrics.obj_total_field;
+    iter_site_candidates s (fun invo meth ->
+        if metrics.meth_total_volume.(meth) > p then
+          ignore (Int_set.add skip_sites (Refine.pack_site ~invo ~meth))));
+  Refine.All_except { skip_objects; skip_sites }
+
+type stats = {
+  sites_skipped : int;
+  sites_total : int;
+  objects_skipped : int;
+  objects_total : int;
+}
+
+let pct x total = if total = 0 then 0.0 else 100.0 *. float_of_int x /. float_of_int total
+
+let pct_sites st = pct st.sites_skipped st.sites_total
+let pct_objects st = pct st.objects_skipped st.objects_total
+
+let selection_stats (s : Solution.t) refine =
+  let objects_skipped, sites_skipped = Refine.skipped_counts refine in
+  let sites_total = ref 0 in
+  iter_site_candidates s (fun _ _ -> incr sites_total);
+  let reachable = Solution.reachable_meths s in
+  let objects_total = ref 0 in
+  for h = 0 to Program.n_heaps s.program - 1 do
+    if Int_set.mem reachable (Program.heap_info s.program h).heap_owner then incr objects_total
+  done;
+  { sites_skipped; sites_total = !sites_total; objects_skipped; objects_total = !objects_total }
+
+let static_policy (s : Solution.t) ~skip_class ~skip_meth =
+  let p = s.program in
+  let skip_objects = Int_set.create () in
+  for h = 0 to Program.n_heaps p - 1 do
+    if skip_class (Program.class_name p (Program.heap_info p h).heap_class) then
+      ignore (Int_set.add skip_objects h)
+  done;
+  let skip_sites = Int_set.create () in
+  iter_site_candidates s (fun invo meth ->
+      let mi = Program.meth_info p meth in
+      if skip_meth mi.meth_name || skip_class (Program.class_name p mi.meth_owner) then
+        ignore (Int_set.add skip_sites (Refine.pack_site ~invo ~meth)));
+  Refine.All_except { skip_objects; skip_sites }

@@ -1,0 +1,62 @@
+(** The paper's refinement heuristics A and B (§3).
+
+    - {b Heuristic A} (aggressive): refine all allocation sites except those
+      with pointed-by-vars > K; refine all call sites except those whose
+      in-flow > L or whose target method's max var-field points-to > M.
+      Paper constants: K = 100, L = 100, M = 200.
+    - {b Heuristic B} (selective): refine all call sites except those whose
+      target method's total points-to volume > P; refine all allocation sites
+      except those where total-field-points-to × pointed-by-vars > Q.
+      Paper constants: P = Q = 10000.
+
+    The constants are the user's scalability "dial": lower them for more
+    scalability, raise them for more precision. *)
+
+type t =
+  | A of { k : int; l : int; m : int }
+  | B of { p : int; q : int }
+
+val default_a : t
+(** [A {k = 100; l = 100; m = 200}] — the paper's Heuristic A. *)
+
+val default_b : t
+(** [B {p = 10000; q = 10000}] — the paper's Heuristic B. *)
+
+val name : t -> string
+(** ["IntroA"] / ["IntroB"] (regardless of constants). *)
+
+val to_string : t -> string
+(** Name plus constants, e.g. ["IntroA(K=100,L=100,M=200)"]. *)
+
+val select : Solution.t -> Introspection.t -> t -> Refine.t
+(** Compute the refine sets from first-pass results: everything is refined
+    except the elements the heuristic flags. Call-site candidates are the
+    (site, target) pairs of the first pass's call graph. *)
+
+(** Selection statistics — the data of the paper's Figure 4. *)
+type stats = {
+  sites_skipped : int;  (** (invo, meth) pairs kept context-insensitive *)
+  sites_total : int;  (** candidate pairs (first-pass call-graph edges) *)
+  objects_skipped : int;
+  objects_total : int;  (** allocation sites in reachable methods *)
+}
+
+val pct_sites : stats -> float
+val pct_objects : stats -> float
+
+val selection_stats : Solution.t -> Refine.t -> stats
+
+val static_policy :
+  Solution.t ->
+  skip_class:(string -> bool) ->
+  skip_meth:(string -> bool) ->
+  Refine.t
+(** A Doop/Wala-style hard-coded policy (paper §5: "allocating strings or
+    exceptions context-insensitively", "extra context for collection
+    classes", ...): keep context-insensitive every allocation site whose
+    class name satisfies [skip_class] and every call-site/target pair whose
+    target method name (or owner class name) satisfies the predicates.
+    Candidate call sites come from the first-pass call graph, as in
+    {!select}. Exists to reproduce the §5 observation that such policies
+    are brittle: a list tuned for one program does not transfer (see the
+    harness's hard-coded-policy study). *)

@@ -1,0 +1,79 @@
+module Int_set = Ipa_support.Int_set
+module Program = Ipa_ir.Program
+
+type t = {
+  in_flow : int array;
+  meth_total_volume : int array;
+  meth_max_var : int array;
+  obj_total_field : int array;
+  obj_max_field : int array;
+  meth_max_var_field : int array;
+  pointed_by_vars : int array;
+  pointed_by_objs : int array;
+}
+
+let compute (s : Solution.t) : t =
+  let p = s.program in
+  let vpt = Solution.collapsed_var_pts s in
+  let fpt = Solution.collapsed_fld_pts s in
+  let in_flow = Array.make (Program.n_invos p) 0 in
+  let meth_total_volume = Array.make (Program.n_meths p) 0 in
+  let meth_max_var = Array.make (Program.n_meths p) 0 in
+  let obj_total_field = Array.make (Program.n_heaps p) 0 in
+  let obj_max_field = Array.make (Program.n_heaps p) 0 in
+  let meth_max_var_field = Array.make (Program.n_meths p) 0 in
+  let pointed_by_vars = Array.make (Program.n_heaps p) 0 in
+  let pointed_by_objs = Array.make (Program.n_heaps p) 0 in
+  (* Var-based metrics: 2 (both variants) and 5. *)
+  Array.iteri
+    (fun var set ->
+      let size = Int_set.cardinal set in
+      if size > 0 then begin
+        let m = (Program.var_info p var).var_owner in
+        meth_total_volume.(m) <- meth_total_volume.(m) + size;
+        if size > meth_max_var.(m) then meth_max_var.(m) <- size;
+        Int_set.iter (fun h -> pointed_by_vars.(h) <- pointed_by_vars.(h) + 1) set
+      end)
+    vpt;
+  (* Field-based metrics: 3 (both variants) and 6. *)
+  let n_fields = Program.n_fields p in
+  Hashtbl.iter
+    (fun key set ->
+      let base = key / n_fields in
+      let size = Int_set.cardinal set in
+      obj_total_field.(base) <- obj_total_field.(base) + size;
+      if size > obj_max_field.(base) then obj_max_field.(base) <- size;
+      Int_set.iter (fun h -> pointed_by_objs.(h) <- pointed_by_objs.(h) + 1) set)
+    fpt;
+  (* Metric 1: in-flow, for invocation sites present in the call graph. The
+     Datalog query counts distinct (arg, heap) pairs, so duplicate actual
+     variables contribute once. *)
+  Hashtbl.iter
+    (fun invo _targets ->
+      let seen = Int_set.create ~capacity:4 () in
+      Array.iter
+        (fun arg ->
+          if Int_set.add seen arg then in_flow.(invo) <- in_flow.(invo) + Int_set.cardinal vpt.(arg))
+        (Program.invo_info p invo).actuals)
+    (Solution.call_targets s);
+  (* Metric 4: per method, the max obj_max_field over objects pointed to by
+     its variables. *)
+  Array.iteri
+    (fun var set ->
+      let m = (Program.var_info p var).var_owner in
+      Int_set.iter
+        (fun h ->
+          if obj_max_field.(h) > meth_max_var_field.(m) then
+            meth_max_var_field.(m) <- obj_max_field.(h))
+        set)
+    vpt;
+  {
+    in_flow;
+    meth_total_volume;
+    meth_max_var;
+    obj_total_field;
+    obj_max_field;
+    meth_max_var_field;
+    pointed_by_vars;
+    pointed_by_objs;
+  }

@@ -1,0 +1,31 @@
+(** The paper's six cost metrics (§3, "Metrics and heuristics").
+
+    Computed over the context-insensitive projection of a points-to solution
+    (in the introspective workflow, over the first-pass solution, where the
+    projection is the identity):
+
+    + {b argument in-flow} (per invocation site): cumulative size of the
+      points-to sets of the call's actual arguments;
+    + {b total points-to volume} (per method): cumulative size of the
+      points-to sets of the method's local variables — with a {b max
+      var-points-to} variant taking the maximum instead;
+    + {b total field points-to} (per object): cumulative field-points-to set
+      size over the object's fields — with a {b max field points-to} variant;
+    + {b max var-field points-to} (per method): maximum {e max field
+      points-to} among objects pointed to by the method's locals;
+    + {b pointed-by-vars} (per object): number of variables pointing to it;
+    + {b pointed-by-objs} (per object): number of (object, field) pairs
+      pointing to it. *)
+
+type t = {
+  in_flow : int array;  (** per invocation site; 0 when unreachable *)
+  meth_total_volume : int array;  (** metric 2 *)
+  meth_max_var : int array;  (** metric 2, max variant *)
+  obj_total_field : int array;  (** metric 3, total variant *)
+  obj_max_field : int array;  (** metric 3 *)
+  meth_max_var_field : int array;  (** metric 4 *)
+  pointed_by_vars : int array;  (** metric 5 *)
+  pointed_by_objs : int array;  (** metric 6 *)
+}
+
+val compute : Solution.t -> t

@@ -1,0 +1,68 @@
+module Int_set = Ipa_support.Int_set
+module Program = Ipa_ir.Program
+
+type t = {
+  poly_vcalls : int;
+  reachable_methods : int;
+  may_fail_casts : int;
+  call_edges : int;
+  avg_var_pts : float;
+  uncaught_exceptions : int;
+}
+
+let compute (s : Solution.t) : t =
+  let p = s.program in
+  let targets = Solution.call_targets s in
+  let poly_vcalls = ref 0 in
+  let call_edges = ref 0 in
+  Hashtbl.iter
+    (fun invo ms ->
+      call_edges := !call_edges + Int_set.cardinal ms;
+      match (Program.invo_info p invo).call with
+      | Virtual _ -> if Int_set.cardinal ms >= 2 then incr poly_vcalls
+      | Static _ -> ())
+    targets;
+  let reachable = Solution.reachable_meths s in
+  let vpt = Solution.collapsed_var_pts s in
+  let may_fail_casts = ref 0 in
+  Int_set.iter
+    (fun m ->
+      Array.iter
+        (fun (i : Program.instr) ->
+          match i with
+          | Cast { source; cast_to; _ } ->
+            let may_fail =
+              Int_set.exists
+                (fun h ->
+                  not
+                    (Program.subtype p ~sub:(Program.heap_info p h).heap_class ~super:cast_to))
+                vpt.(source)
+            in
+            if may_fail then incr may_fail_casts
+          | Alloc _ | Move _ | Load _ | Store _ | Load_static _ | Store_static _ | Call _
+          | Return _ | Throw _ -> ())
+        (Program.meth_info p m).body)
+    reachable;
+  (* Exception objects escaping an entry point, collapsed to allocation
+     sites: the program's uncaught exceptions. *)
+  let entry_meths = Program.entries p in
+  let uncaught = Int_set.create () in
+  Solution.iter_exc_pts s (fun ~meth ~ctx:_ ~heap ~hctx:_ ->
+      if List.mem meth entry_meths then ignore (Int_set.add uncaught heap));
+  let nonempty = ref 0 and total = ref 0 in
+  Array.iter
+    (fun set ->
+      let n = Int_set.cardinal set in
+      if n > 0 then begin
+        incr nonempty;
+        total := !total + n
+      end)
+    vpt;
+  {
+    poly_vcalls = !poly_vcalls;
+    reachable_methods = Int_set.cardinal reachable;
+    may_fail_casts = !may_fail_casts;
+    call_edges = !call_edges;
+    avg_var_pts = (if !nonempty = 0 then 0.0 else float_of_int !total /. float_of_int !nonempty);
+    uncaught_exceptions = Int_set.cardinal uncaught;
+  }

@@ -1,0 +1,24 @@
+(** The paper's three precision metrics (lower is better), plus extras.
+
+    All metrics are computed on the context-insensitive projection of the
+    analysis results, as in the paper's evaluation:
+
+    - {b polymorphic virtual call sites} — "calls that cannot be
+      devirtualized": reachable virtual call sites whose call-graph edges
+      resolve to two or more distinct methods;
+    - {b reachable methods};
+    - {b casts that may fail}: reachable cast statements whose source may
+      point to an object that is not a subtype of the cast target. *)
+
+type t = {
+  poly_vcalls : int;
+  reachable_methods : int;
+  may_fail_casts : int;
+  call_edges : int;  (** extra: context-insensitive call-graph edges *)
+  avg_var_pts : float;  (** extra: mean collapsed points-to set size over
+                            variables with non-empty sets *)
+  uncaught_exceptions : int;
+      (** extra: exception allocation sites that may escape an entry point *)
+}
+
+val compute : Solution.t -> t

@@ -1,0 +1,29 @@
+module Int_set = Ipa_support.Int_set
+
+type t =
+  | None_
+  | All_except of { skip_objects : Int_set.t; skip_sites : Int_set.t }
+
+let meth_bits = 28
+
+let pack_site ~invo ~meth =
+  if meth < 0 || meth >= 1 lsl meth_bits then
+    invalid_arg (Printf.sprintf "Refine.pack_site: method id %d out of range" meth);
+  (invo lsl meth_bits) lor meth
+
+let unpack_site key = (key lsr meth_bits, key land ((1 lsl meth_bits) - 1))
+
+let refine_object t heap =
+  match t with
+  | None_ -> false
+  | All_except { skip_objects; _ } -> not (Int_set.mem skip_objects heap)
+
+let refine_site t ~invo ~meth =
+  match t with
+  | None_ -> false
+  | All_except { skip_sites; _ } -> not (Int_set.mem skip_sites (pack_site ~invo ~meth))
+
+let skipped_counts = function
+  | None_ -> (0, 0)
+  | All_except { skip_objects; skip_sites } ->
+    (Int_set.cardinal skip_objects, Int_set.cardinal skip_sites)

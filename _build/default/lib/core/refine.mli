@@ -1,0 +1,30 @@
+(** The paper's [ObjectToRefine] / [SiteToRefine] input relations.
+
+    In the first (context-insensitive) pass both relations are empty; in the
+    introspective second pass they hold {e almost all} program elements — all
+    but the ones a heuristic flagged as too expensive. As the paper's
+    footnote 4 notes, it is efficient to represent them in complement form,
+    which is what {!All_except} does. *)
+
+type t =
+  | None_
+      (** Both relations empty: every element uses the default constructors
+          (a plain, non-introspective analysis). *)
+  | All_except of { skip_objects : Ipa_support.Int_set.t; skip_sites : Ipa_support.Int_set.t }
+      (** Refine everything except the flagged elements. [skip_sites] holds
+          packed [(invo, meth)] pairs (see {!pack_site}). *)
+
+val pack_site : invo:Ipa_ir.Program.invo_id -> meth:Ipa_ir.Program.meth_id -> int
+(** Packs an invocation-site/target-method pair into one int ([meth] must be
+    below [2^28]). *)
+
+val unpack_site : int -> Ipa_ir.Program.invo_id * Ipa_ir.Program.meth_id
+
+val refine_object : t -> Ipa_ir.Program.heap_id -> bool
+(** Does this allocation site use the {e refined} constructors? *)
+
+val refine_site : t -> invo:Ipa_ir.Program.invo_id -> meth:Ipa_ir.Program.meth_id -> bool
+
+val skipped_counts : t -> int * int
+(** [(objects, sites)] flagged to keep the default context — [(0, 0)] for
+    {!None_}. *)

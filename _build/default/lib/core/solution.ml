@@ -1,0 +1,182 @@
+module Int_set = Ipa_support.Int_set
+module Pair_tbl = Ipa_support.Pair_tbl
+module Dynarr = Ipa_support.Dynarr
+module Program = Ipa_ir.Program
+
+type outcome = Complete | Budget_exceeded
+
+type t = {
+  program : Program.t;
+  ctxs : Ctx.t;
+  objs : Pair_tbl.t;
+  var_nodes : Pair_tbl.t;
+  fld_nodes : Pair_tbl.t;
+  pts : Int_set.t option Dynarr.t;
+  reach : Pair_tbl.t;
+  cg : int Dynarr.t;
+  outcome : outcome;
+  derivations : int;
+  mutable collapsed_vpt_cache : Int_set.t array option;
+  mutable collapsed_fpt_cache : (int, Int_set.t) Hashtbl.t option;
+  mutable reachable_meths_cache : Int_set.t option;
+  mutable call_targets_cache : (int, Int_set.t) Hashtbl.t option;
+}
+
+module Node = struct
+  let of_var_node id = id * 4
+  let of_fld_node id = (id * 4) + 1
+  let of_static_fld f = (f * 4) + 2
+  let of_exc reach_id = (reach_id * 4) + 3
+
+  type kind = Var_node of int | Fld_node of int | Static_fld of int | Exc_node of int
+
+  let kind n =
+    match n mod 4 with
+    | 0 -> Var_node (n / 4)
+    | 1 -> Fld_node (n / 4)
+    | 2 -> Static_fld (n / 4)
+    | _ -> Exc_node (n / 4)
+end
+
+let node_pts t n =
+  if n < Dynarr.length t.pts then Dynarr.get t.pts n else None
+
+let iter_node_objs t n f = match node_pts t n with None -> () | Some s -> Int_set.iter f s
+
+let iter_var_pts t f =
+  Pair_tbl.iter
+    (fun vn var ctx ->
+      iter_node_objs t (Node.of_var_node vn) (fun obj ->
+          f ~var ~ctx ~heap:(Pair_tbl.fst t.objs obj) ~hctx:(Pair_tbl.snd t.objs obj)))
+    t.var_nodes
+
+let iter_fld_pts t f =
+  Pair_tbl.iter
+    (fun fn obj field ->
+      let base_heap = Pair_tbl.fst t.objs obj in
+      let base_hctx = Pair_tbl.snd t.objs obj in
+      iter_node_objs t (Node.of_fld_node fn) (fun o ->
+          f ~base_heap ~base_hctx ~field ~heap:(Pair_tbl.fst t.objs o)
+            ~hctx:(Pair_tbl.snd t.objs o)))
+    t.fld_nodes
+
+let iter_static_fld_pts t f =
+  for field = 0 to Program.n_fields t.program - 1 do
+    if (Program.field_info t.program field).is_static_field then
+      iter_node_objs t (Node.of_static_fld field) (fun o ->
+          f ~field ~heap:(Pair_tbl.fst t.objs o) ~hctx:(Pair_tbl.snd t.objs o))
+  done
+
+let iter_reachable t f = Pair_tbl.iter (fun _ meth ctx -> f ~meth ~ctx) t.reach
+
+let iter_exc_pts t f =
+  Pair_tbl.iter
+    (fun reach_id meth ctx ->
+      iter_node_objs t (Node.of_exc reach_id) (fun o ->
+          f ~meth ~ctx ~heap:(Pair_tbl.fst t.objs o) ~hctx:(Pair_tbl.snd t.objs o)))
+    t.reach
+
+let iter_cg t f =
+  let n = Dynarr.length t.cg / 4 in
+  for i = 0 to n - 1 do
+    f ~invo:(Dynarr.get t.cg (4 * i))
+      ~caller:(Dynarr.get t.cg ((4 * i) + 1))
+      ~meth:(Dynarr.get t.cg ((4 * i) + 2))
+      ~callee:(Dynarr.get t.cg ((4 * i) + 3))
+  done
+
+let collapsed_var_pts t =
+  match t.collapsed_vpt_cache with
+  | Some a -> a
+  | None ->
+    let a = Array.init (Program.n_vars t.program) (fun _ -> Int_set.create ~capacity:8 ()) in
+    iter_var_pts t (fun ~var ~ctx:_ ~heap ~hctx:_ -> ignore (Int_set.add a.(var) heap));
+    t.collapsed_vpt_cache <- Some a;
+    a
+
+let fld_pts_key t ~heap ~field = (heap * Program.n_fields t.program) + field
+
+let collapsed_fld_pts t =
+  match t.collapsed_fpt_cache with
+  | Some h -> h
+  | None ->
+    let h = Hashtbl.create 1024 in
+    let add key heap =
+      let s =
+        match Hashtbl.find_opt h key with
+        | Some s -> s
+        | None ->
+          let s = Int_set.create ~capacity:8 () in
+          Hashtbl.add h key s;
+          s
+      in
+      ignore (Int_set.add s heap)
+    in
+    iter_fld_pts t (fun ~base_heap ~base_hctx:_ ~field ~heap ~hctx:_ ->
+        add (fld_pts_key t ~heap:base_heap ~field) heap);
+    t.collapsed_fpt_cache <- Some h;
+    h
+
+let reachable_meths t =
+  match t.reachable_meths_cache with
+  | Some s -> s
+  | None ->
+    let s = Int_set.create () in
+    iter_reachable t (fun ~meth ~ctx:_ -> ignore (Int_set.add s meth));
+    t.reachable_meths_cache <- Some s;
+    s
+
+let call_targets t =
+  match t.call_targets_cache with
+  | Some h -> h
+  | None ->
+    let h = Hashtbl.create 1024 in
+    iter_cg t (fun ~invo ~caller:_ ~meth ~callee:_ ->
+        let s =
+          match Hashtbl.find_opt h invo with
+          | Some s -> s
+          | None ->
+            let s = Int_set.create ~capacity:4 () in
+            Hashtbl.add h invo s;
+            s
+        in
+        ignore (Int_set.add s meth));
+    t.call_targets_cache <- Some h;
+    h
+
+type stats = {
+  vpt_tuples : int;
+  fpt_tuples : int;
+  exc_tuples : int;
+  cg_edges : int;
+  reach_pairs : int;
+  n_contexts : int;
+  n_objects : int;
+}
+
+let stats t =
+  let count_nodes of_node n_ids =
+    let total = ref 0 in
+    for i = 0 to n_ids - 1 do
+      match node_pts t (of_node i) with
+      | Some s -> total := !total + Int_set.cardinal s
+      | None -> ()
+    done;
+    !total
+  in
+  let vpt = count_nodes Node.of_var_node (Pair_tbl.count t.var_nodes) in
+  let fpt = count_nodes Node.of_fld_node (Pair_tbl.count t.fld_nodes) in
+  let sfpt = count_nodes Node.of_static_fld (Program.n_fields t.program) in
+  let exc = count_nodes Node.of_exc (Pair_tbl.count t.reach) in
+  {
+    vpt_tuples = vpt;
+    fpt_tuples = fpt + sfpt;
+    exc_tuples = exc;
+    cg_edges = Dynarr.length t.cg / 4;
+    reach_pairs = Pair_tbl.count t.reach;
+    n_contexts = Ctx.count t.ctxs;
+    n_objects = Pair_tbl.count t.objs;
+  }
+
+let heap_of_obj t obj = Pair_tbl.fst t.objs obj
+let hctx_of_obj t obj = Pair_tbl.snd t.objs obj

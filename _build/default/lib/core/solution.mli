@@ -1,0 +1,102 @@
+(** Analysis results: the computed relations of the paper's model —
+    [VarPointsTo], [FldPointsTo], [CallGraph], [Reachable] — plus bookkeeping.
+
+    A value of this type is produced by {!Solver.run}. The record fields are
+    the raw interned tables (treat them as read-only); the functions below
+    provide decoded iteration and cached context-insensitive ("collapsed")
+    projections, which is what precision/introspection metrics consume. *)
+
+module Int_set = Ipa_support.Int_set
+module Pair_tbl = Ipa_support.Pair_tbl
+module Dynarr = Ipa_support.Dynarr
+
+type outcome =
+  | Complete
+  | Budget_exceeded
+      (** The derivation budget ran out — the deterministic analogue of the
+          paper's 90-minute timeout. Tables hold the partial fixpoint. *)
+
+type t = {
+  program : Ipa_ir.Program.t;
+  ctxs : Ctx.t;
+  objs : Pair_tbl.t;  (** (heap, hctx) pairs, id = "object" *)
+  var_nodes : Pair_tbl.t;  (** (var, ctx) pairs *)
+  fld_nodes : Pair_tbl.t;  (** (object, field) pairs *)
+  pts : Int_set.t option Dynarr.t;  (** node id -> objects; see {!Node} *)
+  reach : Pair_tbl.t;  (** (meth, ctx) pairs, all reachable *)
+  cg : int Dynarr.t;  (** call-graph edges, 4 ints each: invo, callerCtx, meth, calleeCtx *)
+  outcome : outcome;
+  derivations : int;  (** tuple insertions performed *)
+  mutable collapsed_vpt_cache : Int_set.t array option;
+  mutable collapsed_fpt_cache : (int, Int_set.t) Hashtbl.t option;
+  mutable reachable_meths_cache : Int_set.t option;
+  mutable call_targets_cache : (int, Int_set.t) Hashtbl.t option;
+}
+
+(** Node-id encoding shared with the solver: a node is a variable under a
+    context, a field of an object, a static field, or the exception node of
+    a reachable method instance (keyed by its dense id in [reach]). *)
+module Node : sig
+  val of_var_node : int -> int
+  val of_fld_node : int -> int
+  val of_static_fld : Ipa_ir.Program.field_id -> int
+  val of_exc : int -> int
+
+  type kind = Var_node of int | Fld_node of int | Static_fld of int | Exc_node of int
+
+  val kind : int -> kind
+end
+
+(** {1 Iteration over the full context-sensitive relations} *)
+
+val iter_var_pts :
+  t -> (var:int -> ctx:int -> heap:int -> hctx:int -> unit) -> unit
+
+val iter_fld_pts :
+  t -> (base_heap:int -> base_hctx:int -> field:int -> heap:int -> hctx:int -> unit) -> unit
+
+val iter_static_fld_pts : t -> (field:int -> heap:int -> hctx:int -> unit) -> unit
+
+val iter_reachable : t -> (meth:int -> ctx:int -> unit) -> unit
+
+val iter_exc_pts : t -> (meth:int -> ctx:int -> heap:int -> hctx:int -> unit) -> unit
+(** Exception objects escaping each reachable method instance (uncaught
+    within it and its callees). *)
+
+val iter_cg : t -> (invo:int -> caller:int -> meth:int -> callee:int -> unit) -> unit
+
+(** {1 Collapsed (context-insensitive) projections — cached} *)
+
+val collapsed_var_pts : t -> Int_set.t array
+(** Per variable, the set of heap ids it may point to in any context. The
+    array is cached; do not mutate it or its sets. *)
+
+val collapsed_fld_pts : t -> (int, Int_set.t) Hashtbl.t
+(** Keyed by [base_heap * n_fields + field]; values are heap-id sets. *)
+
+val fld_pts_key : t -> heap:int -> field:int -> int
+
+val reachable_meths : t -> Int_set.t
+
+val call_targets : t -> (int, Int_set.t) Hashtbl.t
+(** Per invocation site (virtual and static), the set of target methods in
+    the call graph. Sites with no edge are absent. *)
+
+(** {1 Size statistics} *)
+
+type stats = {
+  vpt_tuples : int;  (** context-sensitive var-points-to tuples *)
+  fpt_tuples : int;  (** field-points-to tuples (incl. static) *)
+  exc_tuples : int;  (** escaping-exception tuples *)
+  cg_edges : int;
+  reach_pairs : int;
+  n_contexts : int;
+  n_objects : int;
+}
+
+val stats : t -> stats
+
+val heap_of_obj : t -> int -> int
+(** Allocation site of an interned object. *)
+
+val hctx_of_obj : t -> int -> int

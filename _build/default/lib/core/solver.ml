@@ -1,0 +1,446 @@
+module Int_set = Ipa_support.Int_set
+module Pair_tbl = Ipa_support.Pair_tbl
+module Dynarr = Ipa_support.Dynarr
+module Program = Ipa_ir.Program
+module Node = Solution.Node
+
+type worklist_order = Lifo | Fifo
+
+type config = {
+  default_strategy : Strategy.t;
+  refined_strategy : Strategy.t;
+  refine : Refine.t;
+  budget : int;
+  order : worklist_order;
+  field_sensitive : bool;
+}
+
+let plain _p ?(budget = 0) strategy =
+  {
+    default_strategy = strategy;
+    refined_strategy = strategy;
+    refine = Refine.None_;
+    budget;
+    order = Lifo;
+    field_sensitive = true;
+  }
+
+exception Out_of_budget
+
+(* Static uses of a variable as the base of a load, store, or virtual call.
+   Precomputed per variable; consulted whenever a (var, ctx) node gains
+   objects. *)
+type use =
+  | Use_load of { target : int; field : int }
+  | Use_store of { source : int; field : int }
+  | Use_vcall of int
+
+(* Copy edges carry a type-filter specification: a conjunction of positive
+   ("is a subtype of c") and negative ("is not a subtype of c") constraints.
+   Casts use a single positive constraint; exception-handler routing chains
+   use one positive plus the negations of all earlier clauses. Specs are
+   hash-consed into small ids; spec 0 is the empty (always-true) spec.
+   Within a spec array, [c + 1] encodes a positive constraint on class [c]
+   and [-(c + 1)] a negative one. *)
+module Filters = struct
+  type t = int array Ipa_support.Interner.t
+
+  let create () : t =
+    let t = Ipa_support.Interner.create ~dummy:[||] () in
+    let zero = Ipa_support.Interner.intern t [||] in
+    assert (zero = 0);
+    t
+
+  let none = 0
+  let pos c = c + 1
+  let neg c = -(c + 1)
+  let intern = Ipa_support.Interner.intern
+
+  let passes t p spec cls =
+    spec = none
+    || Array.for_all
+         (fun entry ->
+           if entry > 0 then Ipa_ir.Program.subtype p ~sub:cls ~super:(entry - 1)
+           else not (Ipa_ir.Program.subtype p ~sub:cls ~super:(-entry - 1)))
+         (Ipa_support.Interner.value t spec)
+end
+
+(* Edges are packed into one int: destination node in the high bits, the
+   filter-spec id in the low 21 bits. *)
+let filter_bits = 21
+let filter_mask = (1 lsl filter_bits) - 1
+
+let pack_edge ~dst ~spec =
+  assert (spec <= filter_mask);
+  (dst lsl filter_bits) lor spec
+
+let edge_dst e = e lsr filter_bits
+let edge_spec e = e land filter_mask
+
+type state = {
+  p : Program.t;
+  cfg : config;
+  ctxs : Ctx.t;
+  objs : Pair_tbl.t; (* (heap, hctx) *)
+  var_nodes : Pair_tbl.t; (* (var, ctx) *)
+  fld_nodes : Pair_tbl.t; (* (obj, field) *)
+  (* Per-node state, indexed by the Solution.Node encoding. *)
+  pts : Int_set.t option Dynarr.t;
+  edges : int Dynarr.t option Dynarr.t;
+  pending : int Dynarr.t option Dynarr.t;
+  on_list : bool Dynarr.t;
+  worklist : int Dynarr.t;
+  mutable worklist_head : int; (* consumed prefix, FIFO mode *)
+  reach : Pair_tbl.t; (* (meth, ctx) *)
+  cg : int Dynarr.t; (* flattened 4-tuples *)
+  cg_caller : Pair_tbl.t; (* (invo, callerCtx) *)
+  cg_seen : Int_set.t; (* packed (caller-pair, reach-pair) *)
+  base_uses : use list array;
+  filters : Filters.t;
+  (* Per method: the filter spec of each catch clause (the clause's type
+     positively, all earlier clause types negatively) and the escape spec
+     (every clause type negatively). *)
+  catch_specs : (int array * int) option array;
+  mutable derivations : int;
+}
+
+let compute_base_uses (p : Program.t) : use list array =
+  let uses = Array.make (Program.n_vars p) [] in
+  let add v u = uses.(v) <- u :: uses.(v) in
+  for m = 0 to Program.n_meths p - 1 do
+    Array.iter
+      (fun (i : Program.instr) ->
+        match i with
+        | Load { target; base; field } -> add base (Use_load { target; field })
+        | Store { base; field; source } -> add base (Use_store { source; field })
+        | Call invo -> (
+          match (Program.invo_info p invo).call with
+          | Virtual { base; _ } -> add base (Use_vcall invo)
+          | Static _ -> ())
+        | Alloc _ | Move _ | Cast _ | Load_static _ | Store_static _ | Return _ | Throw _ ->
+          ())
+      (Program.meth_info p m).body
+  done;
+  uses
+
+let create p cfg =
+  {
+    p;
+    cfg;
+    ctxs = Ctx.create ();
+    objs = Pair_tbl.create ~capacity:1024 ();
+    var_nodes = Pair_tbl.create ~capacity:1024 ();
+    fld_nodes = Pair_tbl.create ~capacity:1024 ();
+    pts = Dynarr.create ~capacity:1024 ~dummy:None ();
+    edges = Dynarr.create ~capacity:1024 ~dummy:None ();
+    pending = Dynarr.create ~capacity:1024 ~dummy:None ();
+    on_list = Dynarr.create ~capacity:1024 ~dummy:false ();
+    worklist = Dynarr.create ~capacity:1024 ~dummy:0 ();
+    worklist_head = 0;
+    reach = Pair_tbl.create ~capacity:1024 ();
+    cg = Dynarr.create ~capacity:4096 ~dummy:0 ();
+    cg_caller = Pair_tbl.create ~capacity:1024 ();
+    cg_seen = Int_set.create ~capacity:1024 ();
+    base_uses = compute_base_uses p;
+    filters = Filters.create ();
+    catch_specs = Array.make (Program.n_meths p) None;
+    derivations = 0;
+  }
+
+let ensure_node st n =
+  while Dynarr.length st.pts <= n do
+    Dynarr.push st.pts None;
+    Dynarr.push st.edges None;
+    Dynarr.push st.pending None;
+    Dynarr.push st.on_list false
+  done
+
+let node_pts st n =
+  ensure_node st n;
+  match Dynarr.get st.pts n with
+  | Some s -> s
+  | None ->
+    let s = Int_set.create ~capacity:8 () in
+    Dynarr.set st.pts n (Some s);
+    s
+
+let node_edges st n =
+  ensure_node st n;
+  match Dynarr.get st.edges n with
+  | Some d -> d
+  | None ->
+    let d = Dynarr.create ~capacity:4 ~dummy:0 () in
+    Dynarr.set st.edges n (Some d);
+    d
+
+let node_pending st n =
+  ensure_node st n;
+  match Dynarr.get st.pending n with
+  | Some d -> d
+  | None ->
+    let d = Dynarr.create ~capacity:4 ~dummy:0 () in
+    Dynarr.set st.pending n (Some d);
+    d
+
+let spend st =
+  st.derivations <- st.derivations + 1;
+  if st.cfg.budget > 0 && st.derivations > st.cfg.budget then raise Out_of_budget
+
+let var_node st var ctx = Node.of_var_node (Pair_tbl.intern st.var_nodes var ctx)
+
+(* Field-sensitive: one node per (object, field). With field sensitivity off
+   ("field-based" analysis), all base objects collapse onto a single node per
+   field, i.e. fields behave like static fields. *)
+let fld_node st obj field =
+  let obj = if st.cfg.field_sensitive then obj else 0 in
+  Node.of_fld_node (Pair_tbl.intern st.fld_nodes obj field)
+
+let heap_class st heap = (Program.heap_info st.p heap).heap_class
+
+(* The per-clause and escape filter specs of a method's catch chain. *)
+let catch_specs st meth =
+  match st.catch_specs.(meth) with
+  | Some specs -> specs
+  | None ->
+    let clauses = (Program.meth_info st.p meth).catches in
+    let clause_specs =
+      Array.mapi
+        (fun i (clause : Program.catch_clause) ->
+          let spec = Array.make (i + 1) 0 in
+          spec.(0) <- Filters.pos clause.catch_type;
+          for j = 0 to i - 1 do
+            spec.(j + 1) <- Filters.neg clauses.(j).catch_type
+          done;
+          Filters.intern st.filters spec)
+        clauses
+    in
+    let escape =
+      if Array.length clauses = 0 then Filters.none
+      else
+        Filters.intern st.filters
+          (Array.map (fun (c : Program.catch_clause) -> Filters.neg c.catch_type) clauses)
+    in
+    let specs = (clause_specs, escape) in
+    st.catch_specs.(meth) <- Some specs;
+    specs
+
+(* Insert [obj] into [pts(node)], respecting the edge's filter spec. *)
+let add_obj st node obj ~spec =
+  if Filters.passes st.filters st.p spec (heap_class st (Pair_tbl.fst st.objs obj)) then begin
+    let s = node_pts st node in
+    if Int_set.add s obj then begin
+      spend st;
+      Dynarr.push (node_pending st node) obj;
+      if not (Dynarr.get st.on_list node) then begin
+        Dynarr.set st.on_list node true;
+        Dynarr.push st.worklist node
+      end
+    end
+  end
+
+let add_edge st ~src ~dst ~spec =
+  Dynarr.push (node_edges st src) (pack_edge ~dst ~spec);
+  match Dynarr.get st.pts src with
+  | None -> ()
+  | Some s -> Int_set.iter (fun obj -> add_obj st dst obj ~spec) s
+
+let cast_spec st cls = Filters.intern st.filters [| Filters.pos cls |]
+
+(* Route exceptional flow out of [src] through the catch chain of the
+   handling method instance [(handler, ctx)]: matched objects are bound to
+   the clause variables, the rest escape to the handler's own exception
+   node. *)
+let route_exceptions st ~src ~handler ~ctx ~handler_reach_id =
+  let clauses = (Program.meth_info st.p handler).catches in
+  let clause_specs, escape_spec = catch_specs st handler in
+  Array.iteri
+    (fun i (clause : Program.catch_clause) ->
+      add_edge st ~src ~dst:(var_node st clause.catch_var ctx) ~spec:clause_specs.(i))
+    clauses;
+  add_edge st ~src ~dst:(Node.of_exc handler_reach_id) ~spec:escape_spec
+
+(* Mark (meth, ctx) reachable, processing the body on first sight; returns
+   the dense id of the pair. *)
+let rec ensure_reachable st meth ctx =
+  match Pair_tbl.find_opt st.reach meth ctx with
+  | Some id -> id
+  | None ->
+    let id = Pair_tbl.intern st.reach meth ctx in
+    spend st;
+    process_body st meth ctx ~reach_id:id;
+    id
+
+and process_body st meth ctx ~reach_id =
+  let mi = Program.meth_info st.p meth in
+  Array.iter
+    (fun (i : Program.instr) ->
+      match i with
+      | Alloc { target; heap } ->
+        let strat =
+          if Refine.refine_object st.cfg.refine heap then st.cfg.refined_strategy
+          else st.cfg.default_strategy
+        in
+        let hctx = strat.record st.ctxs ~heap ~ctx in
+        let obj = Pair_tbl.intern st.objs heap hctx in
+        add_obj st (var_node st target ctx) obj ~spec:Filters.none
+      | Move { target; source } ->
+        add_edge st ~src:(var_node st source ctx) ~dst:(var_node st target ctx)
+          ~spec:Filters.none
+      | Cast { target; source; cast_to } ->
+        add_edge st ~src:(var_node st source ctx) ~dst:(var_node st target ctx)
+          ~spec:(cast_spec st cast_to)
+      | Load _ | Store _ -> () (* driven by base-variable points-to growth *)
+      | Load_static { target; field } ->
+        add_edge st ~src:(Node.of_static_fld field) ~dst:(var_node st target ctx)
+          ~spec:Filters.none
+      | Store_static { field; source } ->
+        add_edge st ~src:(var_node st source ctx) ~dst:(Node.of_static_fld field)
+          ~spec:Filters.none
+      | Call invo -> (
+        match (Program.invo_info st.p invo).call with
+        | Virtual _ -> () (* driven by receiver points-to growth *)
+        | Static { callee } ->
+          let strat =
+            if Refine.refine_site st.cfg.refine ~invo ~meth:callee then st.cfg.refined_strategy
+            else st.cfg.default_strategy
+          in
+          let callee_ctx = strat.merge_static st.ctxs ~invo ~caller:ctx in
+          add_cg_edge st ~invo ~caller_ctx:ctx ~meth:callee ~callee_ctx)
+      | Return { source } -> (
+        match mi.ret_var with
+        | Some ret ->
+          add_edge st ~src:(var_node st source ctx) ~dst:(var_node st ret ctx)
+            ~spec:Filters.none
+        | None -> assert false (* ruled out by Wf *))
+      | Throw { source } ->
+        route_exceptions st ~src:(var_node st source ctx) ~handler:meth ~ctx
+          ~handler_reach_id:reach_id)
+    mi.body
+
+(* Record a context-sensitive call-graph edge; on first sight, make the
+   callee reachable and wire up parameter and return copy edges. *)
+and add_cg_edge st ~invo ~caller_ctx ~meth ~callee_ctx =
+  let callee_id = ensure_reachable st meth callee_ctx in
+  let caller_id = Pair_tbl.intern st.cg_caller invo caller_ctx in
+  let key = (caller_id lsl 31) lor callee_id in
+  if Int_set.add st.cg_seen key then begin
+    spend st;
+    Dynarr.push st.cg invo;
+    Dynarr.push st.cg caller_ctx;
+    Dynarr.push st.cg meth;
+    Dynarr.push st.cg callee_ctx;
+    let ii = Program.invo_info st.p invo in
+    let mi = Program.meth_info st.p meth in
+    Array.iteri
+      (fun idx actual ->
+        add_edge st
+          ~src:(var_node st actual caller_ctx)
+          ~dst:(var_node st mi.formals.(idx) callee_ctx)
+          ~spec:Filters.none)
+      ii.actuals;
+    (match (ii.recv, mi.ret_var) with
+    | Some recv, Some ret ->
+      add_edge st ~src:(var_node st ret callee_ctx) ~dst:(var_node st recv caller_ctx)
+        ~spec:Filters.none
+    | _ -> ());
+    (* Exceptions escaping the callee flow through the caller's catch
+       chain. The caller instance is necessarily reachable already. *)
+    let caller_meth = ii.invo_owner in
+    let caller_reach_id = Pair_tbl.intern st.reach caller_meth caller_ctx in
+    route_exceptions st ~src:(Node.of_exc callee_id) ~handler:caller_meth ~ctx:caller_ctx
+      ~handler_reach_id:caller_reach_id
+  end
+
+let dispatch_call st ~invo ~ctx obj =
+  let ii = Program.invo_info st.p invo in
+  match ii.call with
+  | Static _ -> assert false
+  | Virtual { base = _; signature } -> (
+    let heap = Pair_tbl.fst st.objs obj in
+    let hctx = Pair_tbl.snd st.objs obj in
+    match Program.dispatch st.p (heap_class st heap) signature with
+    | None -> () (* unresolved dispatch: a would-be runtime error *)
+    | Some target ->
+      let strat =
+        if Refine.refine_site st.cfg.refine ~invo ~meth:target then st.cfg.refined_strategy
+        else st.cfg.default_strategy
+      in
+      let callee_ctx = strat.merge st.ctxs ~heap ~hctx ~invo ~caller:ctx in
+      add_cg_edge st ~invo ~caller_ctx:ctx ~meth:target ~callee_ctx;
+      (match (Program.meth_info st.p target).this_var with
+      | Some this -> add_obj st (var_node st this callee_ctx) obj ~spec:Filters.none
+      | None -> ()))
+
+let process_node st n =
+  Dynarr.set st.on_list n false;
+  let batch = Dynarr.to_array (node_pending st n) in
+  Dynarr.clear (node_pending st n);
+  (* Propagate along the copy edges present when processing starts; edges
+     added mid-batch flush the full points-to set themselves. *)
+  let es = node_edges st n in
+  let n_edges = Dynarr.length es in
+  for e = 0 to n_edges - 1 do
+    let packed = Dynarr.get es e in
+    let dst = edge_dst packed in
+    let spec = edge_spec packed in
+    Array.iter (fun obj -> add_obj st dst obj ~spec) batch
+  done;
+  match Node.kind n with
+  | Node.Fld_node _ | Node.Static_fld _ | Node.Exc_node _ -> ()
+  | Node.Var_node vn ->
+    let var = Pair_tbl.fst st.var_nodes vn in
+    let ctx = Pair_tbl.snd st.var_nodes vn in
+    let uses = st.base_uses.(var) in
+    if uses <> [] then
+      Array.iter
+        (fun obj ->
+          List.iter
+            (fun use ->
+              match use with
+              | Use_load { target; field } ->
+                add_edge st ~src:(fld_node st obj field) ~dst:(var_node st target ctx)
+                  ~spec:Filters.none
+              | Use_store { source; field } ->
+                add_edge st ~src:(var_node st source ctx) ~dst:(fld_node st obj field)
+                  ~spec:Filters.none
+              | Use_vcall invo -> dispatch_call st ~invo ~ctx obj)
+            uses)
+        batch
+
+let run p cfg =
+  let st = create p cfg in
+  let outcome =
+    try
+      List.iter (fun m -> ignore (ensure_reachable st m Ctx.empty)) (Program.entries p);
+      (match cfg.order with
+      | Lifo ->
+        while Dynarr.length st.worklist > 0 do
+          match Dynarr.pop st.worklist with
+          | Some n -> process_node st n
+          | None -> assert false
+        done
+      | Fifo ->
+        while st.worklist_head < Dynarr.length st.worklist do
+          let n = Dynarr.get st.worklist st.worklist_head in
+          st.worklist_head <- st.worklist_head + 1;
+          process_node st n
+        done);
+      Solution.Complete
+    with Out_of_budget -> Solution.Budget_exceeded
+  in
+  {
+    Solution.program = p;
+    ctxs = st.ctxs;
+    objs = st.objs;
+    var_nodes = st.var_nodes;
+    fld_nodes = st.fld_nodes;
+    pts = st.pts;
+    reach = st.reach;
+    cg = st.cg;
+    outcome;
+    derivations = st.derivations;
+    collapsed_vpt_cache = None;
+    collapsed_fpt_cache = None;
+    reachable_meths_cache = None;
+    call_targets_cache = None;
+  }

@@ -1,0 +1,26 @@
+(** Context constructors — the paper's [Record] and [Merge] functions.
+
+    A strategy packages the constructor functions that fully determine a
+    context-sensitivity flavor (paper §2, "Constructors for
+    context-sensitivity"):
+
+    - [record heap ctx]: the heap context given to an object allocated at
+      [heap] by a method running in calling context [ctx];
+    - [merge heap hctx invo caller]: the callee's calling context for a
+      virtual call at site [invo] on a receiver object [(heap, hctx)] from
+      calling context [caller];
+    - [merge_static invo caller]: likewise for static calls (which have no
+      receiver; not in the paper's 10-rule model but present in Doop).
+
+    The solver is instantiated with {e two} strategies — default and refined —
+    and the {!Refine} sets select which one applies at each allocation/call
+    site. That is exactly the paper's [Record]/[RecordRefined] and
+    [Merge]/[MergeRefined] machinery. *)
+
+type t = {
+  name : string;
+  record : Ctx.t -> heap:Ipa_ir.Program.heap_id -> ctx:int -> int;
+  merge :
+    Ctx.t -> heap:Ipa_ir.Program.heap_id -> hctx:int -> invo:Ipa_ir.Program.invo_id -> caller:int -> int;
+  merge_static : Ctx.t -> invo:Ipa_ir.Program.invo_id -> caller:int -> int;
+}

@@ -1,0 +1,1 @@
+lib/datalog/aggregate.ml: Array Hashtbl List Printf Relation

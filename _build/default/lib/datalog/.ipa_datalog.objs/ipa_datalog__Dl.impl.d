@@ -1,0 +1,1 @@
+lib/datalog/dl.ml: Array Buffer Engine Hashtbl Ipa_support List Printf Relation Rule String

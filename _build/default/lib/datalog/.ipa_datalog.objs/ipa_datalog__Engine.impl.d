@@ -1,0 +1,1 @@
+lib/datalog/engine.ml: Array List Relation Rule

@@ -1,0 +1,1 @@
+lib/datalog/rule.ml: Array List Option Printf Relation

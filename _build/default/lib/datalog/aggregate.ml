@@ -1,0 +1,33 @@
+let check_into what rel ~group_by ~into =
+  if Relation.arity into <> List.length group_by + 1 then
+    invalid_arg
+      (Printf.sprintf "Aggregate.%s: %s has arity %d, expected %d" what (Relation.name into)
+         (Relation.arity into)
+         (List.length group_by + 1));
+  List.iter
+    (fun c ->
+      if c < 0 || c >= Relation.arity rel then
+        invalid_arg (Printf.sprintf "Aggregate.%s: column %d out of range" what c))
+    group_by
+
+let fold_groups what rel ~group_by ~into ~init ~step =
+  check_into what rel ~group_by ~into;
+  let groups = Hashtbl.create 64 in
+  Relation.iter
+    (fun tup ->
+      let key = Array.of_list (List.map (Array.get tup) group_by) in
+      let acc = match Hashtbl.find_opt groups key with Some a -> a | None -> init in
+      Hashtbl.replace groups key (step acc tup))
+    rel;
+  Hashtbl.iter
+    (fun key acc -> ignore (Relation.add into (Array.append key [| acc |])))
+    groups
+
+let count rel ~group_by ~into =
+  fold_groups "count" rel ~group_by ~into ~init:0 ~step:(fun a _ -> a + 1)
+
+let sum rel ~group_by ~value ~into =
+  fold_groups "sum" rel ~group_by ~into ~init:0 ~step:(fun a tup -> a + tup.(value))
+
+let max_ rel ~group_by ~value ~into =
+  fold_groups "max" rel ~group_by ~into ~init:min_int ~step:(fun a tup -> max a tup.(value))

@@ -1,0 +1,18 @@
+(** Aggregation between strata.
+
+    Mirrors the paper's [agg<result = count()>] construct used by the
+    introspection metric queries: group the tuples of a fully-computed
+    relation by a column subset and emit one tuple per group carrying the
+    aggregate value. Must run after the stratum computing the input. *)
+
+val count : Relation.t -> group_by:int list -> into:Relation.t -> unit
+(** [count rel ~group_by ~into] adds, for every distinct projection of
+    [group_by], the tuple [projection @ [n]] to [into], where [n] is the
+    number of tuples of [rel] with that projection. [into]'s arity must be
+    [length group_by + 1]. *)
+
+val sum : Relation.t -> group_by:int list -> value:int -> into:Relation.t -> unit
+(** Like {!count} but summing column [value] per group. *)
+
+val max_ : Relation.t -> group_by:int list -> value:int -> into:Relation.t -> unit
+(** Like {!sum} but taking the maximum of column [value] per group. *)

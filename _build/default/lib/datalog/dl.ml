@@ -1,0 +1,427 @@
+module Interner = Ipa_support.Interner
+
+type value =
+  | Int of int
+  | Sym of string
+
+(* ---------- lexer ---------- *)
+
+type token =
+  | Tident of string (* lowercase-led: relation names *)
+  | Tvar of string (* uppercase-led: variables; "_" is anonymous *)
+  | Tint of int
+  | Tstring of string
+  | Tdirective of string (* .decl / .output *)
+  | Tlparen
+  | Trparen
+  | Tcomma
+  | Tdot
+  | Tturnstile (* :- *)
+  | Tbang
+  | Teof
+
+exception Err of string
+
+let err line col fmt =
+  Printf.ksprintf (fun msg -> raise (Err (Printf.sprintf "%d:%d: %s" line col msg))) fmt
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 and col = ref 1 and i = ref 0 in
+  let advance () =
+    if src.[!i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col;
+    incr i
+  in
+  let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let is_alnum c = is_alpha c || (c >= '0' && c <= '9') in
+  let word () =
+    let start = !i in
+    while !i < n && is_alnum src.[!i] do
+      advance ()
+    done;
+    String.sub src start (!i - start)
+  in
+  while !i < n do
+    let c = src.[!i] in
+    let l = !line and k = !col in
+    let emit t = toks := (t, l, k) :: !toks in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      advance ();
+      advance ();
+      let closed = ref false in
+      while not !closed do
+        if !i + 1 >= n then err l k "unterminated comment";
+        if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          advance ();
+          advance ();
+          closed := true
+        end
+        else advance ()
+      done
+    end
+    else if c = '.' && !i + 1 < n && is_alpha src.[!i + 1] then begin
+      advance ();
+      emit (Tdirective (word ()))
+    end
+    else if is_alpha c then begin
+      let w = word () in
+      if w = "_" || (c >= 'A' && c <= 'Z') then emit (Tvar w) else emit (Tident w)
+    end
+    else if (c >= '0' && c <= '9') || (c = '-' && !i + 1 < n && src.[!i + 1] >= '0' && src.[!i + 1] <= '9')
+    then begin
+      let start = !i in
+      advance ();
+      while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+        advance ()
+      done;
+      emit (Tint (int_of_string (String.sub src start (!i - start))))
+    end
+    else if c = '"' then begin
+      advance ();
+      let start = !i in
+      while !i < n && src.[!i] <> '"' do
+        advance ()
+      done;
+      if !i >= n then err l k "unterminated string";
+      emit (Tstring (String.sub src start (!i - start)));
+      advance ()
+    end
+    else begin
+      (match c with
+      | '(' -> emit Tlparen
+      | ')' -> emit Trparen
+      | ',' -> emit Tcomma
+      | '.' -> emit Tdot
+      | '!' -> emit Tbang
+      | ':' ->
+        if !i + 1 < n && src.[!i + 1] = '-' then begin
+          advance ();
+          emit Tturnstile
+        end
+        else err l k "expected ':-'"
+      | _ -> err l k "unexpected character %C" c);
+      advance ()
+    end
+  done;
+  toks := (Teof, !line, !col) :: !toks;
+  Array.of_list (List.rev !toks)
+
+(* ---------- AST ---------- *)
+
+type term =
+  | Tm_var of string
+  | Tm_const of value
+
+type atom = { rel : string; terms : term list; a_line : int; a_col : int }
+
+type clause = {
+  head : atom;
+  pos : atom list;
+  neg : atom list;
+}
+
+type program = {
+  decls : (string * int) list;
+  facts : atom list;
+  clauses : clause list;
+  outputs : string list;
+}
+
+(* ---------- parser ---------- *)
+
+let parse_tokens toks =
+  let cursor = ref 0 in
+  let peek () = match toks.(!cursor) with t, _, _ -> t in
+  let pos () = match toks.(!cursor) with _, l, c -> (l, c) in
+  let advance () = if !cursor + 1 < Array.length toks then incr cursor in
+  let perr fmt =
+    let l, c = pos () in
+    err l c fmt
+  in
+  let expect t what =
+    if peek () = t then advance () else perr "expected %s" what
+  in
+  let ident () =
+    match peek () with
+    | Tident s ->
+      advance ();
+      s
+    | _ -> perr "expected a relation name"
+  in
+  let term () =
+    match peek () with
+    | Tvar v ->
+      advance ();
+      Tm_var v
+    | Tint n ->
+      advance ();
+      Tm_const (Int n)
+    | Tstring s ->
+      advance ();
+      Tm_const (Sym s)
+    | _ -> perr "expected a term"
+  in
+  let atom () =
+    let a_line, a_col = pos () in
+    let rel = ident () in
+    expect Tlparen "'('";
+    let terms = ref [ term () ] in
+    while peek () = Tcomma do
+      advance ();
+      terms := term () :: !terms
+    done;
+    expect Trparen "')'";
+    { rel; terms = List.rev !terms; a_line; a_col }
+  in
+  let decls = ref [] and facts = ref [] and clauses = ref [] and outputs = ref [] in
+  let rec loop () =
+    match peek () with
+    | Teof -> ()
+    | Tdirective "decl" ->
+      advance ();
+      let name = ident () in
+      expect Tlparen "'('";
+      let arity = match peek () with
+        | Tint n ->
+          advance ();
+          n
+        | _ -> perr "expected an arity"
+      in
+      expect Trparen "')'";
+      decls := (name, arity) :: !decls;
+      loop ()
+    | Tdirective "output" ->
+      advance ();
+      outputs := ident () :: !outputs;
+      loop ()
+    | Tdirective d -> perr "unknown directive .%s" d
+    | Tident _ ->
+      let head = atom () in
+      (match peek () with
+      | Tdot ->
+        advance ();
+        facts := head :: !facts
+      | Tturnstile ->
+        advance ();
+        let pos_atoms = ref [] and neg_atoms = ref [] in
+        let body_atom () =
+          if peek () = Tbang then begin
+            advance ();
+            neg_atoms := atom () :: !neg_atoms
+          end
+          else pos_atoms := atom () :: !pos_atoms
+        in
+        body_atom ();
+        while peek () = Tcomma do
+          advance ();
+          body_atom ()
+        done;
+        expect Tdot "'.'";
+        clauses := { head; pos = List.rev !pos_atoms; neg = List.rev !neg_atoms } :: !clauses
+      | _ -> perr "expected '.' or ':-'");
+      loop ()
+    | _ -> perr "expected a declaration, fact, or rule"
+  in
+  loop ();
+  {
+    decls = List.rev !decls;
+    facts = List.rev !facts;
+    clauses = List.rev !clauses;
+    outputs = List.rev !outputs;
+  }
+
+(* ---------- validation & stratification ---------- *)
+
+let validate (p : program) =
+  let arity_of rel line col =
+    match List.assoc_opt rel p.decls with
+    | Some a -> a
+    | None -> err line col "undeclared relation %s" rel
+  in
+  let check_atom (a : atom) =
+    let arity = arity_of a.rel a.a_line a.a_col in
+    if List.length a.terms <> arity then
+      err a.a_line a.a_col "%s expects %d arguments, got %d" a.rel arity (List.length a.terms)
+  in
+  List.iter
+    (fun (name, _) ->
+      if List.length (List.filter (fun (n, _) -> n = name) p.decls) > 1 then
+        raise (Err (Printf.sprintf "0:0: duplicate declaration of %s" name)))
+    p.decls;
+  List.iter
+    (fun (a : atom) ->
+      check_atom a;
+      List.iter
+        (function
+          | Tm_var _ -> err a.a_line a.a_col "facts must be ground"
+          | Tm_const _ -> ())
+        a.terms)
+    p.facts;
+  List.iter
+    (fun c ->
+      check_atom c.head;
+      List.iter check_atom c.pos;
+      List.iter check_atom c.neg;
+      let bound = Hashtbl.create 8 in
+      List.iter
+        (fun (a : atom) ->
+          List.iter
+            (function Tm_var v when v <> "_" -> Hashtbl.replace bound v () | _ -> ())
+            a.terms)
+        c.pos;
+      let need what (a : atom) =
+        List.iter
+          (function
+            | Tm_var "_" -> err a.a_line a.a_col "'_' is not allowed in %s" what
+            | Tm_var v when not (Hashtbl.mem bound v) ->
+              err a.a_line a.a_col "variable %s in %s is not bound by a positive atom" v what
+            | _ -> ())
+          a.terms
+      in
+      need "the head" c.head;
+      List.iter (need "a negated atom") c.neg)
+    p.clauses;
+  List.iter
+    (fun name ->
+      if not (List.mem_assoc name p.decls) then
+        raise (Err (Printf.sprintf "0:0: .output of undeclared relation %s" name)))
+    p.outputs
+
+(* stratum(r): 0 for EDB-ish; for each rule, head >= every positive body
+   stratum, and head > every negated body stratum. Iterate to fixpoint;
+   a stratum exceeding the relation count means negative recursion. *)
+let stratify (p : program) =
+  let strata = Hashtbl.create 16 in
+  List.iter (fun (name, _) -> Hashtbl.replace strata name 0) p.decls;
+  let n_rels = List.length p.decls in
+  let get r = Hashtbl.find strata r in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun c ->
+        let required =
+          List.fold_left (fun acc (a : atom) -> max acc (get a.rel)) 0 c.pos
+          |> fun acc -> List.fold_left (fun acc (a : atom) -> max acc (get a.rel + 1)) acc c.neg
+        in
+        if required > get c.head.rel then begin
+          if required > n_rels then
+            err c.head.a_line c.head.a_col "negation through recursion at %s" c.head.rel;
+          Hashtbl.replace strata c.head.rel required;
+          changed := true
+        end)
+      p.clauses
+  done;
+  strata
+
+(* ---------- evaluation ---------- *)
+
+let parse src =
+  try
+    let ast = parse_tokens (tokenize src) in
+    validate ast;
+    ignore (stratify ast);
+    Ok ast
+  with Err msg -> Error msg
+
+let run ?(budget = 0) (p : program) =
+  try
+    let values : value Interner.t = Interner.create ~dummy:(Int 0) () in
+    let rels = Hashtbl.create 16 in
+    List.iter
+      (fun (name, arity) -> Hashtbl.replace rels name (Relation.create ~name ~arity))
+      p.decls;
+    let rel name = Hashtbl.find rels name in
+    List.iter
+      (fun (a : atom) ->
+        let tup =
+          Array.of_list
+            (List.map
+               (function Tm_const v -> Interner.intern values v | Tm_var _ -> assert false)
+               a.terms)
+        in
+        ignore (Relation.add (rel a.rel) tup))
+      p.facts;
+    let strata_of = stratify p in
+    let max_stratum = Hashtbl.fold (fun _ s acc -> max s acc) strata_of 0 in
+    let compile (c : clause) =
+      let var_ids = Hashtbl.create 8 in
+      let fresh = ref 0 in
+      let var v =
+        if v = "_" then begin
+          (* each anonymous variable is distinct *)
+          let id = !fresh in
+          incr fresh;
+          Rule.Var id
+        end
+        else
+          match Hashtbl.find_opt var_ids v with
+          | Some id -> Rule.Var id
+          | None ->
+            let id = !fresh in
+            incr fresh;
+            Hashtbl.add var_ids v id;
+            Rule.Var id
+      in
+      let term = function
+        | Tm_var v -> var v
+        | Tm_const c -> Rule.Const (Interner.intern values c)
+      in
+      let conv (a : atom) = (rel a.rel, Array.of_list (List.map term a.terms)) in
+      (* convert body first so head/neg variables are bound-checked against
+         the same numbering *)
+      let body = List.map conv c.pos in
+      let neg = List.map conv c.neg in
+      let head = conv c.head in
+      Rule.make ~n_vars:(max 1 !fresh) ~heads:[ head ] ~body ~neg ()
+    in
+    for stratum = 0 to max_stratum do
+      let rules =
+        List.filter_map
+          (fun c -> if Hashtbl.find strata_of c.head.rel = stratum then Some (compile c) else None)
+          p.clauses
+      in
+      if rules <> [] then ignore (Engine.fixpoint ~budget rules)
+    done;
+    let decode rel_name =
+      let tuples =
+        List.map
+          (fun tup -> List.map (Interner.value values) (Array.to_list tup))
+          (Relation.to_list (rel rel_name))
+      in
+      (rel_name, List.sort compare tuples)
+    in
+    Ok (List.map decode p.outputs)
+  with
+  | Err msg -> Error msg
+  | Engine.Out_of_budget -> Error "evaluation exceeded its budget"
+
+let value_to_string = function
+  | Int n -> string_of_int n
+  | Sym s -> Printf.sprintf "%S" s
+
+let run_to_string ?budget p =
+  match run ?budget p with
+  | Error _ as e -> e
+  | Ok outputs ->
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun (name, tuples) ->
+        List.iter
+          (fun tup ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s(%s).\n" name
+                 (String.concat ", " (List.map value_to_string tup))))
+          tuples)
+      outputs;
+    Ok (Buffer.contents buf)

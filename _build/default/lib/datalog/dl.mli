@@ -1,0 +1,47 @@
+(** A textual Datalog front-end for the engine.
+
+    Doop-style analyses are written as Datalog text; this module provides a
+    small concrete syntax so the engine is usable standalone (and from the
+    [introspect datalog] CLI command), with automatic stratification of
+    negation:
+
+    {v
+    .decl edge(2)
+    .decl path(2)
+    .decl node(1)
+    .decl unreached(1)
+
+    node(1). node(2). node(3). node("isolated").
+    edge(1, 2). edge(2, 3).
+
+    path(X, Y) :- edge(X, Y).
+    path(X, Z) :- edge(X, Y), path(Y, Z).
+    unreached(X) :- node(X), !path(1, X).
+
+    .output path
+    .output unreached
+    v}
+
+    Variables start with an uppercase letter; constants are integers or
+    double-quoted symbols; [!atom] negates (the negated relation must be
+    computable in a strictly lower stratum — negative recursion is
+    rejected); [_] is an anonymous variable. Comments: [// ...] and
+    [/* ... */]. *)
+
+type value =
+  | Int of int
+  | Sym of string
+
+type program
+
+val parse : string -> (program, string) result
+(** Parse and validate (declared arities, bound head/negation variables,
+    stratifiability). The error string contains a line:column position. *)
+
+val run : ?budget:int -> program -> ((string * value list list) list, string) result
+(** Evaluate to fixpoint and return the contents of each [.output] relation,
+    in declaration order, each tuple list sorted. [Error] on budget
+    exhaustion. *)
+
+val run_to_string : ?budget:int -> program -> (string, string) result
+(** [run] rendered one fact per line, e.g. [path(1, 3).]. *)

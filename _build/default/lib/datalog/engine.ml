@@ -1,0 +1,153 @@
+exception Out_of_budget
+
+(* Delta bookkeeping per relation, keyed by physical identity (strata have a
+   handful of relations, so an assoc list is fine). *)
+type deltas = {
+  mutable entries : (Relation.t * int ref * int ref) list; (* rel, prev, cur *)
+}
+
+let delta_entry d rel =
+  match List.find_opt (fun (r, _, _) -> r == rel) d.entries with
+  | Some e -> e
+  | None ->
+    let e = (rel, ref 0, ref (Relation.size rel)) in
+    d.entries <- e :: d.entries;
+    e
+
+let unbound = min_int
+
+(* Fire [rule] with body atom [driver] restricted to its delta range. *)
+let fire_rule ~spend d rule ~driver =
+  let body = Rule.body rule in
+  let n = Rule.n_vars rule in
+  let env = Array.make n unbound in
+  (* Match [tup] against [terms], binding fresh variables on a trail so
+     mismatches roll back cleanly. *)
+  let try_match terms tup =
+    let trail = ref [] in
+    let ok = ref true in
+    let i = ref 0 in
+    let len = Array.length terms in
+    while !ok && !i < len do
+      (match terms.(!i) with
+      | Rule.Const c -> if tup.(!i) <> c then ok := false
+      | Rule.Var v ->
+        if env.(v) = unbound then begin
+          env.(v) <- tup.(!i);
+          trail := v :: !trail
+        end
+        else if env.(v) <> tup.(!i) then ok := false);
+      incr i
+    done;
+    if !ok then Some !trail
+    else begin
+      List.iter (fun v -> env.(v) <- unbound) !trail;
+      None
+    end
+  in
+  let finish () =
+    Array.iter (fun (v, f) -> env.(v) <- f env) (Rule.lets rule);
+    let instantiate terms =
+      Array.map (function Rule.Const c -> c | Rule.Var v -> env.(v)) terms
+    in
+    let negated_holds =
+      Array.exists (fun (rel, terms) -> Relation.mem rel (instantiate terms)) (Rule.neg rule)
+    in
+    if (not negated_holds) && Array.for_all (fun g -> g env) (Rule.guards rule) then
+      Array.iter
+        (fun (rel, terms) -> if Relation.add rel (instantiate terms) then spend ())
+        (Rule.heads rule);
+    Array.iter (fun (v, _) -> env.(v) <- unbound) (Rule.lets rule)
+  in
+  let rec join k =
+    if k >= Array.length body then finish ()
+    else if k = driver then join (k + 1)
+    else begin
+      let rel, terms = body.(k) in
+      (* Columns already determined by the environment form the index key. *)
+      let cols = ref [] in
+      let key = ref [] in
+      Array.iteri
+        (fun i term ->
+          match term with
+          | Rule.Const c ->
+            cols := i :: !cols;
+            key := c :: !key
+          | Rule.Var v ->
+            if env.(v) <> unbound then begin
+              cols := i :: !cols;
+              key := env.(v) :: !key
+            end)
+        terms;
+      let cols = List.rev !cols in
+      let key = Array.of_list (List.rev !key) in
+      Relation.iter_matching rel ~cols ~key ~lo:0 ~hi:(Relation.size rel) (fun tup ->
+          match try_match terms tup with
+          | Some trail ->
+            join (k + 1);
+            List.iter (fun v -> env.(v) <- unbound) trail
+          | None -> ())
+    end
+  in
+  if Array.length body = 0 then finish ()
+  else begin
+    let rel, terms = body.(driver) in
+    let _, prev, cur = delta_entry d rel in
+    Relation.iter_range
+      (fun tup ->
+        match try_match terms tup with
+        | Some trail ->
+          join 0;
+          List.iter (fun v -> env.(v) <- unbound) trail
+        | None -> ())
+      rel ~lo:!prev ~hi:!cur
+  end
+
+let fixpoint ?(budget = 0) rules =
+  let derivations = ref 0 in
+  let spend () =
+    incr derivations;
+    if budget > 0 && !derivations > budget then raise Out_of_budget
+  in
+  let d = { entries = [] } in
+  (* Register every relation appearing in the stratum. *)
+  List.iter
+    (fun rule ->
+      Array.iter (fun (rel, _) -> ignore (delta_entry d rel)) (Rule.body rule);
+      Array.iter (fun (rel, _) -> ignore (delta_entry d rel)) (Rule.heads rule))
+    rules;
+  (* Rules with empty bodies fire exactly once. *)
+  List.iter
+    (fun rule -> if Array.length (Rule.body rule) = 0 then fire_rule ~spend d rule ~driver:0)
+    rules;
+  let continue_ = ref true in
+  while !continue_ do
+    List.iter
+      (fun rule ->
+        let n_body = Array.length (Rule.body rule) in
+        for driver = 0 to n_body - 1 do
+          fire_rule ~spend d rule ~driver
+        done)
+      rules;
+    (* Advance deltas; stop when nothing grew. *)
+    continue_ := false;
+    List.iter
+      (fun (rel, prev, cur) ->
+        let size = Relation.size rel in
+        prev := !cur;
+        cur := size;
+        if size > !prev then continue_ := true)
+      d.entries
+  done;
+  !derivations
+
+let run_strata ?(budget = 0) strata =
+  let remaining = ref budget in
+  let total = ref 0 in
+  List.iter
+    (fun stratum ->
+      let n = fixpoint ~budget:!remaining stratum in
+      total := !total + n;
+      if budget > 0 then remaining := max 1 (!remaining - n))
+    strata;
+  !total

@@ -1,0 +1,20 @@
+(** Semi-naive bottom-up evaluation.
+
+    [fixpoint rules] runs one stratum to fixpoint: repeatedly fires every
+    rule with each positive body atom in turn restricted to the tuples new
+    since the previous iteration (the delta), until no relation grows.
+    Facts already present in the rules' relations act as the EDB.
+
+    Stratification is the caller's responsibility: negated atoms and
+    aggregation inputs must be fully computed before the stratum referencing
+    them runs — evaluate strata in order with successive [fixpoint] calls
+    ({!run_strata}). *)
+
+exception Out_of_budget
+
+val fixpoint : ?budget:int -> Rule.t list -> int
+(** Returns the number of tuples derived (inserted). [budget] bounds that
+    number; exceeding it raises {!Out_of_budget} ([0] = unlimited). *)
+
+val run_strata : ?budget:int -> Rule.t list list -> int
+(** [fixpoint] on each stratum in order; the budget is shared. *)

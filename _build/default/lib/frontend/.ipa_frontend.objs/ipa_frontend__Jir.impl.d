@@ -1,0 +1,1 @@
+lib/frontend/jir.ml: Ast In_channel Lexer Parser Printf Resolver

@@ -1,0 +1,1 @@
+lib/frontend/jir.mli: Ipa_ir

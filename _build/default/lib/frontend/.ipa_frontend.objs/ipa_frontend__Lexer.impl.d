@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Array Ast List Printf String

@@ -1,0 +1,1 @@
+lib/frontend/resolver.ml: Array Ast Hashtbl Ipa_ir List Option Printf String

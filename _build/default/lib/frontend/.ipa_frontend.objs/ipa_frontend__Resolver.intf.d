@@ -1,0 +1,1 @@
+lib/frontend/resolver.mli: Ast Ipa_ir

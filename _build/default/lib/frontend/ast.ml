@@ -1,0 +1,48 @@
+(** Abstract syntax of the [.jir] format, produced by {!Parser} and consumed
+    by {!Resolver}. Everything is by-name; positions are kept for error
+    reporting. *)
+
+type pos = { line : int; col : int }
+
+let pos_to_string { line; col } = Printf.sprintf "%d:%d" line col
+
+(** Field reference, optionally qualified with the owning class. *)
+type fieldref = { fr_class : string option; fr_name : string }
+
+type stmt =
+  | Decl_vars of string list
+  | Alloc of { target : string; cls : string }
+  | Cast of { target : string; cls : string; source : string }
+  | Move of { target : string; source : string }
+  | Load of { target : string; base : string; field : fieldref }
+  | Store of { base : string; field : fieldref; source : string }
+  | Load_static of { target : string; cls : string; field : string }
+  | Store_static of { cls : string; field : string; source : string }
+  | Vcall of { recv : string option; base : string; name : string; args : string list }
+  | Scall of { recv : string option; cls : string; name : string; args : string list }
+  | Return of string option
+  | Throw of string
+  | Catch of { cls : string; var : string }
+
+type member =
+  | Field of { static : bool; name : string }
+  | Method of {
+      static : bool;
+      name : string;
+      arity : int;
+      params : string list option;  (** [None] for an abstract declaration *)
+      body : (stmt * pos) list;
+    }
+
+type class_decl = {
+  cd_name : string;
+  cd_interface : bool;
+  cd_super : string option;
+  cd_interfaces : string list;
+  cd_members : (member * pos) list;
+  cd_pos : pos;
+}
+
+type entry_decl = { en_class : string; en_name : string; en_arity : int; en_pos : pos }
+
+type program = { decls : class_decl list; entry_decls : entry_decl list }

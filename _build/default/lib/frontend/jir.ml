@@ -1,0 +1,19 @@
+type error = { line : int; col : int; msg : string }
+
+let error_to_string { line; col; msg } = Printf.sprintf "%d:%d: %s" line col msg
+
+let of_pos (p : Ast.pos) msg = { line = p.line; col = p.col; msg }
+
+let parse_string src =
+  match Parser.parse src with
+  | exception Lexer.Lex_error (pos, msg) -> Error (of_pos pos msg)
+  | exception Parser.Parse_error (pos, msg) -> Error (of_pos pos msg)
+  | ast -> (
+    match Resolver.resolve ast with
+    | Ok p -> Ok p
+    | Error { pos; msg } -> Error (of_pos pos msg))
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error { line = 0; col = 0; msg }
+  | src -> parse_string src

@@ -1,0 +1,12 @@
+(** Facade: parse [.jir] source into a validated [Ipa_ir.Program.t]. *)
+
+type error = { line : int; col : int; msg : string }
+
+val error_to_string : error -> string
+
+val parse_string : string -> (Ipa_ir.Program.t, error) result
+(** Lex, parse, resolve, and well-formedness-check a compilation unit. *)
+
+val parse_file : string -> (Ipa_ir.Program.t, error) result
+(** [parse_string] on the contents of a file. I/O failures are reported as an
+    [error] at position 0:0. *)

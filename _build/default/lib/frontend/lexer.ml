@@ -1,0 +1,157 @@
+type token =
+  | Id of string
+  | Int of int
+  | Kw_class
+  | Kw_interface
+  | Kw_extends
+  | Kw_implements
+  | Kw_field
+  | Kw_method
+  | Kw_static
+  | Kw_var
+  | Kw_new
+  | Kw_return
+  | Kw_throw
+  | Kw_catch
+  | Kw_entry
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Comma
+  | Semi
+  | Eq
+  | Dot
+  | Coloncolon
+  | Slash
+  | Eof
+
+let token_to_string = function
+  | Id s -> Printf.sprintf "identifier %S" s
+  | Int n -> Printf.sprintf "integer %d" n
+  | Kw_class -> "'class'"
+  | Kw_interface -> "'interface'"
+  | Kw_extends -> "'extends'"
+  | Kw_implements -> "'implements'"
+  | Kw_field -> "'field'"
+  | Kw_method -> "'method'"
+  | Kw_static -> "'static'"
+  | Kw_var -> "'var'"
+  | Kw_new -> "'new'"
+  | Kw_return -> "'return'"
+  | Kw_throw -> "'throw'"
+  | Kw_catch -> "'catch'"
+  | Kw_entry -> "'entry'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Comma -> "','"
+  | Semi -> "';'"
+  | Eq -> "'='"
+  | Dot -> "'.'"
+  | Coloncolon -> "'::'"
+  | Slash -> "'/'"
+  | Eof -> "end of input"
+
+exception Lex_error of Ast.pos * string
+
+let keyword = function
+  | "class" -> Some Kw_class
+  | "interface" -> Some Kw_interface
+  | "extends" -> Some Kw_extends
+  | "implements" -> Some Kw_implements
+  | "field" -> Some Kw_field
+  | "method" -> Some Kw_method
+  | "static" -> Some Kw_static
+  | "var" -> Some Kw_var
+  | "new" -> Some Kw_new
+  | "return" -> Some Kw_return
+  | "throw" -> Some Kw_throw
+  | "catch" -> Some Kw_catch
+  | "entry" -> Some Kw_entry
+  | _ -> None
+
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9') || c = '$'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let col = ref 1 in
+  let i = ref 0 in
+  let pos () : Ast.pos = { line = !line; col = !col } in
+  let advance () =
+    if src.[!i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col;
+    incr i
+  in
+  let emit tok p = tokens := (tok, p) :: !tokens in
+  let error p fmt = Printf.ksprintf (fun s -> raise (Lex_error (p, s))) fmt in
+  while !i < n do
+    let c = src.[!i] in
+    let p = pos () in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      advance ();
+      advance ();
+      let closed = ref false in
+      while not !closed do
+        if !i + 1 >= n then error p "unterminated block comment";
+        if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          advance ();
+          advance ();
+          closed := true
+        end
+        else advance ()
+      done
+    end
+    else if is_id_start c then begin
+      let start = !i in
+      while !i < n && is_id_char src.[!i] do
+        advance ()
+      done;
+      let word = String.sub src start (!i - start) in
+      emit (match keyword word with Some k -> k | None -> Id word) p
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        advance ()
+      done;
+      emit (Int (int_of_string (String.sub src start (!i - start)))) p
+    end
+    else begin
+      (match c with
+      | '{' -> emit Lbrace p
+      | '}' -> emit Rbrace p
+      | '(' -> emit Lparen p
+      | ')' -> emit Rparen p
+      | ',' -> emit Comma p
+      | ';' -> emit Semi p
+      | '=' -> emit Eq p
+      | '.' -> emit Dot p
+      | '/' -> emit Slash p
+      | ':' ->
+        if !i + 1 < n && src.[!i + 1] = ':' then begin
+          advance ();
+          emit Coloncolon p
+        end
+        else error p "expected '::'"
+      | _ -> error p "unexpected character %C" c);
+      advance ()
+    end
+  done;
+  emit Eof (pos ());
+  Array.of_list (List.rev !tokens)

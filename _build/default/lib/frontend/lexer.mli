@@ -1,0 +1,42 @@
+(** Hand-written lexer for the [.jir] format.
+
+    Menhir/ocamllex are not available in this environment, and the token set
+    is small, so both lexer and parser are hand-rolled — which also gives
+    precise, positioned error messages. *)
+
+type token =
+  | Id of string
+  | Int of int
+  | Kw_class
+  | Kw_interface
+  | Kw_extends
+  | Kw_implements
+  | Kw_field
+  | Kw_method
+  | Kw_static
+  | Kw_var
+  | Kw_new
+  | Kw_return
+  | Kw_throw
+  | Kw_catch
+  | Kw_entry
+  | Lbrace
+  | Rbrace
+  | Lparen
+  | Rparen
+  | Comma
+  | Semi
+  | Eq
+  | Dot
+  | Coloncolon
+  | Slash
+  | Eof
+
+val token_to_string : token -> string
+
+exception Lex_error of Ast.pos * string
+
+val tokenize : string -> (token * Ast.pos) array
+(** [tokenize src] is the token stream of [src], ending with [Eof]. Supports
+    [//] line comments and [/* ... */] block comments. Identifiers are
+    [\[A-Za-z_\]\[A-Za-z0-9_$\]*]. Raises {!Lex_error} on anything else. *)

@@ -1,0 +1,270 @@
+open Lexer
+
+exception Parse_error of Ast.pos * string
+
+type state = { tokens : (token * Ast.pos) array; mutable cursor : int }
+
+let peek st = fst st.tokens.(st.cursor)
+
+let peek2 st =
+  if st.cursor + 1 < Array.length st.tokens then fst st.tokens.(st.cursor + 1) else Eof
+
+let pos st = snd st.tokens.(st.cursor)
+
+let advance st = if st.cursor + 1 < Array.length st.tokens then st.cursor <- st.cursor + 1
+
+let error st fmt = Printf.ksprintf (fun s -> raise (Parse_error (pos st, s))) fmt
+
+let expect st tok =
+  if peek st = tok then advance st
+  else error st "expected %s but found %s" (token_to_string tok) (token_to_string (peek st))
+
+let ident st =
+  match peek st with
+  | Id s ->
+    advance st;
+    s
+  | t -> error st "expected an identifier but found %s" (token_to_string t)
+
+let integer st =
+  match peek st with
+  | Int n ->
+    advance st;
+    n
+  | t -> error st "expected an integer but found %s" (token_to_string t)
+
+let comma_list st elem =
+  let rec more acc = if peek st = Comma then (advance st; more (elem st :: acc)) else List.rev acc in
+  more [ elem st ]
+
+(* Argument list, after the '(' has been consumed. *)
+let arguments st =
+  if peek st = Rparen then begin
+    advance st;
+    []
+  end
+  else begin
+    let args = comma_list st ident in
+    expect st Rparen;
+    args
+  end
+
+(* A statement starting with [target =]: allocation, cast, move, load,
+   static load, or call with receiver. Both '=' tokens are already consumed. *)
+let assignment st target : Ast.stmt =
+  match peek st with
+  | Kw_new ->
+    advance st;
+    let cls = ident st in
+    Alloc { target; cls }
+  | Lparen ->
+    advance st;
+    let cls = ident st in
+    expect st Rparen;
+    let source = ident st in
+    Cast { target; cls; source }
+  | Id _ ->
+    let name = ident st in
+    (match peek st with
+    | Dot ->
+      advance st;
+      let member = ident st in
+      (match peek st with
+      | Lparen ->
+        advance st;
+        Vcall { recv = Some target; base = name; name = member; args = arguments st }
+      | Coloncolon ->
+        advance st;
+        let field = ident st in
+        Load { target; base = name; field = { fr_class = Some member; fr_name = field } }
+      | _ -> Load { target; base = name; field = { fr_class = None; fr_name = member } })
+    | Coloncolon ->
+      advance st;
+      let member = ident st in
+      (match peek st with
+      | Lparen ->
+        advance st;
+        Scall { recv = Some target; cls = name; name = member; args = arguments st }
+      | _ -> Load_static { target; cls = name; field = member })
+    | _ -> Move { target; source = name })
+  | t -> error st "expected a statement right-hand side but found %s" (token_to_string t)
+
+(* A statement starting with an identifier that is not followed by '='. *)
+let non_assignment st name : Ast.stmt =
+  match peek st with
+  | Dot ->
+    advance st;
+    let member = ident st in
+    (match peek st with
+    | Lparen ->
+      advance st;
+      Vcall { recv = None; base = name; name = member; args = arguments st }
+    | Coloncolon ->
+      advance st;
+      let field = ident st in
+      expect st Eq;
+      let source = ident st in
+      Store { base = name; field = { fr_class = Some member; fr_name = field }; source }
+    | Eq ->
+      advance st;
+      let source = ident st in
+      Store { base = name; field = { fr_class = None; fr_name = member }; source }
+    | t -> error st "expected '(', '::' or '=' but found %s" (token_to_string t))
+  | Coloncolon ->
+    advance st;
+    let member = ident st in
+    (match peek st with
+    | Lparen ->
+      advance st;
+      Scall { recv = None; cls = name; name = member; args = arguments st }
+    | Eq ->
+      advance st;
+      let source = ident st in
+      Store_static { cls = name; field = member; source }
+    | t -> error st "expected '(' or '=' but found %s" (token_to_string t))
+  | t -> error st "expected '.', '::' or '=' after %S but found %s" name (token_to_string t)
+
+let statement st : Ast.stmt * Ast.pos =
+  let p = pos st in
+  let stmt =
+    match peek st with
+    | Kw_var ->
+      advance st;
+      Ast.Decl_vars (comma_list st ident)
+    | Kw_return ->
+      advance st;
+      (match peek st with
+      | Semi -> Ast.Return None
+      | Id _ -> Ast.Return (Some (ident st))
+      | t -> error st "expected a variable or ';' but found %s" (token_to_string t))
+    | Kw_throw ->
+      advance st;
+      Ast.Throw (ident st)
+    | Kw_catch ->
+      advance st;
+      expect st Lparen;
+      let cls = ident st in
+      expect st Rparen;
+      Ast.Catch { cls; var = ident st }
+    | Id _ ->
+      let name = ident st in
+      if peek st = Eq && peek2 st <> Eq then begin
+        advance st;
+        assignment st name
+      end
+      else non_assignment st name
+    | t -> error st "expected a statement but found %s" (token_to_string t)
+  in
+  expect st Semi;
+  (stmt, p)
+
+let method_member st ~static : Ast.member =
+  expect st Kw_method;
+  let name = ident st in
+  expect st Slash;
+  let arity = integer st in
+  match peek st with
+  | Semi ->
+    advance st;
+    if static then error st "abstract method %s cannot be static" name;
+    Method { static; name; arity; params = None; body = [] }
+  | Lparen ->
+    advance st;
+    let params = if peek st = Rparen then [] else comma_list st ident in
+    expect st Rparen;
+    if List.length params <> arity then
+      error st "method %s/%d declares %d parameters" name arity (List.length params);
+    expect st Lbrace;
+    let body = ref [] in
+    while peek st <> Rbrace do
+      body := statement st :: !body
+    done;
+    expect st Rbrace;
+    Method { static; name; arity; params = Some params; body = List.rev !body }
+  | t -> error st "expected ';' or '(' but found %s" (token_to_string t)
+
+let member st : Ast.member * Ast.pos =
+  let p = pos st in
+  let m =
+    match peek st with
+    | Kw_static ->
+      advance st;
+      (match peek st with
+      | Kw_field ->
+        advance st;
+        Ast.Field { static = true; name = ident st }
+      | Kw_method -> method_member st ~static:true
+      | t -> error st "expected 'field' or 'method' but found %s" (token_to_string t))
+    | Kw_field ->
+      advance st;
+      Ast.Field { static = false; name = ident st }
+    | Kw_method -> method_member st ~static:false
+    | t -> error st "expected a member but found %s" (token_to_string t)
+  in
+  (match m with Ast.Field _ -> expect st Semi | Ast.Method _ -> ());
+  (m, p)
+
+let members st =
+  expect st Lbrace;
+  let acc = ref [] in
+  while peek st <> Rbrace do
+    acc := member st :: !acc
+  done;
+  expect st Rbrace;
+  List.rev !acc
+
+let class_decl st ~interface : Ast.class_decl =
+  let p = pos st in
+  advance st;
+  (* consume 'class' / 'interface' *)
+  let name = ident st in
+  let super = ref None in
+  let interfaces = ref [] in
+  if interface then begin
+    if peek st = Kw_extends then begin
+      advance st;
+      interfaces := comma_list st ident
+    end
+  end
+  else begin
+    if peek st = Kw_extends then begin
+      advance st;
+      super := Some (ident st)
+    end;
+    if peek st = Kw_implements then begin
+      advance st;
+      interfaces := comma_list st ident
+    end
+  end;
+  {
+    cd_name = name;
+    cd_interface = interface;
+    cd_super = !super;
+    cd_interfaces = !interfaces;
+    cd_members = members st;
+    cd_pos = p;
+  }
+
+let entry_decl st : Ast.entry_decl =
+  let p = pos st in
+  expect st Kw_entry;
+  let cls = ident st in
+  expect st Coloncolon;
+  let name = ident st in
+  expect st Slash;
+  let arity = integer st in
+  expect st Semi;
+  { en_class = cls; en_name = name; en_arity = arity; en_pos = p }
+
+let parse src : Ast.program =
+  let st = { tokens = Lexer.tokenize src; cursor = 0 } in
+  let decls = ref [] in
+  let entry_decls = ref [] in
+  while peek st <> Eof do
+    match peek st with
+    | Kw_class -> decls := class_decl st ~interface:false :: !decls
+    | Kw_interface -> decls := class_decl st ~interface:true :: !decls
+    | Kw_entry -> entry_decls := entry_decl st :: !entry_decls
+    | t -> error st "expected 'class', 'interface' or 'entry' but found %s" (token_to_string t)
+  done;
+  { decls = List.rev !decls; entry_decls = List.rev !entry_decls }

@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the [.jir] format.
+
+    See {!Ipa_ir.Pretty} for the grammar. The parser is purely syntactic —
+    names are resolved by {!Resolver}. *)
+
+exception Parse_error of Ast.pos * string
+
+val parse : string -> Ast.program
+(** [parse src] parses a whole compilation unit. Raises {!Parse_error} or
+    {!Lexer.Lex_error}. *)

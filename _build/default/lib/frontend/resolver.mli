@@ -1,0 +1,23 @@
+(** Name resolution: {!Ast.program} to [Ipa_ir.Program.t].
+
+    The resolver is two-phase, so forward references between classes and
+    methods are allowed anywhere in a compilation unit: phase one declares
+    classes (in a topological order of the hierarchy), fields and method
+    signatures; phase two fills method bodies and entry points through
+    [Ipa_ir.Builder], which runs the well-formedness checker. *)
+
+type error = { pos : Ast.pos; msg : string }
+
+val error_to_string : error -> string
+
+val resolve : Ast.program -> (Ipa_ir.Program.t, error) result
+(** Resolution rules:
+    - classes/interfaces: names are global, duplicates rejected; the
+      hierarchy must be acyclic;
+    - variables: [this], the formals, and every [var]-declared local, scoped
+      to the whole method regardless of declaration position;
+    - qualified field references [C::f] name the field declared exactly in
+      [C]; unqualified references [f] are allowed when exactly one field of
+      that name exists in the program;
+    - static calls and entry points [C::m/k] find [m/k] declared in [C] or
+      inherited through the [super] chain. *)

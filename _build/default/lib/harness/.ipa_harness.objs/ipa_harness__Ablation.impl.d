@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Array Config Fun Ipa_core Ipa_ir Ipa_support Ipa_synthetic List Option Printf String

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Config Ipa_core Ipa_support Ipa_synthetic List Printf

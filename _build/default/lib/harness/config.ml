@@ -1,0 +1,5 @@
+type t = { scale : float; budget : int }
+
+let default = { scale = 1.0; budget = 10_000_000 }
+
+let timeout_label = "timeout"

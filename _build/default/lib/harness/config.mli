@@ -1,0 +1,15 @@
+(** Harness configuration shared by all experiments. *)
+
+type t = {
+  scale : float;  (** benchmark size multiplier (1.0 = paper-shaped runs) *)
+  budget : int;
+      (** solver derivation budget — the deterministic stand-in for the
+          paper's 90-minute timeout. 0 disables it. *)
+}
+
+val default : t
+(** [scale = 1.0], [budget = 10_000_000] — calibrated so that exactly the
+    paper's non-terminating (benchmark, analysis) pairs exceed it. *)
+
+val timeout_label : string
+(** How a budget-exceeded run is rendered in tables. *)

@@ -1,0 +1,177 @@
+module Analysis = Ipa_core.Analysis
+module Flavors = Ipa_core.Flavors
+module Heuristics = Ipa_core.Heuristics
+module Precision = Ipa_core.Precision
+module Dacapo = Ipa_synthetic.Dacapo
+module Table = Ipa_support.Ascii_table
+
+type run = {
+  bench : string;
+  analysis : string;
+  seconds : float;
+  derivations : int;
+  timed_out : bool;
+  precision : Precision.t option;
+}
+
+let of_result bench (r : Analysis.result) =
+  {
+    bench;
+    analysis = r.label;
+    seconds = r.seconds;
+    derivations = r.solution.derivations;
+    timed_out = r.timed_out;
+    precision = (if r.timed_out then None else Some (Precision.compute r.solution));
+  }
+
+let run_to_row r =
+  let time = if r.timed_out then Config.timeout_label else Printf.sprintf "%.2f" r.seconds in
+  let p f = match r.precision with Some p -> string_of_int (f p) | None -> "-" in
+  [
+    r.analysis;
+    time;
+    string_of_int r.derivations;
+    p (fun (p : Precision.t) -> p.poly_vcalls);
+    p (fun (p : Precision.t) -> p.reachable_methods);
+    p (fun (p : Precision.t) -> p.may_fail_casts);
+  ]
+
+let build (cfg : Config.t) spec = Dacapo.build ~scale:cfg.scale spec
+
+let header = [ "analysis"; "time(s)"; "derivations"; "poly-vcalls"; "reach-meths"; "fail-casts" ]
+
+(* ---------- Figure 1 ---------- *)
+
+module Fig1 = struct
+  let compute (cfg : Config.t) =
+    List.concat_map
+      (fun (spec : Dacapo.spec) ->
+        let p = build cfg spec in
+        List.map
+          (fun flavor -> of_result spec.name (Analysis.run_plain ~budget:cfg.budget p flavor))
+          [ Flavors.Insensitive; Flavors.Object_sens { depth = 2; heap = 1 } ])
+      Dacapo.all
+
+  let print cfg =
+    print_endline "== Figure 1: insens vs 2objH running time, all benchmarks ==";
+    let runs = compute cfg in
+    let rows =
+      List.map
+        (fun r ->
+          [
+            r.bench;
+            r.analysis;
+            (if r.timed_out then Config.timeout_label else Printf.sprintf "%.2f" r.seconds);
+            string_of_int r.derivations;
+          ])
+        runs
+    in
+    Table.print ~header:[ "benchmark"; "analysis"; "time(s)"; "derivations" ] rows;
+    print_newline ()
+end
+
+(* ---------- Figure 4 ---------- *)
+
+module Fig4 = struct
+  type row = {
+    bench : string;
+    a_sites_pct : float;
+    b_sites_pct : float;
+    a_objects_pct : float;
+    b_objects_pct : float;
+  }
+
+  let compute (cfg : Config.t) =
+    let rows =
+      List.map
+        (fun (spec : Dacapo.spec) ->
+          let p = build cfg spec in
+          let base = Analysis.run_plain ~budget:cfg.budget p Flavors.Insensitive in
+          let metrics = Ipa_core.Introspection.compute base.solution in
+          let selection h =
+            let refine = Heuristics.select base.solution metrics h in
+            Heuristics.selection_stats base.solution refine
+          in
+          let sa = selection Heuristics.default_a in
+          let sb = selection Heuristics.default_b in
+          {
+            bench = spec.name;
+            a_sites_pct = Heuristics.pct_sites sa;
+            b_sites_pct = Heuristics.pct_sites sb;
+            a_objects_pct = Heuristics.pct_objects sa;
+            b_objects_pct = Heuristics.pct_objects sb;
+          })
+        Dacapo.hard
+    in
+    let n = float_of_int (List.length rows) in
+    let avg f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows /. n in
+    rows
+    @ [
+        {
+          bench = "average";
+          a_sites_pct = avg (fun r -> r.a_sites_pct);
+          b_sites_pct = avg (fun r -> r.b_sites_pct);
+          a_objects_pct = avg (fun r -> r.a_objects_pct);
+          b_objects_pct = avg (fun r -> r.b_objects_pct);
+        };
+      ]
+
+  let print cfg =
+    print_endline "== Figure 4: call sites and objects selected NOT to be refined ==";
+    let rows = compute cfg in
+    Table.print
+      ~header:[ "benchmark"; "sites A%"; "sites B%"; "objects A%"; "objects B%" ]
+      (List.map
+         (fun r ->
+           [
+             r.bench;
+             Printf.sprintf "%.1f" r.a_sites_pct;
+             Printf.sprintf "%.1f" r.b_sites_pct;
+             Printf.sprintf "%.1f" r.a_objects_pct;
+             Printf.sprintf "%.1f" r.b_objects_pct;
+           ])
+         rows);
+    print_newline ()
+end
+
+(* ---------- Figures 5-7 ---------- *)
+
+module Figs567 = struct
+  let bench_runs (cfg : Config.t) flavor (spec : Dacapo.spec) =
+    let p = build cfg spec in
+    let insens = of_result spec.name (Analysis.run_plain ~budget:cfg.budget p Flavors.Insensitive) in
+    let intro h =
+      let ir = Analysis.run_introspective ~budget:cfg.budget p flavor h in
+      of_result spec.name ir.second
+    in
+    let full = of_result spec.name (Analysis.run_plain ~budget:cfg.budget p flavor) in
+    [ insens; intro Heuristics.default_a; intro Heuristics.default_b; full ]
+
+  let compute (cfg : Config.t) flavor =
+    List.concat_map (bench_runs cfg flavor) Dacapo.charted
+
+  let figure_number flavor =
+    match (flavor : Flavors.spec) with
+    | Object_sens _ -> "5"
+    | Type_sens _ -> "6"
+    | Call_site _ -> "7"
+    | Insensitive | Hybrid _ -> "-"
+
+  let print cfg flavor =
+    Printf.printf "== Figure %s: introspective variants of %s — time and precision ==\n"
+      (figure_number flavor) (Flavors.to_string flavor);
+    List.iter
+      (fun (spec : Dacapo.spec) ->
+        let runs = bench_runs cfg flavor spec in
+        Printf.printf "-- %s --\n" spec.name;
+        Table.print ~header (List.map run_to_row runs))
+      Dacapo.charted;
+    print_newline ()
+end
+
+let print_all cfg =
+  Fig1.print cfg;
+  Fig4.print cfg;
+  Figs567.print cfg (Flavors.Object_sens { depth = 2; heap = 1 });
+  Figs567.print cfg (Flavors.Type_sens { depth = 2; heap = 1 });
+  Figs567.print cfg (Flavors.Call_site { depth = 2; heap = 1 })

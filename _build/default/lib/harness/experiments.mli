@@ -1,0 +1,62 @@
+(** Reproduction of every table and figure of the paper's evaluation (§4).
+
+    Each experiment has a [compute] function returning structured results
+    (used by tests at small scales) and a [print] function rendering the
+    paper-style table to stdout. Timings are wall-clock seconds of the
+    introspective second pass / plain run, as in the paper (the shared
+    context-insensitive first pass is reported separately). *)
+
+(** One analysis execution on one benchmark. *)
+type run = {
+  bench : string;
+  analysis : string;  (** ["insens"], ["2objH"], ["2objH-IntroA"], ... *)
+  seconds : float;
+  derivations : int;
+  timed_out : bool;
+  precision : Ipa_core.Precision.t option;  (** [None] when timed out *)
+}
+
+val run_to_row : run -> string list
+(** Table cells: analysis, time, derivations, the three precision metrics. *)
+
+(** {1 Figure 1} — context-insensitive vs 2objH running time, 9 benchmarks *)
+
+module Fig1 : sig
+  val compute : Config.t -> run list
+  (** Two runs (insens, 2objH) per benchmark, in benchmark order. *)
+
+  val print : Config.t -> unit
+end
+
+(** {1 Figure 4} — fraction of call sites / objects NOT refined *)
+
+module Fig4 : sig
+  type row = {
+    bench : string;
+    a_sites_pct : float;
+    b_sites_pct : float;
+    a_objects_pct : float;
+    b_objects_pct : float;
+  }
+
+  val compute : Config.t -> row list
+  (** One row per hard benchmark; the final row is the average (named
+      ["average"]). *)
+
+  val print : Config.t -> unit
+end
+
+(** {1 Figures 5, 6, 7} — time + precision for introspective variants of
+    2objH, 2typeH, 2callH on the charted benchmarks *)
+
+module Figs567 : sig
+  val compute : Config.t -> Ipa_core.Flavors.spec -> run list
+  (** Per benchmark: insens, <flavor>-IntroA, <flavor>-IntroB, <flavor>. *)
+
+  val print : Config.t -> Ipa_core.Flavors.spec -> unit
+  (** [print cfg flavor] — Figure 5 is [2objH], 6 is [2typeH], 7 is
+      [2callH]. *)
+end
+
+val print_all : Config.t -> unit
+(** Figures 1, 4, 5, 6, 7 in order. *)

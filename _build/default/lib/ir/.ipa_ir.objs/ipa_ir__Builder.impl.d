@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Hashtbl Ipa_support List Printf Program String Wf

@@ -1,0 +1,1 @@
+lib/ir/pretty.ml: Array Buffer Hashtbl Int List Option Printf Program String

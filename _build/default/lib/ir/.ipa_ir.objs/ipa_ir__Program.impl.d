@@ -1,0 +1,1 @@
+lib/ir/program.ml: Array Fun Hashtbl Ipa_support List Option Printf

@@ -1,0 +1,1 @@
+lib/ir/wf.ml: Array List Printf Program

@@ -1,0 +1,382 @@
+module Dynarr = Ipa_support.Dynarr
+open Program
+
+(* Mutable shadow of a method while its body is being accumulated. *)
+type meth_build = {
+  mb_name : string;
+  mb_owner : class_id;
+  mb_sig : sig_id;
+  mb_static : bool;
+  mb_abstract : bool;
+  mb_this : var_id option;
+  mb_formals : var_id array;
+  mutable mb_ret : var_id option;
+  mutable mb_catches : catch_clause list; (* reverse order *)
+  mb_body : instr Dynarr.t;
+  var_by_name : (string, var_id) Hashtbl.t;
+  mutable heap_count : int;
+  mutable invo_count : int;
+}
+
+type class_build = {
+  cb_name : string;
+  cb_super : class_id option;
+  cb_interfaces : class_id list;
+  cb_interface : bool;
+  mutable cb_declared : (sig_id * meth_id) list; (* concrete only *)
+  mutable cb_sigs : sig_id list; (* all declared sigs, incl. abstract *)
+  field_by_name : (string, field_id) Hashtbl.t;
+}
+
+type t = {
+  classes : class_build Dynarr.t;
+  class_names : (string, unit) Hashtbl.t;
+  fields : field_info Dynarr.t;
+  sigs : (string * int, sig_id) Hashtbl.t;
+  sig_list : sig_info Dynarr.t;
+  meths : meth_build Dynarr.t;
+  vars : var_info Dynarr.t;
+  heaps : heap_info Dynarr.t;
+  invos : invo_info Dynarr.t;
+  mutable entry_list : meth_id list;
+  mutable finished : bool;
+}
+
+let dummy_class =
+  {
+    cb_name = "";
+    cb_super = None;
+    cb_interfaces = [];
+    cb_interface = false;
+    cb_declared = [];
+    cb_sigs = [];
+    field_by_name = Hashtbl.create 1;
+  }
+
+let dummy_field = { field_name = ""; field_owner = 0; is_static_field = false }
+let dummy_sig = { sig_name = ""; arity = 0 }
+let dummy_var = { var_name = ""; var_owner = 0 }
+let dummy_heap = { heap_name = ""; heap_class = 0; heap_owner = 0 }
+
+let dummy_invo =
+  { call = Static { callee = 0 }; actuals = [||]; recv = None; invo_owner = 0; invo_name = "" }
+
+let dummy_meth =
+  {
+    mb_name = "";
+    mb_owner = 0;
+    mb_sig = 0;
+    mb_static = false;
+    mb_abstract = false;
+    mb_this = None;
+    mb_formals = [||];
+    mb_ret = None;
+    mb_catches = [];
+    mb_body = Dynarr.create ~dummy:(Return { source = 0 }) ();
+    var_by_name = Hashtbl.create 1;
+    heap_count = 0;
+    invo_count = 0;
+  }
+
+let create () =
+  {
+    classes = Dynarr.create ~dummy:dummy_class ();
+    class_names = Hashtbl.create 64;
+    fields = Dynarr.create ~dummy:dummy_field ();
+    sigs = Hashtbl.create 64;
+    sig_list = Dynarr.create ~dummy:dummy_sig ();
+    meths = Dynarr.create ~dummy:dummy_meth ();
+    vars = Dynarr.create ~dummy:dummy_var ();
+    heaps = Dynarr.create ~dummy:dummy_heap ();
+    invos = Dynarr.create ~dummy:dummy_invo ();
+    entry_list = [];
+    finished = false;
+  }
+
+let check_live t = if t.finished then failwith "Builder: already finished"
+
+let check_class t c what =
+  if c < 0 || c >= Dynarr.length t.classes then
+    invalid_arg (Printf.sprintf "Builder.%s: unknown class id %d" what c)
+
+let check_meth t m what =
+  if m < 0 || m >= Dynarr.length t.meths then
+    invalid_arg (Printf.sprintf "Builder.%s: unknown method id %d" what m)
+
+let check_var t v what =
+  if v < 0 || v >= Dynarr.length t.vars then
+    invalid_arg (Printf.sprintf "Builder.%s: unknown variable id %d" what v)
+
+let check_field t f what =
+  if f < 0 || f >= Dynarr.length t.fields then
+    invalid_arg (Printf.sprintf "Builder.%s: unknown field id %d" what f)
+
+let intern_sig t name arity =
+  match Hashtbl.find_opt t.sigs (name, arity) with
+  | Some s -> s
+  | None ->
+    let s = Dynarr.push_get_index t.sig_list { sig_name = name; arity } in
+    Hashtbl.add t.sigs (name, arity) s;
+    s
+
+let add_class_gen t ~super ~interfaces ~is_interface name =
+  check_live t;
+  if Hashtbl.mem t.class_names name then failwith (Printf.sprintf "duplicate class %s" name);
+  Hashtbl.add t.class_names name ();
+  (match super with Some s -> check_class t s "add_class" | None -> ());
+  List.iter (fun i -> check_class t i "add_class") interfaces;
+  Dynarr.push_get_index t.classes
+    {
+      cb_name = name;
+      cb_super = super;
+      cb_interfaces = interfaces;
+      cb_interface = is_interface;
+      cb_declared = [];
+      cb_sigs = [];
+      field_by_name = Hashtbl.create 4;
+    }
+
+let add_class t ?super ?(interfaces = []) name =
+  add_class_gen t ~super ~interfaces ~is_interface:false name
+
+let add_interface t ?(interfaces = []) name =
+  add_class_gen t ~super:None ~interfaces ~is_interface:true name
+
+let add_field t ~owner ?(static = false) name =
+  check_live t;
+  check_class t owner "add_field";
+  let cb = Dynarr.get t.classes owner in
+  if Hashtbl.mem cb.field_by_name name then
+    failwith (Printf.sprintf "duplicate field %s::%s" cb.cb_name name);
+  let f =
+    Dynarr.push_get_index t.fields
+      { field_name = name; field_owner = owner; is_static_field = static }
+  in
+  Hashtbl.add cb.field_by_name name f;
+  f
+
+let fresh_var t ~owner name =
+  Dynarr.push_get_index t.vars { var_name = name; var_owner = owner }
+
+let add_method t ~owner ~name ?(static = false) ?(abstract = false) ~params () =
+  check_live t;
+  check_class t owner "add_method";
+  let cb = Dynarr.get t.classes owner in
+  let s = intern_sig t name (List.length params) in
+  if List.mem s cb.cb_sigs then
+    failwith (Printf.sprintf "duplicate method %s::%s/%d" cb.cb_name name (List.length params));
+  if abstract && static then failwith "a method cannot be both abstract and static";
+  let m = Dynarr.length t.meths in
+  let var_by_name = Hashtbl.create 8 in
+  let declare_var vname =
+    if Hashtbl.mem var_by_name vname then
+      failwith (Printf.sprintf "duplicate variable %s in %s::%s" vname cb.cb_name name);
+    let v = fresh_var t ~owner:m vname in
+    Hashtbl.add var_by_name vname v;
+    v
+  in
+  let mb_this = if static || abstract then None else Some (declare_var "this") in
+  let mb_formals = if abstract then [||] else Array.of_list (List.map declare_var params) in
+  let mb =
+    {
+      mb_name = name;
+      mb_owner = owner;
+      mb_sig = s;
+      mb_static = static;
+      mb_abstract = abstract;
+      mb_this;
+      mb_formals;
+      mb_ret = None;
+      mb_catches = [];
+      mb_body = Dynarr.create ~dummy:(Return { source = 0 }) ();
+      var_by_name;
+      heap_count = 0;
+      invo_count = 0;
+    }
+  in
+  let m' = Dynarr.push_get_index t.meths mb in
+  assert (m = m');
+  cb.cb_sigs <- s :: cb.cb_sigs;
+  if not abstract then cb.cb_declared <- (s, m) :: cb.cb_declared;
+  m
+
+let this t m =
+  check_meth t m "this";
+  match (Dynarr.get t.meths m).mb_this with
+  | Some v -> v
+  | None -> failwith "Builder.this: static or abstract method"
+
+let formal t m i =
+  check_meth t m "formal";
+  let mb = Dynarr.get t.meths m in
+  if i < 0 || i >= Array.length mb.mb_formals then
+    invalid_arg (Printf.sprintf "Builder.formal: method has no formal %d" i);
+  mb.mb_formals.(i)
+
+let add_var t m name =
+  check_live t;
+  check_meth t m "add_var";
+  let mb = Dynarr.get t.meths m in
+  if mb.mb_abstract then failwith "Builder.add_var: abstract method";
+  if Hashtbl.mem mb.var_by_name name then
+    failwith (Printf.sprintf "duplicate variable %s" name);
+  let v = fresh_var t ~owner:m name in
+  Hashtbl.add mb.var_by_name name v;
+  v
+
+let body_meth t m what =
+  check_live t;
+  check_meth t m what;
+  let mb = Dynarr.get t.meths m in
+  if mb.mb_abstract then failwith (Printf.sprintf "Builder.%s: abstract method" what);
+  mb
+
+let meth_label t m =
+  let mb = Dynarr.get t.meths m in
+  Printf.sprintf "%s::%s" (Dynarr.get t.classes mb.mb_owner).cb_name mb.mb_name
+
+let alloc t m ~target ~cls =
+  let mb = body_meth t m "alloc" in
+  check_var t target "alloc";
+  check_class t cls "alloc";
+  let name =
+    Printf.sprintf "%s/new %s#%d" (meth_label t m) (Dynarr.get t.classes cls).cb_name
+      mb.heap_count
+  in
+  mb.heap_count <- mb.heap_count + 1;
+  let h = Dynarr.push_get_index t.heaps { heap_name = name; heap_class = cls; heap_owner = m } in
+  Dynarr.push mb.mb_body (Alloc { target; heap = h });
+  h
+
+let move t m ~target ~source =
+  let mb = body_meth t m "move" in
+  check_var t target "move";
+  check_var t source "move";
+  Dynarr.push mb.mb_body (Move { target; source })
+
+let cast t m ~target ~source ~cls =
+  let mb = body_meth t m "cast" in
+  check_var t target "cast";
+  check_var t source "cast";
+  check_class t cls "cast";
+  Dynarr.push mb.mb_body (Cast { target; source; cast_to = cls })
+
+let load t m ~target ~base ~field =
+  let mb = body_meth t m "load" in
+  check_var t target "load";
+  check_var t base "load";
+  check_field t field "load";
+  Dynarr.push mb.mb_body (Load { target; base; field })
+
+let store t m ~base ~field ~source =
+  let mb = body_meth t m "store" in
+  check_var t base "store";
+  check_var t source "store";
+  check_field t field "store";
+  Dynarr.push mb.mb_body (Store { base; field; source })
+
+let load_static t m ~target ~field =
+  let mb = body_meth t m "load_static" in
+  check_var t target "load_static";
+  check_field t field "load_static";
+  Dynarr.push mb.mb_body (Load_static { target; field })
+
+let store_static t m ~field ~source =
+  let mb = body_meth t m "store_static" in
+  check_var t source "store_static";
+  check_field t field "store_static";
+  Dynarr.push mb.mb_body (Store_static { field; source })
+
+let add_invo t m mb call actuals recv kind_label =
+  List.iter (fun v -> check_var t v "call actual") actuals;
+  (match recv with Some v -> check_var t v "call receiver" | None -> ());
+  let name = Printf.sprintf "%s/%s#%d" (meth_label t m) kind_label mb.invo_count in
+  mb.invo_count <- mb.invo_count + 1;
+  let i =
+    Dynarr.push_get_index t.invos
+      { call; actuals = Array.of_list actuals; recv; invo_owner = m; invo_name = name }
+  in
+  Dynarr.push mb.mb_body (Call i);
+  i
+
+let vcall t m ~base ~name ~actuals ?recv () =
+  let mb = body_meth t m "vcall" in
+  check_var t base "vcall";
+  let s = intern_sig t name (List.length actuals) in
+  add_invo t m mb (Virtual { base; signature = s }) actuals recv ("call " ^ name)
+
+let scall t m ~callee ~actuals ?recv () =
+  let mb = body_meth t m "scall" in
+  check_meth t callee "scall";
+  let label = "scall " ^ (Dynarr.get t.meths callee).mb_name in
+  add_invo t m mb (Static { callee }) actuals recv label
+
+let return_ t m source =
+  let mb = body_meth t m "return_" in
+  check_var t source "return_";
+  (match mb.mb_ret with
+  | Some _ -> ()
+  | None -> mb.mb_ret <- Some (fresh_var t ~owner:m "$ret"));
+  Dynarr.push mb.mb_body (Return { source })
+
+let throw t m source =
+  let mb = body_meth t m "throw" in
+  check_var t source "throw";
+  Dynarr.push mb.mb_body (Throw { source })
+
+let add_catch t m ~cls ~var =
+  let mb = body_meth t m "add_catch" in
+  check_class t cls "add_catch";
+  check_var t var "add_catch";
+  mb.mb_catches <- { catch_type = cls; catch_var = var } :: mb.mb_catches
+
+let add_entry t m =
+  check_live t;
+  check_meth t m "add_entry";
+  if not (List.mem m t.entry_list) then t.entry_list <- m :: t.entry_list
+
+let finish t =
+  check_live t;
+  t.finished <- true;
+  let classes =
+    Array.map
+      (fun cb ->
+        {
+          class_name = cb.cb_name;
+          super = cb.cb_super;
+          interfaces = cb.cb_interfaces;
+          is_interface = cb.cb_interface;
+          declared = List.rev cb.cb_declared;
+        })
+      (Dynarr.to_array t.classes)
+  in
+  let meths =
+    Array.map
+      (fun mb ->
+        {
+          meth_name = mb.mb_name;
+          meth_owner = mb.mb_owner;
+          meth_sig = mb.mb_sig;
+          is_static_meth = mb.mb_static;
+          is_abstract = mb.mb_abstract;
+          this_var = mb.mb_this;
+          formals = mb.mb_formals;
+          ret_var = mb.mb_ret;
+          catches = Array.of_list (List.rev mb.mb_catches);
+          body = Dynarr.to_array mb.mb_body;
+        })
+      (Dynarr.to_array t.meths)
+  in
+  let program =
+    Program.make ~classes
+      ~fields:(Dynarr.to_array t.fields)
+      ~sigs:(Dynarr.to_array t.sig_list)
+      ~meths
+      ~vars:(Dynarr.to_array t.vars)
+      ~heaps:(Dynarr.to_array t.heaps)
+      ~invos:(Dynarr.to_array t.invos)
+      ~entries:(List.rev t.entry_list)
+  in
+  match Wf.check program with
+  | Ok () -> program
+  | Error errs -> failwith ("ill-formed program:\n  " ^ String.concat "\n  " errs)

@@ -1,0 +1,108 @@
+(** Programmatic construction of {!Program.t} values.
+
+    The builder is the API used by the synthetic benchmark generator, the
+    front-end resolver, and tests. It interns signatures, allocates ids, and
+    accumulates method bodies; {!finish} runs the {!Wf} checker and fails on
+    an ill-formed program.
+
+    All functions raise [Invalid_argument] on ids that do not belong to this
+    builder, and [Failure] on name clashes (two classes with the same name,
+    two same-name fields in one class, duplicate signature in one class). *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Declarations} *)
+
+val add_class : t -> ?super:Program.class_id -> ?interfaces:Program.class_id list -> string -> Program.class_id
+
+val add_interface : t -> ?interfaces:Program.class_id list -> string -> Program.class_id
+(** Interfaces may extend other interfaces and declare abstract signatures
+    (via [add_method ~abstract:true]); they cannot be instantiated. *)
+
+val add_field : t -> owner:Program.class_id -> ?static:bool -> string -> Program.field_id
+
+val add_method :
+  t ->
+  owner:Program.class_id ->
+  name:string ->
+  ?static:bool ->
+  ?abstract:bool ->
+  params:string list ->
+  unit ->
+  Program.meth_id
+(** Declares a method with formal parameters named [params]. Instance methods
+    get an implicit [this] variable. Abstract methods have no body. *)
+
+(** {1 Method variables} *)
+
+val this : t -> Program.meth_id -> Program.var_id
+(** Raises [Failure] for static or abstract methods. *)
+
+val formal : t -> Program.meth_id -> int -> Program.var_id
+(** [formal t m i] is the [i]-th declared parameter (0-based). *)
+
+val add_var : t -> Program.meth_id -> string -> Program.var_id
+(** Declares a local. Locals, formals and [this] share a per-method
+    namespace; duplicates raise [Failure]. *)
+
+(** {1 Body statements} — appended in order to the method's body. *)
+
+val alloc : t -> Program.meth_id -> target:Program.var_id -> cls:Program.class_id -> Program.heap_id
+(** Appends [target = new cls], creating a fresh allocation site. *)
+
+val move : t -> Program.meth_id -> target:Program.var_id -> source:Program.var_id -> unit
+
+val cast : t -> Program.meth_id -> target:Program.var_id -> source:Program.var_id -> cls:Program.class_id -> unit
+
+val load : t -> Program.meth_id -> target:Program.var_id -> base:Program.var_id -> field:Program.field_id -> unit
+
+val store : t -> Program.meth_id -> base:Program.var_id -> field:Program.field_id -> source:Program.var_id -> unit
+
+val load_static : t -> Program.meth_id -> target:Program.var_id -> field:Program.field_id -> unit
+
+val store_static : t -> Program.meth_id -> field:Program.field_id -> source:Program.var_id -> unit
+
+val vcall :
+  t ->
+  Program.meth_id ->
+  base:Program.var_id ->
+  name:string ->
+  actuals:Program.var_id list ->
+  ?recv:Program.var_id ->
+  unit ->
+  Program.invo_id
+(** Virtual call [recv = base.name(actuals)]; the signature arity is the
+    number of actuals. *)
+
+val scall :
+  t ->
+  Program.meth_id ->
+  callee:Program.meth_id ->
+  actuals:Program.var_id list ->
+  ?recv:Program.var_id ->
+  unit ->
+  Program.invo_id
+(** Static call [recv = Owner::name(actuals)]. *)
+
+val return_ : t -> Program.meth_id -> Program.var_id -> unit
+(** Appends [return v]; allocates the method's canonical return variable on
+    first use. *)
+
+val throw : t -> Program.meth_id -> Program.var_id -> unit
+(** Appends [throw v]. *)
+
+val add_catch : t -> Program.meth_id -> cls:Program.class_id -> var:Program.var_id -> unit
+(** Appends a catch clause (method-wide, matched in registration order):
+    exceptions of a subtype of [cls] raised in this method or escaping its
+    callees are bound to [var]. *)
+
+val add_entry : t -> Program.meth_id -> unit
+
+(** {1 Finalization} *)
+
+val finish : t -> Program.t
+(** Freezes the program, computes hierarchy/dispatch, and validates it with
+    {!Wf.check}. Raises [Failure] listing the violations on an ill-formed
+    program. The builder must not be used afterwards. *)

@@ -1,0 +1,123 @@
+open Program
+
+let var_name p v = (var_info p v).var_name
+
+let qualified_field p f =
+  let fi = field_info p f in
+  Printf.sprintf "%s::%s" (class_name p fi.field_owner) fi.field_name
+
+let call_str p (ii : invo_info) =
+  let args = String.concat ", " (Array.to_list (Array.map (var_name p) ii.actuals)) in
+  let callee =
+    match ii.call with
+    | Virtual { base; signature } ->
+      Printf.sprintf "%s.%s" (var_name p base) (sig_info p signature).sig_name
+    | Static { callee } ->
+      let mi = meth_info p callee in
+      Printf.sprintf "%s::%s" (class_name p mi.meth_owner) mi.meth_name
+  in
+  let prefix = match ii.recv with Some r -> var_name p r ^ " = " | None -> "" in
+  Printf.sprintf "%s%s(%s);" prefix callee args
+
+let instr p i =
+  match i with
+  | Alloc { target; heap } ->
+    Printf.sprintf "%s = new %s;" (var_name p target) (class_name p (heap_info p heap).heap_class)
+  | Move { target; source } -> Printf.sprintf "%s = %s;" (var_name p target) (var_name p source)
+  | Cast { target; source; cast_to } ->
+    Printf.sprintf "%s = (%s) %s;" (var_name p target) (class_name p cast_to) (var_name p source)
+  | Load { target; base; field } ->
+    Printf.sprintf "%s = %s.%s;" (var_name p target) (var_name p base) (qualified_field p field)
+  | Store { base; field; source } ->
+    Printf.sprintf "%s.%s = %s;" (var_name p base) (qualified_field p field) (var_name p source)
+  | Load_static { target; field } ->
+    Printf.sprintf "%s = %s;" (var_name p target) (qualified_field p field)
+  | Store_static { field; source } ->
+    Printf.sprintf "%s = %s;" (qualified_field p field) (var_name p source)
+  | Call invo -> call_str p (invo_info p invo)
+  | Return { source } -> Printf.sprintf "return %s;" (var_name p source)
+  | Throw { source } -> Printf.sprintf "throw %s;" (var_name p source)
+
+let method_decl buf p vars_of_meth m =
+  let mi = meth_info p m in
+  let si = sig_info p mi.meth_sig in
+  let static = if mi.is_static_meth then "static " else "" in
+  if mi.is_abstract then
+    Buffer.add_string buf (Printf.sprintf "  method %s/%d;\n" si.sig_name si.arity)
+  else begin
+    let params =
+      String.concat ", " (Array.to_list (Array.map (var_name p) mi.formals))
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  %smethod %s/%d (%s) {\n" static si.sig_name si.arity params);
+    (* Locals: every variable of the method that is not a formal, [this], or
+       the synthetic return variable. *)
+    let implicit v =
+      Some v = mi.this_var || Some v = mi.ret_var || Array.exists (Int.equal v) mi.formals
+    in
+    let locals = List.filter (fun v -> not (implicit v)) (vars_of_meth m) in
+    if locals <> [] then
+      Buffer.add_string buf
+        (Printf.sprintf "    var %s;\n" (String.concat ", " (List.map (var_name p) locals)));
+    Array.iter
+      (fun (clause : catch_clause) ->
+        Buffer.add_string buf
+          (Printf.sprintf "    catch (%s) %s;\n"
+             (class_name p clause.catch_type)
+             (var_name p clause.catch_var)))
+      mi.catches;
+    Array.iter (fun i -> Buffer.add_string buf ("    " ^ instr p i ^ "\n")) mi.body;
+    Buffer.add_string buf "  }\n"
+  end
+
+let class_decl buf p fields_of_class meths_of_class vars_of_meth c =
+  let ci = class_info p c in
+  let interfaces = List.map (class_name p) ci.interfaces in
+  if ci.is_interface then
+    Buffer.add_string buf
+      (Printf.sprintf "interface %s%s {\n" ci.class_name
+         (if interfaces = [] then "" else " extends " ^ String.concat ", " interfaces))
+  else begin
+    let extends = match ci.super with Some s -> " extends " ^ class_name p s | None -> "" in
+    let implements =
+      if interfaces = [] then "" else " implements " ^ String.concat ", " interfaces
+    in
+    Buffer.add_string buf (Printf.sprintf "class %s%s%s {\n" ci.class_name extends implements)
+  end;
+  List.iter
+    (fun f ->
+      let fi = field_info p f in
+      Buffer.add_string buf
+        (Printf.sprintf "  %sfield %s;\n"
+           (if fi.is_static_field then "static " else "")
+           fi.field_name))
+    (fields_of_class c);
+  List.iter (method_decl buf p vars_of_meth) (meths_of_class c);
+  Buffer.add_string buf "}\n"
+
+(* Group ids by owner so printing is linear rather than quadratic. *)
+let group_by_owner n owner_of =
+  let tbl = Hashtbl.create 256 in
+  for i = n - 1 downto 0 do
+    let o = owner_of i in
+    Hashtbl.replace tbl o (i :: Option.value ~default:[] (Hashtbl.find_opt tbl o))
+  done;
+  fun o -> Option.value ~default:[] (Hashtbl.find_opt tbl o)
+
+let program p =
+  let buf = Buffer.create 4096 in
+  let fields_of_class = group_by_owner (n_fields p) (fun f -> (field_info p f).field_owner) in
+  let meths_of_class = group_by_owner (n_meths p) (fun m -> (meth_info p m).meth_owner) in
+  let vars_of_meth = group_by_owner (n_vars p) (fun v -> (var_info p v).var_owner) in
+  for c = 0 to n_classes p - 1 do
+    class_decl buf p fields_of_class meths_of_class vars_of_meth c;
+    Buffer.add_char buf '\n'
+  done;
+  List.iter
+    (fun m ->
+      let mi = meth_info p m in
+      let si = sig_info p mi.meth_sig in
+      Buffer.add_string buf
+        (Printf.sprintf "entry %s::%s/%d;\n" (class_name p mi.meth_owner) si.sig_name si.arity))
+    (entries p);
+  Buffer.contents buf

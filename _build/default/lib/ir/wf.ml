@@ -1,0 +1,118 @@
+open Program
+
+let check p =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  (* Classes *)
+  for c = 0 to n_classes p - 1 do
+    let ci = class_info p c in
+    (match ci.super with
+    | Some s when (class_info p s).is_interface ->
+      err "class %s extends interface %s" ci.class_name (class_name p s)
+    | Some _ when ci.is_interface ->
+      err "interface %s uses [super]; interfaces extend via [interfaces]" ci.class_name
+    | _ -> ());
+    List.iter
+      (fun i ->
+        if not (class_info p i).is_interface then
+          err "%s implements non-interface %s" ci.class_name (class_name p i))
+      ci.interfaces;
+    if ci.is_interface && ci.declared <> [] then
+      err "interface %s declares concrete methods" ci.class_name
+  done;
+  (* Fields *)
+  for f = 0 to n_fields p - 1 do
+    let fi = field_info p f in
+    if (class_info p fi.field_owner).is_interface && not fi.is_static_field then
+      err "interface %s declares instance field %s" (class_name p fi.field_owner) fi.field_name
+  done;
+  (* Methods and bodies *)
+  for m = 0 to n_meths p - 1 do
+    let mi = meth_info p m in
+    let mname = meth_full_name p m in
+    let owned v what =
+      let vi = var_info p v in
+      if vi.var_owner <> m then
+        err "%s: %s variable %s belongs to %s" mname what vi.var_name
+          (meth_full_name p vi.var_owner)
+    in
+    (match mi.this_var with Some v -> owned v "this" | None -> ());
+    Array.iter (fun v -> owned v "formal") mi.formals;
+    (match mi.ret_var with Some v -> owned v "return" | None -> ());
+    if mi.is_abstract && Array.length mi.body > 0 then err "%s: abstract method with a body" mname;
+    if mi.is_static_meth && mi.this_var <> None then err "%s: static method with [this]" mname;
+    Array.iter
+      (fun instr ->
+        match instr with
+        | Alloc { target; heap } ->
+          owned target "alloc target";
+          let hi = heap_info p heap in
+          if hi.heap_owner <> m then err "%s: allocation site %s owned elsewhere" mname hi.heap_name;
+          if (class_info p hi.heap_class).is_interface then
+            err "%s: allocation of interface %s" mname (class_name p hi.heap_class)
+        | Move { target; source } ->
+          owned target "move target";
+          owned source "move source"
+        | Cast { target; source; cast_to } ->
+          owned target "cast target";
+          owned source "cast source";
+          ignore (class_info p cast_to)
+        | Load { target; base; field } ->
+          owned target "load target";
+          owned base "load base";
+          if (field_info p field).is_static_field then
+            err "%s: instance load of static field %s" mname (field_full_name p field)
+        | Store { base; field; source } ->
+          owned base "store base";
+          owned source "store source";
+          if (field_info p field).is_static_field then
+            err "%s: instance store to static field %s" mname (field_full_name p field)
+        | Load_static { target; field } ->
+          owned target "static load target";
+          if not (field_info p field).is_static_field then
+            err "%s: static load of instance field %s" mname (field_full_name p field)
+        | Store_static { field; source } ->
+          owned source "static store source";
+          if not (field_info p field).is_static_field then
+            err "%s: static store to instance field %s" mname (field_full_name p field)
+        | Call invo ->
+          let ii = invo_info p invo in
+          if ii.invo_owner <> m then err "%s: call site %s owned elsewhere" mname ii.invo_name;
+          Array.iter (fun v -> owned v "call actual") ii.actuals;
+          (match ii.recv with Some v -> owned v "call receiver" | None -> ());
+          (match ii.call with
+          | Virtual { base; signature } ->
+            owned base "call base";
+            let si = sig_info p signature in
+            if Array.length ii.actuals <> si.arity then
+              err "%s: call %s passes %d arguments to signature /%d" mname ii.invo_name
+                (Array.length ii.actuals) si.arity
+          | Static { callee } ->
+            let callee_info = meth_info p callee in
+            if callee_info.is_abstract then
+              err "%s: static call to abstract %s" mname (meth_full_name p callee);
+            if not callee_info.is_static_meth then
+              err "%s: static call to instance method %s" mname (meth_full_name p callee);
+            if Array.length ii.actuals <> Array.length callee_info.formals then
+              err "%s: call %s passes %d arguments to %s/%d formals" mname ii.invo_name
+                (Array.length ii.actuals) (meth_full_name p callee)
+                (Array.length callee_info.formals))
+        | Return { source } ->
+          owned source "return source";
+          if mi.ret_var = None then err "%s: return without a return variable" mname
+        | Throw { source } -> owned source "throw source")
+      mi.body;
+    Array.iter
+      (fun (clause : catch_clause) ->
+        owned clause.catch_var "catch";
+        if (class_info p clause.catch_type).is_interface then
+          err "%s: catch of interface type %s" mname (class_name p clause.catch_type))
+      mi.catches;
+    if mi.is_abstract && Array.length mi.catches > 0 then
+      err "%s: abstract method with catch clauses" mname
+  done;
+  List.iter
+    (fun m ->
+      if (meth_info p m).is_abstract then err "entry point %s is abstract" (meth_full_name p m))
+    (entries p);
+  match !errs with [] -> Ok () | es -> Error (List.rev es)

@@ -1,0 +1,27 @@
+(** Well-formedness checking for {!Program.t} values.
+
+    Both the builder and the front-end funnel programs through this checker,
+    so every program the analysis sees satisfies the invariants the solver
+    relies on (variable ownership, arity agreement, instantiable allocation
+    classes, acyclic hierarchy — the latter enforced by [Program.make]). *)
+
+val check : Program.t -> (unit, string list) result
+(** [check p] is [Ok ()] or [Error messages], one human-readable message per
+    violation. Checked invariants:
+    - a class's [super] is a class (not an interface); [interfaces] are
+      interfaces;
+    - interfaces declare no concrete methods, no instance fields, and are
+      never instantiated or extended by [super];
+    - every variable mentioned in a method's body (and its formals, [this],
+      [ret_var]) is owned by that method;
+    - allocation sites instantiate non-interface classes and are owned by the
+      allocating method;
+    - call sites: actual count matches the signature arity (virtual) or the
+      callee's formal count (static); static callees are concrete static
+      methods; the site is owned by the enclosing method;
+    - [Return] only occurs in methods with a [ret_var];
+    - catch clauses bind variables owned by the method and never catch
+      interface types;
+    - abstract methods have empty bodies, no body-owned sites, and no catch
+      clauses;
+    - entry points are concrete methods. *)

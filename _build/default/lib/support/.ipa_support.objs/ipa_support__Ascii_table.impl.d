@@ -1,0 +1,1 @@
+lib/support/ascii_table.ml: Array List String

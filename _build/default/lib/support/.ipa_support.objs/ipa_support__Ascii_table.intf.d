@@ -1,0 +1,1 @@
+lib/support/ascii_table.mli:

@@ -1,0 +1,1 @@
+lib/support/dynarr.ml: Array List Printf

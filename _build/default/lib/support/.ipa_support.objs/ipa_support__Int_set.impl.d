@@ -1,0 +1,1 @@
+lib/support/int_set.ml: Array List

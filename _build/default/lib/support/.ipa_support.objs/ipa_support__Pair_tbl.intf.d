@@ -1,0 +1,1 @@
+lib/support/pair_tbl.mli:

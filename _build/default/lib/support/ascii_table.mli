@@ -1,0 +1,16 @@
+(** Aligned plain-text tables for the experiment harness.
+
+    The benchmark harness prints every reproduced figure/table of the paper as
+    an ASCII table; this module handles column sizing and alignment. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the header and rows out in aligned columns
+    separated by two spaces, with a rule under the header. [aligns] gives the
+    alignment per column (default: first column left, the rest right); it is
+    padded with [Right] when shorter than the widest row. Rows shorter than
+    the widest row are padded with empty cells. *)
+
+val print : ?aligns:align list -> header:string list -> string list list -> unit
+(** [print] is [render] followed by [print_string] and a newline. *)

@@ -1,0 +1,86 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+  dummy : 'a;
+}
+
+let create ?(capacity = 8) ~dummy () =
+  let capacity = max capacity 1 in
+  { data = Array.make capacity dummy; len = 0; dummy }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let check_bounds t i op =
+  if i < 0 || i >= t.len then
+    invalid_arg (Printf.sprintf "Dynarr.%s: index %d out of bounds [0,%d)" op i t.len)
+
+let get t i =
+  check_bounds t i "get";
+  t.data.(i)
+
+let set t i x =
+  check_bounds t i "set";
+  t.data.(i) <- x
+
+let grow t =
+  let cap = Array.length t.data in
+  let data = Array.make (2 * cap) t.dummy in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t x =
+  if t.len = Array.length t.data then grow t;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let push_get_index t x =
+  push t x;
+  t.len - 1
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    t.len <- t.len - 1;
+    let x = t.data.(t.len) in
+    (* Drop the reference so the GC can reclaim the element. *)
+    t.data.(t.len) <- t.dummy;
+    Some x
+  end
+
+let clear t =
+  Array.fill t.data 0 t.len t.dummy;
+  t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold_left f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let exists p t =
+  let rec loop i = i < t.len && (p t.data.(i) || loop (i + 1)) in
+  loop 0
+
+let to_list t =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (t.data.(i) :: acc) in
+  loop (t.len - 1) []
+
+let to_array t = Array.sub t.data 0 t.len
+
+let of_list ~dummy xs =
+  let t = create ~capacity:(max 1 (List.length xs)) ~dummy () in
+  List.iter (push t) xs;
+  t

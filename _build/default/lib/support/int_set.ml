@@ -1,0 +1,96 @@
+let empty_slot = min_int
+
+type t = {
+  mutable slots : int array; (* [empty_slot] marks a free slot *)
+  mutable count : int;
+  mutable mask : int; (* capacity - 1, capacity a power of two *)
+}
+
+let create ?(capacity = 8) () =
+  let rec pow2 n = if n >= capacity then n else pow2 (2 * n) in
+  let cap = pow2 8 in
+  { slots = Array.make cap empty_slot; count = 0; mask = cap - 1 }
+
+let cardinal t = t.count
+
+(* Fibonacci hashing spreads consecutive interned ids well. The multiplier is
+   2^62 / phi, kept positive in OCaml's 63-bit ints. *)
+let hash x = (x * 0x3105_2E60_8C61_9E55) land max_int
+
+let mem t x =
+  let mask = t.mask in
+  let slots = t.slots in
+  let rec probe i =
+    let v = slots.(i) in
+    if v = empty_slot then false
+    else if v = x then true
+    else probe ((i + 1) land mask)
+  in
+  probe (hash x land mask)
+
+let unsafe_insert slots mask x =
+  let rec probe i =
+    if slots.(i) = empty_slot then slots.(i) <- x
+    else probe ((i + 1) land mask)
+  in
+  probe (hash x land mask)
+
+let resize t =
+  let old = t.slots in
+  let cap = 2 * Array.length old in
+  let slots = Array.make cap empty_slot in
+  let mask = cap - 1 in
+  Array.iter (fun v -> if v <> empty_slot then unsafe_insert slots mask v) old;
+  t.slots <- slots;
+  t.mask <- mask
+
+let add t x =
+  if x < 0 then invalid_arg "Int_set.add: negative element";
+  let mask = t.mask in
+  let slots = t.slots in
+  let rec probe i =
+    let v = slots.(i) in
+    if v = empty_slot then begin
+      slots.(i) <- x;
+      t.count <- t.count + 1;
+      (* Keep the load factor under ~0.7. *)
+      if 10 * t.count > 7 * (mask + 1) then resize t;
+      true
+    end
+    else if v = x then false
+    else probe ((i + 1) land mask)
+  in
+  probe (hash x land mask)
+
+let iter f t =
+  Array.iter (fun v -> if v <> empty_slot then f v) t.slots
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun v -> acc := f v !acc) t;
+  !acc
+
+let exists p t =
+  let slots = t.slots in
+  let n = Array.length slots in
+  let rec loop i =
+    i < n && ((slots.(i) <> empty_slot && p slots.(i)) || loop (i + 1))
+  in
+  loop 0
+
+let to_sorted_list t = List.sort compare (fold (fun x acc -> x :: acc) t [])
+
+let of_list xs =
+  let t = create ~capacity:(2 * List.length xs) () in
+  List.iter (fun x -> ignore (add t x)) xs;
+  t
+
+let copy t = { slots = Array.copy t.slots; count = t.count; mask = t.mask }
+
+let subset a b = not (exists (fun x -> not (mem b x)) a)
+
+let equal a b = a.count = b.count && subset a b
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) empty_slot;
+  t.count <- 0

@@ -1,0 +1,40 @@
+(** Mutable sets of non-negative integers, open addressing.
+
+    This is the workhorse set of the points-to solver: points-to sets hold
+    interned object ids and are mutated millions of times per run, so the
+    implementation avoids boxing entirely (one [int array], linear probing,
+    power-of-two capacity, no deletion). Negative elements are rejected —
+    [min_int] marks empty slots internally and all interned ids are
+    non-negative anyway. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val cardinal : t -> int
+
+val mem : t -> int -> bool
+
+val add : t -> int -> bool
+(** [add t x] inserts [x] and returns [true] iff [x] was not already present.
+    Raises [Invalid_argument] on negative [x]. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iteration order is unspecified. *)
+
+val fold : (int -> 'acc -> 'acc) -> t -> 'acc -> 'acc
+
+val exists : (int -> bool) -> t -> bool
+
+val to_sorted_list : t -> int list
+
+val of_list : int list -> t
+
+val copy : t -> t
+
+val subset : t -> t -> bool
+(** [subset a b] is [true] iff every element of [a] is in [b]. *)
+
+val equal : t -> t -> bool
+
+val clear : t -> unit

@@ -1,0 +1,33 @@
+let limit = 1 lsl 31
+
+type t = {
+  ids : (int, int) Hashtbl.t; (* packed pair -> id *)
+  pairs : int Dynarr.t; (* id -> packed pair *)
+}
+
+let create ?(capacity = 64) () =
+  { ids = Hashtbl.create capacity; pairs = Dynarr.create ~capacity ~dummy:0 () }
+
+let pack a b =
+  if a < 0 || b < 0 || a >= limit || b >= limit then
+    invalid_arg (Printf.sprintf "Pair_tbl: component out of range (%d, %d)" a b);
+  (a lsl 31) lor b
+
+let intern t a b =
+  let key = pack a b in
+  match Hashtbl.find_opt t.ids key with
+  | Some id -> id
+  | None ->
+    let id = Dynarr.push_get_index t.pairs key in
+    Hashtbl.add t.ids key id;
+    id
+
+let find_opt t a b = Hashtbl.find_opt t.ids (pack a b)
+
+let fst t id = Dynarr.get t.pairs id lsr 31
+
+let snd t id = Dynarr.get t.pairs id land (limit - 1)
+
+let count t = Dynarr.length t.pairs
+
+let iter f t = Dynarr.iteri (fun id key -> f id (key lsr 31) (key land (limit - 1))) t.pairs

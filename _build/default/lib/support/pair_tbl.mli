@@ -1,0 +1,27 @@
+(** Interning of pairs of small non-negative ints into dense ids.
+
+    Solver nodes are [(variable, context)] and objects are [(heap, heap
+    context)]; both components are dense interned ids well below 2^31, so a
+    pair packs losslessly into one OCaml int ([a lsl 31 lor b]) and the table
+    avoids allocating tuple keys on the hot path. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val intern : t -> int -> int -> int
+(** [intern t a b] is the id of the pair [(a, b)]. Raises [Invalid_argument]
+    when a component is negative or at least [2^31]. *)
+
+val find_opt : t -> int -> int -> int option
+
+val fst : t -> int -> int
+(** First component of an interned pair. *)
+
+val snd : t -> int -> int
+(** Second component of an interned pair. *)
+
+val count : t -> int
+
+val iter : (int -> int -> int -> unit) -> t -> unit
+(** [iter f t] applies [f id a b] in increasing id order. *)

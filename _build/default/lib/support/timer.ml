@@ -1,0 +1,6 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let start = now () in
+  let result = f () in
+  (result, now () -. start)

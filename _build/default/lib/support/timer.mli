@@ -1,0 +1,8 @@
+(** Wall-clock timing for the experiment harness. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with the elapsed
+    wall-clock seconds. *)
+
+val now : unit -> float
+(** Current wall-clock time in seconds (arbitrary epoch). *)

@@ -1,0 +1,1 @@
+lib/synthetic/dacapo.ml: Float List Motifs World

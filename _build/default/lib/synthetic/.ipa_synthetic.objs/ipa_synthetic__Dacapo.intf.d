@@ -1,0 +1,1 @@
+lib/synthetic/dacapo.mli: Ipa_ir World

@@ -1,0 +1,1 @@
+lib/synthetic/motifs.ml: Array Ipa_ir List Option Printf World

@@ -1,0 +1,1 @@
+lib/synthetic/motifs.mli: World

@@ -1,0 +1,1 @@
+lib/synthetic/world.ml: Ipa_ir Ipa_support Printf

@@ -1,0 +1,1 @@
+lib/synthetic/world.mli: Ipa_ir Ipa_support

@@ -1,0 +1,446 @@
+module B = Ipa_ir.Builder
+
+(* ---------- chains ---------- *)
+
+let chains (w : World.t) ~n ~depth =
+  let b = w.b in
+  if n < 0 || depth < 1 then invalid_arg "Motifs.chains";
+  for _c = 1 to n do
+    let data_cls = B.add_class b ~super:w.object_cls (World.fresh w "ChainData") in
+    (* Build the chain back to front so each link can allocate the next. *)
+    let rec build k next_cls =
+      let cls = B.add_class b ~super:w.object_cls (World.fresh w "Chain") in
+      let m = B.add_method b ~owner:cls ~name:"step" ~params:[ "x" ] () in
+      (match next_cls with
+      | None -> B.return_ b m (B.formal b m 0)
+      | Some next ->
+        let nx = B.add_var b m "nx" in
+        let r = B.add_var b m "r" in
+        ignore (B.alloc b m ~target:nx ~cls:next);
+        ignore (B.vcall b m ~base:nx ~name:"step" ~actuals:[ B.formal b m 0 ] ~recv:r ());
+        B.return_ b m r);
+      if k <= 0 then cls else build (k - 1) (Some cls)
+    in
+    let first = build (depth - 1) None in
+    let h = World.main_var w "ch" in
+    let d = World.main_var w "cd" in
+    let r = World.main_var w "cr" in
+    ignore (B.alloc b w.main ~target:h ~cls:first);
+    ignore (B.alloc b w.main ~target:d ~cls:data_cls);
+    ignore (B.vcall b w.main ~base:h ~name:"step" ~actuals:[ d ] ~recv:r ())
+  done
+
+(* ---------- ballast ---------- *)
+
+let ballast (w : World.t) ~n =
+  let b = w.b in
+  if n < 0 then invalid_arg "Motifs.ballast";
+  for _i = 1 to n do
+    let cls = B.add_class b ~super:w.object_cls (World.fresh w "Bal") in
+    let data = B.add_class b ~super:w.object_cls (World.fresh w "BalD") in
+    let fld = B.add_field b ~owner:cls "fa" in
+    let seed = B.add_method b ~owner:cls ~name:"seed" ~static:true ~params:[] () in
+    let x = B.add_var b seed "x" in
+    let y = B.add_var b seed "y" in
+    ignore (B.alloc b seed ~target:x ~cls);
+    ignore (B.alloc b seed ~target:y ~cls:data);
+    B.store b seed ~base:x ~field:fld ~source:y;
+    B.return_ b seed x;
+    let r = World.main_var w "bz" in
+    ignore (B.scall b w.main ~callee:seed ~actuals:[] ~recv:r ())
+  done
+
+(* ---------- factory_boxes ---------- *)
+
+let factory_boxes ?(junk = 0) (w : World.t) ~n =
+  let b = w.b in
+  if n < 1 || junk < 0 then invalid_arg "Motifs.factory_boxes";
+  let handled = B.add_interface b (World.fresh w "Handled") in
+  List.iter
+    (fun name -> ignore (B.add_method b ~owner:handled ~name ~abstract:true ~params:[] ()))
+    [ "handle"; "special"; "rare" ];
+  let junk_cls =
+    if junk > 0 then Some (B.add_class b ~super:w.object_cls (World.fresh w "Junk")) else None
+  in
+  let box = B.add_class b ~super:w.object_cls (World.fresh w "Box") in
+  let box_val = B.add_field b ~owner:box "val" in
+  let set = B.add_method b ~owner:box ~name:"bset" ~params:[ "x" ] () in
+  B.store b set ~base:(B.this b set) ~field:box_val ~source:(B.formal b set 0);
+  (* A two-argument setter whose second argument is dead weight. "Bulk"
+     clients pass a large junk set through it: the call's argument in-flow
+     trips Heuristic A's L threshold (so A analyzes the site context-
+     insensitively and loses this client's precision), while the box content
+     stays small enough that no Heuristic B metric fires — the precision
+     dial between the two heuristics. *)
+  let set2 = B.add_method b ~owner:box ~name:"bset2" ~params:[ "x"; "extra" ] () in
+  B.store b set2 ~base:(B.this b set2) ~field:box_val ~source:(B.formal b set2 0);
+  let get = B.add_method b ~owner:box ~name:"bget" ~params:[] () in
+  let gt = B.add_var b get "t" in
+  B.load b get ~target:gt ~base:(B.this b get) ~field:box_val;
+  B.return_ b get gt;
+  let factory = B.add_class b ~super:w.object_cls (World.fresh w "BoxFactory") in
+  let make = B.add_method b ~owner:factory ~name:"make" ~static:true ~params:[] () in
+  let mk_b = B.add_var b make "nb" in
+  ignore (B.alloc b make ~target:mk_b ~cls:box);
+  B.return_ b make mk_b;
+  (* A helper method that just returns [this]; the payoff is call-graph and
+     reachability structure, not data flow. *)
+  let self_method owner name =
+    let m = B.add_method b ~owner ~name ~params:[] () in
+    B.return_ b m (B.this b m);
+    m
+  in
+  for i = 0 to n - 1 do
+    let data = B.add_class b ~super:w.object_cls ~interfaces:[ handled ] (World.fresh w "Data") in
+    let delegating name helper =
+      ignore (self_method data helper);
+      let m = B.add_method b ~owner:data ~name ~params:[] () in
+      let t = B.add_var b m "t" in
+      ignore (B.vcall b m ~base:(B.this b m) ~name:helper ~actuals:[] ~recv:t ());
+      B.return_ b m t
+    in
+    delegating "handle" "handleHelper";
+    delegating "special" "specialHelper";
+    (* [rare] pulls in two further helpers; only client 0 calls it, so every
+       other reachable copy is context-insensitive conflation. *)
+    ignore (self_method data "rareHelperA");
+    ignore (self_method data "rareHelperB");
+    let rare = B.add_method b ~owner:data ~name:"rare" ~params:[] () in
+    let ta = B.add_var b rare "ta" in
+    let tb = B.add_var b rare "tb" in
+    ignore (B.vcall b rare ~base:(B.this b rare) ~name:"rareHelperA" ~actuals:[] ~recv:ta ());
+    ignore (B.vcall b rare ~base:(B.this b rare) ~name:"rareHelperB" ~actuals:[] ~recv:tb ());
+    B.return_ b rare ta;
+    let client = B.add_class b ~super:w.object_cls (World.fresh w "Client") in
+    let run = B.add_method b ~owner:client ~name:"run" ~params:[] () in
+    let v name = B.add_var b run name in
+    let bx = v "bx" in
+    let d = v "d" in
+    let g = v "g" in
+    let c = v "c" in
+    let s = v "s" in
+    ignore (B.scall b run ~callee:make ~actuals:[] ~recv:bx ());
+    ignore (B.alloc b run ~target:d ~cls:data);
+    (match junk_cls with
+    | None -> ignore (B.vcall b run ~base:bx ~name:"bset" ~actuals:[ d ] ())
+    | Some jc ->
+      let e = v "e" in
+      for _j = 1 to junk do
+        ignore (B.alloc b run ~target:e ~cls:jc)
+      done;
+      ignore (B.vcall b run ~base:bx ~name:"bset2" ~actuals:[ d; e ] ()));
+    ignore (B.vcall b run ~base:bx ~name:"bget" ~actuals:[] ~recv:g ());
+    B.cast b run ~target:c ~source:g ~cls:data;
+    ignore (B.vcall b run ~base:g ~name:"handle" ~actuals:[] ~recv:s ());
+    ignore (B.vcall b run ~base:g ~name:"special" ~actuals:[] ~recv:s ());
+    if i = 0 then ignore (B.vcall b run ~base:g ~name:"rare" ~actuals:[] ~recv:s ());
+    (* Each client is allocated inside its own launcher class, so the
+       type-sensitive context element (the class containing the receiver's
+       allocation site) differs per client and type-sensitivity recovers
+       most of the motif's precision, as in the paper. *)
+    let launcher = B.add_class b ~super:w.object_cls (World.fresh w "Launch") in
+    let go = B.add_method b ~owner:launcher ~name:"go" ~static:true ~params:[] () in
+    let cl = B.add_var b go "c" in
+    ignore (B.alloc b go ~target:cl ~cls:client);
+    ignore (B.vcall b go ~base:cl ~name:"run" ~actuals:[] ());
+    ignore (B.scall b w.main ~callee:go ~actuals:[] ())
+  done
+
+(* ---------- listeners ---------- *)
+
+let listeners (w : World.t) ~n =
+  let b = w.b in
+  if n < 1 then invalid_arg "Motifs.listeners";
+  let listener = B.add_interface b (World.fresh w "Listener") in
+  ignore (B.add_method b ~owner:listener ~name:"onEvent" ~abstract:true ~params:[ "e" ] ());
+  let source = B.add_class b ~super:w.object_cls (World.fresh w "Source") in
+  let lst_fld = B.add_field b ~owner:source "lst" in
+  let register = B.add_method b ~owner:source ~name:"register" ~params:[ "l" ] () in
+  B.store b register ~base:(B.this b register) ~field:lst_fld ~source:(B.formal b register 0);
+  let fire = B.add_method b ~owner:source ~name:"fire" ~params:[ "e" ] () in
+  let fl = B.add_var b fire "l0" in
+  let fr = B.add_var b fire "r" in
+  B.load b fire ~target:fl ~base:(B.this b fire) ~field:lst_fld;
+  ignore (B.vcall b fire ~base:fl ~name:"onEvent" ~actuals:[ B.formal b fire 0 ] ~recv:fr ());
+  B.return_ b fire fr;
+  for _i = 1 to n do
+    let impl =
+      B.add_class b ~super:w.object_cls ~interfaces:[ listener ] (World.fresh w "Lst")
+    in
+    let on_event = B.add_method b ~owner:impl ~name:"onEvent" ~params:[ "e" ] () in
+    B.return_ b on_event (B.formal b on_event 0);
+    let ev_cls = B.add_class b ~super:w.object_cls (World.fresh w "Ev") in
+    let s = World.main_var w "lsrc" in
+    let l = World.main_var w "limp" in
+    let e = World.main_var w "lev" in
+    let r = World.main_var w "lr" in
+    ignore (B.alloc b w.main ~target:s ~cls:source);
+    ignore (B.alloc b w.main ~target:l ~cls:impl);
+    ignore (B.vcall b w.main ~base:s ~name:"register" ~actuals:[ l ] ());
+    ignore (B.alloc b w.main ~target:e ~cls:ev_cls);
+    ignore (B.vcall b w.main ~base:s ~name:"fire" ~actuals:[ e ] ~recv:r ())
+  done
+
+(* ---------- exceptional ---------- *)
+
+let exceptional (w : World.t) ~n =
+  let b = w.b in
+  if n < 1 then invalid_arg "Motifs.exceptional";
+  let exc_base = B.add_class b ~super:w.object_cls (World.fresh w "ExcBase") in
+  let fatal_base = B.add_class b ~super:w.object_cls (World.fresh w "FatalBase") in
+  (* One shared guard class whose [shield] method catches everything its
+     thrower argument raises: context-insensitively the parameter (and hence
+     the caught set) conflates across all guard objects; receiver-based
+     context separates them. *)
+  let guard = B.add_class b ~super:w.object_cls (World.fresh w "Guard") in
+  let shield = B.add_method b ~owner:guard ~name:"shield" ~params:[ "t" ] () in
+  let got = B.add_var b shield "got" in
+  let r = B.add_var b shield "r" in
+  B.add_catch b shield ~cls:exc_base ~var:got;
+  ignore (B.vcall b shield ~base:(B.formal b shield 0) ~name:"boom" ~actuals:[] ~recv:r ());
+  B.return_ b shield got;
+  for _i = 1 to n do
+    let exc = B.add_class b ~super:exc_base (World.fresh w "Exc") in
+    let fatal = B.add_class b ~super:fatal_base (World.fresh w "Fatal") in
+    let thrower = B.add_class b ~super:w.object_cls (World.fresh w "Thrower") in
+    let boom = B.add_method b ~owner:thrower ~name:"boom" ~params:[] () in
+    let be = B.add_var b boom "e" in
+    ignore (B.alloc b boom ~target:be ~cls:exc);
+    B.throw b boom be;
+    B.return_ b boom (B.this b boom);
+    let panic = B.add_method b ~owner:thrower ~name:"panic" ~params:[] () in
+    let pe = B.add_var b panic "e" in
+    ignore (B.alloc b panic ~target:pe ~cls:fatal);
+    B.throw b panic pe;
+    B.return_ b panic (B.this b panic);
+    let g = World.main_var w "xg" in
+    let t = World.main_var w "xt" in
+    let caught = World.main_var w "xc" in
+    let cast = World.main_var w "xd" in
+    ignore (B.alloc b w.main ~target:g ~cls:guard);
+    ignore (B.alloc b w.main ~target:t ~cls:thrower);
+    ignore (B.vcall b w.main ~base:g ~name:"shield" ~actuals:[ t ] ~recv:caught ());
+    B.cast b w.main ~target:cast ~source:caught ~cls:exc;
+    (* the fatal path has no handler anywhere: an uncaught exception *)
+    ignore (B.vcall b w.main ~base:t ~name:"panic" ~actuals:[] ())
+  done
+
+(* ---------- mega_hub ---------- *)
+
+let mega_hub ?(typed_users = 0) (w : World.t) ~items ~users ~chain =
+  let b = w.b in
+  if items < 1 || users < 1 || chain < 1 || typed_users < 0 then invalid_arg "Motifs.mega_hub";
+  let hub = B.add_class b ~super:w.object_cls (World.fresh w "Hub") in
+  let slot = B.add_field b ~owner:hub "slot" in
+  let put = B.add_method b ~owner:hub ~name:"hput" ~params:[ "x" ] () in
+  B.store b put ~base:(B.this b put) ~field:slot ~source:(B.formal b put 0);
+  let get = B.add_method b ~owner:hub ~name:"hget" ~params:[] () in
+  let gt = B.add_var b get "t" in
+  B.load b get ~target:gt ~base:(B.this b get) ~field:slot;
+  B.return_ b get gt;
+  let n_item_classes = min 30 ((items / 40) + 1) in
+  let item_classes =
+    Array.init n_item_classes (fun _ -> B.add_class b ~super:w.object_cls (World.fresh w "Item"))
+  in
+  let setup = B.add_class b ~super:w.object_cls (World.fresh w "HubSetup") in
+  let build = B.add_method b ~owner:setup ~name:"build" ~static:true ~params:[] () in
+  let bh = B.add_var b build "h" in
+  (* Rotate the item cursor over several variables (as chunked init methods
+     would): flow-insensitively each [hput] argument then carries only a
+     chunk of the population, keeping the per-call-site cost of deep
+     call-site-sensitivity linear rather than quadratic in [items]. *)
+  let chunk = 400 in
+  let n_cursors = max 1 ((items + chunk - 1) / chunk) in
+  let cursors =
+    Array.init n_cursors (fun i -> B.add_var b build (Printf.sprintf "it%d" i))
+  in
+  ignore (B.alloc b build ~target:bh ~cls:hub);
+  for k = 0 to items - 1 do
+    let bi = cursors.(k / chunk) in
+    ignore (B.alloc b build ~target:bi ~cls:item_classes.(k mod n_item_classes));
+    ignore (B.vcall b build ~base:bh ~name:"hput" ~actuals:[ bi ] ())
+  done;
+  B.return_ b build bh;
+  (* One shared user class: its methods are re-analyzed once per receiver
+     object under object-sensitivity — pure cost, no precision. *)
+  let user = B.add_class b ~super:w.object_cls (World.fresh w "HubUser") in
+  let use = B.add_method b ~owner:user ~name:"use" ~params:[ "h" ] () in
+  let drains = Array.init 5 (fun i -> B.add_var b use (Printf.sprintf "a%d" i)) in
+  Array.iter
+    (fun a -> ignore (B.vcall b use ~base:(B.formal b use 0) ~name:"hget" ~actuals:[] ~recv:a ()))
+    drains;
+  let ur = B.add_var b use "r" in
+  ignore (B.vcall b use ~base:(B.this b use) ~name:"hstep1" ~actuals:[ drains.(0) ] ~recv:ur ());
+  B.return_ b use ur;
+  for k = 1 to chain do
+    let m = B.add_method b ~owner:user ~name:(Printf.sprintf "hstep%d" k) ~params:[ "x" ] () in
+    if k = chain then B.return_ b m (B.formal b m 0)
+    else begin
+      let r = B.add_var b m "r" in
+      ignore
+        (B.vcall b m ~base:(B.this b m)
+           ~name:(Printf.sprintf "hstep%d" (k + 1))
+           ~actuals:[ B.formal b m 0 ] ~recv:r ());
+      B.return_ b m r
+    end
+  done;
+  let h = World.main_var w "hub" in
+  ignore (B.scall b w.main ~callee:build ~actuals:[] ~recv:h ());
+  for _j = 1 to users do
+    let u = World.main_var w "hu" in
+    let r = World.main_var w "hr" in
+    ignore (B.alloc b w.main ~target:u ~cls:user);
+    ignore (B.vcall b w.main ~base:u ~name:"use" ~actuals:[ h ] ~recv:r ())
+  done;
+  (* "Typed" users are allocated in per-user launcher classes, so even
+     type-sensitive contexts multiply over them — the knob that makes
+     2typeH explode on jython while Heuristic B's volume flag on [use]
+     still rescues its introspective variant. *)
+  for _j = 1 to typed_users do
+    let launcher = B.add_class b ~super:w.object_cls (World.fresh w "HubLaunch") in
+    let go = B.add_method b ~owner:launcher ~name:"go" ~static:true ~params:[ "h" ] () in
+    let u = B.add_var b go "u" in
+    let r = B.add_var b go "r" in
+    ignore (B.alloc b go ~target:u ~cls:user);
+    ignore (B.vcall b go ~base:u ~name:"use" ~actuals:[ B.formal b go 0 ] ~recv:r ());
+    B.return_ b go r;
+    let res = World.main_var w "hlr" in
+    ignore (B.scall b w.main ~callee:go ~actuals:[ h ] ~recv:res ())
+  done
+
+(* ---------- dispatch_storm ---------- *)
+
+let dispatch_storm (w : World.t) ~wrappers ~payload ~depth =
+  let b = w.b in
+  if wrappers < 1 || payload < 1 || depth < 1 then invalid_arg "Motifs.dispatch_storm";
+  let n_payload_classes = min 25 ((payload / 25) + 1) in
+  let payload_classes =
+    Array.init n_payload_classes (fun _ ->
+        B.add_class b ~super:w.object_cls (World.fresh w "P"))
+  in
+  let seed = B.add_class b ~super:w.object_cls (World.fresh w "StormSeed") in
+  let mk = B.add_method b ~owner:seed ~name:"mk" ~static:true ~params:[] () in
+  let p = B.add_var b mk "p" in
+  for k = 0 to payload - 1 do
+    ignore (B.alloc b mk ~target:p ~cls:payload_classes.(k mod n_payload_classes))
+  done;
+  B.return_ b mk p;
+  let util = B.add_class b ~super:w.object_cls (World.fresh w "StormUtil") in
+  (* Build the chain back to front. *)
+  let rec build k =
+    let m = B.add_method b ~owner:util ~name:(Printf.sprintf "su%d" k) ~static:true ~params:[ "x" ] () in
+    if k = depth - 1 then B.return_ b m (B.formal b m 0)
+    else begin
+      let next = build (k + 1) in
+      let r = B.add_var b m "r" in
+      ignore (B.scall b m ~callee:next ~actuals:[ B.formal b m 0 ] ~recv:r ());
+      B.return_ b m r
+    end;
+    m
+  in
+  (* The chain must exist before wrappers call [su0]; build from the last
+     method backwards via recursion, returning su0. *)
+  let su0 = build 0 in
+  let wcls = B.add_class b ~super:w.object_cls (World.fresh w "StormW") in
+  for j = 0 to wrappers - 1 do
+    let wm = B.add_method b ~owner:wcls ~name:(Printf.sprintf "w%d" j) ~static:true ~params:[] () in
+    let wp = B.add_var b wm "p" in
+    let wr = B.add_var b wm "r" in
+    ignore (B.scall b wm ~callee:mk ~actuals:[] ~recv:wp ());
+    ignore (B.scall b wm ~callee:su0 ~actuals:[ wp ] ~recv:wr ());
+    B.return_ b wm wr;
+    let r = World.main_var w "sw" in
+    ignore (B.scall b w.main ~callee:wm ~actuals:[] ~recv:r ())
+  done
+
+(* ---------- interp_loop ---------- *)
+
+let interp_loop ?(family = 1) (w : World.t) ~ops ~vals ~steps =
+  let b = w.b in
+  if ops < 1 || vals < 1 || steps < 1 || family < 1 then invalid_arg "Motifs.interp_loop";
+  let opcode = B.add_interface b (World.fresh w "Opcode") in
+  ignore (B.add_method b ~owner:opcode ~name:"exec" ~abstract:true ~params:[ "f" ] ());
+  let frame = B.add_class b ~super:w.object_cls (World.fresh w "Frame") in
+  let stack = B.add_field b ~owner:frame "stack" in
+  let push = B.add_method b ~owner:frame ~name:"fpush" ~params:[ "x" ] () in
+  B.store b push ~base:(B.this b push) ~field:stack ~source:(B.formal b push 0);
+  let pop = B.add_method b ~owner:frame ~name:"fpop" ~params:[] () in
+  let pt = B.add_var b pop "t" in
+  B.load b pop ~target:pt ~base:(B.this b pop) ~field:stack;
+  B.return_ b pop pt;
+  (* The shared opcode base class. Every opcode inherits [oprun], which
+     drains the frame: under a deep-context analysis it is re-analyzed once
+     per opcode receiver while carrying the whole (opcode-count-sized) value
+     population — the quadratic feedback. Its drain width (2 variables) is
+     chosen so its context-insensitive points-to volume stays below Heuristic
+     B's P=10000 at jython scale: B does not flag it, and the second pass
+     explodes anyway, reproducing the paper's one IntroB non-termination. *)
+  let op_base = B.add_class b ~super:w.object_cls (World.fresh w "OpBase") in
+  let add_oprun name =
+    let oprun = B.add_method b ~owner:op_base ~name ~params:[ "f" ] () in
+    let d0 = B.add_var b oprun "d0" in
+    let d1 = B.add_var b oprun "d1" in
+    ignore (B.vcall b oprun ~base:(B.formal b oprun 0) ~name:"fpop" ~actuals:[] ~recv:d0 ());
+    ignore (B.vcall b oprun ~base:(B.formal b oprun 0) ~name:"fpop" ~actuals:[] ~recv:d1 ())
+  in
+  (* Two drain methods rather than one wider one: each stays below Heuristic
+     B's volume threshold P in the first pass, so B refines them and the
+     second pass still explodes (the paper's IntroB non-termination on
+     jython), while their combined refined cost is twice as deadly. *)
+  add_oprun "oprun";
+  add_oprun "oprun2";
+  let interp = B.add_class b ~super:w.object_cls (World.fresh w "Interp") in
+  let cur = B.add_field b ~owner:interp "cur" in
+  let reg = B.add_method b ~owner:interp ~name:"reg" ~params:[ "o" ] () in
+  B.store b reg ~base:(B.this b reg) ~field:cur ~source:(B.formal b reg 0);
+  let step = B.add_method b ~owner:interp ~name:"istep" ~params:[ "f" ] () in
+  let so = B.add_var b step "o" in
+  B.load b step ~target:so ~base:(B.this b step) ~field:cur;
+  ignore (B.vcall b step ~base:so ~name:"exec" ~actuals:[ B.formal b step 0 ] ());
+  (* Opcodes are allocated inside per-family factory classes: object-
+     sensitive contexts are per opcode object, but type-sensitive contexts
+     collapse to one per family — [family] is the coarsening ratio between
+     2objH and 2typeH cost on this motif. *)
+  let creates = ref [] in
+  let current_family = ref None in
+  for k = 0 to ops - 1 do
+    let op = B.add_class b ~super:op_base ~interfaces:[ opcode ] (World.fresh w "Op") in
+    let val_cls = B.add_class b ~super:w.object_cls (World.fresh w "Val") in
+    let exec = B.add_method b ~owner:op ~name:"exec" ~params:[ "f" ] () in
+    let f = B.formal b exec 0 in
+    let r = B.add_var b exec "rv" in
+    for _v = 1 to vals do
+      ignore (B.alloc b exec ~target:r ~cls:val_cls);
+      ignore (B.vcall b exec ~base:f ~name:"fpush" ~actuals:[ r ] ())
+    done;
+    ignore (B.vcall b exec ~base:(B.this b exec) ~name:"oprun" ~actuals:[ f ] ());
+    ignore (B.vcall b exec ~base:(B.this b exec) ~name:"oprun2" ~actuals:[ f ] ());
+    if k mod family = 0 then
+      current_family := Some (B.add_class b ~super:w.object_cls (World.fresh w "OpFam"));
+    let fam = Option.get !current_family in
+    let create =
+      B.add_method b ~owner:fam ~name:(Printf.sprintf "mk%d" (k mod family)) ~static:true
+        ~params:[] ()
+    in
+    let co = B.add_var b create "o" in
+    ignore (B.alloc b create ~target:co ~cls:op);
+    B.return_ b create co;
+    creates := create :: !creates
+  done;
+  let ip = World.main_var w "interp" in
+  ignore (B.alloc b w.main ~target:ip ~cls:interp);
+  List.iter
+    (fun create ->
+      let o = World.main_var w "op" in
+      ignore (B.scall b w.main ~callee:create ~actuals:[] ~recv:o ());
+      ignore (B.vcall b w.main ~base:ip ~name:"reg" ~actuals:[ o ] ()))
+    !creates;
+  let fr = World.main_var w "frame" in
+  let sd = World.main_var w "seedv" in
+  let seed_cls = B.add_class b ~super:w.object_cls (World.fresh w "SeedVal") in
+  ignore (B.alloc b w.main ~target:fr ~cls:frame);
+  ignore (B.alloc b w.main ~target:sd ~cls:seed_cls);
+  ignore (B.vcall b w.main ~base:fr ~name:"fpush" ~actuals:[ sd ] ());
+  for _s = 1 to steps do
+    ignore (B.vcall b w.main ~base:ip ~name:"istep" ~actuals:[ fr ] ())
+  done

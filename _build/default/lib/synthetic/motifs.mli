@@ -1,0 +1,73 @@
+(** Program motifs: the structural patterns behind the paper's observations.
+
+    Each motif generates classes plus driver code in [main], engineered to
+    exercise one regime of the precision/scalability space the paper studies:
+
+    - {!chains} — well-behaved code: monomorphic call chains over distinct
+      classes. Cheap and precise for every analysis; pads realistic baseline
+      size.
+    - {!factory_boxes} — the classic context-sensitivity {e win}: a factory
+      allocates containers at one site, clients store distinct payloads
+      through a shared setter. Context-insensitively everything conflates
+      (failing casts, polymorphic dispatch, spuriously reachable methods);
+      object- and call-site-sensitive analyses fully disambiguate.
+    - {!listeners} — irreducibly polymorphic dispatch (a listener hub):
+      polymorphic regardless of context; background noise for the
+      devirtualization metric.
+    - {!mega_hub} — the paper's cost pathology for object/call-site
+      sensitivity: one registry object whose field holds a huge object
+      population, drained by a {e shared} user class from many distinct
+      receiver objects/call sites. Extra context multiplies the huge sets
+      without any precision payoff ("c copies of n facts"). Type-sensitivity
+      collapses it (all users allocated in one class).
+    - {!dispatch_storm} — the call-site-sensitivity killer: a static utility
+      chain with a large payload set called from many wrapper sites;
+      object-sensitive static merges keep it cheap.
+    - {!interp_loop} — the jython-like interpreter: many opcode classes (each
+      allocating its receiver in its own class, so even type contexts
+      multiply) exchanging values through a shared frame — a quadratic
+      feedback that defeats object-, type-, and call-site-sensitivity. *)
+
+val chains : World.t -> n:int -> depth:int -> unit
+
+val ballast : World.t -> n:int -> unit
+(** [n] tiny self-contained units (a class, a data class, one field store):
+    a benign small-object population that dilutes the pathological heaps in
+    the object-count denominators (Figure 4) and pads realistic program
+    size at negligible analysis cost. *)
+
+val factory_boxes : ?junk:int -> World.t -> n:int -> unit
+(** [n] client/payload pairs. Precision deltas per client (context-sensitive
+    vs not): 1 may-fail cast, 2 polymorphic sites, ~3 spuriously reachable
+    methods (via a conflated [rare] call from the first client only).
+
+    With [junk > 0], each client additionally threads a [junk]-sized dead
+    set through a two-argument setter. The call's argument in-flow then
+    exceeds Heuristic A's L threshold, so A refuses to refine the setter and
+    loses these clients' precision — while every Heuristic B metric stays
+    below threshold and B keeps it. This is what separates the two
+    heuristics' precision in Figures 5-7. *)
+
+val listeners : World.t -> n:int -> unit
+
+val exceptional : World.t -> n:int -> unit
+(** [n] guard/thrower pairs sharing one guard class. Each unit contributes,
+    context-insensitively, one may-fail cast on the caught exception (context
+    separates the conflated catch variable) and one genuinely uncaught
+    exception escaping to the entry point. *)
+
+val mega_hub : ?typed_users:int -> World.t -> items:int -> users:int -> chain:int -> unit
+(** [items] objects stored in one hub; [users] distinct receiver objects of a
+    single user class, each draining the hub through a [chain]-deep series of
+    virtual self-calls. Cost for a deep-context analysis scales with
+    [users × chain × items]; context-insensitively with [chain × items]. *)
+
+val dispatch_storm : World.t -> wrappers:int -> payload:int -> depth:int -> unit
+(** [wrappers] static wrapper methods each calling a [depth]-deep static
+    utility chain with a [payload]-sized points-to set. Call-site contexts
+    multiply the payload per wrapper; object-sensitivity is immune. *)
+
+val interp_loop : ?family:int -> World.t -> ops:int -> vals:int -> steps:int -> unit
+(** [ops] opcode classes, each pushing [vals] fresh values through a shared
+    frame; [steps] dispatch calls in [main]. Feedback through the frame's
+    field makes context-sensitive cost roughly quadratic in [ops]. *)

@@ -1,0 +1,1 @@
+test/test_clients.ml: Alcotest Array Filename Hashtbl In_channel Ipa_clients Ipa_core Ipa_datalog Ipa_ir Ipa_support Ipa_synthetic Ipa_testlib List Option Result String Sys

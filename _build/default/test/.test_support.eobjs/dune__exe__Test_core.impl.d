@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Fun Ipa_core Ipa_ir Ipa_support Ipa_synthetic Ipa_testlib List Option Printf

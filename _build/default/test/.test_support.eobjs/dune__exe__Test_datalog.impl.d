@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Array Ipa_datalog List QCheck2 QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_exceptions.ml: Alcotest Array Hashtbl Ipa_core Ipa_ir Ipa_support Ipa_testlib List String

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Ipa_core Ipa_frontend Ipa_ir Ipa_synthetic Ipa_testlib List Option Printf String

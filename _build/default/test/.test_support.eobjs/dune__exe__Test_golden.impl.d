@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Hashtbl Ipa_core Ipa_synthetic List Option Printf

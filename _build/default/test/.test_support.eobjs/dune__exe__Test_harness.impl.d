@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Ipa_core Ipa_harness List

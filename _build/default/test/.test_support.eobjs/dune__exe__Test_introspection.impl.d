@@ -1,0 +1,1 @@
+test/test_introspection.ml: Alcotest Array Hashtbl Ipa_core Ipa_ir Ipa_support Ipa_synthetic Ipa_testlib List Option Printf String

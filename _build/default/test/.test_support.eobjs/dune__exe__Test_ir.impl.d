@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Ipa_frontend Ipa_ir Ipa_testlib List Option String

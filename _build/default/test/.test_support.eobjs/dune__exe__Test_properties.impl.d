@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Bytes Hashtbl Ipa_clients Ipa_core Ipa_datalog Ipa_frontend Ipa_ir Ipa_support Ipa_synthetic Ipa_testlib List Option Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Fun Int Ipa_support List QCheck2 QCheck_alcotest Set String

@@ -1,0 +1,1 @@
+test/test_synthetic.ml: Alcotest Ipa_core Ipa_ir Ipa_synthetic List Option

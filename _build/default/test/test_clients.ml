@@ -1,0 +1,294 @@
+(* Tests for the client-analysis library and cost diagnostics. *)
+
+module P = Ipa_ir.Program
+module Analysis = Ipa_core.Analysis
+module Flavors = Ipa_core.Flavors
+module Devirt = Ipa_clients.Devirtualize
+module Casts = Ipa_clients.Cast_check
+module Exns = Ipa_clients.Exception_report
+module Cg = Ipa_clients.Callgraph_export
+module Diag = Ipa_core.Diagnostics
+
+let check = Alcotest.check
+let parse = Ipa_testlib.parse_exn
+let insens = Flavors.Insensitive
+let obj2 = Flavors.Object_sens { depth = 2; heap = 1 }
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let poly_src = {|
+class Object { }
+class A extends Object { method go/0 () { return this; } }
+class B extends Object { method go/0 () { return this; } }
+class Main {
+  static method dead_code/0 () { var d, r; d = new A; r = d.go(); }
+  static method main/0 () {
+    var x, a, r1, r2;
+    x = new A;
+    x = new B;
+    a = new A;
+    r1 = x.go();
+    r2 = a.go();
+  }
+}
+entry Main::main/0;
+|}
+
+let test_devirt () =
+  let r = Analysis.run_plain (parse poly_src) insens in
+  let s = Devirt.summarize r.solution in
+  (* x.go is polymorphic; a.go monomorphic; dead_code's call unreachable *)
+  check Alcotest.int "mono" 1 s.monomorphic;
+  check Alcotest.int "poly" 1 s.polymorphic;
+  check Alcotest.int "dead" 1 s.unreachable;
+  let reports = Devirt.analyze r.solution in
+  check Alcotest.int "one report per virtual site" 3 (List.length reports);
+  let poly_targets =
+    List.concat_map
+      (fun (d : Devirt.t) -> match d.verdict with Polymorphic ms -> ms | _ -> [])
+      reports
+  in
+  check Alcotest.int "two targets" 2 (List.length poly_targets)
+
+let test_casts () =
+  let r = Analysis.run_plain (parse Ipa_testlib.boxes_src) insens in
+  check Alcotest.int "one unsafe" 1 (Casts.unsafe_count r.solution);
+  let reports = Casts.analyze r.solution in
+  check Alcotest.int "one cast total" 1 (List.length reports);
+  let c = List.hd reports in
+  check Alcotest.int "one witness" 1 (List.length c.witnesses);
+  (* witness is the A object flowing into the (B) cast *)
+  check Alcotest.string "witness object" "Main::main/new A#2"
+    (P.heap_full_name r.solution.program (List.hd c.witnesses));
+  let precise = Analysis.run_plain (parse Ipa_testlib.boxes_src) obj2 in
+  check Alcotest.int "precise finds none" 0 (Casts.unsafe_count precise.solution);
+  check Alcotest.int "cast still reported" 1 (List.length (Casts.analyze precise.solution))
+
+let exn_src = {|
+class Object { }
+class Err extends Object { }
+class SubErr extends Err { }
+class Main {
+  static method risky/0 () { var e; e = new SubErr; throw e; }
+  static method boom/0 () { var e; e = new Err; throw e; }
+  static method main/0 () {
+    var c;
+    catch (SubErr) c;
+    Main::risky();
+    Main::boom();
+  }
+}
+entry Main::main/0;
+|}
+
+let test_exception_report () =
+  let r = Analysis.run_plain (parse exn_src) insens in
+  let uncaught = Exns.uncaught r.solution in
+  check Alcotest.int "one entry with escapes" 1 (List.length uncaught);
+  let u = List.hd uncaught in
+  check Alcotest.int "one escaped object" 1 (List.length u.objects);
+  check Alcotest.string "escaped is Err" "Main::boom/new Err#0"
+    (P.heap_full_name r.solution.program (List.hd u.objects));
+  let handlers = Exns.handlers r.solution in
+  check Alcotest.int "one handler" 1 (List.length handlers);
+  let h = List.hd handlers in
+  check Alcotest.int "binds the SubErr" 1 (List.length h.objects)
+
+let test_dead_handler_reported () =
+  let src = {|
+class Object { }
+class Err extends Object { }
+class Main {
+  static method main/0 () { var c, x; catch (Err) c; x = new Object; }
+}
+entry Main::main/0;
+|} in
+  let r = Analysis.run_plain (parse src) insens in
+  let handlers = Exns.handlers r.solution in
+  check Alcotest.int "handler listed" 1 (List.length handlers);
+  check Alcotest.int "never reached" 0 (List.length (List.hd handlers).objects)
+
+let test_callgraph_export () =
+  let r = Analysis.run_plain (parse poly_src) insens in
+  let edges = Cg.to_edges r.solution in
+  (* main -> A::go, main -> B::go *)
+  check Alcotest.int "two collapsed edges" 2 (List.length edges);
+  let dot = Cg.to_dot r.solution in
+  check Alcotest.bool "dot header" true (contains dot "digraph callgraph");
+  check Alcotest.bool "entry marked" true (contains dot "Main::main/0\" [style=filled");
+  check Alcotest.bool "edge present" true (contains dot "\"Main::main/0\" -> \"A::go/0\";");
+  let path = Filename.temp_file "ipa_cg" ".dot" in
+  Cg.write_dot r.solution ~path;
+  let content = In_channel.with_open_text path In_channel.input_all in
+  Sys.remove path;
+  check Alcotest.string "file matches" dot content
+
+let test_compare () =
+  let p = parse Ipa_testlib.boxes_src in
+  let coarse = Analysis.run_plain p insens in
+  let fine = Analysis.run_plain p obj2 in
+  let d = Ipa_clients.Compare.diff coarse.solution fine.solution in
+  check Alcotest.int "one cast proven safe" 1 (List.length d.casts_proven_safe);
+  check Alcotest.int "no casts lost" 0 (List.length d.casts_lost);
+  check Alcotest.int "nothing devirtualized" 0 (List.length d.devirtualized);
+  check Alcotest.int "no unreachable delta" 0 (List.length d.newly_unreachable);
+  check Alcotest.int "no exception delta" 0 d.uncaught_delta;
+  (* reflexive diff is empty *)
+  let d0 = Ipa_clients.Compare.diff coarse.solution coarse.solution in
+  check Alcotest.int "reflexive" 0
+    (List.length d0.casts_proven_safe + List.length d0.casts_lost
+    + List.length d0.devirtualized
+    + List.length d0.newly_unreachable);
+  (* the anti-refinement direction is reported, not hidden *)
+  let d_rev = Ipa_clients.Compare.diff fine.solution coarse.solution in
+  check Alcotest.int "reverse reports lost" 1 (List.length d_rev.casts_lost);
+  (* different programs rejected *)
+  let other = Analysis.run_plain (parse Ipa_testlib.boxes_src) insens in
+  match Ipa_clients.Compare.diff coarse.solution other.solution with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_compare_poly_and_reach () =
+  let p = parse poly_src in
+  let coarse = Analysis.run_plain p insens in
+  let fine = Analysis.run_plain p obj2 in
+  let d = Ipa_clients.Compare.diff coarse.solution fine.solution in
+  (* x still points to A and B under any context here: no devirt delta *)
+  check Alcotest.int "still poly" 0 (List.length d.devirtualized);
+  check Alcotest.int "no reach delta" 0 (List.length d.newly_unreachable)
+
+let test_diagnostics () =
+  let spec = Option.get (Ipa_synthetic.Dacapo.find "hsqldb") in
+  let p = Ipa_synthetic.Dacapo.build ~scale:0.1 spec in
+  let r = Analysis.run_plain p obj2 in
+  let top = Diag.top_methods ~limit:3 r.solution in
+  check Alcotest.int "three rows" 3 (List.length top);
+  (* hotspots must be sorted and dominated by the hub users *)
+  (match top with
+  | a :: b :: _ ->
+    check Alcotest.bool "sorted" true (a.Diag.vpt_tuples >= b.Diag.vpt_tuples);
+    let name = P.meth_full_name p a.Diag.meth in
+    check Alcotest.bool "hub user hottest" true
+      (contains name "HubUser" || contains name "main")
+  | _ -> Alcotest.fail "missing rows");
+  let objs = Diag.top_objects ~limit:5 r.solution in
+  check Alcotest.int "five object rows" 5 (List.length objs);
+  (match objs with
+  | a :: b :: _ -> check Alcotest.bool "objects sorted" true (a.Diag.pointed_by_nodes >= b.Diag.pointed_by_nodes)
+  | _ -> Alcotest.fail "missing object rows");
+  (* totals agree with solution stats *)
+  let d = Diag.compute r.solution in
+  let total = List.fold_left (fun acc (row : Diag.meth_row) -> acc + row.vpt_tuples) 0 d.methods in
+  check Alcotest.int "tuples accounted" (Ipa_core.Solution.stats r.solution).vpt_tuples total
+
+let test_printers_smoke () =
+  (* The report printers must run on a representative solution (output is
+     captured by the test harness; this guards against exceptions in the
+     formatting paths). *)
+  let p = parse exn_src in
+  let r = Analysis.run_plain p insens in
+  Devirt.print r.solution;
+  Devirt.print ~only_poly:true r.solution;
+  Casts.print r.solution;
+  Casts.print ~only_unsafe:true r.solution;
+  Exns.print r.solution;
+  Diag.print ~limit:5 r.solution;
+  Ipa_clients.Compare.print r.solution r.solution;
+  let boxes_p = parse Ipa_testlib.boxes_src in
+  Ipa_clients.Compare.print
+    (Analysis.run_plain boxes_p insens).solution
+    (Analysis.run_plain boxes_p obj2).solution
+
+(* ---------- Datalog surface-language export ---------- *)
+
+let test_dl_export_matches_native () =
+  (* The exported .dl program's vpt/cg/reach must equal the native
+     context-insensitive results (on exception-free programs — the export
+     omits exception flow). *)
+  let programs =
+    [
+      parse Ipa_testlib.boxes_src;
+      parse poly_src;
+      (let w = Ipa_synthetic.World.create ~seed:77 in
+       Ipa_synthetic.Motifs.factory_boxes w ~n:4;
+       Ipa_synthetic.Motifs.chains w ~n:3 ~depth:3;
+       Ipa_synthetic.Motifs.mega_hub w ~items:10 ~users:4 ~chain:2;
+       Ipa_synthetic.World.finish w);
+    ]
+  in
+  List.iter
+    (fun p ->
+      let script = Ipa_clients.Dl_export.script p in
+      let dl = Result.get_ok (Ipa_datalog.Dl.parse script) in
+      let outputs = Result.get_ok (Ipa_datalog.Dl.run dl) in
+      let dl_rel name =
+        List.sort_uniq compare
+          (List.map
+             (fun tup ->
+               String.concat " "
+                 (List.map
+                    (function Ipa_datalog.Dl.Sym s -> s | Int n -> string_of_int n)
+                    tup))
+             (List.assoc name outputs))
+      in
+      let r = Analysis.run_plain p insens in
+      let s = r.solution in
+      let native_vpt = ref [] in
+      Array.iteri
+        (fun v set ->
+          Ipa_support.Int_set.iter
+            (fun h ->
+              native_vpt :=
+                (P.var_full_name p v ^ " " ^ P.heap_full_name p h) :: !native_vpt)
+            set)
+        (Ipa_core.Solution.collapsed_var_pts s);
+      check (Alcotest.list Alcotest.string) "vpt agrees"
+        (List.sort_uniq compare !native_vpt)
+        (dl_rel "vpt");
+      let native_cg = ref [] in
+      Hashtbl.iter
+        (fun invo targets ->
+          Ipa_support.Int_set.iter
+            (fun meth ->
+              native_cg :=
+                ((P.invo_info p invo).invo_name ^ " " ^ P.meth_full_name p meth)
+                :: !native_cg)
+            targets)
+        (Ipa_core.Solution.call_targets s);
+      check (Alcotest.list Alcotest.string) "cg agrees"
+        (List.sort_uniq compare !native_cg)
+        (dl_rel "cg");
+      let native_reach =
+        List.sort_uniq compare
+          (Ipa_support.Int_set.fold
+             (fun m acc -> P.meth_full_name p m :: acc)
+             (Ipa_core.Solution.reachable_meths s) [])
+      in
+      check (Alcotest.list Alcotest.string) "reach agrees" native_reach (dl_rel "reach"))
+    programs
+
+let () =
+  Alcotest.run "clients"
+    [
+      ( "devirtualize",
+        [ Alcotest.test_case "verdicts" `Quick test_devirt ] );
+      ("cast_check", [ Alcotest.test_case "witnesses" `Quick test_casts ]);
+      ( "exceptions",
+        [
+          Alcotest.test_case "uncaught and handlers" `Quick test_exception_report;
+          Alcotest.test_case "dead handler" `Quick test_dead_handler_reported;
+        ] );
+      ("callgraph", [ Alcotest.test_case "dot export" `Quick test_callgraph_export ]);
+      ( "compare",
+        [
+          Alcotest.test_case "boxes delta" `Quick test_compare;
+          Alcotest.test_case "poly and reach" `Quick test_compare_poly_and_reach;
+        ] );
+      ("diagnostics", [ Alcotest.test_case "hotspots" `Quick test_diagnostics ]);
+      ("printers", [ Alcotest.test_case "smoke" `Quick test_printers_smoke ]);
+      ( "dl export",
+        [ Alcotest.test_case "matches native insens" `Quick test_dl_export_matches_native ] );
+    ]

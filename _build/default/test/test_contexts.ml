@@ -1,0 +1,210 @@
+(* Context-shape tests: for a crafted program, assert the exact context and
+   heap-context element sequences each flavor produces — the semantics of
+   the paper's Record/Merge constructors, observed end to end through the
+   solver. Also covers mixed-flavor configurations (§3's "some methods with
+   object-sensitivity, others with call-site-sensitivity"). *)
+
+module P = Ipa_ir.Program
+module Ctx = Ipa_core.Ctx
+module Flavors = Ipa_core.Flavors
+module Analysis = Ipa_core.Analysis
+module Solution = Ipa_core.Solution
+module Int_set = Ipa_support.Int_set
+
+let check = Alcotest.check
+
+(* main allocates two workers (sites W1, W2) and calls work() on each; work
+   calls helper() on this and allocates a result. *)
+let src = {|
+class Object { }
+class Result { }
+class Worker {
+  method work/0 () {
+    var r, t;
+    r = new Result;
+    t = this.helper();
+    return r;
+  }
+  method helper/0 () { return this; }
+}
+class Main {
+  static method main/0 () {
+    var w1, w2, r1, r2;
+    w1 = new Worker;
+    w2 = new Worker;
+    r1 = w1.work();
+    r2 = w2.work();
+  }
+}
+entry Main::main/0;
+|}
+
+let parse = Ipa_testlib.parse_exn
+
+(* decoded contexts of each reachable instance of [meth_name] *)
+let contexts_of (r : Analysis.result) meth_name =
+  let p = r.solution.program in
+  let out = ref [] in
+  Solution.iter_reachable r.solution (fun ~meth ~ctx ->
+      if (P.meth_info p meth).meth_name = meth_name then
+        out :=
+          Array.to_list
+            (Array.map (Ctx.Elem.to_string p) (Ctx.elems r.solution.ctxs ctx))
+          :: !out);
+  List.sort compare !out
+
+(* decoded heap contexts of every object allocated at sites of class [cls] *)
+let hctxs_of (r : Analysis.result) cls_name =
+  let p = r.solution.program in
+  let seen = ref [] in
+  Solution.iter_var_pts r.solution (fun ~var:_ ~ctx:_ ~heap ~hctx ->
+      if P.class_name p (P.heap_info p heap).heap_class = cls_name then begin
+        let decoded =
+          ( P.heap_full_name p heap,
+            Array.to_list (Array.map (Ctx.Elem.to_string p) (Ctx.elems r.solution.ctxs hctx)) )
+        in
+        if not (List.mem decoded !seen) then seen := decoded :: !seen
+      end);
+  List.sort compare !seen
+
+let w1 = "Main::main/new Worker#0"
+let w2 = "Main::main/new Worker#1"
+let site1 = "Main::main/call work#0"
+let site2 = "Main::main/call work#1"
+let helper_site = "Worker::work/call helper#0"
+
+let ctxs = Alcotest.(list (list string))
+
+let test_insens_contexts () =
+  let r = Analysis.run_plain (parse src) Flavors.Insensitive in
+  check ctxs "work has the empty context" [ [] ] (contexts_of r "work");
+  check ctxs "helper too" [ [] ] (contexts_of r "helper")
+
+let test_2objH_contexts () =
+  let r = Analysis.run_plain (parse src) (Flavors.Object_sens { depth = 2; heap = 1 }) in
+  (* work's context is its receiver's allocation site (depth 2 has nothing
+     more to add: the workers are allocated in the empty context) *)
+  check ctxs "work per receiver" [ [ w1 ]; [ w2 ] ] (contexts_of r "work");
+  (* helper is called on this, so its context is the same receiver *)
+  check ctxs "helper inherits receiver" [ [ w1 ]; [ w2 ] ] (contexts_of r "helper");
+  (* the Result allocation gets a 1-deep heap context: the allocating
+     method's context's first element *)
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string (Alcotest.list Alcotest.string)))
+    "result heap contexts"
+    [ ("Worker::work/new Result#0", [ w1 ]); ("Worker::work/new Result#0", [ w2 ]) ]
+    (hctxs_of r "Result")
+
+let test_2callH_contexts () =
+  let r = Analysis.run_plain (parse src) (Flavors.Call_site { depth = 2; heap = 1 }) in
+  (* work: one context per call site; helper: its (single) call site plus
+     the work call site — depth-2 chains *)
+  check ctxs "work per site" [ [ site1 ]; [ site2 ] ] (contexts_of r "work");
+  check ctxs "helper chains"
+    [ [ helper_site; site1 ]; [ helper_site; site2 ] ]
+    (contexts_of r "helper")
+
+let test_2typeH_contexts () =
+  let r = Analysis.run_plain (parse src) (Flavors.Type_sens { depth = 2; heap = 1 }) in
+  (* both workers are allocated in Main, so their type context element is the
+     class Main — the two receivers collapse *)
+  check ctxs "work collapses to the allocating class" [ [ "Main" ] ] (contexts_of r "work");
+  check ctxs "helper likewise" [ [ "Main" ] ] (contexts_of r "helper")
+
+let test_1objH_contexts () =
+  let r = Analysis.run_plain (parse src) (Flavors.Object_sens { depth = 1; heap = 1 }) in
+  check ctxs "depth 1 still separates receivers" [ [ w1 ]; [ w2 ] ] (contexts_of r "work")
+
+let test_mixed_flavors () =
+  (* default = 2callH everywhere, but the two work() call sites are refined
+     with 2objH: work runs under object contexts while helper (not refined)
+     falls back to call-site merging on top of them. *)
+  let p = parse src in
+  let work =
+    Option.get (P.find_meth p ~class_name:"Worker" ~name:"work" ~arity:0)
+  in
+  let skip_sites = Int_set.create () in
+  let skip_objects = Int_set.create () in
+  (* refine everything except: nothing — but we want ONLY the work sites
+     refined, so skip every other candidate pair *)
+  let base = Analysis.run_plain p Flavors.Insensitive in
+  Hashtbl.iter
+    (fun invo targets ->
+      Int_set.iter
+        (fun m ->
+          if m <> work then
+            ignore (Int_set.add skip_sites (Ipa_core.Refine.pack_site ~invo ~meth:m)))
+        targets)
+    (Solution.call_targets base.solution);
+  for h = 0 to P.n_heaps p - 1 do
+    ignore (Int_set.add skip_objects h)
+  done;
+  let r =
+    Analysis.run_mixed p
+      ~default:(Flavors.Call_site { depth = 2; heap = 1 })
+      ~refined:(Flavors.Object_sens { depth = 2; heap = 1 })
+      ~refine:(Ipa_core.Refine.All_except { skip_objects; skip_sites })
+  in
+  check Alcotest.string "label" "2callH+2objH" r.label;
+  (* work was merged object-sensitively *)
+  check ctxs "work object contexts" [ [ w1 ]; [ w2 ] ] (contexts_of r "work");
+  (* helper used the default call-site merge on top of the object context *)
+  check ctxs "helper mixes site onto object context"
+    [ [ helper_site; w1 ]; [ helper_site; w2 ] ]
+    (contexts_of r "helper")
+
+let test_hybrid_contexts () =
+  (* a static wrapper between main and the virtual call: hybrid pushes the
+     static call site AND keeps object elements for virtual dispatch *)
+  let src = {|
+class Object { }
+class Worker {
+  method work/0 () { var t; t = this.helper(); return this; }
+  method helper/0 () { return this; }
+}
+class Main {
+  static method go/1 (w) { var r; r = w.work(); return r; }
+  static method main/0 () {
+    var w1, r1;
+    w1 = new Worker;
+    r1 = Main::go(w1);
+  }
+}
+entry Main::main/0;
+|} in
+  let r = Analysis.run_plain (parse src) (Flavors.Hybrid { depth = 2; heap = 1 }) in
+  (* go's context is its (static) call site pushed onto main's empty ctx *)
+  check ctxs "static wrapper gets its site" [ [ "Main::main/scall go#0" ] ] (contexts_of r "go");
+  (* work is a virtual call: object-sensitive merge on the receiver *)
+  check ctxs "virtual merge is object-based" [ [ "Main::main/new Worker#0" ] ]
+    (contexts_of r "work")
+
+let test_mixed_none_is_default () =
+  (* run_mixed with empty refine sets must equal the plain default flavor *)
+  let p = parse src in
+  let mixed =
+    Analysis.run_mixed p
+      ~default:(Flavors.Call_site { depth = 2; heap = 1 })
+      ~refined:(Flavors.Object_sens { depth = 2; heap = 1 })
+      ~refine:Ipa_core.Refine.None_
+  in
+  let plain = Analysis.run_plain p (Flavors.Call_site { depth = 2; heap = 1 }) in
+  check (Alcotest.list Alcotest.string) "mixed/none = default plain"
+    (Ipa_testlib.canon_native plain.solution)
+    (Ipa_testlib.canon_native mixed.solution)
+
+let () =
+  Alcotest.run "contexts"
+    [
+      ( "shapes",
+        [
+          Alcotest.test_case "insens" `Quick test_insens_contexts;
+          Alcotest.test_case "2objH" `Quick test_2objH_contexts;
+          Alcotest.test_case "2callH" `Quick test_2callH_contexts;
+          Alcotest.test_case "2typeH" `Quick test_2typeH_contexts;
+          Alcotest.test_case "1objH" `Quick test_1objH_contexts;
+          Alcotest.test_case "mixed flavors" `Quick test_mixed_flavors;
+          Alcotest.test_case "hybrid" `Quick test_hybrid_contexts;
+          Alcotest.test_case "mixed none = default" `Quick test_mixed_none_is_default;
+        ] );
+    ]

@@ -1,0 +1,290 @@
+(* Tests for the exception analysis: throw/catch routing, chain ordering,
+   inter-procedural propagation, the uncaught-exceptions metric, and
+   context-sensitivity of exceptional flow. *)
+
+module P = Ipa_ir.Program
+module Analysis = Ipa_core.Analysis
+module Solution = Ipa_core.Solution
+module Precision = Ipa_core.Precision
+module Flavors = Ipa_core.Flavors
+module Int_set = Ipa_support.Int_set
+
+let check = Alcotest.check
+let parse = Ipa_testlib.parse_exn
+let insens = Flavors.Insensitive
+let obj2 = Flavors.Object_sens { depth = 2; heap = 1 }
+
+let pts_of (r : Analysis.result) meth_name var_name =
+  let p = r.solution.program in
+  let vpt = Solution.collapsed_var_pts r.solution in
+  let found = ref [] in
+  Array.iteri
+    (fun v set ->
+      let vi = P.var_info p v in
+      let mi = P.meth_info p vi.var_owner in
+      if mi.meth_name = meth_name && vi.var_name = var_name then
+        found := List.map (P.heap_full_name p) (Int_set.to_sorted_list set))
+    vpt;
+  !found
+
+let header = {|
+class Object { }
+class Exn extends Object { }
+class IoExn extends Exn { }
+class NetExn extends IoExn { }
+class MathExn extends Exn { }
+|}
+
+let run_src body = Analysis.run_plain (parse (header ^ body)) insens
+
+let test_local_catch () =
+  let r =
+    run_src
+      {|
+class Main {
+  static method main/0 () {
+    var e, caught;
+    catch (IoExn) caught;
+    e = new IoExn;
+    throw e;
+  }
+}
+entry Main::main/0;
+|}
+  in
+  check (Alcotest.list Alcotest.string) "caught locally" [ "Main::main/new IoExn#0" ]
+    (pts_of r "main" "caught");
+  check Alcotest.int "nothing escapes" 0 (Precision.compute r.solution).uncaught_exceptions
+
+let test_chain_ordering () =
+  let r =
+    run_src
+      {|
+class Main {
+  static method main/0 () {
+    var io, net, math, c_net, c_io, c_any;
+    catch (NetExn) c_net;
+    catch (IoExn) c_io;
+    catch (Exn) c_any;
+    io = new IoExn;
+    net = new NetExn;
+    math = new MathExn;
+    throw io;
+    throw net;
+    throw math;
+  }
+}
+entry Main::main/0;
+|}
+  in
+  (* NetExn goes to the first clause only; IoExn skips it and lands on the
+     second; MathExn falls through to the Exn clause. *)
+  check (Alcotest.list Alcotest.string) "first clause" [ "Main::main/new NetExn#1" ]
+    (pts_of r "main" "c_net");
+  check (Alcotest.list Alcotest.string) "second clause" [ "Main::main/new IoExn#0" ]
+    (pts_of r "main" "c_io");
+  check (Alcotest.list Alcotest.string) "fallthrough" [ "Main::main/new MathExn#2" ]
+    (pts_of r "main" "c_any");
+  check Alcotest.int "all caught" 0 (Precision.compute r.solution).uncaught_exceptions
+
+let test_propagation_to_caller () =
+  let r =
+    run_src
+      {|
+class Worker {
+  method work/0 () {
+    var e;
+    e = new IoExn;
+    throw e;
+    return this;
+  }
+}
+class Main {
+  static method main/0 () {
+    var w, r, caught;
+    catch (Exn) caught;
+    w = new Worker;
+    r = w.work();
+  }
+}
+entry Main::main/0;
+|}
+  in
+  check (Alcotest.list Alcotest.string) "escapes callee, caught in caller"
+    [ "Worker::work/new IoExn#0" ]
+    (pts_of r "main" "caught");
+  check Alcotest.int "none uncaught" 0 (Precision.compute r.solution).uncaught_exceptions
+
+let test_partial_catch_in_callee () =
+  let r =
+    run_src
+      {|
+class Worker {
+  method work/0 () {
+    var io, math, mine;
+    catch (MathExn) mine;
+    io = new IoExn;
+    math = new MathExn;
+    throw io;
+    throw math;
+    return this;
+  }
+}
+class Main {
+  static method main/0 () {
+    var w, r, caught;
+    catch (IoExn) caught;
+    w = new Worker;
+    r = w.work();
+  }
+}
+entry Main::main/0;
+|}
+  in
+  check (Alcotest.list Alcotest.string) "callee keeps its own"
+    [ "Worker::work/new MathExn#1" ]
+    (pts_of r "work" "mine");
+  check (Alcotest.list Alcotest.string) "caller gets the rest"
+    [ "Worker::work/new IoExn#0" ]
+    (pts_of r "main" "caught")
+
+let test_uncaught_reaches_entry () =
+  let r =
+    run_src
+      {|
+class Main {
+  static method boom/0 () {
+    var e;
+    e = new NetExn;
+    throw e;
+  }
+  static method main/0 () {
+    var io, c;
+    catch (MathExn) c;
+    Main::boom();
+  }
+}
+entry Main::main/0;
+|}
+  in
+  check Alcotest.int "one uncaught site" 1 (Precision.compute r.solution).uncaught_exceptions;
+  (* the escape is visible on the entry's exception node *)
+  let escaped = ref [] in
+  Solution.iter_exc_pts r.solution (fun ~meth ~ctx:_ ~heap ~hctx:_ ->
+      if (P.meth_info r.solution.program meth).meth_name = "main" then
+        escaped := P.heap_full_name r.solution.program heap :: !escaped);
+  check (Alcotest.list Alcotest.string) "escaped object" [ "Main::boom/new NetExn#0" ] !escaped
+
+let test_exception_context_sensitivity () =
+  (* Two handler objects run jobs that throw distinct exceptions through a
+     shared runner method. Insensitively both handlers see both exceptions;
+     object-sensitively each sees its own. *)
+  let src =
+    header
+    ^ {|
+class Job extends Object {
+  field payload;
+  method fire/0 () {
+    var e;
+    e = this.Job::payload;
+    throw e;
+    return this;
+  }
+}
+class Main {
+  static method run/1 (j) { var r, got; catch (Exn) got; r = j.fire(); return got; }
+  static method main/0 () {
+    var j1, j2, e1, e2, g1, g2;
+    j1 = new Job;
+    j2 = new Job;
+    e1 = new IoExn;
+    e2 = new MathExn;
+    j1.Job::payload = e1;
+    j2.Job::payload = e2;
+    g1 = Main::run(j1);
+    g2 = Main::run(j2);
+  }
+}
+entry Main::main/0;
+|}
+  in
+  let p = parse src in
+  let base = Analysis.run_plain p insens in
+  let full = Analysis.run_plain p Flavors.(Call_site { depth = 2; heap = 1 }) in
+  check Alcotest.int "insens conflates" 2 (List.length (pts_of base "main" "g1"));
+  check (Alcotest.list Alcotest.string) "2callH separates g1" [ "Main::main/new IoExn#2" ]
+    (pts_of full "main" "g1");
+  check (Alcotest.list Alcotest.string) "2callH separates g2" [ "Main::main/new MathExn#3" ]
+    (pts_of full "main" "g2")
+
+let test_exc_stats_and_roundtrip () =
+  let src =
+    header
+    ^ {|
+class Main {
+  static method main/0 () {
+    var e, c;
+    catch (MathExn) c;
+    e = new IoExn;
+    throw e;
+  }
+}
+entry Main::main/0;
+|}
+  in
+  let p = parse src in
+  (* pretty/parse round-trip preserves throw and catch *)
+  let printed = Ipa_ir.Pretty.program p in
+  let contains sub str =
+    let n = String.length str and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub str i m = sub || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "prints throw" true (contains "throw e;" printed);
+  check Alcotest.bool "prints catch" true (contains "catch (MathExn) c;" printed);
+  let p2 = parse printed in
+  let r1 = Analysis.run_plain p insens and r2 = Analysis.run_plain p2 insens in
+  check (Alcotest.list Alcotest.string) "roundtrip stable"
+    (Ipa_testlib.canon_native r1.solution)
+    (Ipa_testlib.canon_native r2.solution);
+  let st = Solution.stats r1.solution in
+  check Alcotest.int "exc tuples counted" 1 st.exc_tuples
+
+let test_soundness_with_exceptions () =
+  (* Context-refined exception flow stays within the insensitive one. *)
+  for seed = 300 to 307 do
+    let p = Ipa_testlib.random_program seed in
+    let base = Analysis.run_plain p insens in
+    let refined = Analysis.run_plain p obj2 in
+    let collect (s : Solution.t) =
+      let tbl = Hashtbl.create 16 in
+      Solution.iter_exc_pts s (fun ~meth ~ctx:_ ~heap ~hctx:_ ->
+          Hashtbl.replace tbl (meth, heap) ());
+      tbl
+    in
+    let b = collect base.solution and r = collect refined.solution in
+    Hashtbl.iter
+      (fun k () ->
+        if not (Hashtbl.mem b k) then Alcotest.failf "seed %d: exception flow grew" seed)
+      r
+  done
+
+let () =
+  Alcotest.run "exceptions"
+    [
+      ( "routing",
+        [
+          Alcotest.test_case "local catch" `Quick test_local_catch;
+          Alcotest.test_case "chain ordering" `Quick test_chain_ordering;
+          Alcotest.test_case "propagation to caller" `Quick test_propagation_to_caller;
+          Alcotest.test_case "partial catch in callee" `Quick test_partial_catch_in_callee;
+          Alcotest.test_case "uncaught reaches entry" `Quick test_uncaught_reaches_entry;
+        ] );
+      ( "precision",
+        [
+          Alcotest.test_case "context-sensitive exceptions" `Quick
+            test_exception_context_sensitivity;
+          Alcotest.test_case "stats and roundtrip" `Quick test_exc_stats_and_roundtrip;
+          Alcotest.test_case "soundness" `Quick test_soundness_with_exceptions;
+        ] );
+    ]

@@ -1,0 +1,300 @@
+(* Tests for the .jir front-end: lexer, parser, resolver, and round-trips. *)
+
+module Lexer = Ipa_frontend.Lexer
+module Parser = Ipa_frontend.Parser
+module Jir = Ipa_frontend.Jir
+module P = Ipa_ir.Program
+
+let check = Alcotest.check
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ---------- lexer ---------- *)
+
+let tokens src = Array.to_list (Array.map fst (Lexer.tokenize src))
+
+let test_lexer_tokens () =
+  check Alcotest.int "count" 9 (List.length (tokens "class Foo { field x ; } entry"));
+  (match tokens "a = b.c(d);" with
+  | [ Id "a"; Eq; Id "b"; Dot; Id "c"; Lparen; Id "d"; Rparen; Semi; Eof ] -> ()
+  | _ -> Alcotest.fail "call tokens");
+  (match tokens "A::f / 12" with
+  | [ Id "A"; Coloncolon; Id "f"; Slash; Int 12; Eof ] -> ()
+  | _ -> Alcotest.fail "coloncolon tokens")
+
+let test_lexer_keywords () =
+  match tokens "class interface extends implements field method static var new return entry" with
+  | [
+   Lexer.Kw_class;
+   Kw_interface;
+   Kw_extends;
+   Kw_implements;
+   Kw_field;
+   Kw_method;
+   Kw_static;
+   Kw_var;
+   Kw_new;
+   Kw_return;
+   Kw_entry;
+   Eof;
+  ] -> ()
+  | _ -> Alcotest.fail "keyword tokens"
+
+let test_lexer_comments () =
+  check Alcotest.int "line comment" 3 (List.length (tokens "a // zap zap\n b"));
+  check Alcotest.int "block comment" 3 (List.length (tokens "a /* zap\nzap */ b"));
+  check Alcotest.int "comment in comment" 2 (List.length (tokens "/* a // b */ c"))
+
+let test_lexer_positions () =
+  let toks = Lexer.tokenize "ab\n  cd" in
+  let _, (p1 : Ipa_frontend.Ast.pos) = toks.(0) in
+  let _, (p2 : Ipa_frontend.Ast.pos) = toks.(1) in
+  check Alcotest.int "line 1" 1 p1.line;
+  check Alcotest.int "col 1" 1 p1.col;
+  check Alcotest.int "line 2" 2 p2.line;
+  check Alcotest.int "col 3" 3 p2.col
+
+let expect_lex_error src fragment =
+  match Lexer.tokenize src with
+  | _ -> Alcotest.failf "expected lex error on %S" src
+  | exception Lexer.Lex_error (_, msg) ->
+    if not (contains msg fragment) then Alcotest.failf "message %S lacks %S" msg fragment
+
+let test_lexer_errors () =
+  expect_lex_error "a ? b" "unexpected character";
+  expect_lex_error "a : b" "expected '::'";
+  expect_lex_error "/* never closed" "unterminated block comment"
+
+(* ---------- parser ---------- *)
+
+let parse_ok src =
+  match Jir.parse_string src with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "unexpected error: %s" (Jir.error_to_string e)
+
+let expect_error src fragment =
+  match Jir.parse_string src with
+  | Ok _ -> Alcotest.failf "expected parse/resolve error (%s)" fragment
+  | Error e ->
+    if not (contains e.msg fragment) then
+      Alcotest.failf "error %S lacks %S" (Jir.error_to_string e) fragment
+
+let wrap body = Printf.sprintf {|
+class Object { }
+class A extends Object {
+  field f;
+  static field g;
+  method id/1 (x) { return x; }
+  static method mk/0 () { var o; o = new A; return o; }
+}
+class Main {
+  static method main/0 () {
+%s
+  }
+}
+entry Main::main/0;
+|} body
+
+let find_method p name =
+  let rec go m =
+    if m >= P.n_meths p then Alcotest.failf "no method %s" name
+    else if (P.meth_info p m).meth_name = name then m
+    else go (m + 1)
+  in
+  go 0
+
+let test_parser_statements () =
+  let p =
+    parse_ok
+      (wrap
+         {|
+    var a, b, c;
+    a = new A;
+    b = a;
+    c = (A) b;
+    b = a.A::f;
+    b = a.f;
+    a.A::f = b;
+    a.f = b;
+    b = A::g;
+    A::g = b;
+    c = a.id(b);
+    a.id(b);
+    c = A::mk();
+    A::mk();
+    return;
+  |})
+  in
+  let main_m = find_method p "main" in
+  (* 13 statements become instructions ([var] and bare [return] do not). *)
+  check Alcotest.int "instruction count" 13 (Array.length (P.meth_info p main_m).body)
+
+let test_parser_errors () =
+  expect_error (wrap "var a\n a = new A;") "expected ';'";
+  expect_error (wrap "var a; a = ;") "statement right-hand side";
+  expect_error (wrap "var a; a.;") "expected an identifier";
+  expect_error "class Object { junk }" "expected a member";
+  expect_error "class Object { method m/2 (x) { } }" "declares 1 parameters";
+  expect_error "interface I { method m/0 () { } }" "declares a method body";
+  expect_error "class Object { static method m/0; }" "abstract method m cannot be static"
+
+(* ---------- resolver ---------- *)
+
+let test_resolver_forward_refs () =
+  let p =
+    parse_ok
+      {|
+class Main {
+  static method main/0 () {
+    var b, r;
+    b = new B;
+    r = b.go();
+    r = Util::help(b);
+  }
+}
+class B extends A {
+  method go/0 () { return this; }
+}
+class Util {
+  static method help/1 (x) { return x; }
+}
+class A extends Object { }
+class Object { }
+entry Main::main/0;
+|}
+  in
+  check Alcotest.int "classes" 5 (P.n_classes p);
+  let a = Option.get (P.find_class p "A") in
+  let b = Option.get (P.find_class p "B") in
+  check Alcotest.bool "subtype across forward refs" true (P.subtype p ~sub:b ~super:a)
+
+let test_resolver_errors () =
+  expect_error "class A extends Nope { }" "unknown class or interface Nope";
+  expect_error "class A extends B { }\nclass B extends A { }" "cyclic class hierarchy";
+  expect_error "class A { }\nclass A { }" "duplicate class A";
+  expect_error (wrap "x = new A;") "unknown variable x";
+  expect_error (wrap "var a; a = new Zip;") "unknown class Zip";
+  expect_error (wrap "var a; a = a.nope;") "unknown field nope";
+  expect_error (wrap "var a; a = a.A::nope;") "declares no field nope";
+  expect_error (wrap "var a; a = A::huh();") "unknown method A::huh/0";
+  expect_error (wrap "var a, a;") "duplicate variable a";
+  expect_error "entry A::main/0;" "unknown class A";
+  expect_error "class A extends Object { }\nclass Object { }\nentry A::main/0;"
+    "unknown entry A::main/0"
+
+let test_resolver_ambiguous_field () =
+  expect_error
+    {|
+class Object { }
+class A extends Object { field f; }
+class B extends Object { field f; }
+class Main {
+  static method main/0 () { var a, x; a = new A; x = a.f; }
+}
+entry Main::main/0;
+|}
+    "ambiguous"
+
+let test_resolver_inherited_static_call () =
+  let p =
+    parse_ok
+      {|
+class Object { }
+class Base extends Object {
+  static method mk/0 () { var o; o = new Base; return o; }
+}
+class Derived extends Base { }
+class Main {
+  static method main/0 () { var o; o = Derived::mk(); }
+}
+entry Main::main/0;
+|}
+  in
+  check Alcotest.int "invos" 1 (P.n_invos p)
+
+let test_resolver_entry_inherited () =
+  let p =
+    parse_ok
+      {|
+class Object { }
+class Base extends Object {
+  static method main/0 () { var o; o = new Base; }
+}
+class App extends Base { }
+entry App::main/0;
+|}
+  in
+  check Alcotest.int "one entry" 1 (List.length (P.entries p))
+
+let test_parse_file_missing () =
+  match Jir.parse_file "/nonexistent/path.jir" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e -> check Alcotest.bool "io error reported" true (String.length e.msg > 0)
+
+(* ---------- round-trips ---------- *)
+
+let test_roundtrip_benchmarks () =
+  List.iter
+    (fun (spec : Ipa_synthetic.Dacapo.spec) ->
+      let p = Ipa_synthetic.Dacapo.build ~scale:0.02 spec in
+      let printed = Ipa_ir.Pretty.program p in
+      match Jir.parse_string printed with
+      | Error e -> Alcotest.failf "%s: reparse failed: %s" spec.name (Jir.error_to_string e)
+      | Ok p2 ->
+        check Alcotest.string (spec.name ^ " stable") printed (Ipa_ir.Pretty.program p2);
+        check Alcotest.int (spec.name ^ " classes") (P.n_classes p) (P.n_classes p2);
+        check Alcotest.int (spec.name ^ " meths") (P.n_meths p) (P.n_meths p2);
+        check Alcotest.int (spec.name ^ " heaps") (P.n_heaps p) (P.n_heaps p2))
+    Ipa_synthetic.Dacapo.all
+
+let test_roundtrip_preserves_analysis () =
+  (* Parsing the printed program must not change analysis results. *)
+  for seed = 20 to 24 do
+    let p = Ipa_testlib.random_program seed in
+    let p2 = Ipa_testlib.parse_exn (Ipa_ir.Pretty.program p) in
+    List.iter
+      (fun flavor ->
+        let r1 = Ipa_core.Analysis.run_plain p flavor in
+        let r2 = Ipa_core.Analysis.run_plain p2 flavor in
+        check
+          (Alcotest.list Alcotest.string)
+          (Printf.sprintf "seed %d results" seed)
+          (Ipa_testlib.canon_native r1.solution)
+          (Ipa_testlib.canon_native r2.solution))
+      [ Ipa_core.Flavors.Insensitive; Ipa_core.Flavors.Object_sens { depth = 2; heap = 1 } ]
+  done
+
+let () =
+  Alcotest.run "frontend"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "keywords" `Quick test_lexer_keywords;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "statements" `Quick test_parser_statements;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+        ] );
+      ( "resolver",
+        [
+          Alcotest.test_case "forward refs" `Quick test_resolver_forward_refs;
+          Alcotest.test_case "errors" `Quick test_resolver_errors;
+          Alcotest.test_case "ambiguous field" `Quick test_resolver_ambiguous_field;
+          Alcotest.test_case "inherited static call" `Quick test_resolver_inherited_static_call;
+          Alcotest.test_case "inherited entry" `Quick test_resolver_entry_inherited;
+          Alcotest.test_case "missing file" `Quick test_parse_file_missing;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "benchmarks" `Quick test_roundtrip_benchmarks;
+          Alcotest.test_case "analysis preserved" `Quick test_roundtrip_preserves_analysis;
+        ] );
+    ]

@@ -1,0 +1,73 @@
+(* Golden regression tests: exact, deterministic result counts on generated
+   benchmarks at a fixed scale. Derivation counts, relation sizes, and every
+   precision metric are fully deterministic (no wall-clock dependence), so
+   any change here is a semantic change to the solver, the motifs, or the
+   metrics — which must be deliberate. Update the table when one is. *)
+
+module F = Ipa_core.Flavors
+
+let check = Alcotest.check
+
+type gold = {
+  bench : string;
+  flavor : F.spec;
+  derivations : int;
+  vpt : int;
+  poly : int;
+  reach : int;
+  casts : int;
+  uncaught : int;
+  cg : int;
+}
+
+let insens = F.Insensitive
+let obj2 = F.Object_sens { depth = 2; heap = 1 }
+let call2 = F.Call_site { depth = 2; heap = 1 }
+let type2 = F.Type_sens { depth = 2; heap = 1 }
+
+let table =
+  [
+    (* bench, flavor, derivations, vpt, poly, reach, casts, uncaught, cg *)
+    ("chart", insens, 4606, 3630, 26, 277, 13, 2, 496);
+    ("chart", obj2, 7307, 6437, 2, 250, 0, 2, 345);
+    ("chart", call2, 15648, 14695, 2, 250, 0, 2, 345);
+    ("chart", type2, 4295, 3470, 2, 250, 2, 2, 345);
+    ("hsqldb", insens, 22382, 20200, 17, 496, 7, 1, 932);
+    ("hsqldb", obj2, 190982, 188463, 1, 481, 0, 1, 873);
+    ("hsqldb", call2, 365979, 363051, 1, 481, 0, 1, 873);
+    ("hsqldb", type2, 22259, 20136, 1, 481, 0, 1, 873);
+  ]
+  |> List.map (fun (bench, flavor, derivations, vpt, poly, reach, casts, uncaught, cg) ->
+         { bench; flavor; derivations; vpt; poly; reach; casts; uncaught; cg })
+
+let test_golden () =
+  let programs = Hashtbl.create 4 in
+  List.iter
+    (fun g ->
+      let p =
+        match Hashtbl.find_opt programs g.bench with
+        | Some p -> p
+        | None ->
+          let p =
+            Ipa_synthetic.Dacapo.build ~scale:0.1
+              (Option.get (Ipa_synthetic.Dacapo.find g.bench))
+          in
+          Hashtbl.add programs g.bench p;
+          p
+      in
+      let r = Ipa_core.Analysis.run_plain p g.flavor in
+      let prec = Ipa_core.Precision.compute r.solution in
+      let st = Ipa_core.Solution.stats r.solution in
+      let label what = Printf.sprintf "%s/%s %s" g.bench (F.to_string g.flavor) what in
+      check Alcotest.int (label "derivations") g.derivations r.solution.derivations;
+      check Alcotest.int (label "vpt") g.vpt st.vpt_tuples;
+      check Alcotest.int (label "poly") g.poly prec.poly_vcalls;
+      check Alcotest.int (label "reach") g.reach prec.reachable_methods;
+      check Alcotest.int (label "casts") g.casts prec.may_fail_casts;
+      check Alcotest.int (label "uncaught") g.uncaught prec.uncaught_exceptions;
+      check Alcotest.int (label "cg") g.cg prec.call_edges)
+    table
+
+let () =
+  Alcotest.run "golden"
+    [ ("counts", [ Alcotest.test_case "frozen benchmark results" `Quick test_golden ]) ]

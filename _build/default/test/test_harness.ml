@@ -1,0 +1,114 @@
+(* Tests for the experiment harness at tiny scale. *)
+
+module E = Ipa_harness.Experiments
+module Config = Ipa_harness.Config
+module Flavors = Ipa_core.Flavors
+
+let check = Alcotest.check
+
+let tiny : Config.t = { scale = 0.02; budget = 2_000_000 }
+
+let test_config_default () =
+  check Alcotest.bool "scale" true (Config.default.scale = 1.0);
+  check Alcotest.int "budget" 10_000_000 Config.default.budget
+
+let test_fig1 () =
+  let runs = E.Fig1.compute tiny in
+  check Alcotest.int "two runs per benchmark" 18 (List.length runs);
+  List.iter
+    (fun (r : E.run) ->
+      check Alcotest.bool (r.bench ^ " completes at tiny scale") false r.timed_out;
+      check Alcotest.bool "precision present" true (r.precision <> None))
+    runs;
+  let analyses = List.sort_uniq compare (List.map (fun (r : E.run) -> r.analysis) runs) in
+  check (Alcotest.list Alcotest.string) "analyses" [ "2objH"; "insens" ] analyses
+
+let test_fig4 () =
+  let rows = E.Fig4.compute tiny in
+  check Alcotest.int "7 + average" 8 (List.length rows);
+  let last = List.nth rows 7 in
+  check Alcotest.string "average row" "average" last.bench;
+  List.iter
+    (fun (r : E.Fig4.row) ->
+      let in_range x = x >= 0.0 && x <= 100.0 in
+      if
+        not
+          (in_range r.a_sites_pct && in_range r.b_sites_pct && in_range r.a_objects_pct
+          && in_range r.b_objects_pct)
+      then Alcotest.failf "%s: percentage out of range" r.bench)
+    rows;
+  (* the average row is the mean of the others *)
+  let body = List.filteri (fun i _ -> i < 7) rows in
+  let mean f = List.fold_left (fun a r -> a +. f r) 0.0 body /. 7.0 in
+  check (Alcotest.float 0.001) "average correct" (mean (fun r -> r.E.Fig4.a_sites_pct))
+    last.a_sites_pct
+
+let test_figs567 () =
+  let runs = E.Figs567.compute tiny (Flavors.Object_sens { depth = 2; heap = 1 }) in
+  check Alcotest.int "4 runs x 6 benchmarks" 24 (List.length runs);
+  let labels =
+    List.sort_uniq compare (List.map (fun (r : E.run) -> r.analysis) runs)
+  in
+  check
+    (Alcotest.list Alcotest.string)
+    "labels"
+    [ "2objH"; "2objH-IntroA"; "2objH-IntroB"; "insens" ]
+    labels
+
+let test_run_to_row () =
+  let row =
+    E.run_to_row
+      {
+        bench = "x";
+        analysis = "2objH";
+        seconds = 1.5;
+        derivations = 42;
+        timed_out = false;
+        precision = None;
+      }
+  in
+  check (Alcotest.list Alcotest.string) "row" [ "2objH"; "1.50"; "42"; "-"; "-"; "-" ] row;
+  let row =
+    E.run_to_row
+      {
+        bench = "x";
+        analysis = "2objH";
+        seconds = 99.0;
+        derivations = 7;
+        timed_out = true;
+        precision = None;
+      }
+  in
+  check Alcotest.string "timeout cell" "timeout" (List.nth row 1)
+
+let test_ablation_smoke () =
+  (* The ablation studies must run end-to-end at tiny scale. *)
+  let cfg : Config.t = { scale = 0.02; budget = 1_000_000 } in
+  Ipa_harness.Ablation.grid cfg;
+  Ipa_harness.Ablation.components cfg
+
+let test_timeouts_render () =
+  (* With an absurdly small budget everything times out and compute still
+     returns well-formed rows. *)
+  let cfg : Config.t = { scale = 0.02; budget = 10 } in
+  let runs = E.Fig1.compute cfg in
+  List.iter
+    (fun (r : E.run) ->
+      check Alcotest.bool "timed out" true r.timed_out;
+      check Alcotest.bool "no precision" true (r.precision = None))
+    runs
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "experiments",
+        [
+          Alcotest.test_case "config" `Quick test_config_default;
+          Alcotest.test_case "fig1" `Slow test_fig1;
+          Alcotest.test_case "fig4" `Slow test_fig4;
+          Alcotest.test_case "figs567" `Slow test_figs567;
+          Alcotest.test_case "run_to_row" `Quick test_run_to_row;
+          Alcotest.test_case "timeouts" `Quick test_timeouts_render;
+          Alcotest.test_case "ablation smoke" `Slow test_ablation_smoke;
+        ] );
+    ]

@@ -1,0 +1,382 @@
+(* Randomized property tests across the stack:
+   - the semi-naive Datalog engine against a naive reference evaluator on
+     randomly generated rule/fact instances;
+   - subtyping on random hierarchies against graph reachability;
+   - catch-chain routing against its first-match specification;
+   - context-table algebra;
+   - facts-dump diffing;
+   - solver determinism and budget monotonicity;
+   - parser robustness on truncated inputs. *)
+
+module P = Ipa_ir.Program
+module B = Ipa_ir.Builder
+module Ctx = Ipa_core.Ctx
+module Relation = Ipa_datalog.Relation
+module Rule = Ipa_datalog.Rule
+module Engine = Ipa_datalog.Engine
+module Splitmix = Ipa_support.Splitmix
+
+let check = Alcotest.check
+
+let qtest ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---------- Datalog engine vs naive reference ---------- *)
+
+(* Mini rule representation shared by the engine encoding and the naive
+   evaluator: three binary relations r0..r2; a rule derives into one of them
+   from up to two body atoms. *)
+type mini_term = V of int | C of int
+type mini_rule = { head : int * mini_term array; body : (int * mini_term array) list }
+
+let naive_eval (facts : (int * (int * int)) list) (rules : mini_rule list) =
+  let tuples = Array.make 3 [] in
+  List.iter (fun (r, t) -> if not (List.mem t tuples.(r)) then tuples.(r) <- t :: tuples.(r)) facts;
+  let lookup env = function V i -> env.(i) | C c -> c in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun { head = hrel, hterms; body } ->
+        (* enumerate all bindings of up to 3 variables over the body *)
+        let rec go env = function
+          | [] ->
+            let tup = (lookup env hterms.(0), lookup env hterms.(1)) in
+            if not (List.mem tup tuples.(hrel)) then begin
+              tuples.(hrel) <- tup :: tuples.(hrel);
+              changed := true
+            end
+          | (brel, bterms) :: rest ->
+            List.iter
+              (fun (x, y) ->
+                let bind env t value =
+                  match t with
+                  | C c -> if c = value then Some env else None
+                  | V i ->
+                    if env.(i) = -1 then begin
+                      let env' = Array.copy env in
+                      env'.(i) <- value;
+                      Some env'
+                    end
+                    else if env.(i) = value then Some env
+                    else None
+                in
+                match bind env bterms.(0) x with
+                | None -> ()
+                | Some env -> (
+                  match bind env bterms.(1) y with
+                  | None -> ()
+                  | Some env -> go env rest))
+              tuples.(brel)
+        in
+        go (Array.make 3 (-1)) body)
+      rules
+  done;
+  Array.map (List.sort_uniq compare) tuples
+
+let engine_eval facts rules =
+  let rels = Array.init 3 (fun i -> Relation.create ~name:(Printf.sprintf "r%d" i) ~arity:2) in
+  List.iter (fun (r, (x, y)) -> ignore (Relation.add rels.(r) [| x; y |])) facts;
+  let term = function V i -> Rule.Var i | C c -> Rule.Const c in
+  let conv (r, ts) = (rels.(r), Array.map term ts) in
+  let engine_rules =
+    List.map
+      (fun { head; body } -> Rule.make ~n_vars:3 ~heads:[ conv head ] ~body:(List.map conv body) ())
+      rules
+  in
+  ignore (Engine.fixpoint engine_rules);
+  Array.map
+    (fun rel ->
+      List.sort_uniq compare (List.map (fun t -> (t.(0), t.(1))) (Relation.to_list rel)))
+    rels
+
+(* Random mini-rule whose head variables are all bound by the body. *)
+let gen_mini_rule rng =
+  let gen_term () = if Splitmix.chance rng 0.2 then C (Splitmix.int rng 4) else V (Splitmix.int rng 3) in
+  let gen_atom () = (Splitmix.int rng 3, [| gen_term (); gen_term () |]) in
+  let body = List.init (1 + Splitmix.int rng 2) (fun _ -> gen_atom ()) in
+  let bound = Array.make 3 false in
+  List.iter
+    (fun (_, ts) -> Array.iter (function V i -> bound.(i) <- true | C _ -> ()) ts)
+    body;
+  let head_term () =
+    let candidates = List.filter (fun i -> bound.(i)) [ 0; 1; 2 ] in
+    if candidates = [] || Splitmix.chance rng 0.15 then C (Splitmix.int rng 4)
+    else V (List.nth candidates (Splitmix.int rng (List.length candidates)))
+  in
+  { head = (Splitmix.int rng 3, [| head_term (); head_term () |]); body }
+
+let test_engine_vs_naive () =
+  for seed = 1 to 120 do
+    let rng = Splitmix.create (9000 + seed) in
+    let facts =
+      List.init (2 + Splitmix.int rng 8) (fun _ ->
+          (Splitmix.int rng 3, (Splitmix.int rng 4, Splitmix.int rng 4)))
+    in
+    let rules = List.init (1 + Splitmix.int rng 3) (fun _ -> gen_mini_rule rng) in
+    let expected = naive_eval facts rules in
+    let got = engine_eval facts rules in
+    for r = 0 to 2 do
+      if expected.(r) <> got.(r) then
+        Alcotest.failf "seed %d relation %d: naive %d tuples, engine %d" seed r
+          (List.length expected.(r))
+          (List.length got.(r))
+    done
+  done
+
+(* ---------- subtyping vs reachability ---------- *)
+
+let test_random_hierarchy_subtype () =
+  for seed = 1 to 40 do
+    let rng = Splitmix.create (7000 + seed) in
+    let n = 4 + Splitmix.int rng 10 in
+    let b = B.create () in
+    let root = B.add_class b "Root" in
+    let ids = Array.make (n + 1) root in
+    let parent = Array.make (n + 1) 0 in
+    for i = 1 to n do
+      let super_idx = Splitmix.int rng i in
+      parent.(i) <- super_idx;
+      ids.(i) <- B.add_class b ~super:ids.(super_idx) (Printf.sprintf "K%d" i)
+    done;
+    let main = B.add_method b ~owner:root ~name:"main" ~static:true ~params:[] () in
+    B.add_entry b main;
+    let p = B.finish b in
+    (* reference: walk parent pointers *)
+    let rec ancestor sub sup = sub = sup || (sub <> 0 && ancestor parent.(sub) sup) in
+    for i = 0 to n do
+      for j = 0 to n do
+        if P.subtype p ~sub:ids.(i) ~super:ids.(j) <> ancestor i j then
+          Alcotest.failf "seed %d: subtype(%d, %d) disagrees" seed i j
+      done
+    done
+  done
+
+(* ---------- catch routing ---------- *)
+
+let test_catch_route_spec () =
+  for seed = 1 to 40 do
+    let rng = Splitmix.create (6000 + seed) in
+    let b = B.create () in
+    let root = B.add_class b "Root" in
+    let classes =
+      Array.init 8 (fun i ->
+          B.add_class b
+            ~super:(if i = 0 || Splitmix.bool rng then root else root)
+            (Printf.sprintf "E%d" i))
+    in
+    (* chain a few subclass relationships *)
+    let sub1 = B.add_class b ~super:classes.(0) "Sub1" in
+    let sub2 = B.add_class b ~super:sub1 "Sub2" in
+    let all = Array.append classes [| root; sub1; sub2 |] in
+    let m = B.add_method b ~owner:root ~name:"m" ~static:true ~params:[] () in
+    let n_clauses = 1 + Splitmix.int rng 4 in
+    let clause_types =
+      Array.init n_clauses (fun i ->
+          let cls = Splitmix.choose rng all in
+          let v = B.add_var b m (Printf.sprintf "c%d" i) in
+          B.add_catch b m ~cls ~var:v;
+          cls)
+    in
+    B.add_entry b m;
+    let p = B.finish b in
+    Array.iter
+      (fun thrown ->
+        let expected =
+          let rec first i =
+            if i >= n_clauses then None
+            else if P.subtype p ~sub:thrown ~super:clause_types.(i) then Some i
+            else first (i + 1)
+          in
+          first 0
+        in
+        if P.catch_route p m thrown <> expected then
+          Alcotest.failf "seed %d: route disagrees for class %d" seed thrown)
+      all
+  done
+
+(* ---------- context algebra ---------- *)
+
+let prop_ctx_push_trunc =
+  qtest "push_trunc keeps a bounded prefix"
+    QCheck2.Gen.(pair (list (int_bound 50)) (int_range 1 4))
+    (fun (elems, keep) ->
+      let t = Ctx.create () in
+      let final =
+        List.fold_left
+          (fun ctx e -> Ctx.push_trunc t ctx ~elem:(Ctx.Elem.heap e) ~keep)
+          Ctx.empty elems
+      in
+      let got = Array.to_list (Array.map Ctx.Elem.id (Ctx.elems t final)) in
+      let expected =
+        let rev = List.rev elems in
+        List.filteri (fun i _ -> i < keep) rev
+      in
+      got = expected)
+
+let prop_ctx_intern_stable =
+  qtest "intern is injective on element sequences"
+    QCheck2.Gen.(pair (list_size (int_bound 4) (int_bound 100)) (list_size (int_bound 4) (int_bound 100)))
+    (fun (a, b) ->
+      let t = Ctx.create () in
+      let ia = Ctx.intern t (Array.of_list (List.map Ctx.Elem.invo a)) in
+      let ib = Ctx.intern t (Array.of_list (List.map Ctx.Elem.invo b)) in
+      (ia = ib) = (a = b))
+
+(* ---------- facts dump ---------- *)
+
+let prop_facts_diff =
+  let module FD = Ipa_clients.Facts_dump in
+  qtest "diff of sorted unique lists is set difference"
+    QCheck2.Gen.(pair (list (int_bound 30)) (list (int_bound 30)))
+    (fun (a, b) ->
+      let sa = List.sort_uniq compare (List.map string_of_int a) in
+      let sb = List.sort_uniq compare (List.map string_of_int b) in
+      let only_a, only_b = FD.diff sa sb in
+      only_a = List.filter (fun x -> not (List.mem x sb)) sa
+      && only_b = List.filter (fun x -> not (List.mem x sa)) sb)
+
+let test_facts_dump_engines_agree () =
+  (* The collapsed dump of the native solver equals nothing missing vs the
+     solution's own accessors, and dumps are stable across runs. *)
+  for seed = 400 to 404 do
+    let p = Ipa_testlib.random_program seed in
+    let r1 = Ipa_core.Analysis.run_plain p Ipa_core.Flavors.Insensitive in
+    let r2 = Ipa_core.Analysis.run_plain p Ipa_core.Flavors.Insensitive in
+    check (Alcotest.list Alcotest.string)
+      (Printf.sprintf "stable %d" seed)
+      (Ipa_clients.Facts_dump.full_lines r1.solution)
+      (Ipa_clients.Facts_dump.full_lines r2.solution)
+  done
+
+(* ---------- solver determinism and budget ---------- *)
+
+let test_budget_monotone () =
+  let p = Ipa_testlib.parse_exn Ipa_testlib.boxes_src in
+  let full = Ipa_core.Analysis.run_plain p Ipa_core.Flavors.Insensitive in
+  let total = full.solution.derivations in
+  (* any budget >= total completes with identical results *)
+  let again = Ipa_core.Analysis.run_plain ~budget:total p Ipa_core.Flavors.Insensitive in
+  check Alcotest.bool "exact budget completes" false again.timed_out;
+  check (Alcotest.list Alcotest.string) "same result"
+    (Ipa_testlib.canon_native full.solution)
+    (Ipa_testlib.canon_native again.solution);
+  (* any smaller budget times out at exactly budget+1 derivations *)
+  for b = 1 to min 20 (total - 1) do
+    let r = Ipa_core.Analysis.run_plain ~budget:b p Ipa_core.Flavors.Insensitive in
+    check Alcotest.bool "times out" true r.timed_out;
+    check Alcotest.int "deterministic cutoff" (b + 1) r.solution.derivations
+  done
+
+(* ---------- solver configuration invariants ---------- *)
+
+let config_with p flavor ~order ~field_sensitive : Ipa_core.Solver.config =
+  {
+    default_strategy = Ipa_core.Flavors.strategy p flavor;
+    refined_strategy = Ipa_core.Flavors.strategy p flavor;
+    refine = Ipa_core.Refine.None_;
+    budget = 0;
+    order;
+    field_sensitive;
+  }
+
+let test_worklist_order_independence () =
+  (* LIFO and FIFO must compute the same fixpoint on random programs and on
+     a generated benchmark, for several flavors. *)
+  let programs =
+    List.init 6 (fun i -> Ipa_testlib.random_program (500 + i))
+    @ [ Ipa_synthetic.Dacapo.build ~scale:0.03 (Option.get (Ipa_synthetic.Dacapo.find "chart")) ]
+  in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun flavor ->
+          let lifo =
+            Ipa_core.Solver.run p (config_with p flavor ~order:Lifo ~field_sensitive:true)
+          in
+          let fifo =
+            Ipa_core.Solver.run p (config_with p flavor ~order:Fifo ~field_sensitive:true)
+          in
+          check (Alcotest.list Alcotest.string) "order independent"
+            (Ipa_testlib.canon_native lifo) (Ipa_testlib.canon_native fifo))
+        [ Ipa_core.Flavors.Insensitive; Ipa_core.Flavors.Object_sens { depth = 2; heap = 1 } ])
+    programs
+
+let test_field_based_coarser () =
+  (* The field-based degradation must over-approximate the field-sensitive
+     result: every field-sensitive var fact also holds field-based. *)
+  for seed = 520 to 526 do
+    let p = Ipa_testlib.random_program seed in
+    let flavor = Ipa_core.Flavors.Insensitive in
+    let fs = Ipa_core.Solver.run p (config_with p flavor ~order:Lifo ~field_sensitive:true) in
+    let fb = Ipa_core.Solver.run p (config_with p flavor ~order:Lifo ~field_sensitive:false) in
+    let collapse (s : Ipa_core.Solution.t) =
+      let tbl = Hashtbl.create 64 in
+      Ipa_core.Solution.iter_var_pts s (fun ~var ~ctx:_ ~heap ~hctx:_ ->
+          Hashtbl.replace tbl (var, heap) ());
+      tbl
+    in
+    let precise = collapse fs and coarse = collapse fb in
+    Hashtbl.iter
+      (fun k () ->
+        if not (Hashtbl.mem coarse k) then
+          Alcotest.failf "seed %d: field-based lost a fact" seed)
+      precise
+  done;
+  (* and it must actually be coarser somewhere: the boxes program conflates *)
+  let p = Ipa_testlib.parse_exn Ipa_testlib.boxes_src in
+  let flavor = Ipa_core.Flavors.Object_sens { depth = 2; heap = 1 } in
+  let fs = Ipa_core.Solver.run p (config_with p flavor ~order:Lifo ~field_sensitive:true) in
+  let fb = Ipa_core.Solver.run p (config_with p flavor ~order:Lifo ~field_sensitive:false) in
+  let count (s : Ipa_core.Solution.t) = (Ipa_core.Solution.stats s).vpt_tuples in
+  check Alcotest.bool "field-based is coarser on boxes" true (count fb > count fs)
+
+(* ---------- parser robustness ---------- *)
+
+let test_parser_truncation_fuzz () =
+  let spec = Option.get (Ipa_synthetic.Dacapo.find "antlr") in
+  let src = Ipa_ir.Pretty.program (Ipa_synthetic.Dacapo.build ~scale:0.02 spec) in
+  let n = String.length src in
+  let rng = Splitmix.create 4242 in
+  for _ = 1 to 200 do
+    let cut = Splitmix.int rng n in
+    let mutated = String.sub src 0 cut in
+    (* must return, never raise *)
+    match Ipa_frontend.Jir.parse_string mutated with
+    | Ok _ | Error _ -> ()
+  done;
+  (* random single-character corruption *)
+  for _ = 1 to 200 do
+    let i = Splitmix.int rng n in
+    let ch = Splitmix.choose rng [| '{'; '}'; ';'; ':'; '('; 'x'; '9'; '.'; '$' |] in
+    let mutated = Bytes.of_string src in
+    Bytes.set mutated i ch;
+    match Ipa_frontend.Jir.parse_string (Bytes.to_string mutated) with
+    | Ok _ | Error _ -> ()
+  done
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "datalog",
+        [ Alcotest.test_case "engine vs naive reference" `Slow test_engine_vs_naive ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "random subtyping" `Quick test_random_hierarchy_subtype;
+          Alcotest.test_case "catch routing spec" `Quick test_catch_route_spec;
+        ] );
+      ("ctx", [ prop_ctx_push_trunc; prop_ctx_intern_stable ]);
+      ( "facts",
+        [
+          prop_facts_diff;
+          Alcotest.test_case "dump stability" `Quick test_facts_dump_engines_agree;
+        ] );
+      ( "solver",
+        [
+          Alcotest.test_case "budget determinism" `Quick test_budget_monotone;
+          Alcotest.test_case "worklist order independence" `Quick
+            test_worklist_order_independence;
+          Alcotest.test_case "field-based coarser" `Quick test_field_based_coarser;
+        ] );
+      ("parser", [ Alcotest.test_case "truncation fuzz" `Slow test_parser_truncation_fuzz ]);
+    ]

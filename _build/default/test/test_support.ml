@@ -1,0 +1,265 @@
+(* Unit and property tests for the support data structures. *)
+
+module Dynarr = Ipa_support.Dynarr
+module Int_set = Ipa_support.Int_set
+module Interner = Ipa_support.Interner
+module Pair_tbl = Ipa_support.Pair_tbl
+module Splitmix = Ipa_support.Splitmix
+module Ascii_table = Ipa_support.Ascii_table
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---------- Dynarr ---------- *)
+
+let test_dynarr_basic () =
+  let d = Dynarr.create ~dummy:0 () in
+  check Alcotest.bool "empty" true (Dynarr.is_empty d);
+  check Alcotest.int "len 0" 0 (Dynarr.length d);
+  Dynarr.push d 10;
+  Dynarr.push d 20;
+  check Alcotest.int "len 2" 2 (Dynarr.length d);
+  check Alcotest.int "get 0" 10 (Dynarr.get d 0);
+  check Alcotest.int "get 1" 20 (Dynarr.get d 1);
+  Dynarr.set d 0 99;
+  check Alcotest.int "set" 99 (Dynarr.get d 0);
+  check Alcotest.int "push_get_index" 2 (Dynarr.push_get_index d 30);
+  check (Alcotest.option Alcotest.int) "pop" (Some 30) (Dynarr.pop d);
+  check Alcotest.int "len after pop" 2 (Dynarr.length d)
+
+let test_dynarr_bounds () =
+  let d = Dynarr.of_list ~dummy:0 [ 1; 2; 3 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Dynarr.get: index 3 out of bounds [0,3)")
+    (fun () -> ignore (Dynarr.get d 3));
+  Alcotest.check_raises "get neg" (Invalid_argument "Dynarr.get: index -1 out of bounds [0,3)")
+    (fun () -> ignore (Dynarr.get d (-1)));
+  Alcotest.check_raises "set oob" (Invalid_argument "Dynarr.set: index 5 out of bounds [0,3)")
+    (fun () -> Dynarr.set d 5 0)
+
+let test_dynarr_growth () =
+  let d = Dynarr.create ~capacity:1 ~dummy:(-1) () in
+  for i = 0 to 9999 do
+    Dynarr.push d i
+  done;
+  check Alcotest.int "len" 10000 (Dynarr.length d);
+  let ok = ref true in
+  Dynarr.iteri (fun i x -> if i <> x then ok := false) d;
+  check Alcotest.bool "contents" true !ok;
+  check Alcotest.int "fold" (9999 * 10000 / 2) (Dynarr.fold_left ( + ) 0 d);
+  Dynarr.clear d;
+  check Alcotest.int "cleared" 0 (Dynarr.length d);
+  check (Alcotest.option Alcotest.int) "pop empty" None (Dynarr.pop d)
+
+let test_dynarr_conversions () =
+  let d = Dynarr.of_list ~dummy:"" [ "a"; "b"; "c" ] in
+  check (Alcotest.list Alcotest.string) "to_list" [ "a"; "b"; "c" ] (Dynarr.to_list d);
+  check (Alcotest.array Alcotest.string) "to_array" [| "a"; "b"; "c" |] (Dynarr.to_array d);
+  check Alcotest.bool "exists yes" true (Dynarr.exists (String.equal "b") d);
+  check Alcotest.bool "exists no" false (Dynarr.exists (String.equal "z") d)
+
+(* ---------- Int_set ---------- *)
+
+let test_int_set_basic () =
+  let s = Int_set.create () in
+  check Alcotest.bool "add new" true (Int_set.add s 5);
+  check Alcotest.bool "add dup" false (Int_set.add s 5);
+  check Alcotest.bool "mem" true (Int_set.mem s 5);
+  check Alcotest.bool "not mem" false (Int_set.mem s 6);
+  check Alcotest.int "cardinal" 1 (Int_set.cardinal s);
+  check Alcotest.bool "mem zero absent" false (Int_set.mem s 0);
+  ignore (Int_set.add s 0);
+  check Alcotest.bool "mem zero present" true (Int_set.mem s 0);
+  Alcotest.check_raises "negative" (Invalid_argument "Int_set.add: negative element") (fun () ->
+      ignore (Int_set.add s (-1)))
+
+let test_int_set_resize () =
+  let s = Int_set.create ~capacity:2 () in
+  for i = 0 to 99_999 do
+    ignore (Int_set.add s (i * 3))
+  done;
+  check Alcotest.int "cardinal" 100_000 (Int_set.cardinal s);
+  check Alcotest.bool "mem mid" true (Int_set.mem s 149_999 || Int_set.mem s 150_000);
+  check Alcotest.bool "mem 3k" true (Int_set.mem s 299_997);
+  check Alcotest.bool "non-multiple" false (Int_set.mem s 299_998)
+
+let test_int_set_ops () =
+  let a = Int_set.of_list [ 1; 2; 3 ] in
+  let b = Int_set.of_list [ 1; 2; 3; 4 ] in
+  check Alcotest.bool "subset" true (Int_set.subset a b);
+  check Alcotest.bool "not subset" false (Int_set.subset b a);
+  check Alcotest.bool "not equal" false (Int_set.equal a b);
+  let c = Int_set.copy a in
+  check Alcotest.bool "copy equal" true (Int_set.equal a c);
+  ignore (Int_set.add c 9);
+  check Alcotest.bool "copy independent" false (Int_set.mem a 9);
+  check (Alcotest.list Alcotest.int) "sorted" [ 1; 2; 3 ] (Int_set.to_sorted_list a);
+  Int_set.clear c;
+  check Alcotest.int "clear" 0 (Int_set.cardinal c);
+  check Alcotest.int "fold" 6 (Int_set.fold ( + ) a 0);
+  check Alcotest.bool "exists" true (Int_set.exists (fun x -> x = 2) a);
+  check Alcotest.bool "exists no" false (Int_set.exists (fun x -> x > 5) a)
+
+let prop_int_set_vs_stdlib =
+  let module S = Set.Make (Int) in
+  qtest "int_set matches stdlib Set"
+    QCheck2.Gen.(list (int_bound 500))
+    (fun xs ->
+      let s = Int_set.create () in
+      let reference =
+        List.fold_left
+          (fun acc x ->
+            let added = Int_set.add s x in
+            if added = S.mem x acc then QCheck2.Test.fail_report "add/mem disagree";
+            S.add x acc)
+          S.empty xs
+      in
+      Int_set.cardinal s = S.cardinal reference
+      && S.for_all (Int_set.mem s) reference
+      && List.sort_uniq compare xs = Int_set.to_sorted_list s)
+
+(* ---------- Interner ---------- *)
+
+let test_interner () =
+  let t = Interner.create ~dummy:"" () in
+  let a = Interner.intern t "alpha" in
+  let b = Interner.intern t "beta" in
+  check Alcotest.int "first id" 0 a;
+  check Alcotest.int "second id" 1 b;
+  check Alcotest.int "dedup" a (Interner.intern t "alpha");
+  check Alcotest.string "value" "beta" (Interner.value t b);
+  check Alcotest.int "count" 2 (Interner.count t);
+  check (Alcotest.option Alcotest.int) "find hit" (Some 0) (Interner.find_opt t "alpha");
+  check (Alcotest.option Alcotest.int) "find miss" None (Interner.find_opt t "gamma");
+  Alcotest.check_raises "bad id" (Invalid_argument "Interner.value: unknown id 7") (fun () ->
+      ignore (Interner.value t 7))
+
+let prop_interner_roundtrip =
+  qtest "interner id/value roundtrip"
+    QCheck2.Gen.(list (string_size (int_bound 6)))
+    (fun keys ->
+      let t = Interner.create ~dummy:"" () in
+      List.for_all (fun k -> Interner.value t (Interner.intern t k) = k) keys)
+
+(* ---------- Pair_tbl ---------- *)
+
+let test_pair_tbl () =
+  let t = Pair_tbl.create () in
+  let a = Pair_tbl.intern t 3 4 in
+  check Alcotest.int "dedup" a (Pair_tbl.intern t 3 4);
+  check Alcotest.bool "distinct" true (a <> Pair_tbl.intern t 4 3);
+  check Alcotest.int "fst" 3 (Pair_tbl.fst t a);
+  check Alcotest.int "snd" 4 (Pair_tbl.snd t a);
+  check Alcotest.int "count" 2 (Pair_tbl.count t);
+  check (Alcotest.option Alcotest.int) "find" (Some a) (Pair_tbl.find_opt t 3 4);
+  check (Alcotest.option Alcotest.int) "find miss" None (Pair_tbl.find_opt t 9 9);
+  Alcotest.check_raises "range" (Invalid_argument "Pair_tbl: component out of range (-1, 0)")
+    (fun () -> ignore (Pair_tbl.intern t (-1) 0))
+
+let prop_pair_tbl_roundtrip =
+  qtest "pair_tbl roundtrip"
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (a, b) ->
+      let t = Pair_tbl.create () in
+      let id = Pair_tbl.intern t a b in
+      Pair_tbl.fst t id = a && Pair_tbl.snd t id = b)
+
+(* ---------- Splitmix ---------- *)
+
+let test_splitmix_determinism () =
+  let seq seed = List.init 50 (fun _ -> Splitmix.int (Splitmix.create seed) 1000) in
+  let r1 = Splitmix.create 42 and r2 = Splitmix.create 42 in
+  let s1 = List.init 50 (fun _ -> Splitmix.int r1 1000) in
+  let s2 = List.init 50 (fun _ -> Splitmix.int r2 1000) in
+  check (Alcotest.list Alcotest.int) "same seed same stream" s1 s2;
+  check Alcotest.bool "different seeds differ" true (seq 1 <> seq 2)
+
+let test_splitmix_ranges () =
+  let rng = Splitmix.create 7 in
+  for _ = 1 to 1000 do
+    let x = Splitmix.int rng 10 in
+    if x < 0 || x >= 10 then Alcotest.fail "int out of range";
+    let y = Splitmix.int_in rng 5 8 in
+    if y < 5 || y > 8 then Alcotest.fail "int_in out of range"
+  done;
+  check Alcotest.bool "chance 0" false (Splitmix.chance rng 0.0);
+  check Alcotest.bool "chance 1" true (Splitmix.chance rng 1.0);
+  Alcotest.check_raises "bad bound" (Invalid_argument "Splitmix.int: bound must be positive")
+    (fun () -> ignore (Splitmix.int rng 0));
+  Alcotest.check_raises "empty range" (Invalid_argument "Splitmix.int_in: empty range") (fun () ->
+      ignore (Splitmix.int_in rng 3 2));
+  Alcotest.check_raises "empty choose" (Invalid_argument "Splitmix.choose: empty array")
+    (fun () -> ignore (Splitmix.choose rng ([||] : int array)))
+
+let test_splitmix_shuffle () =
+  let rng = Splitmix.create 11 in
+  let arr = Array.init 100 Fun.id in
+  Splitmix.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "permutation" (Array.init 100 Fun.id) sorted;
+  check Alcotest.bool "actually shuffled" true (arr <> Array.init 100 Fun.id)
+
+let test_splitmix_split () =
+  let rng = Splitmix.create 3 in
+  let child = Splitmix.split rng in
+  let a = List.init 20 (fun _ -> Splitmix.int rng 1000) in
+  let b = List.init 20 (fun _ -> Splitmix.int child 1000) in
+  check Alcotest.bool "split independent" true (a <> b)
+
+(* ---------- Ascii_table ---------- *)
+
+let test_ascii_table () =
+  let out = Ascii_table.render ~header:[ "name"; "n" ] [ [ "a"; "10" ]; [ "bcd"; "5" ] ] in
+  let lines = String.split_on_char '\n' out in
+  check Alcotest.int "line count" 5 (List.length lines) (* header, rule, 2 rows, trailing *);
+  check Alcotest.string "header" "name   n" (List.nth lines 0);
+  check Alcotest.string "rule" "----  --" (List.nth lines 1);
+  check Alcotest.string "row right-aligned" "a     10" (List.nth lines 2);
+  check Alcotest.string "row2" "bcd    5" (List.nth lines 3)
+
+let test_ascii_table_ragged () =
+  let out = Ascii_table.render ~header:[ "x" ] [ [ "1"; "2" ]; [ "3" ] ] in
+  check Alcotest.bool "pads ragged rows" true (String.length out > 0)
+
+(* ---------- Timer ---------- *)
+
+let test_timer () =
+  let result, elapsed = Ipa_support.Timer.time (fun () -> 21 * 2) in
+  check Alcotest.int "result" 42 result;
+  check Alcotest.bool "non-negative" true (elapsed >= 0.0)
+
+let () =
+  Alcotest.run "support"
+    [
+      ( "dynarr",
+        [
+          Alcotest.test_case "basic" `Quick test_dynarr_basic;
+          Alcotest.test_case "bounds" `Quick test_dynarr_bounds;
+          Alcotest.test_case "growth" `Quick test_dynarr_growth;
+          Alcotest.test_case "conversions" `Quick test_dynarr_conversions;
+        ] );
+      ( "int_set",
+        [
+          Alcotest.test_case "basic" `Quick test_int_set_basic;
+          Alcotest.test_case "resize" `Quick test_int_set_resize;
+          Alcotest.test_case "ops" `Quick test_int_set_ops;
+          prop_int_set_vs_stdlib;
+        ] );
+      ( "interner",
+        [ Alcotest.test_case "basic" `Quick test_interner; prop_interner_roundtrip ] );
+      ("pair_tbl", [ Alcotest.test_case "basic" `Quick test_pair_tbl; prop_pair_tbl_roundtrip ]);
+      ( "splitmix",
+        [
+          Alcotest.test_case "determinism" `Quick test_splitmix_determinism;
+          Alcotest.test_case "ranges" `Quick test_splitmix_ranges;
+          Alcotest.test_case "shuffle" `Quick test_splitmix_shuffle;
+          Alcotest.test_case "split" `Quick test_splitmix_split;
+        ] );
+      ( "ascii_table",
+        [
+          Alcotest.test_case "render" `Quick test_ascii_table;
+          Alcotest.test_case "ragged" `Quick test_ascii_table_ragged;
+        ] );
+      ("timer", [ Alcotest.test_case "time" `Quick test_timer ]);
+    ]
