@@ -207,6 +207,71 @@ let callgraph_cmd =
     (Cmd.info "callgraph" ~doc:"Export the collapsed call graph as Graphviz DOT.")
     Term.(const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ output_arg)
 
+let taint_cmd =
+  let run path flavor heuristic budget spec_path =
+    let spec =
+      match spec_path with
+      | None -> Ok Ipa_clients.Taint.default_spec
+      | Some sp -> Ipa_clients.Taint.spec_of_file sp
+    in
+    match spec with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok spec ->
+      with_solution path flavor heuristic budget (fun p s ->
+          (match Ipa_core.Solution.self_check s with
+          | [] -> Printf.printf "self-check: ok\n"
+          | errs ->
+            Printf.printf "self-check: %d violation(s)\n" (List.length errs);
+            List.iter print_endline errs);
+          let res = Ipa_clients.Taint.analyze ~spec s in
+          Printf.printf "tainted sinks: %d   (taint seeds: %d)\n\n" (List.length res.findings)
+            res.n_seeds;
+          if res.findings <> [] then begin
+            Ipa_support.Ascii_table.print
+              ~aligns:Ipa_support.Ascii_table.[ Left; Left; Right; Left ]
+              ~header:[ "sink call site"; "in method"; "arg"; "resolved sink" ]
+              (List.map
+                 (fun (f : Ipa_clients.Taint.finding) ->
+                   let ii = Program.invo_info p f.invo in
+                   [
+                     ii.invo_name;
+                     Program.meth_full_name p ii.invo_owner;
+                     string_of_int f.arg;
+                     Program.meth_full_name p f.sink;
+                   ])
+                 res.findings);
+            match res.vfg with
+            | None -> ()
+            | Some vfg ->
+              List.iter
+                (fun (f : Ipa_clients.Taint.finding) ->
+                  match f.path with
+                  | [] -> ()
+                  | path ->
+                    Printf.printf "\n%s arg %d:\n  %s\n"
+                      (Program.invo_info p f.invo).invo_name f.arg
+                      (String.concat " -> "
+                         (List.map (Ipa_core.Value_flow.node_to_string vfg) path)))
+                res.findings
+          end)
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "spec" ] ~docv:"FILE"
+          ~doc:
+            "Taint specification: one directive per line ($(b,source PAT), \
+             $(b,source-class PAT), $(b,sink PAT), $(b,sanitizer PAT)); # comments. \
+             Defaults to the built-in mkSecret/consume/scrub spec.")
+  in
+  Cmd.v
+    (Cmd.info "taint"
+       ~doc:"Report source-to-sink taint flows over the solution's value-flow graph.")
+    Term.(const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ spec_arg)
+
 let compare_cmd =
   let run path coarse fine budget =
     match load_program path with
@@ -436,6 +501,7 @@ let () =
             experiments_cmd;
             devirt_cmd;
             casts_cmd;
+            taint_cmd;
             exceptions_cmd;
             hotspots_cmd;
             callgraph_cmd;

@@ -180,3 +180,209 @@ let stats t =
 
 let heap_of_obj t obj = Pair_tbl.fst t.objs obj
 let hctx_of_obj t obj = Pair_tbl.snd t.objs obj
+
+(* --- soundness validator ---
+
+   Checks the invariants clients (value-flow graph, taint, precision
+   metrics) rely on. Everything except the entry-point check holds by
+   solver construction even on a partial (budget-exceeded) fixpoint:
+   filters are applied at insertion time, reach pairs are interned before
+   any body edge exists, and call-graph edges are derived from receiver
+   objects already recorded in the base variable's points-to set. *)
+
+let self_check t =
+  let p = t.program in
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let n_ctxs = Ctx.count t.ctxs in
+  let n_objs = Pair_tbl.count t.objs in
+  let check_obj what obj =
+    if obj < 0 || obj >= n_objs then
+      err "%s: points to object id %d, but only %d objects interned" what obj n_objs
+    else begin
+      let heap = Pair_tbl.fst t.objs obj in
+      let hctx = Pair_tbl.snd t.objs obj in
+      if heap >= Program.n_heaps p then err "%s: object %d has invalid heap %d" what obj heap;
+      if hctx >= n_ctxs then err "%s: object %d has uninterned heap context %d" what obj hctx
+    end
+  in
+  (* Every populated pts slot decodes to a live node and holds valid objects. *)
+  for n = 0 to Dynarr.length t.pts - 1 do
+    match Dynarr.get t.pts n with
+    | None -> ()
+    | Some set ->
+      let what =
+        match Node.kind n with
+        | Node.Var_node id ->
+          if id >= Pair_tbl.count t.var_nodes then begin
+            err "pts: var node %d not interned" id;
+            None
+          end
+          else begin
+            let var = Pair_tbl.fst t.var_nodes id in
+            let ctx = Pair_tbl.snd t.var_nodes id in
+            if var >= Program.n_vars p then err "pts: var node %d has invalid var %d" id var;
+            if ctx >= n_ctxs then err "pts: var node %d has uninterned context %d" id ctx;
+            if var < Program.n_vars p && ctx < n_ctxs then begin
+              let owner = (Program.var_info p var).var_owner in
+              if Pair_tbl.find_opt t.reach owner ctx = None then
+                err "pts: var %s has points-to under a context in which its method %s is not reachable"
+                  (Program.var_full_name p var) (Program.meth_full_name p owner)
+            end;
+            Some (Printf.sprintf "var node %s" (Program.var_full_name p var))
+          end
+        | Node.Fld_node id ->
+          if id >= Pair_tbl.count t.fld_nodes then begin
+            err "pts: field node %d not interned" id;
+            None
+          end
+          else begin
+            let base_obj = Pair_tbl.fst t.fld_nodes id in
+            let field = Pair_tbl.snd t.fld_nodes id in
+            check_obj "fld node base" base_obj;
+            if field >= Program.n_fields p then
+              err "pts: field node %d has invalid field %d" id field
+            else if (Program.field_info p field).is_static_field then
+              err "pts: field node %d keyed by static field %s" id
+                (Program.field_full_name p field);
+            Some (Printf.sprintf "field node #%d" id)
+          end
+        | Node.Static_fld f ->
+          if f >= Program.n_fields p then begin
+            err "pts: static field node has invalid field %d" f;
+            None
+          end
+          else begin
+            if not (Program.field_info p f).is_static_field then
+              err "pts: static-field node keyed by instance field %s"
+                (Program.field_full_name p f);
+            Some (Printf.sprintf "static field %s" (Program.field_full_name p f))
+          end
+        | Node.Exc_node id ->
+          if id >= Pair_tbl.count t.reach then begin
+            err "pts: exception node %d not a reachable-method instance" id;
+            None
+          end
+          else Some (Printf.sprintf "exc node of %s" (Program.meth_full_name p (Pair_tbl.fst t.reach id)))
+      in
+      (match what with
+      | None -> ()
+      | Some what -> Int_set.iter (fun obj -> check_obj what obj) set)
+  done;
+  (* The remaining checks decode node and object ids unguarded (via the
+     collapsed projections), so bail out early on structural corruption. *)
+  if !errs <> [] then List.rev !errs
+  else begin
+  (* Declared-type filters: a variable defined only by casts (resp. only by
+     a single catch clause) may point only to objects admitted by the
+     corresponding filter spec. Mirrors the solver's insertion-time specs. *)
+  let n_vars = Program.n_vars p in
+  let cast_targets = Array.make n_vars [] in
+  let catch_defs = Array.make n_vars [] in
+  let other_def = Array.make n_vars false in
+  let mark v = other_def.(v) <- true in
+  for m = 0 to Program.n_meths p - 1 do
+    let mi = Program.meth_info p m in
+    (match mi.this_var with Some v -> mark v | None -> ());
+    Array.iter mark mi.formals;
+    Array.iteri (fun idx (c : Program.catch_clause) ->
+        catch_defs.(c.catch_var) <- (m, idx) :: catch_defs.(c.catch_var))
+      mi.catches;
+    Array.iter
+      (fun (i : Program.instr) ->
+        match i with
+        | Alloc { target; _ } | Move { target; _ } | Load { target; _ }
+        | Load_static { target; _ } ->
+          mark target
+        | Cast { target; cast_to; _ } -> cast_targets.(target) <- cast_to :: cast_targets.(target)
+        | Call invo -> (
+          match (Program.invo_info p invo).recv with Some v -> mark v | None -> ())
+        | Return { source } -> (
+          match mi.ret_var with Some rv when rv <> source -> mark rv | _ -> ())
+        | Store _ | Store_static _ | Throw _ -> ())
+      mi.body
+  done;
+  let vpt = collapsed_var_pts t in
+  for v = 0 to n_vars - 1 do
+    if (not other_def.(v)) && Int_set.cardinal vpt.(v) > 0 then begin
+      (match (cast_targets.(v), catch_defs.(v)) with
+      | [], [] | _ :: _, _ :: _ -> ()
+      | targets, [] ->
+        Int_set.iter
+          (fun h ->
+            let cls = (Program.heap_info p h).heap_class in
+            if not (List.exists (fun c -> Program.subtype p ~sub:cls ~super:c) targets) then
+              err "filter: cast-only var %s points to %s, not a subtype of any cast target"
+                (Program.var_full_name p v) (Program.heap_full_name p h))
+          vpt.(v)
+      | [], [ (m, idx) ] ->
+        let clauses = (Program.meth_info p m).catches in
+        Int_set.iter
+          (fun h ->
+            let cls = (Program.heap_info p h).heap_class in
+            if not (Program.subtype p ~sub:cls ~super:clauses.(idx).catch_type) then
+              err "filter: catch var %s points to %s, not a subtype of its clause type"
+                (Program.var_full_name p v) (Program.heap_full_name p h);
+            for j = 0 to idx - 1 do
+              if Program.subtype p ~sub:cls ~super:clauses.(j).catch_type then
+                err "filter: catch var %s points to %s, already admitted by earlier clause %d"
+                  (Program.var_full_name p v) (Program.heap_full_name p h) j
+            done)
+          vpt.(v)
+      | [], _ :: _ :: _ -> ())
+    end
+  done;
+  (* Call-graph edges: both endpoints reachable, and the callee is a legal
+     dispatch target — for virtual calls, witnessed by a pointed-to
+     receiver object of the base variable. *)
+  iter_cg t (fun ~invo ~caller ~meth ~callee ->
+      if invo >= Program.n_invos p then err "cg: invalid invocation id %d" invo
+      else begin
+        let ii = Program.invo_info p invo in
+        if caller >= n_ctxs then err "cg: %s has uninterned caller context %d" ii.invo_name caller;
+        if callee >= n_ctxs then err "cg: %s has uninterned callee context %d" ii.invo_name callee;
+        if meth >= Program.n_meths p then err "cg: %s targets invalid method %d" ii.invo_name meth
+        else begin
+          if Pair_tbl.find_opt t.reach ii.invo_owner caller = None then
+            err "cg: caller instance of %s (in %s) not reachable" ii.invo_name
+              (Program.meth_full_name p ii.invo_owner);
+          if Pair_tbl.find_opt t.reach meth callee = None then
+            err "cg: Reachable not closed under edge %s -> %s" ii.invo_name
+              (Program.meth_full_name p meth);
+          match ii.call with
+          | Static { callee = c } ->
+            if meth <> c then
+              err "cg: static call %s resolved to %s instead of its declared callee" ii.invo_name
+                (Program.meth_full_name p meth)
+          | Virtual { base; signature } ->
+            if (Program.meth_info p meth).is_abstract then
+              err "cg: %s targets abstract method %s" ii.invo_name (Program.meth_full_name p meth);
+            let witnessed =
+              Int_set.exists
+                (fun h ->
+                  Program.dispatch p (Program.heap_info p h).heap_class signature = Some meth)
+                vpt.(base)
+            in
+            if not witnessed then
+              err "cg: %s -> %s has no pointed-to receiver dispatching there" ii.invo_name
+                (Program.meth_full_name p meth)
+        end
+      end);
+  (* Entry points seed reachability — only guaranteed on a complete run. *)
+  if t.outcome = Complete then
+    List.iter
+      (fun e ->
+        if Pair_tbl.find_opt t.reach e Ctx.empty = None then
+          err "reach: entry point %s not reachable under the empty context"
+            (Program.meth_full_name p e))
+      (Program.entries p);
+  List.rev !errs
+  end
+
+let self_check_exn t =
+  match self_check t with
+  | [] -> ()
+  | errs ->
+    failwith
+      (Printf.sprintf "Solution.self_check: %d violation(s):\n%s" (List.length errs)
+         (String.concat "\n" errs))

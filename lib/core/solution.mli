@@ -100,3 +100,21 @@ val heap_of_obj : t -> int -> int
 (** Allocation site of an interned object. *)
 
 val hctx_of_obj : t -> int -> int
+
+(** {1 Soundness validation} *)
+
+val self_check : t -> string list
+(** Statically validate the invariants clients rely on; each returned string
+    describes one violation (empty list = sound). Checked: every populated
+    pts node id decodes to a live var/field/exception node holding interned
+    objects; points-to respects the declared-type filters of cast-only and
+    catch-only variables; every call-graph edge's callee is a legal dispatch
+    target for its invocation (witnessed by a pointed-to receiver on virtual
+    calls); [Reachable] is closed under call-graph edges; and, on a
+    {!Complete} run, every entry point is reachable under the empty context.
+    All but the entry check hold by construction even on a
+    {!Budget_exceeded} partial fixpoint. Intended for tests and the CLI —
+    cost is roughly one pass over the solution's tables. *)
+
+val self_check_exn : t -> unit
+(** Raises [Failure] listing every violation; no-op when sound. *)

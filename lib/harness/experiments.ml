@@ -12,6 +12,7 @@ type run = {
   derivations : int;
   timed_out : bool;
   precision : Precision.t option;
+  tainted_sinks : int option;
 }
 
 let of_result bench (r : Analysis.result) =
@@ -22,6 +23,10 @@ let of_result bench (r : Analysis.result) =
     derivations = r.solution.derivations;
     timed_out = r.timed_out;
     precision = (if r.timed_out then None else Some (Precision.compute r.solution));
+    (* Cheap on source-free programs: the client bails out before building
+       the value-flow graph when nothing matches its spec. *)
+    tainted_sinks =
+      (if r.timed_out then None else Some (Ipa_clients.Taint.tainted_sink_count r.solution));
   }
 
 let run_to_row r =
@@ -34,11 +39,13 @@ let run_to_row r =
     p (fun (p : Precision.t) -> p.poly_vcalls);
     p (fun (p : Precision.t) -> p.reachable_methods);
     p (fun (p : Precision.t) -> p.may_fail_casts);
+    (match r.tainted_sinks with Some n -> string_of_int n | None -> "-");
   ]
 
 let build (cfg : Config.t) spec = Dacapo.build ~scale:cfg.scale spec
 
-let header = [ "analysis"; "time(s)"; "derivations"; "poly-vcalls"; "reach-meths"; "fail-casts" ]
+let header =
+  [ "analysis"; "time(s)"; "derivations"; "poly-vcalls"; "reach-meths"; "fail-casts"; "taint-snk" ]
 
 (* ---------- Figure 1 ---------- *)
 
@@ -169,9 +176,47 @@ module Figs567 = struct
     print_newline ()
 end
 
+(* ---------- Taint study ---------- *)
+
+module Taint_study = struct
+  (* The taint analogue of the cast/devirt precision columns: a dedicated
+     workload where the source-to-sink conflation is separable only by
+     context, reported for insens vs the introspective variants vs full
+     2objH. Not part of the Dacapo compositions (whose golden derivation
+     counts are frozen). *)
+  let bench_name = "taint_pipes"
+
+  let clients (cfg : Config.t) = max 2 (int_of_float (12.0 *. cfg.scale))
+  let sanitized (cfg : Config.t) = max 1 (clients cfg / 4)
+
+  let build (cfg : Config.t) =
+    let w = Ipa_synthetic.World.create ~seed:113 in
+    Ipa_synthetic.Motifs.taint_pipes ~sanitized:(sanitized cfg) w ~n:(clients cfg);
+    Ipa_synthetic.Motifs.ballast w ~n:(max 1 (int_of_float (40.0 *. cfg.scale)));
+    Ipa_synthetic.World.finish w
+
+  let compute (cfg : Config.t) =
+    let p = build cfg in
+    let flavor = Flavors.Object_sens { depth = 2; heap = 1 } in
+    let insens = of_result bench_name (Analysis.run_plain ~budget:cfg.budget p Flavors.Insensitive) in
+    let intro h =
+      of_result bench_name (Analysis.run_introspective ~budget:cfg.budget p flavor h).second
+    in
+    let full = of_result bench_name (Analysis.run_plain ~budget:cfg.budget p flavor) in
+    [ insens; intro Heuristics.default_a; intro Heuristics.default_b; full ]
+
+  let print cfg =
+    Printf.printf
+      "== Taint study: tainted sinks on the context-separable workload (%d clients) ==\n"
+      (clients cfg);
+    Table.print ~header (List.map run_to_row (compute cfg));
+    print_newline ()
+end
+
 let print_all cfg =
   Fig1.print cfg;
   Fig4.print cfg;
   Figs567.print cfg (Flavors.Object_sens { depth = 2; heap = 1 });
   Figs567.print cfg (Flavors.Type_sens { depth = 2; heap = 1 });
-  Figs567.print cfg (Flavors.Call_site { depth = 2; heap = 1 })
+  Figs567.print cfg (Flavors.Call_site { depth = 2; heap = 1 });
+  Taint_study.print cfg

@@ -14,10 +14,14 @@ type run = {
   derivations : int;
   timed_out : bool;
   precision : Ipa_core.Precision.t option;  (** [None] when timed out *)
+  tainted_sinks : int option;
+      (** tainted sinks under [Ipa_clients.Taint.default_spec]; [None] when
+          timed out, [Some 0] on workloads without taint sources *)
 }
 
 val run_to_row : run -> string list
-(** Table cells: analysis, time, derivations, the three precision metrics. *)
+(** Table cells: analysis, time, derivations, the three precision metrics,
+    tainted sinks. *)
 
 (** {1 Figure 1} — context-insensitive vs 2objH running time, 9 benchmarks *)
 
@@ -58,5 +62,20 @@ module Figs567 : sig
       [2callH]. *)
 end
 
+(** {1 Taint study} — tainted sinks on a workload separable only by context
+    (the {!Ipa_synthetic.Motifs.taint_pipes} motif plus ballast): insens vs
+    2objH-IntroA vs 2objH-IntroB vs full 2objH. The paper-style client
+    precision argument, with taint as the client. *)
+
+module Taint_study : sig
+  val clients : Config.t -> int
+  (** Number of pipeline clients at this scale (one of them hot). *)
+
+  val compute : Config.t -> run list
+  (** [insens; 2objH-IntroA; 2objH-IntroB; 2objH] on the taint workload. *)
+
+  val print : Config.t -> unit
+end
+
 val print_all : Config.t -> unit
-(** Figures 1, 4, 5, 6, 7 in order. *)
+(** Figures 1, 4, 5, 6, 7, then the taint study. *)

@@ -146,6 +146,93 @@ let factory_boxes ?(junk = 0) (w : World.t) ~n =
     ignore (B.scall b w.main ~callee:go ~actuals:[] ())
   done
 
+(* ---------- taint_pipes ---------- *)
+
+let taint_pipes ?(sanitized = 0) (w : World.t) ~n =
+  let b = w.b in
+  if n < 1 || sanitized < 0 then invalid_arg "Motifs.taint_pipes";
+  (* The shared handler box: one allocation site inside a static factory, as
+     in [factory_boxes]. Context-insensitively every client's [hget] returns
+     every client's handler; heap context on the factory's allocation site
+     separates them. The secret itself never enters the box — it is passed
+     at per-client call sites whose *dispatch* conflates, so the taint
+     separation survives in the collapsed value-flow graph. *)
+  let box = B.add_class b ~super:w.object_cls (World.fresh w "HandBox") in
+  let slot = B.add_field b ~owner:box "slot" in
+  let hput = B.add_method b ~owner:box ~name:"hput" ~params:[ "x" ] () in
+  B.store b hput ~base:(B.this b hput) ~field:slot ~source:(B.formal b hput 0);
+  let hget = B.add_method b ~owner:box ~name:"hget" ~params:[] () in
+  let gt = B.add_var b hget "t" in
+  B.load b hget ~target:gt ~base:(B.this b hget) ~field:slot;
+  B.return_ b hget gt;
+  let factory = B.add_class b ~super:w.object_cls (World.fresh w "PipeFactory") in
+  let mk_box = B.add_method b ~owner:factory ~name:"mkBox" ~static:true ~params:[] () in
+  let fb = B.add_var b mk_box "nb" in
+  ignore (B.alloc b mk_box ~target:fb ~cls:box);
+  B.return_ b mk_box fb;
+  (* Taint vocabulary matching [Ipa_clients.Taint.default_spec]: a static
+     [mkSecret/0] source returning a [Secret*] allocation, a [consume/1]
+     sink, and a taint-preserving [scrub/1] sanitizer. *)
+  let sink_cls = B.add_class b ~super:w.object_cls (World.fresh w "TaintSink") in
+  ignore (B.add_method b ~owner:sink_cls ~name:"consume" ~params:[ "x" ] ());
+  let clean_cls = B.add_class b ~super:w.object_cls (World.fresh w "CleanData") in
+  let secret_cls = B.add_class b ~super:w.object_cls (World.fresh w "Secret") in
+  let well = B.add_class b ~super:w.object_cls (World.fresh w "TaintWell") in
+  let mk_secret = B.add_method b ~owner:well ~name:"mkSecret" ~static:true ~params:[] () in
+  let ms = B.add_var b mk_secret "s" in
+  ignore (B.alloc b mk_secret ~target:ms ~cls:secret_cls);
+  B.return_ b mk_secret ms;
+  let scrubber = B.add_class b ~super:w.object_cls (World.fresh w "Scrubber") in
+  let scrub = B.add_method b ~owner:scrubber ~name:"scrub" ~static:true ~params:[ "x" ] () in
+  B.return_ b scrub (B.formal b scrub 0);
+  let deliverable = B.add_interface b (World.fresh w "Deliverable") in
+  ignore (B.add_method b ~owner:deliverable ~name:"deliver" ~abstract:true ~params:[ "x" ] ());
+  let client kind =
+    (* Each client gets its own handler class whose [deliver] feeds its
+       argument to a sink call site — the per-client finding. *)
+    let handler =
+      B.add_class b ~super:w.object_cls ~interfaces:[ deliverable ] (World.fresh w "Handler")
+    in
+    let deliver = B.add_method b ~owner:handler ~name:"deliver" ~params:[ "x" ] () in
+    let sv = B.add_var b deliver "snk" in
+    ignore (B.alloc b deliver ~target:sv ~cls:sink_cls);
+    ignore (B.vcall b deliver ~base:sv ~name:"consume" ~actuals:[ B.formal b deliver 0 ] ());
+    let cls = B.add_class b ~super:w.object_cls (World.fresh w "PipeClient") in
+    let run = B.add_method b ~owner:cls ~name:"run" ~params:[] () in
+    let v name = B.add_var b run name in
+    let bx = v "bx" in
+    let h = v "h" in
+    let g = v "g" in
+    let p = v "p" in
+    ignore (B.scall b run ~callee:mk_box ~actuals:[] ~recv:bx ());
+    ignore (B.alloc b run ~target:h ~cls:handler);
+    ignore (B.vcall b run ~base:bx ~name:"hput" ~actuals:[ h ] ());
+    ignore (B.vcall b run ~base:bx ~name:"hget" ~actuals:[] ~recv:g ());
+    (match kind with
+    | `Hot -> ignore (B.scall b run ~callee:mk_secret ~actuals:[] ~recv:p ())
+    | `Clean -> ignore (B.alloc b run ~target:p ~cls:clean_cls)
+    | `Sanitized ->
+      let raw = v "raw" in
+      ignore (B.scall b run ~callee:mk_secret ~actuals:[] ~recv:raw ());
+      ignore (B.scall b run ~callee:scrub ~actuals:[ raw ] ~recv:p ()));
+    ignore (B.vcall b run ~base:g ~name:"deliver" ~actuals:[ p ] ());
+    (* Per-client launcher class, so type-sensitive contexts also separate
+       the receivers (same trick as factory_boxes). *)
+    let launcher = B.add_class b ~super:w.object_cls (World.fresh w "PipeLaunch") in
+    let go = B.add_method b ~owner:launcher ~name:"go" ~static:true ~params:[] () in
+    let cl = B.add_var b go "c" in
+    ignore (B.alloc b go ~target:cl ~cls);
+    ignore (B.vcall b go ~base:cl ~name:"run" ~actuals:[] ());
+    ignore (B.scall b w.main ~callee:go ~actuals:[] ())
+  in
+  client `Hot;
+  for _i = 2 to n do
+    client `Clean
+  done;
+  for _i = 1 to sanitized do
+    client `Sanitized
+  done
+
 (* ---------- listeners ---------- *)
 
 let listeners (w : World.t) ~n =

@@ -48,6 +48,19 @@ val factory_boxes : ?junk:int -> World.t -> n:int -> unit
     below threshold and B keeps it. This is what separates the two
     heuristics' precision in Figures 5-7. *)
 
+val taint_pipes : ?sanitized:int -> World.t -> n:int -> unit
+(** The taint client's context-sensitivity win, using the vocabulary of
+    [Ipa_clients.Taint.default_spec]. [n] clients share one handler-box
+    allocation site (via a static factory); each registers its own handler
+    class, retrieves "its" handler back, and delivers a payload to it — the
+    handler's [deliver] feeds the payload to a per-client [consume/1] sink
+    site. Exactly one client's payload is a secret ([mkSecret/0] returning a
+    [Secret*] object). Context-insensitively the retrieved handler conflates
+    across all clients, so the secret reaches all [n] (+[sanitized]) sink
+    sites; with heap context on the factory's allocation site (e.g. 2objH)
+    only the hot client's sink is tainted. [sanitized] extra clients route
+    their secret through [scrub/1] and must stay clean even insensitively. *)
+
 val listeners : World.t -> n:int -> unit
 
 val exceptional : World.t -> n:int -> unit

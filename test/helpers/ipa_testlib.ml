@@ -113,8 +113,11 @@ let ctx_str p tbl c =
   ^ "]"
 
 (* Sorted, context-decoded renderings of every computed relation of a native
-   solution. *)
+   solution. Every canonicalized solution is also soundness-validated first,
+   so nearly every solver run in the test suites doubles as a
+   [Solution.self_check] run and fails loudly with the violated invariant. *)
 let canon_native (s : Ipa_core.Solution.t) : string list =
+  Ipa_core.Solution.self_check_exn s;
   let p = s.program in
   let acc = ref [] in
   let add fmt = Printf.ksprintf (fun str -> acc := str :: !acc) fmt in

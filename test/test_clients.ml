@@ -202,6 +202,276 @@ let test_printers_smoke () =
     (Analysis.run_plain boxes_p insens).solution
     (Analysis.run_plain boxes_p obj2).solution
 
+(* ---------- value-flow graph ---------- *)
+
+module VF = Ipa_core.Value_flow
+module Taint = Ipa_clients.Taint
+
+let var_named p name =
+  let rec go v =
+    if v >= P.n_vars p then Alcotest.failf "no var named %s" name
+    else if P.var_full_name p v = name then v
+    else go (v + 1)
+  in
+  go 0
+
+let test_value_flow_boxes () =
+  let r = Analysis.run_plain (parse Ipa_testlib.boxes_src) insens in
+  let g = VF.build r.solution in
+  check Alcotest.bool "has nodes" true (VF.n_nodes g > 0);
+  check Alcotest.bool "has edges" true (VF.n_edges g > 0);
+  let v name = VF.var_node g (var_named r.solution.program name) in
+  (match VF.kind g (v "Main::main/0$oa") with
+  | VF.Var _ -> ()
+  | _ -> Alcotest.fail "var node decodes to Var");
+  (* oa flows through Box::set into the val slot and out through Box::get;
+     the collapsed graph conflates the two boxes via the shared accessors,
+     so both readers are reached. *)
+  let reach = VF.reachable g ~seeds:[ v "Main::main/0$oa" ] in
+  check Alcotest.bool "ra reached" true (Ipa_support.Int_set.mem reach (v "Main::main/0$ra"));
+  check Alcotest.bool "rb reached" true (Ipa_support.Int_set.mem reach (v "Main::main/0$rb"));
+  (match VF.find_path g ~seeds:[ v "Main::main/0$oa" ] ~target:(v "Main::main/0$ra") with
+  | None -> Alcotest.fail "no witness path"
+  | Some path ->
+    check Alcotest.int "path starts at the seed" (v "Main::main/0$oa") (List.hd path);
+    check Alcotest.int "path ends at the target" (v "Main::main/0$ra")
+      (List.nth path (List.length path - 1)));
+  (* blocking the field plane cuts the flow entirely *)
+  let blocked n = match VF.kind g n with VF.Fld _ -> true | _ -> false in
+  check Alcotest.bool "blocked field cuts flow" false
+    (Ipa_support.Int_set.mem
+       (VF.reachable ~blocked g ~seeds:[ v "Main::main/0$oa" ])
+       (v "Main::main/0$ra"))
+
+(* ---------- taint ---------- *)
+
+let taint_direct_src = {|
+class Object { }
+class Secret { }
+class TaintWell { static method mkSecret/0 () { var s; s = new Secret; return s; } }
+class Sink { static method consume/1 (x) { } }
+class Main {
+  static method idf/1 (p) { return p; }
+  static method main/0 () {
+    var a, b, c;
+    a = TaintWell::mkSecret();
+    b = Main::idf(a);
+    c = b;
+    Sink::consume(c);
+  }
+}
+entry Main::main/0;
+|}
+
+let test_taint_direct () =
+  let r = Analysis.run_plain (parse taint_direct_src) insens in
+  let t = Taint.analyze r.solution in
+  (* the ret var of mkSecret and the Secret allocation target *)
+  check Alcotest.int "seeds" 2 t.n_seeds;
+  check Alcotest.int "one finding" 1 (List.length t.findings);
+  let f = List.hd t.findings in
+  check Alcotest.int "arg index" 0 f.arg;
+  check Alcotest.string "resolved sink" "Sink::consume/1"
+    (P.meth_full_name r.solution.program f.sink);
+  (* witness runs from a seed to the tainted actual, through the identity
+     helper's param/return edges *)
+  let g = Option.get t.vfg in
+  check Alcotest.bool "path nonempty" true (f.path <> []);
+  check Alcotest.int "witness ends at the actual"
+    (VF.var_node g (var_named r.solution.program "Main::main/0$c"))
+    (List.nth f.path (List.length f.path - 1));
+  check Alcotest.int "count agrees" 1 (Taint.tainted_sink_count r.solution)
+
+let taint_heap_src = {|
+class Object { }
+class Secret { }
+class TaintWell { static method mkSecret/0 () { var s; s = new Secret; return s; } }
+class Sink { static method consume/1 (x) { } }
+class Box {
+  field val;
+  method put/1 (x) { this.val = x; }
+  method get/0 () { var t; t = this.val; return t; }
+}
+class Globals { static field cache; }
+class Main {
+  static method main/0 () {
+    var s, b, o, g;
+    s = TaintWell::mkSecret();
+    b = new Box;
+    b.put(s);
+    o = b.get();
+    Sink::consume(o);
+    Globals::cache = s;
+    g = Globals::cache;
+    Sink::consume(g);
+  }
+}
+entry Main::main/0;
+|}
+
+let test_taint_through_heap () =
+  (* Taint crosses instance-field and static-field indirections. *)
+  let r = Analysis.run_plain (parse taint_heap_src) insens in
+  let t = Taint.analyze r.solution in
+  check Alcotest.int "both sinks tainted" 2 (List.length t.findings);
+  let g = Option.get t.vfg in
+  let kinds f =
+    List.map (fun n -> VF.kind g n) f.Taint.path
+  in
+  let has pred f = List.exists pred (kinds f) in
+  check Alcotest.bool "one witness crosses a field slot" true
+    (List.exists (has (function VF.Fld _ -> true | _ -> false)) t.findings);
+  check Alcotest.bool "one witness crosses the static field" true
+    (List.exists (has (function VF.Static_fld _ -> true | _ -> false)) t.findings)
+
+let taint_sanitizer_src = {|
+class Object { }
+class Secret { }
+class TaintWell { static method mkSecret/0 () { var s; s = new Secret; return s; } }
+class Scrubber { static method scrub/1 (x) { return x; } }
+class Sink { static method consume/1 (x) { } }
+class Main {
+  static method main/0 () {
+    var s, w;
+    s = TaintWell::mkSecret();
+    w = Scrubber::scrub(s);
+    Sink::consume(w);
+  }
+}
+entry Main::main/0;
+|}
+
+let test_taint_sanitizer () =
+  let r = Analysis.run_plain (parse taint_sanitizer_src) insens in
+  check Alcotest.int "scrubbed flow is cut" 0 (Taint.tainted_sink_count r.solution);
+  (* the cut is the sanitizer, not a missing edge: dropping the sanitizer
+     pattern resurrects the finding *)
+  let spec = { Taint.default_spec with sanitizers = [] } in
+  check Alcotest.int "without sanitizers it flows" 1
+    (Taint.tainted_sink_count ~spec r.solution)
+
+let test_taint_no_source_fast_path () =
+  let r = Analysis.run_plain (parse poly_src) insens in
+  let t = Taint.analyze r.solution in
+  check Alcotest.int "no seeds" 0 t.n_seeds;
+  check Alcotest.int "no findings" 0 (List.length t.findings);
+  check Alcotest.bool "no graph built" true (t.vfg = None)
+
+(* Two pipeline clients share one handler-box allocation site inside a
+   static factory (the examples/taint_demo.jir shape, reduced). Only the
+   hot client's payload is a secret; context-insensitively the handler read
+   back conflates across clients. *)
+let taint_separable_src = {|
+class Object { }
+class Secret { }
+class CleanData { }
+class TaintSink { method consume/1 (x) { } }
+class TaintWell { static method mkSecret/0 () { var s; s = new Secret; return s; } }
+interface Deliverable { method deliver/1; }
+class HandBox {
+  field slot;
+  method hput/1 (x) { this.slot = x; }
+  method hget/0 () { var t; t = this.slot; return t; }
+}
+class PipeFactory {
+  static method mkBox/0 () { var b; b = new HandBox; return b; }
+}
+class HotHandler extends Object implements Deliverable {
+  method deliver/1 (x) { var snk; snk = new TaintSink; snk.consume(x); }
+}
+class ColdHandler extends Object implements Deliverable {
+  method deliver/1 (x) { var snk; snk = new TaintSink; snk.consume(x); }
+}
+class HotClient {
+  method run/0 () {
+    var b, h, g, p;
+    b = PipeFactory::mkBox();
+    h = new HotHandler;
+    b.hput(h);
+    g = b.hget();
+    p = TaintWell::mkSecret();
+    g.deliver(p);
+  }
+}
+class ColdClient {
+  method run/0 () {
+    var b, h, g, p;
+    b = PipeFactory::mkBox();
+    h = new ColdHandler;
+    b.hput(h);
+    g = b.hget();
+    p = new CleanData;
+    g.deliver(p);
+  }
+}
+class Launcher {
+  static method main/0 () {
+    var a, l;
+    a = new HotClient;
+    a.run();
+    l = new ColdClient;
+    l.run();
+  }
+}
+entry Launcher::main/0;
+|}
+
+let test_taint_context_precision () =
+  let p = parse taint_separable_src in
+  let coarse = Analysis.run_plain p insens in
+  let fine = Analysis.run_plain p obj2 in
+  (* insens conflates the handlers read back from the shared box allocation
+     site, so the secret reaches both consume sites; 2objH keys the box by
+     its client and pins the secret to the hot handler. *)
+  check Alcotest.int "insens conflates" 2 (Taint.tainted_sink_count coarse.solution);
+  check Alcotest.int "2objH separates" 1 (Taint.tainted_sink_count fine.solution);
+  let t = Taint.analyze fine.solution in
+  let f = List.hd t.findings in
+  check Alcotest.string "the hot sink" "TaintSink::consume/1"
+    (P.meth_full_name p f.sink);
+  check Alcotest.string "at the hot handler's call site" "HotHandler::deliver/1"
+    (P.meth_full_name p (P.invo_info p f.invo).invo_owner)
+
+let test_taint_spec_parsing () =
+  let text = {|
+# a comment line
+source *::getSecret/0
+source-class Evil*   # trailing comment
+sink *::emit/1
+sink *::emit/2
+sanitizer *::wash/1
+|} in
+  (match Taint.spec_of_string text with
+  | Error e -> Alcotest.failf "unexpected parse error: %s" e
+  | Ok spec ->
+    check (Alcotest.list Alcotest.string) "sources" [ "*::getSecret/0" ] spec.sources;
+    check (Alcotest.list Alcotest.string) "source classes" [ "Evil*" ] spec.source_classes;
+    check (Alcotest.list Alcotest.string) "sinks" [ "*::emit/1"; "*::emit/2" ] spec.sinks;
+    check (Alcotest.list Alcotest.string) "sanitizers" [ "*::wash/1" ] spec.sanitizers);
+  (* round trip *)
+  (match Taint.spec_of_string (Taint.spec_to_string Taint.default_spec) with
+  | Ok spec -> check Alcotest.bool "round trip" true (spec = Taint.default_spec)
+  | Error e -> Alcotest.failf "round trip failed: %s" e);
+  (* errors carry the line number *)
+  (match Taint.spec_of_string "source *::ok/0\nbogus *::x/1" with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error e -> check Alcotest.bool "line number" true (contains e "line 2"));
+  match Taint.spec_of_string "source" with
+  | Ok _ -> Alcotest.fail "expected an error for missing pattern"
+  | Error _ -> ()
+
+let test_taint_glob () =
+  let m pat s = Taint.glob_match ~pat s in
+  check Alcotest.bool "exact" true (m "Sink::consume/1" "Sink::consume/1");
+  check Alcotest.bool "prefix star" true (m "*::consume/1" "TaintSink::consume/1");
+  check Alcotest.bool "class prefix" true (m "Secret*" "SecretKey");
+  check Alcotest.bool "star matches empty" true (m "Secret*" "Secret");
+  check Alcotest.bool "anchored" false (m "Secret*" "MySecret");
+  check Alcotest.bool "arity distinguishes" false (m "*::consume/1" "Sink::consume/2");
+  check Alcotest.bool "multi star" true (m "a*b*c" "aXXbYYc");
+  check Alcotest.bool "multi star needs all parts" false (m "a*b*c" "ac");
+  check Alcotest.bool "lone star" true (m "*" "anything")
+
 (* ---------- Datalog surface-language export ---------- *)
 
 let test_dl_export_matches_native () =
@@ -289,6 +559,18 @@ let () =
         ] );
       ("diagnostics", [ Alcotest.test_case "hotspots" `Quick test_diagnostics ]);
       ("printers", [ Alcotest.test_case "smoke" `Quick test_printers_smoke ]);
+      ( "value flow",
+        [ Alcotest.test_case "boxes graph" `Quick test_value_flow_boxes ] );
+      ( "taint",
+        [
+          Alcotest.test_case "direct flow" `Quick test_taint_direct;
+          Alcotest.test_case "heap flow" `Quick test_taint_through_heap;
+          Alcotest.test_case "sanitizer" `Quick test_taint_sanitizer;
+          Alcotest.test_case "no-source fast path" `Quick test_taint_no_source_fast_path;
+          Alcotest.test_case "context precision" `Quick test_taint_context_precision;
+          Alcotest.test_case "spec parsing" `Quick test_taint_spec_parsing;
+          Alcotest.test_case "glob" `Quick test_taint_glob;
+        ] );
       ( "dl export",
         [ Alcotest.test_case "matches native insens" `Quick test_dl_export_matches_native ] );
     ]

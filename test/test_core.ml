@@ -343,6 +343,59 @@ let test_solution_consistency () =
   Solution.iter_cg s (fun ~invo:_ ~caller:_ ~meth:_ ~callee:_ -> incr n);
   check Alcotest.int "cg edges" st.cg_edges !n
 
+(* ---------- solution self-check ---------- *)
+
+let assert_sound what (s : Solution.t) =
+  match Solution.self_check s with
+  | [] -> ()
+  | errs -> Alcotest.failf "%s: %d violation(s): %s" what (List.length errs) (List.hd errs)
+
+let test_self_check_flavors () =
+  let p = parse Ipa_testlib.boxes_src in
+  List.iter
+    (fun flavor ->
+      assert_sound (Flavors.to_string flavor) (Analysis.run_plain p flavor).solution)
+    all_flavors
+
+let test_self_check_random () =
+  for seed = 300 to 309 do
+    let p = Ipa_testlib.random_program seed in
+    List.iter
+      (fun flavor ->
+        assert_sound
+          (Printf.sprintf "seed %d %s" seed (Flavors.to_string flavor))
+          (Analysis.run_plain p flavor).solution)
+      [ insens; obj2; call2; type2; hyb2 ]
+  done
+
+let test_self_check_partial () =
+  (* All invariants except entry-point coverage are insertion-time
+     properties, so they must hold on budget-exceeded partial fixpoints of
+     any size. *)
+  List.iter
+    (fun budget ->
+      let r = run ~budget Ipa_testlib.boxes_src obj2 in
+      assert_sound (Printf.sprintf "budget %d" budget) r.solution)
+    [ 1; 3; 7; 12; 20; 35; 60; 100 ]
+
+let test_self_check_detects_corruption () =
+  (* Mutating a points-to set behind the solution's back must be caught:
+     the validator is not a tautology. *)
+  let r = run Ipa_testlib.boxes_src insens in
+  let s = r.solution in
+  let bogus_obj = Ipa_support.Pair_tbl.count s.objs + 7 in
+  let corrupted = ref false in
+  for n = 0 to Ipa_support.Dynarr.length s.pts - 1 do
+    if not !corrupted then
+      match Ipa_support.Dynarr.get s.pts n with
+      | Some set ->
+        ignore (Int_set.add set bogus_obj);
+        corrupted := true
+      | None -> ()
+  done;
+  check Alcotest.bool "corrupted a set" true !corrupted;
+  check Alcotest.bool "violation reported" true (Solution.self_check s <> [])
+
 (* ---------- introspective driver identities ---------- *)
 
 let test_refine_all_equals_plain () =
@@ -585,6 +638,13 @@ let () =
           Alcotest.test_case "poly sites" `Quick test_poly_count;
         ] );
       ("solution", [ Alcotest.test_case "consistency" `Quick test_solution_consistency ]);
+      ( "self-check",
+        [
+          Alcotest.test_case "all flavors" `Quick test_self_check_flavors;
+          Alcotest.test_case "random programs" `Quick test_self_check_random;
+          Alcotest.test_case "partial fixpoints" `Quick test_self_check_partial;
+          Alcotest.test_case "detects corruption" `Quick test_self_check_detects_corruption;
+        ] );
       ( "introspective identities",
         [
           Alcotest.test_case "refine-all = plain" `Quick test_refine_all_equals_plain;

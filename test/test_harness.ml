@@ -65,9 +65,10 @@ let test_run_to_row () =
         derivations = 42;
         timed_out = false;
         precision = None;
+        tainted_sinks = Some 3;
       }
   in
-  check (Alcotest.list Alcotest.string) "row" [ "2objH"; "1.50"; "42"; "-"; "-"; "-" ] row;
+  check (Alcotest.list Alcotest.string) "row" [ "2objH"; "1.50"; "42"; "-"; "-"; "-"; "3" ] row;
   let row =
     E.run_to_row
       {
@@ -77,9 +78,29 @@ let test_run_to_row () =
         derivations = 7;
         timed_out = true;
         precision = None;
+        tainted_sinks = None;
       }
   in
-  check Alcotest.string "timeout cell" "timeout" (List.nth row 1)
+  check Alcotest.string "timeout cell" "timeout" (List.nth row 1);
+  check Alcotest.string "timeout taint cell" "-" (List.nth row 6)
+
+let test_taint_study () =
+  let runs = E.Taint_study.compute tiny in
+  check Alcotest.int "four runs" 4 (List.length runs);
+  let by label = List.find (fun (r : E.run) -> r.analysis = label) runs in
+  let sinks label =
+    match (by label).tainted_sinks with
+    | Some n -> n
+    | None -> Alcotest.failf "%s timed out at tiny scale" label
+  in
+  (* Context-insensitively the hot secret reaches every client's sink;
+     every 2objH variant pins it to the one genuinely hot sink. *)
+  check Alcotest.bool "insens conflates"
+    true
+    (sinks "insens" >= E.Taint_study.clients tiny);
+  check Alcotest.int "2objH exact" 1 (sinks "2objH");
+  check Alcotest.int "IntroA exact" 1 (sinks "2objH-IntroA");
+  check Alcotest.int "IntroB exact" 1 (sinks "2objH-IntroB")
 
 let test_ablation_smoke () =
   (* The ablation studies must run end-to-end at tiny scale. *)
@@ -108,6 +129,7 @@ let () =
           Alcotest.test_case "fig4" `Slow test_fig4;
           Alcotest.test_case "figs567" `Slow test_figs567;
           Alcotest.test_case "run_to_row" `Quick test_run_to_row;
+          Alcotest.test_case "taint study" `Slow test_taint_study;
           Alcotest.test_case "timeouts" `Quick test_timeouts_render;
           Alcotest.test_case "ablation smoke" `Slow test_ablation_smoke;
         ] );

@@ -193,6 +193,7 @@ let test_static_policy () =
     Analysis.run_mixed ~budget p ~default:Flavors.Insensitive ~refined:flavor ~refine:hub_policy
   in
   check Alcotest.bool "hub policy rescues" false rescued.timed_out;
+  Solution.self_check_exn rescued.solution;
   (* a wrong expert list does not *)
   let wrong =
     Heuristics.static_policy base.solution
@@ -249,6 +250,30 @@ let test_driver_default_heuristics_keep_precision_here () =
         (Ipa_testlib.canon_native ir.second.solution))
     [ Heuristics.default_a; Heuristics.default_b ]
 
+let test_driver_self_check () =
+  (* Both passes of the two-pass recipe — the insensitive base and the mixed
+     second analysis — must satisfy every solver invariant. *)
+  let assert_sound what (s : Solution.t) =
+    match Solution.self_check s with
+    | [] -> ()
+    | errs -> Alcotest.failf "%s: %s" what (List.hd errs)
+  in
+  let flavor = Flavors.Object_sens { depth = 2; heap = 1 } in
+  List.iter
+    (fun (name, p) ->
+      List.iter
+        (fun h ->
+          let ir = Analysis.run_introspective p flavor h in
+          assert_sound (name ^ " base") ir.base.solution;
+          assert_sound (name ^ " second " ^ Heuristics.name h) ir.second.solution)
+        [ Heuristics.default_a; Heuristics.default_b ])
+    [
+      ("metrics program", Ipa_testlib.parse_exn src);
+      ("boxes", Ipa_testlib.parse_exn Ipa_testlib.boxes_src);
+      ("random 620", Ipa_testlib.random_program 620);
+      ("random 621", Ipa_testlib.random_program 621);
+    ]
+
 let () =
   Alcotest.run "introspection"
     [
@@ -278,5 +303,6 @@ let () =
           Alcotest.test_case "budget" `Quick test_driver_budget;
           Alcotest.test_case "precision kept below thresholds" `Quick
             test_driver_default_heuristics_keep_precision_here;
+          Alcotest.test_case "both passes self-check" `Quick test_driver_self_check;
         ] );
     ]

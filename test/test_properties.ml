@@ -331,6 +331,73 @@ let test_field_based_coarser () =
   let count (s : Ipa_core.Solution.t) = (Ipa_core.Solution.stats s).vpt_tuples in
   check Alcotest.bool "field-based is coarser on boxes" true (count fb > count fs)
 
+(* ---------- taint monotonicity ---------- *)
+
+let test_taint_monotone () =
+  (* Every edge of the collapsed value-flow graph is derived monotonically
+     from the solution's collapsed relations (points-to, call graph,
+     reachability), so a more context-sensitive flavor must never report
+     MORE tainted sinks than the insensitive analysis of the same program.
+     The spec speaks the random-program generator's vocabulary: anything
+     returned by an m0/0 method is a source, every m1/1 argument a sink,
+     and statics are sanitizers (cutting some but not all flows). *)
+  let flavors =
+    Ipa_core.Flavors.
+      [
+        Object_sens { depth = 2; heap = 1 };
+        Call_site { depth = 2; heap = 1 };
+        Type_sens { depth = 2; heap = 1 };
+        Hybrid { depth = 2; heap = 1 };
+      ]
+  in
+  let total_coarse = ref 0 in
+  let assert_monotone what spec p =
+    let base = Ipa_core.Analysis.run_plain p Ipa_core.Flavors.Insensitive in
+    check Alcotest.bool (what ^ " insens completes") false base.timed_out;
+    let coarse = Ipa_clients.Taint.tainted_sink_count ~spec base.solution in
+    total_coarse := !total_coarse + coarse;
+    List.iter
+      (fun flavor ->
+        let fine = Ipa_core.Analysis.run_plain p flavor in
+        if not fine.timed_out then begin
+          let n = Ipa_clients.Taint.tainted_sink_count ~spec fine.solution in
+          if n > coarse then
+            Alcotest.failf "%s %s: %d tainted sinks > insens %d" what
+              (Ipa_core.Flavors.to_string flavor)
+              n coarse
+        end)
+      flavors
+  in
+  (* random programs with a spec in the generator's vocabulary: m0/0 returns
+     and every allocation are sources, the Main statics and m1/1 arguments
+     sinks, m2/2 methods sanitizers (cutting some flows, not all) *)
+  let random_spec : Ipa_clients.Taint.spec =
+    {
+      sources = [ "*::m0/0" ];
+      source_classes = [ "*" ];
+      sinks = [ "Main::s*/1"; "*::m1/1" ];
+      sanitizers = [ "*::m2/2" ];
+    }
+  in
+  for seed = 700 to 719 do
+    assert_monotone (Printf.sprintf "seed %d" seed) random_spec
+      (Ipa_testlib.random_program seed)
+  done;
+  (* random flows are sparse, so also exercise the structured motif (under
+     its native default spec), where flows are guaranteed at every size *)
+  List.iter
+    (fun (wseed, n, sanitized) ->
+      let w = Ipa_synthetic.World.create ~seed:wseed in
+      Ipa_synthetic.Motifs.taint_pipes ~sanitized w ~n;
+      Ipa_synthetic.Motifs.ballast w ~n:2;
+      assert_monotone
+        (Printf.sprintf "taint_pipes n=%d" n)
+        Ipa_clients.Taint.default_spec
+        (Ipa_synthetic.World.finish w))
+    [ (41, 3, 1); (42, 5, 2); (43, 8, 3) ];
+  (* the property must not hold vacuously: the workloads have real flows *)
+  check Alcotest.bool "some tainted sinks across seeds" true (!total_coarse > 0)
+
 (* ---------- parser robustness ---------- *)
 
 let test_parser_truncation_fuzz () =
@@ -378,5 +445,7 @@ let () =
             test_worklist_order_independence;
           Alcotest.test_case "field-based coarser" `Quick test_field_based_coarser;
         ] );
+      ( "taint",
+        [ Alcotest.test_case "monotone in precision" `Slow test_taint_monotone ] );
       ("parser", [ Alcotest.test_case "truncation fuzz" `Slow test_parser_truncation_fuzz ]);
     ]
