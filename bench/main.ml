@@ -5,15 +5,23 @@
    benchmarks (one Test.make per figure/table at reduced scale, plus kernel
    benchmarks of the supporting data structures).
 
+   The figure suites fan out over a domain pool (--jobs N, default
+   Domain.recommended_domain_count); results are ordered and identical to a
+   sequential run. A [figs] or [all] run also writes BENCH_solver.json — the
+   full report plus the solver's propagation counters, machine-readable for
+   CI trend tracking.
+
    Usage:
-     main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|micro|all] [--scale S] [--budget N]
+     main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|micro|all]
+              [--scale S] [--budget N] [--jobs N]
 *)
 
 module Flavors = Ipa_core.Flavors
+module Experiments = Ipa_harness.Experiments
 
 let usage () =
   prerr_endline
-    "usage: main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|micro|all] [--scale S] [--budget N]";
+    "usage: main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|micro|all] [--scale S] [--budget N] [--jobs N]";
   exit 2
 
 type selection = Fig1 | Fig4 | Fig of Flavors.spec | Figs | Ablation | Micro | All
@@ -60,10 +68,75 @@ let parse_args () =
       | Some b when b >= 0 -> cfg := { !cfg with budget = b }
       | _ -> usage ());
       go rest
+    | "--jobs" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some j when j >= 1 -> cfg := { !cfg with jobs = j }
+      | _ -> usage ());
+      go rest
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
   (!selection, !cfg)
+
+(* ---------- BENCH_solver.json ---------- *)
+
+let json_path = "BENCH_solver.json"
+
+let run_json (r : Experiments.run) =
+  let c = r.counters in
+  Printf.sprintf
+    {|    {"bench": "%s", "analysis": "%s", "seconds": %.6f, "derivations": %d, "timed_out": %b,
+     "counters": {"edges_added": %d, "edges_deduped": %d, "batches": %d, "batch_objs": %d, "max_batch": %d, "set_promotions": %d}}|}
+    r.bench r.analysis r.seconds r.derivations r.timed_out c.edges_added c.edges_deduped c.batches
+    c.batch_objs c.max_batch c.set_promotions
+
+let write_json (cfg : Ipa_harness.Config.t) (report : Experiments.report) =
+  let runs =
+    report.fig1 @ report.fig5 @ report.fig6 @ report.fig7 @ report.taint
+  in
+  let totals =
+    List.fold_left
+      (fun acc (r : Experiments.run) ->
+        let c = r.counters in
+        {
+          Ipa_core.Solution.edges_added = acc.Ipa_core.Solution.edges_added + c.edges_added;
+          edges_deduped = acc.edges_deduped + c.edges_deduped;
+          batches = acc.batches + c.batches;
+          batch_objs = acc.batch_objs + c.batch_objs;
+          max_batch = max acc.max_batch c.max_batch;
+          set_promotions = acc.set_promotions + c.set_promotions;
+        })
+      Ipa_core.Solution.zero_counters runs
+  in
+  let section name rs =
+    Printf.sprintf "  \"%s\": [\n%s\n  ]" name (String.concat ",\n" (List.map run_json rs))
+  in
+  let body =
+    String.concat ",\n"
+      [
+        Printf.sprintf "  \"scale\": %g" cfg.scale;
+        Printf.sprintf "  \"budget\": %d" cfg.budget;
+        Printf.sprintf "  \"jobs\": %d" cfg.jobs;
+        section "fig1" report.fig1;
+        section "fig5" report.fig5;
+        section "fig6" report.fig6;
+        section "fig7" report.fig7;
+        section "taint" report.taint;
+        Printf.sprintf
+          "  \"totals\": {\"runs\": %d, \"edges_added\": %d, \"edges_deduped\": %d, \"batches\": \
+           %d, \"batch_objs\": %d, \"max_batch\": %d, \"set_promotions\": %d}"
+          (List.length runs) totals.edges_added totals.edges_deduped totals.batches
+          totals.batch_objs totals.max_batch totals.set_promotions;
+      ]
+  in
+  Out_channel.with_open_text json_path (fun oc ->
+      Out_channel.output_string oc ("{\n" ^ body ^ "\n}\n"));
+  Printf.printf "wrote %s (%d runs)\n%!" json_path (List.length runs)
+
+let run_figs cfg =
+  let report = Experiments.compute_report cfg in
+  Experiments.print_report cfg report;
+  write_json cfg report
 
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
@@ -77,6 +150,18 @@ let kernel_tests () =
              ignore (Ipa_support.Int_set.add s (i * 7919))
            done;
            for i = 0 to 999 do
+             ignore (Ipa_support.Int_set.mem s (i * 7919))
+           done))
+  in
+  let intset_small =
+    (* stays within the inline sorted-array representation *)
+    Test.make ~name:"int_set/small-add-mem-6"
+      (Staged.stage (fun () ->
+           let s = Ipa_support.Int_set.create () in
+           for i = 0 to 5 do
+             ignore (Ipa_support.Int_set.add s (i * 7919))
+           done;
+           for i = 0 to 5 do
              ignore (Ipa_support.Int_set.mem s (i * 7919))
            done))
   in
@@ -124,36 +209,38 @@ let kernel_tests () =
            ignore
              (Ipa_core.Analysis.run_plain program (Flavors.Object_sens { depth = 2; heap = 1 }))))
   in
-  [ intset_add; interner; pair_tbl; datalog_tc; solver_small ]
+  [ intset_add; intset_small; interner; pair_tbl; datalog_tc; solver_small ]
 
 (* One Test.make per reproduced table/figure, at reduced scale so a
-   Bechamel run stays tractable. *)
+   Bechamel run stays tractable. Sequential (jobs = 1): Bechamel measures
+   the iteration itself, and a pool inside the measured region would report
+   wall-clock of a loaded machine. *)
 let figure_tests () =
   let open Bechamel in
-  let cfg = { Ipa_harness.Config.scale = 0.05; budget = 2_000_000 } in
+  let cfg = { Ipa_harness.Config.scale = 0.05; budget = 2_000_000; jobs = 1 } in
   let silent f =
     (* compute, discard printing *)
     fun () -> ignore (f ())
   in
   [
     Test.make ~name:"fig1/insens-vs-2objH"
-      (Staged.stage (silent (fun () -> Ipa_harness.Experiments.Fig1.compute cfg)));
+      (Staged.stage (silent (fun () -> Experiments.Fig1.compute cfg)));
     Test.make ~name:"fig4/refinement-selection"
-      (Staged.stage (silent (fun () -> Ipa_harness.Experiments.Fig4.compute cfg)));
+      (Staged.stage (silent (fun () -> Experiments.Fig4.compute cfg)));
     Test.make ~name:"fig5/2objH-introspective"
       (Staged.stage
          (silent (fun () ->
-              Ipa_harness.Experiments.Figs567.compute cfg
+              Experiments.Figs567.compute cfg
                 (Flavors.Object_sens { depth = 2; heap = 1 }))));
     Test.make ~name:"fig6/2typeH-introspective"
       (Staged.stage
          (silent (fun () ->
-              Ipa_harness.Experiments.Figs567.compute cfg
+              Experiments.Figs567.compute cfg
                 (Flavors.Type_sens { depth = 2; heap = 1 }))));
     Test.make ~name:"fig7/2callH-introspective"
       (Staged.stage
          (silent (fun () ->
-              Ipa_harness.Experiments.Figs567.compute cfg
+              Experiments.Figs567.compute cfg
                 (Flavors.Call_site { depth = 2; heap = 1 }))));
   ]
 
@@ -187,12 +274,12 @@ let run_bechamel () =
 let () =
   let selection, cfg = parse_args () in
   (match selection with
-  | Fig1 -> Ipa_harness.Experiments.Fig1.print cfg
-  | Fig4 -> Ipa_harness.Experiments.Fig4.print cfg
-  | Fig flavor -> Ipa_harness.Experiments.Figs567.print cfg flavor
-  | Figs -> Ipa_harness.Experiments.print_all cfg
+  | Fig1 -> Experiments.Fig1.print cfg
+  | Fig4 -> Experiments.Fig4.print cfg
+  | Fig flavor -> Experiments.Figs567.print cfg flavor
+  | Figs -> run_figs cfg
   | All ->
-    Ipa_harness.Experiments.print_all cfg;
+    run_figs cfg;
     Ipa_harness.Ablation.print_all cfg
   | Ablation -> Ipa_harness.Ablation.print_all cfg
   | Micro -> ());

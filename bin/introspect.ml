@@ -458,8 +458,8 @@ let datalog_cmd =
 (* ---------- experiments ---------- *)
 
 let experiments_cmd =
-  let run figure scale budget =
-    let cfg = { Ipa_harness.Config.scale; budget } in
+  let run figure scale budget jobs =
+    let cfg = { Ipa_harness.Config.scale; budget; jobs = max 1 jobs } in
     (match figure with
     | None -> Ipa_harness.Experiments.print_all cfg
     | Some 1 -> Ipa_harness.Experiments.Fig1.print cfg
@@ -481,9 +481,18 @@ let experiments_cmd =
       & opt int Ipa_harness.Config.default.budget
       & info [ "budget" ] ~docv:"N" ~doc:"Derivation budget per run.")
   in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int Ipa_harness.Config.default.jobs
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for independent analyses (default: the machine's recommended domain \
+             count). Results are identical at any job count; only timings vary.")
+  in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures.")
-    Term.(const run $ figure_arg $ scale_arg $ budget_arg')
+    Term.(const run $ figure_arg $ scale_arg $ budget_arg' $ jobs_arg)
 
 let () =
   let info =

@@ -73,6 +73,31 @@ let compute (s : Solution.t) : t =
 
 let take limit xs = List.filteri (fun i _ -> i < limit) xs
 
+let print_counters (s : Solution.t) =
+  let c = s.counters in
+  print_endline "-- solver propagation counters --";
+  let pct part whole =
+    if whole = 0 then "-" else Printf.sprintf "%.1f%%" (100.0 *. float_of_int part /. float_of_int whole)
+  in
+  Table.print
+    ~header:[ "counter"; "value"; "note" ]
+    [
+      [ "copy edges added"; string_of_int c.edges_added; "" ];
+      [
+        "copy edges deduped";
+        string_of_int c.edges_deduped;
+        pct c.edges_deduped (c.edges_added + c.edges_deduped) ^ " of requests";
+      ];
+      [ "worklist batches"; string_of_int c.batches; "" ];
+      [
+        "objects per batch";
+        (if c.batches = 0 then "-"
+         else Printf.sprintf "%.2f" (float_of_int c.batch_objs /. float_of_int c.batches));
+        Printf.sprintf "max %d" c.max_batch;
+      ];
+      [ "small-set promotions"; string_of_int c.set_promotions; "past 8 elements" ];
+    ]
+
 let top_methods ?(limit = 15) s = take limit (compute s).methods
 let top_objects ?(limit = 15) s = take limit (compute s).objects
 
@@ -101,4 +126,5 @@ let print ?(limit = 15) s =
            string_of_int r.heap_contexts;
            string_of_int r.pointed_by_nodes;
          ])
-       (take limit d.objects))
+       (take limit d.objects));
+  print_counters s

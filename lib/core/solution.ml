@@ -5,6 +5,25 @@ module Program = Ipa_ir.Program
 
 type outcome = Complete | Budget_exceeded
 
+type counters = {
+  edges_added : int;
+  edges_deduped : int;
+  batches : int;
+  batch_objs : int;
+  max_batch : int;
+  set_promotions : int;
+}
+
+let zero_counters =
+  {
+    edges_added = 0;
+    edges_deduped = 0;
+    batches = 0;
+    batch_objs = 0;
+    max_batch = 0;
+    set_promotions = 0;
+  }
+
 type t = {
   program : Program.t;
   ctxs : Ctx.t;
@@ -16,6 +35,7 @@ type t = {
   cg : int Dynarr.t;
   outcome : outcome;
   derivations : int;
+  counters : counters;
   mutable collapsed_vpt_cache : Int_set.t array option;
   mutable collapsed_fpt_cache : (int, Int_set.t) Hashtbl.t option;
   mutable reachable_meths_cache : Int_set.t option;

@@ -16,6 +16,21 @@ type outcome =
       (** The derivation budget ran out — the deterministic analogue of the
           paper's 90-minute timeout. Tables hold the partial fixpoint. *)
 
+(** Cheap solver instrumentation: how much propagation work the run did
+    beyond the derivation count. Filled by {!Solver.run}; all zeros on
+    solutions built elsewhere. *)
+type counters = {
+  edges_added : int;  (** distinct copy edges registered *)
+  edges_deduped : int;  (** duplicate [add_edge] requests skipped *)
+  batches : int;  (** worklist batches processed *)
+  batch_objs : int;  (** objects consumed across all batches *)
+  max_batch : int;  (** largest single pending batch *)
+  set_promotions : int;
+      (** {!Ipa_support.Int_set} small-to-hash promotions during the run *)
+}
+
+val zero_counters : counters
+
 type t = {
   program : Ipa_ir.Program.t;
   ctxs : Ctx.t;
@@ -27,6 +42,7 @@ type t = {
   cg : int Dynarr.t;  (** call-graph edges, 4 ints each: invo, callerCtx, meth, calleeCtx *)
   outcome : outcome;
   derivations : int;  (** tuple insertions performed *)
+  counters : counters;  (** propagation instrumentation; see {!counters} *)
   mutable collapsed_vpt_cache : Int_set.t array option;
   mutable collapsed_fpt_cache : (int, Int_set.t) Hashtbl.t option;
   mutable reachable_meths_cache : Int_set.t option;

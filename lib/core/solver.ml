@@ -77,6 +77,10 @@ let pack_edge ~dst ~spec =
 let edge_dst e = e lsr filter_bits
 let edge_spec e = e land filter_mask
 
+(* Call-graph dedup keys pack two dense pair ids side by side; both halves
+   must fit in [cg_key_bits] bits (2 * 31 = 62 < Sys.int_size). *)
+let cg_key_bits = 31
+
 type state = {
   p : Program.t;
   cfg : config;
@@ -87,6 +91,10 @@ type state = {
   (* Per-node state, indexed by the Solution.Node encoding. *)
   pts : Int_set.t option Dynarr.t;
   edges : int Dynarr.t option Dynarr.t;
+  (* Dedup index over [edges]: built lazily once a node's out-degree crosses
+     the linear-scan threshold; [None] while a scan of the edge list itself
+     is cheaper than a set lookup. *)
+  edge_seen : Int_set.t option Dynarr.t;
   pending : int Dynarr.t option Dynarr.t;
   on_list : bool Dynarr.t;
   worklist : int Dynarr.t;
@@ -102,6 +110,12 @@ type state = {
      (every clause type negatively). *)
   catch_specs : (int array * int) option array;
   mutable derivations : int;
+  (* Instrumentation (Solution.counters). *)
+  mutable edges_added : int;
+  mutable edges_deduped : int;
+  mutable batches : int;
+  mutable batch_objs : int;
+  mutable max_batch : int;
 }
 
 let compute_base_uses (p : Program.t) : use list array =
@@ -133,6 +147,7 @@ let create p cfg =
     fld_nodes = Pair_tbl.create ~capacity:1024 ();
     pts = Dynarr.create ~capacity:1024 ~dummy:None ();
     edges = Dynarr.create ~capacity:1024 ~dummy:None ();
+    edge_seen = Dynarr.create ~capacity:1024 ~dummy:None ();
     pending = Dynarr.create ~capacity:1024 ~dummy:None ();
     on_list = Dynarr.create ~capacity:1024 ~dummy:false ();
     worklist = Dynarr.create ~capacity:1024 ~dummy:0 ();
@@ -145,12 +160,18 @@ let create p cfg =
     filters = Filters.create ();
     catch_specs = Array.make (Program.n_meths p) None;
     derivations = 0;
+    edges_added = 0;
+    edges_deduped = 0;
+    batches = 0;
+    batch_objs = 0;
+    max_batch = 0;
   }
 
 let ensure_node st n =
   while Dynarr.length st.pts <= n do
     Dynarr.push st.pts None;
     Dynarr.push st.edges None;
+    Dynarr.push st.edge_seen None;
     Dynarr.push st.pending None;
     Dynarr.push st.on_list false
   done
@@ -238,11 +259,39 @@ let add_obj st node obj ~spec =
     end
   end
 
+(* Duplicate copy edges used to be pushed blindly, so every pending batch
+   re-propagated across them and every re-add re-flushed the full source
+   set. Dedup instead: a linear scan of the edge list while the out-degree
+   is small, a lazily-built seen-set once it is not. *)
+let edge_linear_threshold = 16
+
 let add_edge st ~src ~dst ~spec =
-  Dynarr.push (node_edges st src) (pack_edge ~dst ~spec);
-  match Dynarr.get st.pts src with
-  | None -> ()
-  | Some s -> Int_set.iter (fun obj -> add_obj st dst obj ~spec) s
+  let packed = pack_edge ~dst ~spec in
+  let es = node_edges st src in
+  let fresh =
+    match Dynarr.get st.edge_seen src with
+    | Some seen -> Int_set.add seen packed
+    | None ->
+      let n = Dynarr.length es in
+      if n < edge_linear_threshold then begin
+        let rec scan i = i < n && (Dynarr.get es i = packed || scan (i + 1)) in
+        not (scan 0)
+      end
+      else begin
+        let seen = Int_set.create ~capacity:(2 * n) () in
+        Dynarr.iter (fun e -> ignore (Int_set.add seen e)) es;
+        Dynarr.set st.edge_seen src (Some seen);
+        Int_set.add seen packed
+      end
+  in
+  if fresh then begin
+    st.edges_added <- st.edges_added + 1;
+    Dynarr.push es packed;
+    match Dynarr.get st.pts src with
+    | None -> ()
+    | Some s -> Int_set.iter (fun obj -> add_obj st dst obj ~spec) s
+  end
+  else st.edges_deduped <- st.edges_deduped + 1
 
 let cast_spec st cls = Filters.intern st.filters [| Filters.pos cls |]
 
@@ -322,7 +371,16 @@ and process_body st meth ctx ~reach_id =
 and add_cg_edge st ~invo ~caller_ctx ~meth ~callee_ctx =
   let callee_id = ensure_reachable st meth callee_ctx in
   let caller_id = Pair_tbl.intern st.cg_caller invo caller_ctx in
-  let key = (caller_id lsl 31) lor callee_id in
+  (* The seen-key packs both dense pair ids into one 62-bit int. Ids are
+     interned counters, so 2^31 of either means a run astronomically past
+     any budget — but guard explicitly: a silent wrap would collide two
+     distinct call-graph edges and drop one unsoundly. *)
+  if caller_id lsr cg_key_bits <> 0 || callee_id lsr cg_key_bits <> 0 then
+    failwith
+      (Printf.sprintf
+         "Solver.add_cg_edge: call-graph pair id (%d, %d) exceeds the %d-bit packed key space"
+         caller_id callee_id cg_key_bits);
+  let key = (caller_id lsl cg_key_bits) lor callee_id in
   if Int_set.add st.cg_seen key then begin
     spend st;
     Dynarr.push st.cg invo;
@@ -373,8 +431,15 @@ let dispatch_call st ~invo ~ctx obj =
 
 let process_node st n =
   Dynarr.set st.on_list n false;
-  let batch = Dynarr.to_array (node_pending st n) in
-  Dynarr.clear (node_pending st n);
+  (* The batch is the pending prefix present when processing starts; it is
+     consumed exactly once, so it is iterated in place (no [to_array] copy)
+     and dropped at the end. [add_obj] may append to the same pending array
+     mid-batch; those objects stay for the node's next worklist round. *)
+  let pending = node_pending st n in
+  let n_batch = Dynarr.length pending in
+  st.batches <- st.batches + 1;
+  st.batch_objs <- st.batch_objs + n_batch;
+  if n_batch > st.max_batch then st.max_batch <- n_batch;
   (* Propagate along the copy edges present when processing starts; edges
      added mid-batch flush the full points-to set themselves. *)
   let es = node_edges st n in
@@ -383,16 +448,16 @@ let process_node st n =
     let packed = Dynarr.get es e in
     let dst = edge_dst packed in
     let spec = edge_spec packed in
-    Array.iter (fun obj -> add_obj st dst obj ~spec) batch
+    Dynarr.iter_prefix (fun obj -> add_obj st dst obj ~spec) pending ~n:n_batch
   done;
-  match Node.kind n with
+  (match Node.kind n with
   | Node.Fld_node _ | Node.Static_fld _ | Node.Exc_node _ -> ()
   | Node.Var_node vn ->
     let var = Pair_tbl.fst st.var_nodes vn in
     let ctx = Pair_tbl.snd st.var_nodes vn in
     let uses = st.base_uses.(var) in
     if uses <> [] then
-      Array.iter
+      Dynarr.iter_prefix
         (fun obj ->
           List.iter
             (fun use ->
@@ -405,10 +470,12 @@ let process_node st n =
                   ~spec:Filters.none
               | Use_vcall invo -> dispatch_call st ~invo ~ctx obj)
             uses)
-        batch
+        pending ~n:n_batch);
+  Dynarr.drop_prefix pending n_batch
 
 let run p cfg =
   let st = create p cfg in
+  let promotions_before = Int_set.promotion_count () in
   let outcome =
     try
       List.iter (fun m -> ignore (ensure_reachable st m Ctx.empty)) (Program.entries p);
@@ -439,6 +506,15 @@ let run p cfg =
     cg = st.cg;
     outcome;
     derivations = st.derivations;
+    counters =
+      {
+        Solution.edges_added = st.edges_added;
+        edges_deduped = st.edges_deduped;
+        batches = st.batches;
+        batch_objs = st.batch_objs;
+        max_batch = st.max_batch;
+        set_promotions = Int_set.promotion_count () - promotions_before;
+      };
     collapsed_vpt_cache = None;
     collapsed_fpt_cache = None;
     reachable_meths_cache = None;

@@ -20,50 +20,59 @@ let precision_cells (r : Analysis.result) =
       string_of_int p.may_fail_casts;
     ]
 
+let build_bench (cfg : Config.t) name = Dacapo.build ~scale:cfg.scale (Option.get (Dacapo.find name))
+
+(* Each parallel task rebuilds its benchmark program rather than sharing one
+   across domains; Dacapo.build is deterministic and cheap next to a solve. *)
+
 (* ---------- knob sweep ---------- *)
 
 let knob (cfg : Config.t) =
-  print_endline "== Ablation: heuristic-constant sweep (2objH introspective) ==";
   let benches = [ "hsqldb"; "jython" ] in
+  let scale_c factor c = max 1 (int_of_float (float_of_int c *. factor)) in
+  let settings =
+    [ ("insens", `Plain Flavors.Insensitive) ]
+    @ List.map
+        (fun factor ->
+          ( Printf.sprintf "IntroA x%g" factor,
+            `Intro (Heuristics.A { k = scale_c factor 100; l = scale_c factor 100; m = scale_c factor 200 }) ))
+        [ 0.1; 0.5; 1.0; 5.0; 50.0; 10000.0 ]
+    @ List.map
+        (fun factor ->
+          ( Printf.sprintf "IntroB x%g" factor,
+            `Intro (Heuristics.B { p = scale_c factor 10000; q = scale_c factor 10000 }) ))
+        [ 0.1; 1.0; 50.0 ]
+    @ [ ("full 2objH", `Plain obj2) ]
+  in
+  let cells = List.concat_map (fun name -> List.map (fun s -> (name, s)) settings) benches in
+  let rows =
+    Par.map cfg
+      (fun (name, (label, setting)) ->
+        let p = build_bench cfg name in
+        let r =
+          match setting with
+          | `Plain flavor -> Analysis.run_plain ~budget:cfg.budget p flavor
+          | `Intro h -> (Analysis.run_introspective ~budget:cfg.budget p obj2 h).second
+        in
+        (name, [ label; cell_of_result r ] @ precision_cells r))
+      cells
+  in
+  print_endline "== Ablation: heuristic-constant sweep (2objH introspective) ==";
   List.iter
     (fun name ->
-      let spec = Option.get (Dacapo.find name) in
-      let p = Dacapo.build ~scale:cfg.scale spec in
       Printf.printf "-- %s --\n" name;
-      let rows = ref [] in
-      let row label r = rows := ([ label; cell_of_result r ] @ precision_cells r) :: !rows in
-      row "insens" (Analysis.run_plain ~budget:cfg.budget p Flavors.Insensitive);
-      List.iter
-        (fun factor ->
-          let scale_c c = max 1 (int_of_float (float_of_int c *. factor)) in
-          let h =
-            Heuristics.A { k = scale_c 100; l = scale_c 100; m = scale_c 200 }
-          in
-          let ir = Analysis.run_introspective ~budget:cfg.budget p obj2 h in
-          row (Printf.sprintf "IntroA x%g" factor) ir.second)
-        [ 0.1; 0.5; 1.0; 5.0; 50.0; 10000.0 ];
-      List.iter
-        (fun factor ->
-          let scale_c c = max 1 (int_of_float (float_of_int c *. factor)) in
-          let h = Heuristics.B { p = scale_c 10000; q = scale_c 10000 } in
-          let ir = Analysis.run_introspective ~budget:cfg.budget p obj2 h in
-          row (Printf.sprintf "IntroB x%g" factor) ir.second)
-        [ 0.1; 1.0; 50.0 ];
-      row "full 2objH" (Analysis.run_plain ~budget:cfg.budget p obj2);
       Table.print
         ~header:[ "setting"; "time(s)"; "poly-vcalls"; "reach-meths"; "fail-casts" ]
-        (List.rev !rows))
+        (List.filter_map (fun (n, row) -> if n = name then Some row else None) rows))
     benches;
   print_newline ()
 
 (* ---------- flavor grid ---------- *)
 
 let grid (cfg : Config.t) =
-  print_endline "== Ablation: flavor/benchmark scalability grid (time in s) ==";
   let flavors = Flavors.all_named in
-  let header = "benchmark" :: List.map fst flavors in
   let rows =
-    List.map
+    Par.map cfg
       (fun (spec : Dacapo.spec) ->
         let p = Dacapo.build ~scale:cfg.scale spec in
         spec.name
@@ -73,13 +82,13 @@ let grid (cfg : Config.t) =
              flavors)
       Dacapo.all
   in
-  Table.print ~header rows;
+  print_endline "== Ablation: flavor/benchmark scalability grid (time in s) ==";
+  Table.print ~header:("benchmark" :: List.map fst flavors) rows;
   print_newline ()
 
 (* ---------- heuristic components ---------- *)
 
 let components (cfg : Config.t) =
-  print_endline "== Ablation: Heuristic A components (2objH, hard benchmarks) ==";
   let huge = max_int / 4 in
   let variants =
     [
@@ -89,36 +98,38 @@ let components (cfg : Config.t) =
       ("A objects only", Heuristics.A { k = 100; l = huge; m = huge });
     ]
   in
+  let benches = [ "hsqldb"; "jython"; "xalan" ] in
+  let cells = List.concat_map (fun name -> List.map (fun v -> (name, v)) variants) benches in
+  let rows =
+    Par.map cfg
+      (fun (name, (label, h)) ->
+        let p = build_bench cfg name in
+        let ir = Analysis.run_introspective ~budget:cfg.budget p obj2 h in
+        let sel = ir.selection in
+        ( name,
+          [
+            label;
+            cell_of_result ir.second;
+            Printf.sprintf "%.1f" (Heuristics.pct_sites sel);
+            Printf.sprintf "%.1f" (Heuristics.pct_objects sel);
+          ]
+          @ precision_cells ir.second ))
+      cells
+  in
+  print_endline "== Ablation: Heuristic A components (2objH, hard benchmarks) ==";
   List.iter
     (fun name ->
-      let spec = Option.get (Dacapo.find name) in
-      let p = Dacapo.build ~scale:cfg.scale spec in
       Printf.printf "-- %s --\n" name;
-      let rows =
-        List.map
-          (fun (label, h) ->
-            let ir = Analysis.run_introspective ~budget:cfg.budget p obj2 h in
-            let sel = ir.selection in
-            [
-              label;
-              cell_of_result ir.second;
-              Printf.sprintf "%.1f" (Heuristics.pct_sites sel);
-              Printf.sprintf "%.1f" (Heuristics.pct_objects sel);
-            ]
-            @ precision_cells ir.second)
-          variants
-      in
       Table.print
         ~header:
           [ "variant"; "time(s)"; "sites%"; "objects%"; "poly-vcalls"; "reach-meths"; "fail-casts" ]
-        rows)
-    [ "hsqldb"; "jython"; "xalan" ];
+        (List.filter_map (fun (n, row) -> if n = name then Some row else None) rows))
+    benches;
   print_newline ()
 
 (* ---------- field sensitivity ---------- *)
 
 let field_sensitivity (cfg : Config.t) =
-  print_endline "== Ablation: field-sensitive vs field-based handling ==";
   let run p flavor field_sensitive =
     let config =
       {
@@ -137,17 +148,22 @@ let field_sensitivity (cfg : Config.t) =
     in
     [ time ] @ prec
   in
-  let rows =
+  let cells =
     List.concat_map
       (fun name ->
-        let spec = Option.get (Dacapo.find name) in
-        let p = Dacapo.build ~scale:cfg.scale spec in
         List.map
-          (fun (label, flavor) ->
-            (name ^ " " ^ label) :: (run p flavor true @ run p flavor false))
+          (fun lf -> (name, lf))
           [ ("insens", Flavors.Insensitive); ("2objH", obj2) ])
       [ "chart"; "eclipse"; "pmd" ]
   in
+  let rows =
+    Par.map cfg
+      (fun (name, (label, flavor)) ->
+        let p = build_bench cfg name in
+        (name ^ " " ^ label) :: (run p flavor true @ run p flavor false))
+      cells
+  in
+  print_endline "== Ablation: field-sensitive vs field-based handling ==";
   Table.print
     ~header:
       [
@@ -165,78 +181,83 @@ let field_sensitivity (cfg : Config.t) =
 (* ---------- client-driven baseline (the §5 comparison) ---------- *)
 
 let client_driven (cfg : Config.t) =
+  (* The selectors within one benchmark share the insens base solution and
+     its query list, so the unit of parallelism is the benchmark. *)
+  let per_bench =
+    Par.map cfg
+      (fun name ->
+        let p = build_bench cfg name in
+        let rows = ref [] in
+        let row label time derivs refined_sites refined_objs unsafe =
+          rows := [ label; time; derivs; refined_sites; refined_objs; unsafe ] :: !rows
+        in
+        let base = Analysis.run_plain ~budget:cfg.budget p Flavors.Insensitive in
+        let queries = Ipa_core.Client_driven.cast_queries base.solution in
+        let unsafe_of (r : Analysis.result) =
+          if r.timed_out then "-"
+          else
+            string_of_int
+              (List.length
+                 (List.filter
+                    (fun (src, ty) ->
+                      Ipa_support.Int_set.exists
+                        (fun h ->
+                          not
+                            (Ipa_ir.Program.subtype p
+                               ~sub:(Ipa_ir.Program.heap_info p h).heap_class ~super:ty))
+                        (Ipa_core.Solution.collapsed_var_pts r.solution).(src))
+                    queries))
+        in
+        row "insens" (cell_of_result base) (string_of_int base.solution.derivations) "0" "0"
+          (unsafe_of base);
+        (* one representative query: the first cast *)
+        (match queries with
+        | (src, _) :: _ ->
+          let cd = Analysis.run_client_driven ~budget:cfg.budget p obj2 [ src ] in
+          let sites, objs = Ipa_core.Client_driven.selection_size base.solution cd.cd_refine in
+          row "query-driven (1 cast)" (cell_of_result cd.cd_second)
+            (string_of_int cd.cd_second.solution.derivations)
+            (string_of_int sites) (string_of_int objs) (unsafe_of cd.cd_second)
+        | [] -> ());
+        (* every cast at once: the all-points regime of §5 *)
+        let all_vars = List.map fst queries in
+        let cd_all = Analysis.run_client_driven ~budget:cfg.budget p obj2 all_vars in
+        let sites, objs = Ipa_core.Client_driven.selection_size base.solution cd_all.cd_refine in
+        row "query-driven (all casts)" (cell_of_result cd_all.cd_second)
+          (string_of_int cd_all.cd_second.solution.derivations)
+          (string_of_int sites) (string_of_int objs) (unsafe_of cd_all.cd_second);
+        (* the all-points limit: every variable is a query — client-driven
+           selection degenerates to the full analysis (and its timeouts) *)
+        let everything = List.init (Ipa_ir.Program.n_vars p) Fun.id in
+        let cd_pts = Analysis.run_client_driven ~budget:cfg.budget p obj2 everything in
+        let sites, objs = Ipa_core.Client_driven.selection_size base.solution cd_pts.cd_refine in
+        row "query-driven (all points)" (cell_of_result cd_pts.cd_second)
+          (string_of_int cd_pts.cd_second.solution.derivations)
+          (string_of_int sites) (string_of_int objs) (unsafe_of cd_pts.cd_second);
+        let intro = Analysis.run_introspective ~budget:cfg.budget p obj2 Heuristics.default_b in
+        row "IntroB" (cell_of_result intro.second)
+          (string_of_int intro.second.solution.derivations)
+          "-" "-" (unsafe_of intro.second);
+        let full = Analysis.run_plain ~budget:cfg.budget p obj2 in
+        row "full 2objH" (cell_of_result full) (string_of_int full.solution.derivations) "-" "-"
+          (unsafe_of full);
+        (name, List.rev !rows))
+      [ "hsqldb"; "jython" ]
+  in
   print_endline
     "== Comparison: client-driven refinement vs introspection (2objH) ==";
   List.iter
-    (fun name ->
-      let spec = Option.get (Dacapo.find name) in
-      let p = Dacapo.build ~scale:cfg.scale spec in
+    (fun (name, rows) ->
       Printf.printf "-- %s --\n" name;
-      let rows = ref [] in
-      let row label time derivs refined_sites refined_objs unsafe =
-        rows := [ label; time; derivs; refined_sites; refined_objs; unsafe ] :: !rows
-      in
-      let base = Analysis.run_plain ~budget:cfg.budget p Flavors.Insensitive in
-      let queries = Ipa_core.Client_driven.cast_queries base.solution in
-      let unsafe_of (r : Analysis.result) =
-        if r.timed_out then "-"
-        else
-          string_of_int
-            (List.length
-               (List.filter
-                  (fun (src, ty) ->
-                    Ipa_support.Int_set.exists
-                      (fun h ->
-                        not
-                          (Ipa_ir.Program.subtype p
-                             ~sub:(Ipa_ir.Program.heap_info p h).heap_class ~super:ty))
-                      (Ipa_core.Solution.collapsed_var_pts r.solution).(src))
-                  queries))
-      in
-      row "insens" (cell_of_result base) (string_of_int base.solution.derivations) "0" "0"
-        (unsafe_of base);
-      (* one representative query: the first cast *)
-      (match queries with
-      | (src, _) :: _ ->
-        let cd = Analysis.run_client_driven ~budget:cfg.budget p obj2 [ src ] in
-        let sites, objs = Ipa_core.Client_driven.selection_size base.solution cd.cd_refine in
-        row "query-driven (1 cast)" (cell_of_result cd.cd_second)
-          (string_of_int cd.cd_second.solution.derivations)
-          (string_of_int sites) (string_of_int objs) (unsafe_of cd.cd_second)
-      | [] -> ());
-      (* every cast at once: the all-points regime of §5 *)
-      let all_vars = List.map fst queries in
-      let cd_all = Analysis.run_client_driven ~budget:cfg.budget p obj2 all_vars in
-      let sites, objs = Ipa_core.Client_driven.selection_size base.solution cd_all.cd_refine in
-      row "query-driven (all casts)" (cell_of_result cd_all.cd_second)
-        (string_of_int cd_all.cd_second.solution.derivations)
-        (string_of_int sites) (string_of_int objs) (unsafe_of cd_all.cd_second);
-      (* the all-points limit: every variable is a query — client-driven
-         selection degenerates to the full analysis (and its timeouts) *)
-      let everything = List.init (Ipa_ir.Program.n_vars p) Fun.id in
-      let cd_pts = Analysis.run_client_driven ~budget:cfg.budget p obj2 everything in
-      let sites, objs = Ipa_core.Client_driven.selection_size base.solution cd_pts.cd_refine in
-      row "query-driven (all points)" (cell_of_result cd_pts.cd_second)
-        (string_of_int cd_pts.cd_second.solution.derivations)
-        (string_of_int sites) (string_of_int objs) (unsafe_of cd_pts.cd_second);
-      let intro = Analysis.run_introspective ~budget:cfg.budget p obj2 Heuristics.default_b in
-      row "IntroB" (cell_of_result intro.second)
-        (string_of_int intro.second.solution.derivations)
-        "-" "-" (unsafe_of intro.second);
-      let full = Analysis.run_plain ~budget:cfg.budget p obj2 in
-      row "full 2objH" (cell_of_result full) (string_of_int full.solution.derivations) "-" "-"
-        (unsafe_of full);
       Table.print
         ~header:[ "selector"; "time(s)"; "derivations"; "sites refined"; "objs refined"; "unsafe casts" ]
-        (List.rev !rows))
-    [ "hsqldb"; "jython" ];
+        rows)
+    per_bench;
   print_newline ()
 
 (* ---------- hard-coded policies (the §5 status quo) ---------- *)
 
 let hard_coded (cfg : Config.t) =
-  print_endline
-    "== Comparison: hard-coded static policies vs introspection (2objH) ==";
   let has_prefix prefixes name =
     List.exists
       (fun pre ->
@@ -251,37 +272,44 @@ let hard_coded (cfg : Config.t) =
       ("interp policy", [ "Frame"; "Val"; "Op" ], [ "fpop"; "fpush"; "oprun"; "exec" ]);
     ]
   in
+  let per_bench =
+    Par.map cfg
+      (fun name ->
+        let p = build_bench cfg name in
+        let base = Analysis.run_plain ~budget:cfg.budget p Flavors.Insensitive in
+        let rows = ref [] in
+        let row label (r : Analysis.result) =
+          rows := ([ label; cell_of_result r ] @ precision_cells r) :: !rows
+        in
+        List.iter
+          (fun (label, class_prefixes, meth_prefixes) ->
+            let refine =
+              Heuristics.static_policy base.solution
+                ~skip_class:(has_prefix class_prefixes)
+                ~skip_meth:(has_prefix meth_prefixes)
+            in
+            let r =
+              Analysis.run_mixed ~budget:cfg.budget p ~default:Flavors.Insensitive ~refined:obj2
+                ~refine
+            in
+            row label r)
+          policies;
+        let intro = Analysis.run_introspective ~budget:cfg.budget p obj2 Heuristics.default_a in
+        row "IntroA" intro.second;
+        let full = Analysis.run_plain ~budget:cfg.budget p obj2 in
+        row "full 2objH" full;
+        (name, List.rev !rows))
+      [ "hsqldb"; "jython" ]
+  in
+  print_endline
+    "== Comparison: hard-coded static policies vs introspection (2objH) ==";
   List.iter
-    (fun name ->
-      let spec = Option.get (Dacapo.find name) in
-      let p = Dacapo.build ~scale:cfg.scale spec in
+    (fun (name, rows) ->
       Printf.printf "-- %s --\n" name;
-      let base = Analysis.run_plain ~budget:cfg.budget p Flavors.Insensitive in
-      let rows = ref [] in
-      let row label (r : Analysis.result) =
-        rows := ([ label; cell_of_result r ] @ precision_cells r) :: !rows
-      in
-      List.iter
-        (fun (label, class_prefixes, meth_prefixes) ->
-          let refine =
-            Heuristics.static_policy base.solution
-              ~skip_class:(has_prefix class_prefixes)
-              ~skip_meth:(has_prefix meth_prefixes)
-          in
-          let r =
-            Analysis.run_mixed ~budget:cfg.budget p ~default:Flavors.Insensitive ~refined:obj2
-              ~refine
-          in
-          row label r)
-        policies;
-      let intro = Analysis.run_introspective ~budget:cfg.budget p obj2 Heuristics.default_a in
-      row "IntroA" intro.second;
-      let full = Analysis.run_plain ~budget:cfg.budget p obj2 in
-      row "full 2objH" full;
       Table.print
         ~header:[ "policy"; "time(s)"; "poly-vcalls"; "reach-meths"; "fail-casts" ]
-        (List.rev !rows))
-    [ "hsqldb"; "jython" ];
+        rows)
+    per_bench;
   print_newline ()
 
 let print_all cfg =

@@ -1,5 +1,5 @@
-type t = { scale : float; budget : int }
+type t = { scale : float; budget : int; jobs : int }
 
-let default = { scale = 1.0; budget = 10_000_000 }
+let default = { scale = 1.0; budget = 10_000_000; jobs = Domain.recommended_domain_count () }
 
 let timeout_label = "timeout"

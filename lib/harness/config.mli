@@ -5,11 +5,17 @@ type t = {
   budget : int;
       (** solver derivation budget — the deterministic stand-in for the
           paper's 90-minute timeout. 0 disables it. *)
+  jobs : int;
+      (** worker domains for independent (benchmark, flavor) analyses;
+          1 = sequential. Results are ordered and bit-identical to the
+          sequential run at any job count — only the timing columns vary,
+          and under contention they measure a loaded machine. *)
 }
 
 val default : t
 (** [scale = 1.0], [budget = 10_000_000] — calibrated so that exactly the
-    paper's non-terminating (benchmark, analysis) pairs exceed it. *)
+    paper's non-terminating (benchmark, analysis) pairs exceed it —
+    and [jobs = Domain.recommended_domain_count ()]. *)
 
 val timeout_label : string
 (** How a budget-exceeded run is rendered in tables. *)

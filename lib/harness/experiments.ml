@@ -13,6 +13,7 @@ type run = {
   timed_out : bool;
   precision : Precision.t option;
   tainted_sinks : int option;
+  counters : Ipa_core.Solution.counters;
 }
 
 let of_result bench (r : Analysis.result) =
@@ -27,6 +28,7 @@ let of_result bench (r : Analysis.result) =
        the value-flow graph when nothing matches its spec. *)
     tainted_sinks =
       (if r.timed_out then None else Some (Ipa_clients.Taint.tainted_sink_count r.solution));
+    counters = r.solution.counters;
   }
 
 let run_to_row r =
@@ -51,17 +53,17 @@ let header =
 
 module Fig1 = struct
   let compute (cfg : Config.t) =
-    List.concat_map
-      (fun (spec : Dacapo.spec) ->
-        let p = build cfg spec in
-        List.map
-          (fun flavor -> of_result spec.name (Analysis.run_plain ~budget:cfg.budget p flavor))
-          [ Flavors.Insensitive; Flavors.Object_sens { depth = 2; heap = 1 } ])
-      Dacapo.all
+    List.concat
+      (Par.map cfg
+         (fun (spec : Dacapo.spec) ->
+           let p = build cfg spec in
+           List.map
+             (fun flavor -> of_result spec.name (Analysis.run_plain ~budget:cfg.budget p flavor))
+             [ Flavors.Insensitive; Flavors.Object_sens { depth = 2; heap = 1 } ])
+         Dacapo.all)
 
-  let print cfg =
+  let print_runs runs =
     print_endline "== Figure 1: insens vs 2objH running time, all benchmarks ==";
-    let runs = compute cfg in
     let rows =
       List.map
         (fun r ->
@@ -75,6 +77,8 @@ module Fig1 = struct
     in
     Table.print ~header:[ "benchmark"; "analysis"; "time(s)"; "derivations" ] rows;
     print_newline ()
+
+  let print cfg = print_runs (compute cfg)
 end
 
 (* ---------- Figure 4 ---------- *)
@@ -90,7 +94,7 @@ module Fig4 = struct
 
   let compute (cfg : Config.t) =
     let rows =
-      List.map
+      Par.map cfg
         (fun (spec : Dacapo.spec) ->
           let p = build cfg spec in
           let base = Analysis.run_plain ~budget:cfg.budget p Flavors.Insensitive in
@@ -123,9 +127,8 @@ module Fig4 = struct
         };
       ]
 
-  let print cfg =
+  let print_rows rows =
     print_endline "== Figure 4: call sites and objects selected NOT to be refined ==";
-    let rows = compute cfg in
     Table.print
       ~header:[ "benchmark"; "sites A%"; "sites B%"; "objects A%"; "objects B%" ]
       (List.map
@@ -139,6 +142,8 @@ module Fig4 = struct
            ])
          rows);
     print_newline ()
+
+  let print cfg = print_rows (compute cfg)
 end
 
 (* ---------- Figures 5-7 ---------- *)
@@ -155,7 +160,7 @@ module Figs567 = struct
     [ insens; intro Heuristics.default_a; intro Heuristics.default_b; full ]
 
   let compute (cfg : Config.t) flavor =
-    List.concat_map (bench_runs cfg flavor) Dacapo.charted
+    List.concat (Par.map cfg (bench_runs cfg flavor) Dacapo.charted)
 
   let figure_number flavor =
     match (flavor : Flavors.spec) with
@@ -164,16 +169,25 @@ module Figs567 = struct
     | Call_site _ -> "7"
     | Insensitive | Hybrid _ -> "-"
 
-  let print cfg flavor =
+  (* [compute] emits four runs per charted benchmark, in benchmark order. *)
+  let print_runs flavor runs =
     Printf.printf "== Figure %s: introspective variants of %s — time and precision ==\n"
       (figure_number flavor) (Flavors.to_string flavor);
+    let rec chunks = function
+      | [] -> []
+      | a :: b :: c :: d :: rest -> [ a; b; c; d ] :: chunks rest
+      | short -> [ short ]
+    in
     List.iter
-      (fun (spec : Dacapo.spec) ->
-        let runs = bench_runs cfg flavor spec in
-        Printf.printf "-- %s --\n" spec.name;
-        Table.print ~header (List.map run_to_row runs))
-      Dacapo.charted;
+      (fun group ->
+        (match group with
+        | r :: _ -> Printf.printf "-- %s --\n" r.bench
+        | [] -> ());
+        Table.print ~header (List.map run_to_row group))
+      (chunks runs);
     print_newline ()
+
+  let print cfg flavor = print_runs flavor (compute cfg flavor)
 end
 
 (* ---------- Taint study ---------- *)
@@ -196,27 +210,57 @@ module Taint_study = struct
     Ipa_synthetic.World.finish w
 
   let compute (cfg : Config.t) =
-    let p = build cfg in
     let flavor = Flavors.Object_sens { depth = 2; heap = 1 } in
-    let insens = of_result bench_name (Analysis.run_plain ~budget:cfg.budget p Flavors.Insensitive) in
-    let intro h =
-      of_result bench_name (Analysis.run_introspective ~budget:cfg.budget p flavor h).second
-    in
-    let full = of_result bench_name (Analysis.run_plain ~budget:cfg.budget p flavor) in
-    [ insens; intro Heuristics.default_a; intro Heuristics.default_b; full ]
+    (* Four independent analyses of the same (deterministically rebuilt)
+       workload; each task builds its own program so no structure is shared
+       across domains. *)
+    Par.map cfg
+      (fun analysis ->
+        let p = build cfg in
+        match analysis with
+        | `Insens -> of_result bench_name (Analysis.run_plain ~budget:cfg.budget p Flavors.Insensitive)
+        | `Intro h ->
+          of_result bench_name (Analysis.run_introspective ~budget:cfg.budget p flavor h).second
+        | `Full -> of_result bench_name (Analysis.run_plain ~budget:cfg.budget p flavor))
+      [ `Insens; `Intro Heuristics.default_a; `Intro Heuristics.default_b; `Full ]
 
-  let print cfg =
+  let print_runs cfg runs =
     Printf.printf
       "== Taint study: tainted sinks on the context-separable workload (%d clients) ==\n"
       (clients cfg);
-    Table.print ~header (List.map run_to_row (compute cfg));
+    Table.print ~header (List.map run_to_row runs);
     print_newline ()
+
+  let print cfg = print_runs cfg (compute cfg)
 end
 
-let print_all cfg =
-  Fig1.print cfg;
-  Fig4.print cfg;
-  Figs567.print cfg (Flavors.Object_sens { depth = 2; heap = 1 });
-  Figs567.print cfg (Flavors.Type_sens { depth = 2; heap = 1 });
-  Figs567.print cfg (Flavors.Call_site { depth = 2; heap = 1 });
-  Taint_study.print cfg
+(* ---------- everything, once: the machine-readable report ---------- *)
+
+type report = {
+  fig1 : run list;
+  fig4 : Fig4.row list;
+  fig5 : run list;
+  fig6 : run list;
+  fig7 : run list;
+  taint : run list;
+}
+
+let compute_report cfg =
+  {
+    fig1 = Fig1.compute cfg;
+    fig4 = Fig4.compute cfg;
+    fig5 = Figs567.compute cfg (Flavors.Object_sens { depth = 2; heap = 1 });
+    fig6 = Figs567.compute cfg (Flavors.Type_sens { depth = 2; heap = 1 });
+    fig7 = Figs567.compute cfg (Flavors.Call_site { depth = 2; heap = 1 });
+    taint = Taint_study.compute cfg;
+  }
+
+let print_report cfg r =
+  Fig1.print_runs r.fig1;
+  Fig4.print_rows r.fig4;
+  Figs567.print_runs (Flavors.Object_sens { depth = 2; heap = 1 }) r.fig5;
+  Figs567.print_runs (Flavors.Type_sens { depth = 2; heap = 1 }) r.fig6;
+  Figs567.print_runs (Flavors.Call_site { depth = 2; heap = 1 }) r.fig7;
+  Taint_study.print_runs cfg r.taint
+
+let print_all cfg = print_report cfg (compute_report cfg)

@@ -4,7 +4,13 @@
     (used by tests at small scales) and a [print] function rendering the
     paper-style table to stdout. Timings are wall-clock seconds of the
     introspective second pass / plain run, as in the paper (the shared
-    context-insensitive first pass is reported separately). *)
+    context-insensitive first pass is reported separately).
+
+    Independent (benchmark, flavor) analyses fan out over
+    {!Ipa_support.Domain_pool} with [Config.jobs] workers; every [compute]
+    returns results in input order and — timing fields aside — bit-identical
+    to a sequential run. Printing always happens after the parallel compute,
+    on the calling domain. *)
 
 (** One analysis execution on one benchmark. *)
 type run = {
@@ -17,6 +23,9 @@ type run = {
   tainted_sinks : int option;
       (** tainted sinks under [Ipa_clients.Taint.default_spec]; [None] when
           timed out, [Some 0] on workloads without taint sources *)
+  counters : Ipa_core.Solution.counters;
+      (** solver propagation counters for this run (see
+          {!Ipa_core.Diagnostics.print_counters}) *)
 }
 
 val run_to_row : run -> string list
@@ -29,6 +38,7 @@ module Fig1 : sig
   val compute : Config.t -> run list
   (** Two runs (insens, 2objH) per benchmark, in benchmark order. *)
 
+  val print_runs : run list -> unit
   val print : Config.t -> unit
 end
 
@@ -47,6 +57,7 @@ module Fig4 : sig
   (** One row per hard benchmark; the final row is the average (named
       ["average"]). *)
 
+  val print_rows : row list -> unit
   val print : Config.t -> unit
 end
 
@@ -56,6 +67,9 @@ end
 module Figs567 : sig
   val compute : Config.t -> Ipa_core.Flavors.spec -> run list
   (** Per benchmark: insens, <flavor>-IntroA, <flavor>-IntroB, <flavor>. *)
+
+  val print_runs : Ipa_core.Flavors.spec -> run list -> unit
+  (** Expects [compute]'s layout: four runs per benchmark, benchmark order. *)
 
   val print : Config.t -> Ipa_core.Flavors.spec -> unit
   (** [print cfg flavor] — Figure 5 is [2objH], 6 is [2typeH], 7 is
@@ -74,8 +88,26 @@ module Taint_study : sig
   val compute : Config.t -> run list
   (** [insens; 2objH-IntroA; 2objH-IntroB; 2objH] on the taint workload. *)
 
+  val print_runs : Config.t -> run list -> unit
   val print : Config.t -> unit
 end
 
+(** {1 The whole evaluation as data} — computed once, printable and
+    serializable (the bench harness emits it as [BENCH_solver.json]). *)
+
+type report = {
+  fig1 : run list;
+  fig4 : Fig4.row list;
+  fig5 : run list;  (** Figs567 with 2objH *)
+  fig6 : run list;  (** Figs567 with 2typeH *)
+  fig7 : run list;  (** Figs567 with 2callH *)
+  taint : run list;
+}
+
+val compute_report : Config.t -> report
+
+val print_report : Config.t -> report -> unit
+(** Figures 1, 4, 5, 6, 7, then the taint study, from precomputed data. *)
+
 val print_all : Config.t -> unit
-(** Figures 1, 4, 5, 6, 7, then the taint study. *)
+(** [compute_report] then [print_report]. *)

@@ -1,0 +1,9 @@
+(* Shared fan-out helper: run one experiment's independent tasks on a
+   fresh Domain_pool sized by the config. Each solve is self-contained, so
+   results (collected in input order) are bit-identical to a sequential
+   run; pools are per-call because experiments are coarse enough that the
+   few-ms spawn cost disappears into the first solve. *)
+
+let map (cfg : Config.t) f xs =
+  Ipa_support.Domain_pool.with_pool ~jobs:(max 1 cfg.jobs) (fun pool ->
+      Ipa_support.Domain_pool.map_list pool f xs)

@@ -58,6 +58,26 @@ let iter f t =
     f t.data.(i)
   done
 
+let iter_prefix f t ~n =
+  if n < 0 || n > t.len then
+    invalid_arg (Printf.sprintf "Dynarr.iter_prefix: prefix %d out of bounds [0,%d]" n t.len);
+  (* [t.data] is re-read every iteration, so [f] may push (and trigger a
+     grow) without invalidating the walk; only the first [n] elements are
+     visited. *)
+  for i = 0 to n - 1 do
+    f t.data.(i)
+  done
+
+let drop_prefix t n =
+  if n < 0 || n > t.len then
+    invalid_arg (Printf.sprintf "Dynarr.drop_prefix: prefix %d out of bounds [0,%d]" n t.len);
+  if n > 0 then begin
+    let rest = t.len - n in
+    Array.blit t.data n t.data 0 rest;
+    Array.fill t.data rest n t.dummy;
+    t.len <- rest
+  end
+
 let iteri f t =
   for i = 0 to t.len - 1 do
     f i t.data.(i)

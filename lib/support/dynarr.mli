@@ -37,6 +37,16 @@ val clear : 'a t -> unit
 
 val iter : ('a -> unit) -> 'a t -> unit
 
+val iter_prefix : ('a -> unit) -> 'a t -> n:int -> unit
+(** [iter_prefix f t ~n] applies [f] to the first [n] elements in order.
+    [f] may [push] onto [t] during the walk; appended elements are not
+    visited. Raises [Invalid_argument] when [n] exceeds the length. *)
+
+val drop_prefix : 'a t -> int -> unit
+(** [drop_prefix t n] removes the first [n] elements, shifting the rest to
+    the front (capacity is retained). Raises [Invalid_argument] when [n]
+    exceeds the length. *)
+
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
 
 val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc

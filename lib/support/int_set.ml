@@ -1,32 +1,68 @@
 let empty_slot = min_int
 
+(* Adaptive representation. The long tail of points-to sets is tiny (1-8
+   objects), so small sets are a sorted inline array scanned linearly; once
+   the element count exceeds [small_capacity] the set promotes to the
+   open-addressing table. [mask] doubles as the representation tag: a
+   negative mask marks the small (sorted-array) representation. *)
+let small_capacity = 8
+
 type t = {
-  mutable slots : int array; (* [empty_slot] marks a free slot *)
+  mutable slots : int array;
+    (* small rep: the first [count] entries, sorted ascending;
+       hash rep: [empty_slot] marks a free slot *)
   mutable count : int;
-  mutable mask : int; (* capacity - 1, capacity a power of two *)
+  mutable mask : int; (* hash rep: capacity - 1, capacity a power of two *)
 }
 
+(* Small->hash promotions performed by the current domain. Domain-local so
+   concurrent solver runs in a Domain_pool never race on the counter; a
+   caller measures a run by taking a delta, which is exact because each run
+   executes entirely on one domain. *)
+let promotions_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let promotion_count () = !(Domain.DLS.get promotions_key)
+
 let create ?(capacity = 8) () =
-  let rec pow2 n = if n >= capacity then n else pow2 (2 * n) in
-  let cap = pow2 8 in
-  { slots = Array.make cap empty_slot; count = 0; mask = cap - 1 }
+  if capacity <= small_capacity then
+    { slots = Array.make small_capacity empty_slot; count = 0; mask = -1 }
+  else begin
+    let rec pow2 n = if n >= capacity then n else pow2 (2 * n) in
+    let cap = pow2 16 in
+    { slots = Array.make cap empty_slot; count = 0; mask = cap - 1 }
+  end
 
 let cardinal t = t.count
+
+let is_small t = t.mask < 0
 
 (* Fibonacci hashing spreads consecutive interned ids well. The multiplier is
    2^62 / phi, kept positive in OCaml's 63-bit ints. *)
 let hash x = (x * 0x3105_2E60_8C61_9E55) land max_int
 
 let mem t x =
-  let mask = t.mask in
-  let slots = t.slots in
-  let rec probe i =
-    let v = slots.(i) in
-    if v = empty_slot then false
-    else if v = x then true
-    else probe ((i + 1) land mask)
-  in
-  probe (hash x land mask)
+  if t.mask < 0 then begin
+    let slots = t.slots in
+    let count = t.count in
+    let rec scan i =
+      i < count
+      &&
+      let v = slots.(i) in
+      v = x || (v < x && scan (i + 1))
+    in
+    scan 0
+  end
+  else begin
+    let mask = t.mask in
+    let slots = t.slots in
+    let rec probe i =
+      let v = slots.(i) in
+      if v = empty_slot then false
+      else if v = x then true
+      else probe ((i + 1) land mask)
+    in
+    probe (hash x land mask)
+  end
 
 let unsafe_insert slots mask x =
   let rec probe i =
@@ -44,8 +80,22 @@ let resize t =
   t.slots <- slots;
   t.mask <- mask
 
-let add t x =
-  if x < 0 then invalid_arg "Int_set.add: negative element";
+(* Leave the open-addressing table headroom past the boundary so the first
+   hash-side resize does not follow immediately. *)
+let promote t x =
+  let cap = 4 * small_capacity in
+  let slots = Array.make cap empty_slot in
+  let mask = cap - 1 in
+  for i = 0 to t.count - 1 do
+    unsafe_insert slots mask t.slots.(i)
+  done;
+  unsafe_insert slots mask x;
+  t.slots <- slots;
+  t.mask <- mask;
+  t.count <- t.count + 1;
+  incr (Domain.DLS.get promotions_key)
+
+let hash_add t x =
   let mask = t.mask in
   let slots = t.slots in
   let rec probe i =
@@ -62,23 +112,61 @@ let add t x =
   in
   probe (hash x land mask)
 
+let add t x =
+  if x < 0 then invalid_arg "Int_set.add: negative element";
+  if t.mask < 0 then begin
+    let slots = t.slots in
+    let count = t.count in
+    (* Insertion point in the sorted prefix. *)
+    let rec find i = if i < count && slots.(i) < x then find (i + 1) else i in
+    let i = find 0 in
+    if i < count && slots.(i) = x then false
+    else if count < small_capacity then begin
+      Array.blit slots i slots (i + 1) (count - i);
+      slots.(i) <- x;
+      t.count <- count + 1;
+      true
+    end
+    else begin
+      promote t x;
+      true
+    end
+  end
+  else hash_add t x
+
 let iter f t =
-  Array.iter (fun v -> if v <> empty_slot then f v) t.slots
+  if t.mask < 0 then
+    for i = 0 to t.count - 1 do
+      f t.slots.(i)
+    done
+  else Array.iter (fun v -> if v <> empty_slot then f v) t.slots
 
 let fold f t acc =
-  let acc = ref acc in
-  iter (fun v -> acc := f v !acc) t;
-  !acc
+  if t.mask < 0 then begin
+    let acc = ref acc in
+    for i = 0 to t.count - 1 do
+      acc := f t.slots.(i) !acc
+    done;
+    !acc
+  end
+  else begin
+    let acc = ref acc in
+    Array.iter (fun v -> if v <> empty_slot then acc := f v !acc) t.slots;
+    !acc
+  end
 
 let exists p t =
   let slots = t.slots in
-  let n = Array.length slots in
+  let n = if t.mask < 0 then t.count else Array.length slots in
+  let small = t.mask < 0 in
   let rec loop i =
-    i < n && ((slots.(i) <> empty_slot && p slots.(i)) || loop (i + 1))
+    i < n && ((small || slots.(i) <> empty_slot) && p slots.(i) || loop (i + 1))
   in
   loop 0
 
-let to_sorted_list t = List.sort compare (fold (fun x acc -> x :: acc) t [])
+let to_sorted_list t =
+  if t.mask < 0 then List.init t.count (fun i -> t.slots.(i))
+  else List.sort compare (fold (fun x acc -> x :: acc) t [])
 
 let of_list xs =
   let t = create ~capacity:(2 * List.length xs) () in

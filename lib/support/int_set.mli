@@ -1,11 +1,13 @@
-(** Mutable sets of non-negative integers, open addressing.
+(** Mutable sets of non-negative integers, adaptive representation.
 
     This is the workhorse set of the points-to solver: points-to sets hold
     interned object ids and are mutated millions of times per run, so the
-    implementation avoids boxing entirely (one [int array], linear probing,
-    power-of-two capacity, no deletion). Negative elements are rejected —
-    [min_int] marks empty slots internally and all interned ids are
-    non-negative anyway. *)
+    implementation avoids boxing entirely. Small sets — the long tail of
+    tiny points-to sets — are a sorted inline [int array] scanned linearly;
+    past 8 elements a set promotes to an open-addressing table (linear
+    probing, power-of-two capacity, no deletion). Negative elements are
+    rejected — [min_int] marks empty slots internally and all interned ids
+    are non-negative anyway. *)
 
 type t
 
@@ -20,7 +22,8 @@ val add : t -> int -> bool
     Raises [Invalid_argument] on negative [x]. *)
 
 val iter : (int -> unit) -> t -> unit
-(** Iteration order is unspecified. *)
+(** Iteration order is unspecified (ascending while the set is small). The
+    small-set path walks the inline array directly and allocates nothing. *)
 
 val fold : (int -> 'acc -> 'acc) -> t -> 'acc -> 'acc
 
@@ -38,3 +41,15 @@ val subset : t -> t -> bool
 val equal : t -> t -> bool
 
 val clear : t -> unit
+
+(** {1 Instrumentation} *)
+
+val is_small : t -> bool
+(** [true] while the set is in the inline sorted-array representation.
+    Exposed for tests and diagnostics. *)
+
+val promotion_count : unit -> int
+(** Number of small-to-hash promotions performed by the {e current domain}
+    since it started. Domain-local, so concurrent solver runs never race;
+    measure a single run by taking a delta (each run executes entirely on
+    one domain). *)

@@ -6,11 +6,12 @@ module Flavors = Ipa_core.Flavors
 
 let check = Alcotest.check
 
-let tiny : Config.t = { scale = 0.02; budget = 2_000_000 }
+let tiny : Config.t = { scale = 0.02; budget = 2_000_000; jobs = 1 }
 
 let test_config_default () =
   check Alcotest.bool "scale" true (Config.default.scale = 1.0);
-  check Alcotest.int "budget" 10_000_000 Config.default.budget
+  check Alcotest.int "budget" 10_000_000 Config.default.budget;
+  check Alcotest.bool "jobs" true (Config.default.jobs >= 1)
 
 let test_fig1 () =
   let runs = E.Fig1.compute tiny in
@@ -66,6 +67,7 @@ let test_run_to_row () =
         timed_out = false;
         precision = None;
         tainted_sinks = Some 3;
+        counters = Ipa_core.Solution.zero_counters;
       }
   in
   check (Alcotest.list Alcotest.string) "row" [ "2objH"; "1.50"; "42"; "-"; "-"; "-"; "3" ] row;
@@ -79,6 +81,7 @@ let test_run_to_row () =
         timed_out = true;
         precision = None;
         tainted_sinks = None;
+        counters = Ipa_core.Solution.zero_counters;
       }
   in
   check Alcotest.string "timeout cell" "timeout" (List.nth row 1);
@@ -104,14 +107,14 @@ let test_taint_study () =
 
 let test_ablation_smoke () =
   (* The ablation studies must run end-to-end at tiny scale. *)
-  let cfg : Config.t = { scale = 0.02; budget = 1_000_000 } in
+  let cfg : Config.t = { scale = 0.02; budget = 1_000_000; jobs = 2 } in
   Ipa_harness.Ablation.grid cfg;
   Ipa_harness.Ablation.components cfg
 
 let test_timeouts_render () =
   (* With an absurdly small budget everything times out and compute still
      returns well-formed rows. *)
-  let cfg : Config.t = { scale = 0.02; budget = 10 } in
+  let cfg : Config.t = { scale = 0.02; budget = 10; jobs = 1 } in
   let runs = E.Fig1.compute cfg in
   List.iter
     (fun (r : E.run) ->

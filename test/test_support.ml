@@ -58,6 +58,36 @@ let test_dynarr_conversions () =
   check Alcotest.bool "exists yes" true (Dynarr.exists (String.equal "b") d);
   check Alcotest.bool "exists no" false (Dynarr.exists (String.equal "z") d)
 
+let test_dynarr_prefix () =
+  let d = Dynarr.of_list ~dummy:0 [ 1; 2; 3; 4; 5 ] in
+  let seen = ref [] in
+  Dynarr.iter_prefix (fun x -> seen := x :: !seen) d ~n:3;
+  check (Alcotest.list Alcotest.int) "prefix order" [ 1; 2; 3 ] (List.rev !seen);
+  Dynarr.drop_prefix d 3;
+  check (Alcotest.list Alcotest.int) "rest shifted" [ 4; 5 ] (Dynarr.to_list d);
+  Dynarr.drop_prefix d 2;
+  check Alcotest.int "emptied" 0 (Dynarr.length d);
+  Alcotest.check_raises "iter oob" (Invalid_argument "Dynarr.iter_prefix: prefix 1 out of bounds [0,0]")
+    (fun () -> Dynarr.iter_prefix ignore d ~n:1);
+  Alcotest.check_raises "drop oob" (Invalid_argument "Dynarr.drop_prefix: prefix 3 out of bounds [0,0]")
+    (fun () -> Dynarr.drop_prefix d 3)
+
+let test_dynarr_prefix_push_during_iter () =
+  (* The solver pushes to a node's pending batch while iterating a snapshot
+     prefix of the same batch; the prefix must stay stable. *)
+  let d = Dynarr.of_list ~dummy:0 [ 10; 20; 30 ] in
+  let seen = ref [] in
+  Dynarr.iter_prefix
+    (fun x ->
+      seen := x :: !seen;
+      Dynarr.push d (x + 1))
+    d ~n:3;
+  check (Alcotest.list Alcotest.int) "snapshot prefix" [ 10; 20; 30 ] (List.rev !seen);
+  check (Alcotest.list Alcotest.int) "pushes appended" [ 10; 20; 30; 11; 21; 31 ]
+    (Dynarr.to_list d);
+  Dynarr.drop_prefix d 3;
+  check (Alcotest.list Alcotest.int) "batch consumed" [ 11; 21; 31 ] (Dynarr.to_list d)
+
 (* ---------- Int_set ---------- *)
 
 let test_int_set_basic () =
@@ -99,6 +129,62 @@ let test_int_set_ops () =
   check Alcotest.int "fold" 6 (Int_set.fold ( + ) a 0);
   check Alcotest.bool "exists" true (Int_set.exists (fun x -> x = 2) a);
   check Alcotest.bool "exists no" false (Int_set.exists (fun x -> x > 5) a)
+
+let test_int_set_promotion () =
+  let s = Int_set.create () in
+  check Alcotest.bool "starts small" true (Int_set.is_small s);
+  for i = 1 to 8 do
+    ignore (Int_set.add s (i * 10))
+  done;
+  check Alcotest.bool "8 elements still small" true (Int_set.is_small s);
+  (* duplicates at the boundary must not promote *)
+  check Alcotest.bool "dup add" false (Int_set.add s 40);
+  check Alcotest.bool "dup keeps small" true (Int_set.is_small s);
+  let before = Int_set.promotion_count () in
+  ignore (Int_set.add s 90);
+  check Alcotest.bool "9th promotes" false (Int_set.is_small s);
+  check Alcotest.int "promotion counted" (before + 1) (Int_set.promotion_count ());
+  check Alcotest.int "cardinal across boundary" 9 (Int_set.cardinal s);
+  for i = 1 to 9 do
+    if not (Int_set.mem s (i * 10)) then Alcotest.failf "lost %d in promotion" (i * 10)
+  done;
+  check (Alcotest.list Alcotest.int) "sorted across reps"
+    [ 10; 20; 30; 40; 50; 60; 70; 80; 90 ]
+    (Int_set.to_sorted_list s);
+  check Alcotest.int "fold across reps" 450 (Int_set.fold ( + ) s 0)
+
+let test_int_set_small_rep () =
+  let s = Int_set.of_list [ 5; 1; 3 ] in
+  check Alcotest.bool "of_list small" true (Int_set.is_small s);
+  check (Alcotest.list Alcotest.int) "kept sorted" [ 1; 3; 5 ] (Int_set.to_sorted_list s);
+  let c = Int_set.copy s in
+  check Alcotest.bool "copy stays small" true (Int_set.is_small c);
+  ignore (Int_set.add c 2);
+  check Alcotest.bool "copy independent" false (Int_set.mem s 2);
+  Int_set.clear c;
+  check Alcotest.int "clear small" 0 (Int_set.cardinal c);
+  check Alcotest.bool "cleared mem" false (Int_set.mem c 1);
+  (* explicit large capacity starts in the hash representation *)
+  let big = Int_set.create ~capacity:100 () in
+  check Alcotest.bool "large capacity is hash" false (Int_set.is_small big);
+  let before = Int_set.promotion_count () in
+  for i = 0 to 50 do
+    ignore (Int_set.add big i)
+  done;
+  check Alcotest.int "hash rep never promotes" before (Int_set.promotion_count ())
+
+let prop_int_set_small_vs_stdlib =
+  (* Dense small values exercise the sorted-array rep and the boundary. *)
+  let module S = Set.Make (Int) in
+  qtest "adaptive rep matches stdlib Set near the boundary"
+    QCheck2.Gen.(list_size (int_bound 20) (int_bound 12))
+    (fun xs ->
+      let s = Int_set.create () in
+      List.iter (fun x -> ignore (Int_set.add s x)) xs;
+      let reference = S.of_list xs in
+      Int_set.cardinal s = S.cardinal reference
+      && S.for_all (Int_set.mem s) reference
+      && Int_set.to_sorted_list s = S.elements reference)
 
 let prop_int_set_vs_stdlib =
   let module S = Set.Make (Int) in
@@ -238,12 +324,17 @@ let () =
           Alcotest.test_case "bounds" `Quick test_dynarr_bounds;
           Alcotest.test_case "growth" `Quick test_dynarr_growth;
           Alcotest.test_case "conversions" `Quick test_dynarr_conversions;
+          Alcotest.test_case "prefix" `Quick test_dynarr_prefix;
+          Alcotest.test_case "prefix push during iter" `Quick test_dynarr_prefix_push_during_iter;
         ] );
       ( "int_set",
         [
           Alcotest.test_case "basic" `Quick test_int_set_basic;
           Alcotest.test_case "resize" `Quick test_int_set_resize;
           Alcotest.test_case "ops" `Quick test_int_set_ops;
+          Alcotest.test_case "promotion" `Quick test_int_set_promotion;
+          Alcotest.test_case "small rep" `Quick test_int_set_small_rep;
+          prop_int_set_small_vs_stdlib;
           prop_int_set_vs_stdlib;
         ] );
       ( "interner",
