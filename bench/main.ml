@@ -11,9 +11,15 @@
    full report plus the solver's propagation counters, machine-readable for
    CI trend tracking.
 
+   The [cache] selection is the snapshot-cache smoke test: it clears the
+   cache directory, computes the full report cold, recomputes it warm (a
+   second process-fresh cache over the same directory), asserts the warm
+   run hit the disk for every shared first pass and produced identical
+   tables, and writes BENCH_cache.json with both wall-clocks.
+
    Usage:
-     main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|micro|all]
-              [--scale S] [--budget N] [--jobs N]
+     main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|micro|all]
+              [--scale S] [--budget N] [--jobs N] [--cache-dir DIR]
 *)
 
 module Flavors = Ipa_core.Flavors
@@ -21,14 +27,15 @@ module Experiments = Ipa_harness.Experiments
 
 let usage () =
   prerr_endline
-    "usage: main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|micro|all] [--scale S] [--budget N] [--jobs N]";
+    "usage: main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|micro|all] [--scale S] [--budget N] [--jobs N] [--cache-dir DIR]";
   exit 2
 
-type selection = Fig1 | Fig4 | Fig of Flavors.spec | Figs | Ablation | Micro | All
+type selection = Fig1 | Fig4 | Fig of Flavors.spec | Figs | Ablation | Cache_smoke | Micro | All
 
 let parse_args () =
   let selection = ref All in
   let cfg = ref Ipa_harness.Config.default in
+  let cache_dir = ref "_ipa_cache" in
   let rec go = function
     | [] -> ()
     | "fig1" :: rest ->
@@ -51,6 +58,12 @@ let parse_args () =
       go rest
     | "ablation" :: rest ->
       selection := Ablation;
+      go rest
+    | "cache" :: rest ->
+      selection := Cache_smoke;
+      go rest
+    | "--cache-dir" :: v :: rest ->
+      cache_dir := v;
       go rest
     | "micro" :: rest ->
       selection := Micro;
@@ -76,7 +89,7 @@ let parse_args () =
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!selection, !cfg)
+  (!selection, !cfg, !cache_dir)
 
 (* ---------- BENCH_solver.json ---------- *)
 
@@ -137,6 +150,70 @@ let run_figs cfg =
   let report = Experiments.compute_report cfg in
   Experiments.print_report cfg report;
   write_json cfg report
+
+(* ---------- BENCH_cache.json: cold vs warm differential ---------- *)
+
+let cache_json_path = "BENCH_cache.json"
+
+(* Everything but the timing columns must be bit-identical across runs. *)
+let strip_run (r : Experiments.run) = { r with seconds = 0.0 }
+
+let reports_equal (a : Experiments.report) (b : Experiments.report) =
+  let runs rs = List.map strip_run rs in
+  runs a.fig1 = runs b.fig1
+  && a.fig4 = b.fig4
+  && runs a.fig5 = runs b.fig5
+  && runs a.fig6 = runs b.fig6
+  && runs a.fig7 = runs b.fig7
+  && runs a.taint = runs b.taint
+
+let stats_json (s : Ipa_harness.Cache.stats) =
+  Printf.sprintf
+    {|{"mem_hits": %d, "disk_hits": %d, "misses": %d, "stale": %d, "writes": %d, "write_conflicts": %d}|}
+    s.mem_hits s.disk_hits s.misses s.stale s.writes s.write_conflicts
+
+let run_cache_smoke (cfg : Ipa_harness.Config.t) ~dir =
+  let removed = Ipa_harness.Cache.clear ~dir in
+  if removed > 0 then Printf.printf "cleared %d stale snapshot(s) from %s\n%!" removed dir;
+  let timed_report cache =
+    Ipa_support.Timer.time (fun () -> Experiments.compute_report { cfg with cache })
+  in
+  let cold_cache = Ipa_harness.Cache.create ~dir () in
+  let cold_report, cold_seconds = timed_report cold_cache in
+  let cold = Ipa_harness.Cache.stats cold_cache in
+  Printf.printf "cold run  %.2fs  %s\n%!" cold_seconds (Ipa_harness.Cache.stats_line cold_cache);
+  (* A fresh cache over the same directory: the in-memory layer is empty, so
+     every shared first pass must come back as a disk hit. *)
+  let warm_cache = Ipa_harness.Cache.create ~dir () in
+  let warm_report, warm_seconds = timed_report warm_cache in
+  let warm = Ipa_harness.Cache.stats warm_cache in
+  Printf.printf "warm run  %.2fs  %s\n%!" warm_seconds (Ipa_harness.Cache.stats_line warm_cache);
+  let identical = reports_equal cold_report warm_report in
+  let body =
+    String.concat ",\n"
+      [
+        Printf.sprintf "  \"scale\": %g" cfg.scale;
+        Printf.sprintf "  \"budget\": %d" cfg.budget;
+        Printf.sprintf "  \"jobs\": %d" cfg.jobs;
+        Printf.sprintf "  \"cold\": {\"seconds\": %.6f, \"stats\": %s}" cold_seconds
+          (stats_json cold);
+        Printf.sprintf "  \"warm\": {\"seconds\": %.6f, \"stats\": %s}" warm_seconds
+          (stats_json warm);
+        Printf.sprintf "  \"identical_tables\": %b" identical;
+      ]
+  in
+  Out_channel.with_open_text cache_json_path (fun oc ->
+      Out_channel.output_string oc ("{\n" ^ body ^ "\n}\n"));
+  Printf.printf "wrote %s\n%!" cache_json_path;
+  let fail msg =
+    prerr_endline ("cache smoke FAILED: " ^ msg);
+    exit 1
+  in
+  if not identical then fail "warm tables differ from cold tables";
+  if warm.disk_hits = 0 then fail "warm run never hit the disk cache";
+  if warm.misses > 0 then
+    fail (Printf.sprintf "warm run re-solved %d shared first pass(es)" warm.misses);
+  print_endline "cache smoke OK: warm run reused every shared first pass, tables identical"
 
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
@@ -217,7 +294,16 @@ let kernel_tests () =
    wall-clock of a loaded machine. *)
 let figure_tests () =
   let open Bechamel in
-  let cfg = { Ipa_harness.Config.scale = 0.05; budget = 2_000_000; jobs = 1 } in
+  let cfg =
+    {
+      Ipa_harness.Config.scale = 0.05;
+      budget = 2_000_000;
+      jobs = 1;
+      (* memory-only: within one measured iteration the first pass is still
+         deduplicated, but nothing escapes to disk *)
+      cache = Ipa_harness.Cache.create ();
+    }
+  in
   let silent f =
     (* compute, discard printing *)
     fun () -> ignore (f ())
@@ -272,7 +358,7 @@ let run_bechamel () =
     tests
 
 let () =
-  let selection, cfg = parse_args () in
+  let selection, cfg, cache_dir = parse_args () in
   (match selection with
   | Fig1 -> Experiments.Fig1.print cfg
   | Fig4 -> Experiments.Fig4.print cfg
@@ -282,5 +368,6 @@ let () =
     run_figs cfg;
     Ipa_harness.Ablation.print_all cfg
   | Ablation -> Ipa_harness.Ablation.print_all cfg
+  | Cache_smoke -> run_cache_smoke cfg ~dir:cache_dir
   | Micro -> ());
   match selection with Micro | All -> run_bechamel () | _ -> ()

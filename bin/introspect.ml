@@ -4,6 +4,8 @@
    Subcommands:
      check        parse and well-formedness-check a .jir file
      analyze      run a (possibly introspective) points-to analysis
+     solve        run an analysis and save/load the solution as a snapshot
+     cache        inspect or clear the on-disk snapshot cache
      metrics      print the paper's six cost metrics over a program
      gen          emit a synthetic DaCapo-like benchmark as .jir text
      experiments  regenerate the paper's tables and figures *)
@@ -455,11 +457,169 @@ let datalog_cmd =
        ~doc:"Evaluate a standalone Datalog program on the analysis engine.")
     Term.(const run $ dl_file $ budget_arg)
 
+(* ---------- solve: snapshot save/load ---------- *)
+
+module Snapshot = Ipa_core.Snapshot
+
+let solve_cmd =
+  let run path flavor heuristic budget save load =
+    match load with
+    | Some snap_path -> (
+      (* Load a previously saved snapshot instead of solving. *)
+      match load_program path with
+      | Error msg ->
+        prerr_endline msg;
+        1
+      | Ok p -> (
+        match In_channel.with_open_bin snap_path In_channel.input_all with
+        | exception Sys_error msg ->
+          prerr_endline msg;
+          1
+        | bytes -> (
+          match Snapshot.decode ~program:p bytes with
+          | Error e ->
+            Printf.eprintf "%s: %s\n" snap_path (Snapshot.error_to_string e);
+            1
+          | Ok snap ->
+            let r =
+              {
+                Ipa_core.Analysis.label = snap.label;
+                solution = snap.solution;
+                seconds = snap.seconds;
+                timed_out = snap.solution.outcome = Budget_exceeded;
+              }
+            in
+            Printf.printf "loaded %s (solved in %.3fs when saved)\n" snap_path snap.seconds;
+            print_result ~verbose:false p r;
+            (match Ipa_core.Solution.self_check snap.solution with
+            | [] ->
+              Printf.printf "self-check    ok\n";
+              0
+            | errs ->
+              Printf.printf "self-check    %d violation(s)\n" (List.length errs);
+              List.iter print_endline errs;
+              1))))
+    | None -> (
+      match load_program path with
+      | Error msg ->
+        prerr_endline msg;
+        1
+      | Ok p ->
+        let result, key =
+          let program_digest = Snapshot.digest_program p in
+          match heuristic with
+          | None ->
+            let flavor_strategy = Ipa_core.Flavors.strategy p flavor in
+            let config = Ipa_core.Solver.plain p ~budget flavor_strategy in
+            ( Ipa_core.Analysis.run_config p ~label:(Flavors.to_string flavor) config,
+              Snapshot.config_key ~program_digest config )
+          | Some h ->
+            let ir = Ipa_core.Analysis.run_introspective ~budget p flavor h in
+            Printf.printf "first pass    %s  %.3fs  (%d derivations)\n" ir.base.label
+              ir.base.seconds ir.base.solution.derivations;
+            ( ir.second,
+              Snapshot.config_key ~program_digest
+                (Ipa_core.Analysis.second_pass_config ~budget p flavor ir.refine) )
+        in
+        print_result ~verbose:false p result;
+        (match save with
+        | None -> ()
+        | Some out ->
+          let snap =
+            {
+              Snapshot.key;
+              program_digest = Snapshot.digest_program p;
+              label = result.label;
+              seconds = result.seconds;
+              solution = result.solution;
+              metrics = Some (Ipa_core.Introspection.compute result.solution);
+            }
+          in
+          let bytes = Snapshot.encode snap in
+          Out_channel.with_open_bin out (fun oc -> Out_channel.output_string oc bytes);
+          Printf.printf "saved         %s (%d bytes, key %s)\n" out (String.length bytes) key);
+        0)
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-solution" ] ~docv:"FILE"
+          ~doc:"Write the solved analysis (tables, counters, metrics) as a snapshot file.")
+  in
+  let load_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "load-solution" ] ~docv:"FILE"
+          ~doc:
+            "Load a snapshot saved with $(b,--save-solution) instead of solving; the program \
+             must be the same one the snapshot was computed from.")
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:"Run an analysis and save the solution as a snapshot, or reload a saved one.")
+    Term.(const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ save_arg $ load_arg)
+
+(* ---------- cache maintenance ---------- *)
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt string (Ipa_harness.Cache.default_dir ())
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"Snapshot cache directory (default: \\$XDG_CACHE_HOME/ipa or ~/.cache/ipa).")
+
+let cache_stats_cmd =
+  let run dir =
+    let entries = Ipa_harness.Cache.entries ~dir in
+    if entries = [] then Printf.printf "%s: no snapshots\n" dir
+    else begin
+      Printf.printf "%s: %d snapshot(s)\n" dir (List.length entries);
+      let rows =
+        List.map
+          (fun (file, size, info) ->
+            match info with
+            | Ok (i : Snapshot.info) ->
+              [ file; string_of_int size; i.info_label; Printf.sprintf "%.3f" i.info_seconds ]
+            | Error e -> [ file; string_of_int size; Snapshot.error_to_string e; "-" ])
+          entries
+      in
+      Ipa_support.Ascii_table.print ~header:[ "snapshot"; "bytes"; "label"; "solve(s)" ] rows;
+      let total = List.fold_left (fun acc (_, size, _) -> acc + size) 0 entries in
+      Printf.printf "total %d bytes\n" total
+    end;
+    0
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"List the cached analysis snapshots.")
+    Term.(const run $ cache_dir_arg)
+
+let cache_clear_cmd =
+  let run dir =
+    let n = Ipa_harness.Cache.clear ~dir in
+    Printf.printf "removed %d snapshot(s) from %s\n" n dir;
+    0
+  in
+  Cmd.v
+    (Cmd.info "clear" ~doc:"Remove every cached snapshot.")
+    Term.(const run $ cache_dir_arg)
+
+let cache_cmd =
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Inspect or clear the on-disk analysis snapshot cache.")
+    [ cache_stats_cmd; cache_clear_cmd ]
+
 (* ---------- experiments ---------- *)
 
 let experiments_cmd =
-  let run figure scale budget jobs =
-    let cfg = { Ipa_harness.Config.scale; budget; jobs = max 1 jobs } in
+  let run figure scale budget jobs cache_dir =
+    let cache =
+      match cache_dir with
+      | None -> Ipa_harness.Cache.create ()
+      | Some dir -> Ipa_harness.Cache.create ~dir ()
+    in
+    let cfg = { Ipa_harness.Config.scale; budget; jobs = max 1 jobs; cache } in
     (match figure with
     | None -> Ipa_harness.Experiments.print_all cfg
     | Some 1 -> Ipa_harness.Experiments.Fig1.print cfg
@@ -470,6 +630,7 @@ let experiments_cmd =
     | Some n ->
       Printf.eprintf "no figure %d (have 1, 4, 5, 6, 7)\n" n;
       exit 1);
+    print_endline (Ipa_harness.Cache.stats_line cache);
     0
   in
   let figure_arg =
@@ -490,9 +651,18 @@ let experiments_cmd =
             "Worker domains for independent analyses (default: the machine's recommended domain \
              count). Results are identical at any job count; only timings vary.")
   in
+  let exp_cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist and reuse the shared context-insensitive first passes under DIR. Without \
+             it the cache is in-memory only (still deduplicates within the run).")
+  in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures.")
-    Term.(const run $ figure_arg $ scale_arg $ budget_arg' $ jobs_arg)
+    Term.(const run $ figure_arg $ scale_arg $ budget_arg' $ jobs_arg $ exp_cache_dir_arg)
 
 let () =
   let info =
@@ -505,6 +675,8 @@ let () =
           [
             check_cmd;
             analyze_cmd;
+            solve_cmd;
+            cache_cmd;
             metrics_cmd;
             gen_cmd;
             experiments_cmd;

@@ -15,6 +15,18 @@ let run_plain ?(budget = 0) p flavor =
   let strategy = Flavors.strategy p flavor in
   run_config p ~label:(Flavors.to_string flavor) (Solver.plain p ~budget strategy)
 
+(* The configuration of every second pass: context-insensitive constructors
+   by default, the requested flavor's constructors on refined elements. *)
+let second_pass_config ?(budget = 0) p flavor refine =
+  {
+    Solver.default_strategy = Flavors.strategy p Flavors.Insensitive;
+    refined_strategy = Flavors.strategy p flavor;
+    refine;
+    budget;
+    order = Solver.Lifo;
+    field_sensitive = true;
+  }
+
 type introspective = {
   base : result;
   metrics : Introspection.t;
@@ -24,24 +36,18 @@ type introspective = {
   second : result;
 }
 
-let run_introspective ?(budget = 0) p flavor heuristic =
-  let base = run_plain ~budget p Flavors.Insensitive in
-  let metrics = Introspection.compute base.solution in
+let run_introspective_from_base ?(budget = 0) p ~base ~metrics flavor heuristic =
   let refine = Heuristics.select base.solution metrics heuristic in
   let selection = Heuristics.selection_stats base.solution refine in
-  let config =
-    {
-      Solver.default_strategy = Flavors.strategy p Flavors.Insensitive;
-      refined_strategy = Flavors.strategy p flavor;
-      refine;
-      budget;
-      order = Solver.Lifo;
-      field_sensitive = true;
-    }
-  in
+  let config = second_pass_config ~budget p flavor refine in
   let label = Printf.sprintf "%s-%s" (Flavors.to_string flavor) (Heuristics.name heuristic) in
   let second = run_config p ~label config in
   { base; metrics; heuristic; refine; selection; second }
+
+let run_introspective ?(budget = 0) p flavor heuristic =
+  let base = run_plain ~budget p Flavors.Insensitive in
+  let metrics = Introspection.compute base.solution in
+  run_introspective_from_base ~budget p ~base ~metrics flavor heuristic
 
 type client_driven = {
   cd_base : result;
@@ -49,22 +55,16 @@ type client_driven = {
   cd_second : result;
 }
 
-let run_client_driven ?(budget = 0) p flavor query =
-  let cd_base = run_plain ~budget p Flavors.Insensitive in
-  let cd_refine = Client_driven.select cd_base.solution query in
-  let config =
-    {
-      Solver.default_strategy = Flavors.strategy p Flavors.Insensitive;
-      refined_strategy = Flavors.strategy p flavor;
-      refine = cd_refine;
-      budget;
-      order = Solver.Lifo;
-      field_sensitive = true;
-    }
-  in
+let run_client_driven_from_base ?(budget = 0) p ~base flavor query =
+  let cd_refine = Client_driven.select base.solution query in
+  let config = second_pass_config ~budget p flavor cd_refine in
   let label = Printf.sprintf "%s-query" (Flavors.to_string flavor) in
   let cd_second = run_config p ~label config in
-  { cd_base; cd_refine; cd_second }
+  { cd_base = base; cd_refine; cd_second }
+
+let run_client_driven ?(budget = 0) p flavor query =
+  let base = run_plain ~budget p Flavors.Insensitive in
+  run_client_driven_from_base ~budget p ~base flavor query
 
 let run_mixed ?(budget = 0) p ~default ~refined ~refine =
   let config =

@@ -24,6 +24,19 @@ type result = {
 val run_plain : ?budget:int -> Ipa_ir.Program.t -> Flavors.spec -> result
 (** [budget] is the maximum number of derivations (default unlimited). *)
 
+val run_config : Ipa_ir.Program.t -> label:string -> Solver.config -> result
+(** Run an arbitrary solver configuration, timing it and stamping the
+    result with [label]. The building block of every driver above and of
+    the snapshot cache (which must re-run {e exactly} the configuration it
+    keyed). *)
+
+val second_pass_config :
+  ?budget:int -> Ipa_ir.Program.t -> Flavors.spec -> Refine.t -> Solver.config
+(** The configuration of an introspective (or client-driven) second pass:
+    context-insensitive constructors by default, [flavor]'s constructors on
+    the elements selected by [refine], LIFO worklist, field-sensitive.
+    Exposed so callers can compute the pass's cache key. *)
+
 type introspective = {
   base : result;  (** the context-insensitive first pass *)
   metrics : Introspection.t;
@@ -39,6 +52,20 @@ val run_introspective :
     exceeds the budget (which defeats the technique's premise), the
     heuristics run on its partial results and [base.timed_out] is set. *)
 
+val run_introspective_from_base :
+  ?budget:int ->
+  Ipa_ir.Program.t ->
+  base:result ->
+  metrics:Introspection.t ->
+  Flavors.spec ->
+  Heuristics.t ->
+  introspective
+(** {!run_introspective} with the first pass supplied by the caller — the
+    shared context-insensitive solve and its metrics are identical across
+    every heuristic variant of a program, so harness drivers compute (or
+    fetch from the snapshot cache) the pair once and reuse it. [base] must
+    be a context-insensitive run of the same program. *)
+
 (** {1 Client-driven baseline} *)
 
 type client_driven = {
@@ -52,6 +79,16 @@ val run_client_driven :
 (** The §5 comparison baseline: refine only the dependence slice of the
     query variables (see {!Client_driven}), everything else stays
     context-insensitive. *)
+
+val run_client_driven_from_base :
+  ?budget:int ->
+  Ipa_ir.Program.t ->
+  base:result ->
+  Flavors.spec ->
+  Client_driven.query ->
+  client_driven
+(** {!run_client_driven} with the caller-supplied (possibly cached)
+    context-insensitive first pass. *)
 
 (** {1 Mixed context-sensitivity} *)
 

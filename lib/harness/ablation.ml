@@ -51,8 +51,11 @@ let knob (cfg : Config.t) =
         let p = build_bench cfg name in
         let r =
           match setting with
+          | `Plain Flavors.Insensitive -> fst (Cache.base_pass cfg.cache ~budget:cfg.budget p)
           | `Plain flavor -> Analysis.run_plain ~budget:cfg.budget p flavor
-          | `Intro h -> (Analysis.run_introspective ~budget:cfg.budget p obj2 h).second
+          | `Intro h ->
+            let base, metrics = Cache.base_pass cfg.cache ~budget:cfg.budget p in
+            (Analysis.run_introspective_from_base ~budget:cfg.budget p ~base ~metrics obj2 h).second
         in
         (name, [ label; cell_of_result r ] @ precision_cells r))
       cells
@@ -78,7 +81,10 @@ let grid (cfg : Config.t) =
         spec.name
         :: List.map
              (fun (_, flavor) ->
-               cell_of_result (Analysis.run_plain ~budget:cfg.budget p flavor))
+               cell_of_result
+                 (if flavor = Flavors.Insensitive then
+                    fst (Cache.base_pass cfg.cache ~budget:cfg.budget p)
+                  else Analysis.run_plain ~budget:cfg.budget p flavor))
              flavors)
       Dacapo.all
   in
@@ -104,7 +110,8 @@ let components (cfg : Config.t) =
     Par.map cfg
       (fun (name, (label, h)) ->
         let p = build_bench cfg name in
-        let ir = Analysis.run_introspective ~budget:cfg.budget p obj2 h in
+        let base, metrics = Cache.base_pass cfg.cache ~budget:cfg.budget p in
+        let ir = Analysis.run_introspective_from_base ~budget:cfg.budget p ~base ~metrics obj2 h in
         let sel = ir.selection in
         ( name,
           [
@@ -137,13 +144,19 @@ let field_sensitivity (cfg : Config.t) =
         field_sensitive;
       }
     in
-    let solution, seconds = Ipa_support.Timer.time (fun () -> Ipa_core.Solver.run p config) in
-    let timed_out = solution.Ipa_core.Solution.outcome = Budget_exceeded in
-    let time = if timed_out then Config.timeout_label else Printf.sprintf "%.2f" seconds in
+    (* Insensitive runs go through the cache: the field-sensitive one is
+       exactly the shared first pass (same key as [Cache.base_pass]), and
+       the field-based one is keyed separately by the flag. *)
+    let (r : Analysis.result) =
+      if flavor = Flavors.Insensitive then
+        fst (Cache.solve cfg.cache p ~label:(Flavors.to_string flavor) config)
+      else Analysis.run_config p ~label:(Flavors.to_string flavor) config
+    in
+    let time = if r.timed_out then Config.timeout_label else Printf.sprintf "%.2f" r.seconds in
     let prec =
-      if timed_out then [ "-"; "-" ]
+      if r.timed_out then [ "-"; "-" ]
       else
-        let pr = Precision.compute solution in
+        let pr = Precision.compute r.solution in
         [ string_of_int pr.poly_vcalls; string_of_int pr.may_fail_casts ]
     in
     [ time ] @ prec
@@ -191,7 +204,7 @@ let client_driven (cfg : Config.t) =
         let row label time derivs refined_sites refined_objs unsafe =
           rows := [ label; time; derivs; refined_sites; refined_objs; unsafe ] :: !rows
         in
-        let base = Analysis.run_plain ~budget:cfg.budget p Flavors.Insensitive in
+        let base, metrics = Cache.base_pass cfg.cache ~budget:cfg.budget p in
         let queries = Ipa_core.Client_driven.cast_queries base.solution in
         let unsafe_of (r : Analysis.result) =
           if r.timed_out then "-"
@@ -213,7 +226,7 @@ let client_driven (cfg : Config.t) =
         (* one representative query: the first cast *)
         (match queries with
         | (src, _) :: _ ->
-          let cd = Analysis.run_client_driven ~budget:cfg.budget p obj2 [ src ] in
+          let cd = Analysis.run_client_driven_from_base ~budget:cfg.budget p ~base obj2 [ src ] in
           let sites, objs = Ipa_core.Client_driven.selection_size base.solution cd.cd_refine in
           row "query-driven (1 cast)" (cell_of_result cd.cd_second)
             (string_of_int cd.cd_second.solution.derivations)
@@ -221,7 +234,7 @@ let client_driven (cfg : Config.t) =
         | [] -> ());
         (* every cast at once: the all-points regime of §5 *)
         let all_vars = List.map fst queries in
-        let cd_all = Analysis.run_client_driven ~budget:cfg.budget p obj2 all_vars in
+        let cd_all = Analysis.run_client_driven_from_base ~budget:cfg.budget p ~base obj2 all_vars in
         let sites, objs = Ipa_core.Client_driven.selection_size base.solution cd_all.cd_refine in
         row "query-driven (all casts)" (cell_of_result cd_all.cd_second)
           (string_of_int cd_all.cd_second.solution.derivations)
@@ -229,12 +242,15 @@ let client_driven (cfg : Config.t) =
         (* the all-points limit: every variable is a query — client-driven
            selection degenerates to the full analysis (and its timeouts) *)
         let everything = List.init (Ipa_ir.Program.n_vars p) Fun.id in
-        let cd_pts = Analysis.run_client_driven ~budget:cfg.budget p obj2 everything in
+        let cd_pts = Analysis.run_client_driven_from_base ~budget:cfg.budget p ~base obj2 everything in
         let sites, objs = Ipa_core.Client_driven.selection_size base.solution cd_pts.cd_refine in
         row "query-driven (all points)" (cell_of_result cd_pts.cd_second)
           (string_of_int cd_pts.cd_second.solution.derivations)
           (string_of_int sites) (string_of_int objs) (unsafe_of cd_pts.cd_second);
-        let intro = Analysis.run_introspective ~budget:cfg.budget p obj2 Heuristics.default_b in
+        let intro =
+          Analysis.run_introspective_from_base ~budget:cfg.budget p ~base ~metrics obj2
+            Heuristics.default_b
+        in
         row "IntroB" (cell_of_result intro.second)
           (string_of_int intro.second.solution.derivations)
           "-" "-" (unsafe_of intro.second);
@@ -276,7 +292,7 @@ let hard_coded (cfg : Config.t) =
     Par.map cfg
       (fun name ->
         let p = build_bench cfg name in
-        let base = Analysis.run_plain ~budget:cfg.budget p Flavors.Insensitive in
+        let base, metrics = Cache.base_pass cfg.cache ~budget:cfg.budget p in
         let rows = ref [] in
         let row label (r : Analysis.result) =
           rows := ([ label; cell_of_result r ] @ precision_cells r) :: !rows
@@ -294,7 +310,10 @@ let hard_coded (cfg : Config.t) =
             in
             row label r)
           policies;
-        let intro = Analysis.run_introspective ~budget:cfg.budget p obj2 Heuristics.default_a in
+        let intro =
+          Analysis.run_introspective_from_base ~budget:cfg.budget p ~base ~metrics obj2
+            Heuristics.default_a
+        in
         row "IntroA" intro.second;
         let full = Analysis.run_plain ~budget:cfg.budget p obj2 in
         row "full 2objH" full;

@@ -1,0 +1,231 @@
+module Snapshot = Ipa_core.Snapshot
+module Analysis = Ipa_core.Analysis
+module Introspection = Ipa_core.Introspection
+module Flavors = Ipa_core.Flavors
+module Solver = Ipa_core.Solver
+module Timer = Ipa_support.Timer
+
+type t = {
+  dir : string option;
+  lock : Mutex.t;
+  mem : (string, string) Hashtbl.t;  (** key -> encoded snapshot bytes *)
+  mem_hits : int Atomic.t;
+  disk_hits : int Atomic.t;
+  misses : int Atomic.t;
+  stale : int Atomic.t;
+  writes : int Atomic.t;
+  write_conflicts : int Atomic.t;
+}
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+let create ?dir () =
+  let dir =
+    match dir with
+    | None -> None
+    | Some d -> ( try mkdir_p d; Some d with _ -> None)
+  in
+  {
+    dir;
+    lock = Mutex.create ();
+    mem = Hashtbl.create 16;
+    mem_hits = Atomic.make 0;
+    disk_hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    stale = Atomic.make 0;
+    writes = Atomic.make 0;
+    write_conflicts = Atomic.make 0;
+  }
+
+let dir t = t.dir
+
+let default_dir () =
+  match Sys.getenv_opt "XDG_CACHE_HOME" with
+  | Some d when d <> "" -> Filename.concat d "ipa"
+  | _ -> (
+    match Sys.getenv_opt "HOME" with
+    | Some h when h <> "" -> Filename.concat (Filename.concat h ".cache") "ipa"
+    | _ -> "_ipa_cache")
+
+type stats = {
+  mem_hits : int;
+  disk_hits : int;
+  misses : int;
+  stale : int;
+  writes : int;
+  write_conflicts : int;
+}
+
+let stats (t : t) =
+  {
+    mem_hits = Atomic.get t.mem_hits;
+    disk_hits = Atomic.get t.disk_hits;
+    misses = Atomic.get t.misses;
+    stale = Atomic.get t.stale;
+    writes = Atomic.get t.writes;
+    write_conflicts = Atomic.get t.write_conflicts;
+  }
+
+let stats_line t =
+  let s = stats t in
+  Printf.sprintf
+    "cache: %d mem hits, %d disk hits, %d misses, %d stale, %d writes, %d write conflicts"
+    s.mem_hits s.disk_hits s.misses s.stale s.writes s.write_conflicts
+
+(* ---------- the two storage layers ---------- *)
+
+let mem_find t key =
+  Mutex.lock t.lock;
+  let found = Hashtbl.find_opt t.mem key in
+  Mutex.unlock t.lock;
+  found
+
+let mem_store t key bytes =
+  Mutex.lock t.lock;
+  if not (Hashtbl.mem t.mem key) then Hashtbl.add t.mem key bytes;
+  Mutex.unlock t.lock
+
+let snap_path dir key = Filename.concat dir (key ^ ".snap")
+
+let disk_read t key =
+  match t.dir with
+  | None -> None
+  | Some dir -> (
+    let path = snap_path dir key in
+    try Some (In_channel.with_open_bin path In_channel.input_all) with Sys_error _ -> None)
+
+let disk_drop t key =
+  match t.dir with
+  | None -> ()
+  | Some dir -> ( try Sys.remove (snap_path dir key) with Sys_error _ -> ())
+
+(* Single-writer publication: write a private temp file, then [link] it to
+   the final name. [link] is atomic and fails with EEXIST for every racer
+   after the first, so a key is written at most once and no reader ever
+   sees a partial file. Any disk failure degrades to not caching. *)
+let disk_publish t key bytes =
+  match t.dir with
+  | None -> ()
+  | Some dir -> (
+    match Filename.temp_file ~temp_dir:dir "ipa" ".tmp" with
+    | exception Sys_error _ -> ()
+    | tmp ->
+      let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+      (try Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc bytes)
+       with Sys_error _ -> cleanup ());
+      if Sys.file_exists tmp then begin
+        (match Unix.link tmp (snap_path dir key) with
+        | () -> Atomic.incr t.writes
+        | exception Unix.Unix_error (Unix.EEXIST, _, _) -> Atomic.incr t.write_conflicts
+        | exception Unix.Unix_error _ -> ());
+        cleanup ()
+      end)
+
+(* ---------- solve-through ---------- *)
+
+let of_snapshot ~label (snap : Snapshot.t) ~seconds =
+  {
+    Analysis.label;
+    solution = snap.solution;
+    seconds;
+    timed_out = snap.solution.Ipa_core.Solution.outcome = Budget_exceeded;
+  }
+
+let metrics_of ~label (snap : Snapshot.t) =
+  match snap.metrics with
+  | Some m -> m
+  | None -> ignore label; Introspection.compute snap.solution
+
+let solve t p ~label config =
+  let program_digest = Snapshot.digest_program p in
+  let key = Snapshot.config_key ~program_digest config in
+  let decode bytes = Snapshot.decode ~program:p ~expect_key:key bytes in
+  let from_mem () =
+    match mem_find t key with
+    | None -> None
+    | Some bytes -> (
+      match Timer.time (fun () -> decode bytes) with
+      | Ok snap, seconds ->
+        Atomic.incr t.mem_hits;
+        Some (of_snapshot ~label snap ~seconds, metrics_of ~label snap)
+      | Error _, _ ->
+        (* memory holds only bytes this process encoded; a decode failure
+           here is a bug, but stay on the never-wrong side: recompute *)
+        Atomic.incr t.stale;
+        None)
+  in
+  let from_disk () =
+    match disk_read t key with
+    | None -> None
+    | Some bytes -> (
+      match Timer.time (fun () -> decode bytes) with
+      | Ok snap, seconds ->
+        Atomic.incr t.disk_hits;
+        mem_store t key bytes;
+        Some (of_snapshot ~label snap ~seconds, metrics_of ~label snap)
+      | Error _, _ ->
+        Atomic.incr t.stale;
+        disk_drop t key;
+        None)
+  in
+  match from_mem () with
+  | Some hit -> hit
+  | None -> (
+    match from_disk () with
+    | Some hit -> hit
+    | None ->
+      Atomic.incr t.misses;
+      let result = Analysis.run_config p ~label config in
+      let metrics = Introspection.compute result.solution in
+      let snap =
+        {
+          Snapshot.key;
+          program_digest;
+          label;
+          seconds = result.seconds;
+          solution = result.solution;
+          metrics = Some metrics;
+        }
+      in
+      let bytes = Snapshot.encode snap in
+      mem_store t key bytes;
+      disk_publish t key bytes;
+      (result, metrics))
+
+let base_pass t ~budget p =
+  let config = Solver.plain p ~budget (Flavors.strategy p Flavors.Insensitive) in
+  solve t p ~label:(Flavors.to_string Flavors.Insensitive) config
+
+(* ---------- disk-store maintenance ---------- *)
+
+let snap_files dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | files ->
+    Array.to_list files
+    |> List.filter (fun f -> Filename.check_suffix f ".snap")
+    |> List.sort compare
+
+let entries ~dir =
+  List.map
+    (fun file ->
+      let path = Filename.concat dir file in
+      match In_channel.with_open_bin path In_channel.input_all with
+      | exception Sys_error msg -> (file, 0, Error (Snapshot.Malformed msg))
+      | bytes -> (file, String.length bytes, Snapshot.inspect bytes))
+    (snap_files dir)
+
+let clear ~dir =
+  List.fold_left
+    (fun n file ->
+      match Sys.remove (Filename.concat dir file) with
+      | () -> n + 1
+      | exception Sys_error _ -> n)
+    0 (snap_files dir)

@@ -1,0 +1,88 @@
+(** Content-addressed store of solved analysis snapshots.
+
+    The harness's unit of redundant work is the shared context-insensitive
+    first pass: every introspective variant, ablation setting, and
+    client-driven selector of a benchmark starts from the same solve. A
+    cache maps {!Ipa_core.Snapshot.config_key} — a digest of (program,
+    strategies, refine sets, budget, worklist order, field sensitivity,
+    format version) — to the encoded snapshot, in two layers:
+
+    - an in-memory table of encoded bytes, shared (mutex-guarded) across
+      the {!Ipa_support.Domain_pool} workers of one process;
+    - optionally, a directory of [<key>.snap] files surviving processes
+      ([~/.cache/ipa] or [--cache-dir]).
+
+    Hits {e decode} a fresh solution rather than sharing a live one, so
+    no mutable structure ever crosses domains and a warm run is
+    content-identical to a cold one (only the time columns change — a hit
+    costs one decode). Snapshots that fail to decode (corrupted, older
+    format version, key collision) count as {e stale}: the file is removed
+    and the solve recomputed; a cache can slow an analysis down but never
+    change its answer.
+
+    Concurrent cold misses on one key may each solve (the work is wasted,
+    not wrong — the solver is deterministic), but at most one task
+    publishes the disk file: writers create a private temp file and
+    [Unix.link] it to the final name, which fails for every racer after the
+    first. No partially-written or doubly-written snapshot is ever
+    observable. *)
+
+type t
+
+val create : ?dir:string -> unit -> t
+(** In-memory cache, plus a disk layer rooted at [dir] when given (the
+    directory is created if missing; creation failure degrades to
+    memory-only). *)
+
+val dir : t -> string option
+
+val default_dir : unit -> string
+(** [$XDG_CACHE_HOME/ipa], falling back to [$HOME/.cache/ipa], then
+    [_ipa_cache] under the current directory. Nothing is written there
+    unless a cache is explicitly created with it. *)
+
+(** Hit/miss accounting, cumulative over the cache's lifetime and all
+    domains using it. *)
+type stats = {
+  mem_hits : int;
+  disk_hits : int;
+  misses : int;  (** solves actually performed *)
+  stale : int;  (** on-disk snapshots discarded (decode error or wrong key) *)
+  writes : int;  (** snapshot files published to disk *)
+  write_conflicts : int;
+      (** publications that lost the single-writer race (work discarded) *)
+}
+
+val stats : t -> stats
+
+val stats_line : t -> string
+(** One-line rendering, e.g.
+    ["cache: 3 mem hits, 9 disk hits, 12 misses, 0 stale, 12 writes, 0 write conflicts"]. *)
+
+val solve :
+  t ->
+  Ipa_ir.Program.t ->
+  label:string ->
+  Ipa_core.Solver.config ->
+  Ipa_core.Analysis.result * Ipa_core.Introspection.t
+(** [solve t p ~label config] returns the solution of [config] on [p] and
+    the introspection metrics over it, from the cache when possible. On a
+    miss the solve runs, metrics are computed, and the snapshot is stored
+    (memory, then disk). On a hit the returned [seconds] is the decode
+    time. The result is content-identical either way. *)
+
+val base_pass :
+  t -> budget:int -> Ipa_ir.Program.t -> Ipa_core.Analysis.result * Ipa_core.Introspection.t
+(** The shared first pass: [solve] with the plain context-insensitive
+    configuration ([Solver.plain] with the insens strategy) and label
+    ["insens"] — exactly the configuration {!Ipa_core.Analysis.run_plain}
+    uses, so the key matches across every caller. *)
+
+(** {1 Disk-store maintenance} (the [introspect cache] subcommands) *)
+
+val entries : dir:string -> (string * int * (Ipa_core.Snapshot.info, Ipa_core.Snapshot.error) result) list
+(** [(filename, size in bytes, header info)] for every [.snap] file,
+    sorted by filename. *)
+
+val clear : dir:string -> int
+(** Remove every [.snap] file; returns how many were removed. *)

@@ -1,5 +1,11 @@
-type t = { scale : float; budget : int; jobs : int }
+type t = { scale : float; budget : int; jobs : int; cache : Cache.t }
 
-let default = { scale = 1.0; budget = 10_000_000; jobs = Domain.recommended_domain_count () }
+let default =
+  {
+    scale = 1.0;
+    budget = 10_000_000;
+    jobs = Domain.recommended_domain_count ();
+    cache = Cache.create ();
+  }
 
 let timeout_label = "timeout"

@@ -10,12 +10,17 @@ type t = {
           1 = sequential. Results are ordered and bit-identical to the
           sequential run at any job count — only the timing columns vary,
           and under contention they measure a loaded machine. *)
+  cache : Cache.t;
+      (** snapshot cache for the shared context-insensitive first pass.
+          Memory-only by default; give it a directory ([--cache-dir]) to
+          persist solves across runs. *)
 }
 
 val default : t
 (** [scale = 1.0], [budget = 10_000_000] — calibrated so that exactly the
     paper's non-terminating (benchmark, analysis) pairs exceed it —
-    and [jobs = Domain.recommended_domain_count ()]. *)
+    [jobs = Domain.recommended_domain_count ()], and a fresh memory-only
+    [cache]. *)
 
 val timeout_label : string
 (** How a budget-exceeded run is rendered in tables. *)

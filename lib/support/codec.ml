@@ -1,0 +1,145 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun msg -> raise (Corrupt msg)) fmt
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create ?(capacity = 256) () = Buffer.create capacity
+
+  let u8 t v =
+    if v < 0 || v > 0xff then invalid_arg (Printf.sprintf "Codec.Writer.u8: %d" v);
+    Buffer.add_char t (Char.unsafe_chr v)
+
+  let raw t s = Buffer.add_string t s
+
+  (* LEB128 over the 63-bit pattern; [lsr] keeps the loop well-defined even
+     for inputs with the sign bit set (zigzagged values land here). *)
+  let uint_bits t v =
+    let v = ref v in
+    while !v lsr 7 <> 0 do
+      Buffer.add_char t (Char.unsafe_chr (!v land 0x7f lor 0x80));
+      v := !v lsr 7
+    done;
+    Buffer.add_char t (Char.unsafe_chr !v)
+
+  let uint t v =
+    if v < 0 then invalid_arg (Printf.sprintf "Codec.Writer.uint: negative %d" v);
+    uint_bits t v
+
+  let int t v = uint_bits t ((v lsl 1) lxor (v asr (Sys.int_size - 1)))
+
+  let bool t b = Buffer.add_char t (if b then '\001' else '\000')
+
+  let float t f = Buffer.add_int64_le t (Int64.bits_of_float f)
+
+  let string t s =
+    uint t (String.length s);
+    Buffer.add_string t s
+
+  let int_array t a =
+    uint t (Array.length a);
+    Array.iter (fun v -> uint t v) a
+
+  let int_set t s =
+    let elems = Int_set.to_sorted_list s in
+    uint t (List.length elems);
+    ignore
+      (List.fold_left
+         (fun prev e ->
+           (match prev with
+           | None -> uint t e
+           | Some p -> uint t (e - p));
+           Some e)
+         None elems)
+
+  let option t f = function
+    | None -> bool t false
+    | Some v ->
+      bool t true;
+      f t v
+
+  let length t = Buffer.length t
+
+  let contents t = Buffer.contents t
+end
+
+module Reader = struct
+  type t = { src : string; mutable pos : int }
+
+  let of_string ?(pos = 0) src =
+    if pos < 0 || pos > String.length src then invalid_arg "Codec.Reader.of_string";
+    { src; pos }
+
+  let pos t = t.pos
+
+  let remaining t = String.length t.src - t.pos
+
+  let at_end t = remaining t = 0
+
+  let need t n = if remaining t < n then corrupt "truncated: need %d bytes, have %d" n (remaining t)
+
+  let u8 t =
+    need t 1;
+    let v = Char.code t.src.[t.pos] in
+    t.pos <- t.pos + 1;
+    v
+
+  let raw t n =
+    need t n;
+    let s = String.sub t.src t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let expect t s =
+    let got = raw t (String.length s) in
+    if got <> s then corrupt "expected %S, found %S" s got
+
+  let uint t =
+    let rec go shift acc =
+      if shift >= Sys.int_size then corrupt "varint too long";
+      let b = u8 t in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let int t =
+    let z = uint t in
+    (z lsr 1) lxor (-(z land 1))
+
+  let bool t =
+    match u8 t with
+    | 0 -> false
+    | 1 -> true
+    | b -> corrupt "bad bool byte %d" b
+
+  let float t =
+    need t 8;
+    let bits = String.get_int64_le t.src t.pos in
+    t.pos <- t.pos + 8;
+    Int64.float_of_bits bits
+
+  let string t =
+    let n = uint t in
+    raw t n
+
+  let int_array t =
+    let n = uint t in
+    if n > remaining t then corrupt "int array longer than input";
+    Array.init n (fun _ -> uint t)
+
+  let int_set t =
+    let n = uint t in
+    if n > remaining t then corrupt "int set longer than input";
+    let s = Int_set.create ~capacity:n () in
+    let prev = ref 0 in
+    for i = 0 to n - 1 do
+      let v = if i = 0 then uint t else !prev + uint t in
+      prev := v;
+      if not (Int_set.add s v) then corrupt "duplicate set element %d" v
+    done;
+    s
+
+  let option t f = if bool t then Some (f t) else None
+end

@@ -1,0 +1,104 @@
+(** Versioned, [Marshal]-free binary serialization primitives.
+
+    The snapshot subsystem persists analysis solutions across processes and
+    machines, so the encoding must be stable under compiler versions and
+    immune to code motion — which rules out [Marshal]. This module provides
+    the primitive layer: a buffer-backed {!Writer} and a bounds-checked
+    {!Reader} over byte strings, with LEB128 varints for non-negative ints,
+    zigzag varints for signed ints, length-prefixed strings, and a canonical
+    (sorted, delta-compressed) encoding of {!Int_set}.
+
+    Encodings are {e canonical}: equal values produce byte-identical
+    output (sets are emitted in sorted order regardless of their internal
+    representation), so whole-payload digests double as content addresses.
+
+    Framing, versioning, and checksumming live one layer up (see
+    [Ipa_core.Snapshot]); this module only promises that a reader applied to
+    bytes a writer produced yields the original values, and that malformed
+    or truncated bytes raise {!Corrupt} rather than returning garbage. *)
+
+exception Corrupt of string
+(** Raised by {!Reader} operations on truncated or malformed input. The
+    message describes the failed read; it never escapes the snapshot layer,
+    which converts it into a typed error. *)
+
+module Writer : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+
+  val u8 : t -> int -> unit
+  (** One byte; the value must be in [0, 255]. *)
+
+  val raw : t -> string -> unit
+  (** Bytes emitted verbatim, no length prefix (magic numbers, digests). *)
+
+  val uint : t -> int -> unit
+  (** LEB128 varint. Raises [Invalid_argument] on negative input — ids,
+      counts, and sizes are non-negative by construction, so a negative here
+      is a caller bug, not data. *)
+
+  val int : t -> int -> unit
+  (** Zigzag-then-varint; any OCaml int round-trips. *)
+
+  val bool : t -> bool -> unit
+
+  val float : t -> float -> unit
+  (** IEEE-754 bits, 8 bytes little-endian; NaN payloads survive. *)
+
+  val string : t -> string -> unit
+  (** Length-prefixed; arbitrary bytes allowed. *)
+
+  val int_array : t -> int array -> unit
+  (** Length prefix plus one {!uint} per element (elements must be
+      non-negative). *)
+
+  val int_set : t -> Int_set.t -> unit
+  (** Canonical form: cardinal, then the sorted elements delta-compressed
+      (first element absolute, then gaps). Independent of the set's internal
+      representation. *)
+
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+
+  val length : t -> int
+
+  val contents : t -> string
+end
+
+module Reader : sig
+  type t
+
+  val of_string : ?pos:int -> string -> t
+  (** Reads from [pos] (default 0) to the end of the string. *)
+
+  val pos : t -> int
+
+  val remaining : t -> int
+
+  val at_end : t -> bool
+
+  val u8 : t -> int
+
+  val raw : t -> int -> string
+  (** [raw r n] reads [n] bytes verbatim. *)
+
+  val expect : t -> string -> unit
+  (** Reads [String.length s] bytes and raises {!Corrupt} unless they equal
+      [s] — for magic numbers and trailers. *)
+
+  val uint : t -> int
+
+  val int : t -> int
+
+  val bool : t -> bool
+
+  val float : t -> float
+
+  val string : t -> string
+
+  val int_array : t -> int array
+
+  val int_set : t -> Int_set.t
+
+  val option : t -> (t -> 'a) -> 'a option
+end

@@ -202,3 +202,21 @@ let parse_exn src =
   match Ipa_frontend.Jir.parse_string src with
   | Ok p -> p
   | Error e -> failwith (Ipa_frontend.Jir.error_to_string e)
+
+(* ---------- scratch directories ---------- *)
+
+(* A fresh empty directory, removed (with its regular files) afterwards even
+   if [f] raises. For tests of the on-disk snapshot cache. *)
+let with_temp_dir f =
+  let dir = Filename.temp_file "ipa_test" ".dir" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         Array.iter
+           (fun file -> try Sys.remove (Filename.concat dir file) with Sys_error _ -> ())
+           (Sys.readdir dir)
+       with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)

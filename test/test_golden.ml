@@ -68,6 +68,92 @@ let test_golden () =
       check Alcotest.int (label "cg") g.cg prec.call_edges)
     table
 
+(* ---------- cache differential ---------- *)
+
+(* A cache-hit run must be indistinguishable from a cold run: byte-identical
+   context-decoded relations (canon_native also self-checks each solution,
+   so every deserialized solution passes [Solution.self_check]), identical
+   derivation counts, counters and stored metrics. *)
+
+module Cache = Ipa_harness.Cache
+module Analysis = Ipa_core.Analysis
+
+let chart () =
+  Ipa_synthetic.Dacapo.build ~scale:0.1 (Option.get (Ipa_synthetic.Dacapo.find "chart"))
+
+let test_cache_differential () =
+  Ipa_testlib.with_temp_dir (fun dir ->
+      let p = chart () in
+      let flavors = [ insens; obj2; call2; type2 ] in
+      let solve cache f =
+        Cache.solve cache p ~label:(F.to_string f)
+          (Ipa_core.Solver.plain p (F.strategy p f))
+      in
+      let cold_cache = Cache.create ~dir () in
+      let cold = List.map (solve cold_cache) flavors in
+      let cs = Cache.stats cold_cache in
+      check Alcotest.int "cold misses" 4 cs.misses;
+      check Alcotest.int "cold writes" 4 cs.writes;
+      check Alcotest.int "cold hits" 0 (cs.mem_hits + cs.disk_hits);
+      (* a process-fresh cache over the same directory: all disk hits *)
+      let warm_cache = Cache.create ~dir () in
+      let warm = List.map (solve warm_cache) flavors in
+      let ws = Cache.stats warm_cache in
+      check Alcotest.int "warm disk hits" 4 ws.disk_hits;
+      check Alcotest.int "warm misses" 0 ws.misses;
+      List.iter2
+        (fun ((a : Analysis.result), ma) ((b : Analysis.result), mb) ->
+          let name what = Printf.sprintf "%s %s" a.label what in
+          check
+            (Alcotest.list Alcotest.string)
+            (name "relations")
+            (Ipa_testlib.canon_native a.solution)
+            (Ipa_testlib.canon_native b.solution);
+          check Alcotest.int (name "derivations") a.solution.derivations b.solution.derivations;
+          check Alcotest.bool (name "counters") true (a.solution.counters = b.solution.counters);
+          check Alcotest.bool (name "metrics") true (ma = mb);
+          (* the snapshot's stored metrics match a recomputation over the
+             deserialized solution *)
+          check Alcotest.bool (name "metrics recomputable") true
+            (Ipa_core.Introspection.compute b.solution = mb))
+        cold warm;
+      (* within one cache, a repeated solve is a memory hit with the same
+         content *)
+      let again, _ = solve warm_cache insens in
+      check Alcotest.int "mem hit" 1 (Cache.stats warm_cache).mem_hits;
+      check
+        (Alcotest.list Alcotest.string)
+        "mem hit relations"
+        (Ipa_testlib.canon_native (fst (List.hd cold)).solution)
+        (Ipa_testlib.canon_native again.solution))
+
+let test_cache_introspective_differential () =
+  Ipa_testlib.with_temp_dir (fun dir ->
+      let p = chart () in
+      let direct = Analysis.run_introspective p obj2 Ipa_core.Heuristics.default_a in
+      (* publish the base pass, then rebuild it from disk in a fresh cache *)
+      ignore (Cache.base_pass (Cache.create ~dir ()) ~budget:0 p);
+      let warm = Cache.create ~dir () in
+      let base, metrics = Cache.base_pass warm ~budget:0 p in
+      check Alcotest.int "base from disk" 1 (Cache.stats warm).disk_hits;
+      let cached = Analysis.run_introspective_from_base p ~base ~metrics obj2 Ipa_core.Heuristics.default_a in
+      check Alcotest.bool "selection" true (direct.selection = cached.selection);
+      check Alcotest.int "second-pass derivations" direct.second.solution.derivations
+        cached.second.solution.derivations;
+      check
+        (Alcotest.list Alcotest.string)
+        "second-pass relations"
+        (Ipa_testlib.canon_native direct.second.solution)
+        (Ipa_testlib.canon_native cached.second.solution))
+
 let () =
   Alcotest.run "golden"
-    [ ("counts", [ Alcotest.test_case "frozen benchmark results" `Quick test_golden ]) ]
+    [
+      ("counts", [ Alcotest.test_case "frozen benchmark results" `Quick test_golden ]);
+      ( "cache differential",
+        [
+          Alcotest.test_case "hit equals cold, all flavors" `Quick test_cache_differential;
+          Alcotest.test_case "introspective from cached base" `Quick
+            test_cache_introspective_differential;
+        ] );
+    ]

@@ -6,7 +6,8 @@ module Flavors = Ipa_core.Flavors
 
 let check = Alcotest.check
 
-let tiny : Config.t = { scale = 0.02; budget = 2_000_000; jobs = 1 }
+let tiny : Config.t =
+  { scale = 0.02; budget = 2_000_000; jobs = 1; cache = Ipa_harness.Cache.create () }
 
 let test_config_default () =
   check Alcotest.bool "scale" true (Config.default.scale = 1.0);
@@ -107,14 +108,18 @@ let test_taint_study () =
 
 let test_ablation_smoke () =
   (* The ablation studies must run end-to-end at tiny scale. *)
-  let cfg : Config.t = { scale = 0.02; budget = 1_000_000; jobs = 2 } in
+  let cfg : Config.t =
+    { scale = 0.02; budget = 1_000_000; jobs = 2; cache = Ipa_harness.Cache.create () }
+  in
   Ipa_harness.Ablation.grid cfg;
   Ipa_harness.Ablation.components cfg
 
 let test_timeouts_render () =
   (* With an absurdly small budget everything times out and compute still
      returns well-formed rows. *)
-  let cfg : Config.t = { scale = 0.02; budget = 10; jobs = 1 } in
+  let cfg : Config.t =
+    { scale = 0.02; budget = 10; jobs = 1; cache = Ipa_harness.Cache.create () }
+  in
   let runs = E.Fig1.compute cfg in
   List.iter
     (fun (r : E.run) ->

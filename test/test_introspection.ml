@@ -115,6 +115,85 @@ let test_heuristic_b () =
   check (Alcotest.list Alcotest.int) "q=1 flags h3" [ 3 ] (fst (sel 1000 1));
   check (Alcotest.list Alcotest.int) "q=2 strict" [] (fst (sel 1000 2))
 
+(* ---------- the paper's default constants, pinned exactly ---------- *)
+
+(* Hand-built metrics place one entity exactly at each default threshold
+   and one just above it, so these tests freeze both the strict-[>]
+   semantics and the shipped constants: K/L/M = 100/100/200 for Heuristic A,
+   P/Q = 10000/10000 for Heuristic B. The program has a single call site,
+   (invo 0 -> id), and four allocation sites. *)
+let blank_metrics p : Introspection.t =
+  {
+    in_flow = Array.make (P.n_invos p) 0;
+    meth_total_volume = Array.make (P.n_meths p) 0;
+    meth_max_var = Array.make (P.n_meths p) 0;
+    obj_total_field = Array.make (P.n_heaps p) 0;
+    obj_max_field = Array.make (P.n_heaps p) 0;
+    meth_max_var_field = Array.make (P.n_meths p) 0;
+    pointed_by_vars = Array.make (P.n_heaps p) 0;
+    pointed_by_objs = Array.make (P.n_heaps p) 0;
+  }
+
+let test_default_a_constants () =
+  let p, base, _ = setup () in
+  let id = meth p "id" in
+  let objs m = fst (skips base m Heuristics.default_a) in
+  let sites m = snd (skips base m Heuristics.default_a) in
+  (* K = 100: an object pointed by exactly 100 variables is still refined *)
+  let pbv n =
+    let m = blank_metrics p in
+    m.pointed_by_vars.(0) <- n;
+    m
+  in
+  check (Alcotest.list Alcotest.int) "pointed-by-vars 100 refined" [] (objs (pbv 100));
+  check (Alcotest.list Alcotest.int) "pointed-by-vars 101 skipped" [ 0 ] (objs (pbv 101));
+  (* L = 100: argument in-flow at the call site *)
+  let inflow n =
+    let m = blank_metrics p in
+    m.in_flow.(0) <- n;
+    m
+  in
+  check Alcotest.int "in-flow 100 refined" 0 (sites (inflow 100));
+  check Alcotest.int "in-flow 101 skipped" 1 (sites (inflow 101));
+  (* M = 200: the callee's max var-field points-to *)
+  let mvf n =
+    let m = blank_metrics p in
+    m.meth_max_var_field.(id) <- n;
+    m
+  in
+  check Alcotest.int "max var-field 200 refined" 0 (sites (mvf 200));
+  check Alcotest.int "max var-field 201 skipped" 1 (sites (mvf 201))
+
+let test_default_b_constants () =
+  let p, base, _ = setup () in
+  let id = meth p "id" in
+  let objs m = fst (skips base m Heuristics.default_b) in
+  let sites m = snd (skips base m Heuristics.default_b) in
+  (* P = 10000: the callee's total points-to volume *)
+  let vol n =
+    let m = blank_metrics p in
+    m.meth_total_volume.(id) <- n;
+    m
+  in
+  check Alcotest.int "volume 10000 refined" 0 (sites (vol 10000));
+  check Alcotest.int "volume 10001 skipped" 1 (sites (vol 10001));
+  (* Q = 10000: the total-field x pointed-by-vars product *)
+  let product a b =
+    let m = blank_metrics p in
+    m.obj_total_field.(0) <- a;
+    m.pointed_by_vars.(0) <- b;
+    m
+  in
+  check (Alcotest.list Alcotest.int) "product 100x100 refined" [] (objs (product 100 100));
+  check (Alcotest.list Alcotest.int) "product 10001x1 skipped" [ 0 ] (objs (product 10001 1));
+  check (Alcotest.list Alcotest.int) "product 2x5001 skipped" [ 0 ] (objs (product 2 5001))
+
+let test_default_constants_literal () =
+  (* the shipped defaults ARE the paper's constants *)
+  match (Heuristics.default_a, Heuristics.default_b) with
+  | Heuristics.A { k = 100; l = 100; m = 200 }, Heuristics.B { p = 10000; q = 10000 } -> ()
+  | _ -> Alcotest.fail "default heuristic constants drifted from the paper's"
+
 let test_selection_stats () =
   let _, base, m = setup () in
   let refine = Heuristics.select base.solution m (Heuristics.A { k = 3; l = 1; m = 1000 }) in
@@ -290,6 +369,9 @@ let () =
           Alcotest.test_case "A objects boundary" `Quick test_heuristic_a_objects;
           Alcotest.test_case "A sites boundary" `Quick test_heuristic_a_sites;
           Alcotest.test_case "B boundaries" `Quick test_heuristic_b;
+          Alcotest.test_case "default A constants (100/100/200)" `Quick test_default_a_constants;
+          Alcotest.test_case "default B constants (10000/10000)" `Quick test_default_b_constants;
+          Alcotest.test_case "defaults are the paper's" `Quick test_default_constants_literal;
           Alcotest.test_case "selection stats" `Quick test_selection_stats;
           Alcotest.test_case "names" `Quick test_heuristic_names;
         ] );

@@ -88,7 +88,10 @@ let test_pool_sequential () =
 
 (* ---------- harness determinism ---------- *)
 
-let tiny jobs : Config.t = { scale = 0.02; budget = 2_000_000; jobs }
+(* Each call gets its own (memory-only) cache, so the jobs=1 and jobs=4
+   runs being compared never share solved state. *)
+let tiny jobs : Config.t =
+  { scale = 0.02; budget = 2_000_000; jobs; cache = Ipa_harness.Cache.create () }
 
 (* Everything except wall-clock must match the sequential run exactly:
    bench, analysis, derivations, timeout flags, precision, taint counts,
@@ -119,6 +122,52 @@ let test_fig4_deterministic () =
 let test_taint_deterministic () =
   same_runs "taint" (E.Taint_study.compute (tiny 1)) (E.Taint_study.compute (tiny 4))
 
+(* ---------- cold-cache publish race ---------- *)
+
+module Cache = Ipa_harness.Cache
+
+(* Four domains race to fill the same cold on-disk cache with the same
+   shared first pass. Concurrent misses may each solve (wasted work, never
+   wrong results), but the temp-file + hard-link publish admits exactly one
+   writer — the key must never be double-written — and every task must get
+   the same solution a sequential cold run produces. *)
+let test_cold_cache_race () =
+  Ipa_testlib.with_temp_dir (fun dir ->
+      let build () =
+        Ipa_synthetic.Dacapo.build ~scale:0.02
+          (Option.get (Ipa_synthetic.Dacapo.find "chart"))
+      in
+      let cache = Cache.create ~dir () in
+      let results =
+        Pool.with_pool ~jobs:4 (fun pool ->
+            Pool.map_list pool
+              (fun _ -> fst (Cache.base_pass cache ~budget:0 (build ())))
+              [ 0; 1; 2; 3 ])
+      in
+      let s = Cache.stats cache in
+      check Alcotest.int "exactly one writer" 1 s.writes;
+      check Alcotest.int "every task served" 4 (s.mem_hits + s.disk_hits + s.misses);
+      check Alcotest.int "nothing stale" 0 s.stale;
+      let snaps =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".snap")
+      in
+      check Alcotest.int "one snapshot on disk" 1 (List.length snaps);
+      (* identical to a sequential cold solve, for every racing task *)
+      let seq, _ = Cache.base_pass (Cache.create ()) ~budget:0 (build ()) in
+      let canon = Ipa_testlib.canon_native seq.solution in
+      List.iteri
+        (fun i (r : Ipa_core.Analysis.result) ->
+          check
+            (Alcotest.list Alcotest.string)
+            (Printf.sprintf "task %d relations" i)
+            canon
+            (Ipa_testlib.canon_native r.solution);
+          check Alcotest.int
+            (Printf.sprintf "task %d derivations" i)
+            seq.solution.derivations r.solution.derivations)
+        results)
+
 let () =
   Alcotest.run "parallel"
     [
@@ -137,4 +186,5 @@ let () =
           Alcotest.test_case "fig4 jobs=4" `Slow test_fig4_deterministic;
           Alcotest.test_case "taint jobs=4" `Slow test_taint_deterministic;
         ] );
+      ("cache race", [ Alcotest.test_case "cold publish, jobs=4" `Quick test_cold_cache_race ]);
     ]

@@ -1,0 +1,417 @@
+(* Snapshot and codec battery:
+   - unit tests of the binary codec's primitives (varint boundaries, zigzag
+     extremes, float bit-patterns, strings with NULs, canonical int sets)
+     and of its failure mode (every bad read raises [Codec.Corrupt]);
+   - QCheck round-trip: encode∘decode is the identity on solved snapshots
+     of random programs (random builder output, synthetic-world motifs and
+     the quickstart program; every flavor; with and without a budget), and
+     re-encoding the decoded snapshot reproduces the bytes exactly;
+   - QCheck robustness: any single-byte corruption or truncation of a
+     snapshot yields a versioned [error] — never an exception, never a
+     silently different solution;
+   - framing: version bumps, wrong program, wrong key, trailing garbage and
+     [inspect] on the header. *)
+
+module Codec = Ipa_support.Codec
+module W = Codec.Writer
+module R = Codec.Reader
+module Int_set = Ipa_support.Int_set
+module Snapshot = Ipa_core.Snapshot
+module Analysis = Ipa_core.Analysis
+module Flavors = Ipa_core.Flavors
+module Heuristics = Ipa_core.Heuristics
+module Solver = Ipa_core.Solver
+module T = Ipa_testlib
+
+let check = Alcotest.check
+
+let qtest ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* ---------- codec primitives ---------- *)
+
+let test_codec_uint () =
+  let values = [ 0; 1; 127; 128; 255; 16383; 16384; 1 lsl 30; (1 lsl 62) - 1; max_int ] in
+  let w = W.create () in
+  List.iter (W.uint w) values;
+  let r = R.of_string (W.contents w) in
+  List.iter (fun v -> check Alcotest.int (string_of_int v) v (R.uint r)) values;
+  check Alcotest.bool "at end" true (R.at_end r);
+  (match W.uint (W.create ()) (-1) with
+  | () -> Alcotest.fail "negative uint accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_codec_int () =
+  let values = [ 0; 1; -1; 2; -2; 63; -64; 64; 12345; -98765; max_int; min_int ] in
+  let w = W.create () in
+  List.iter (W.int w) values;
+  let r = R.of_string (W.contents w) in
+  List.iter (fun v -> check Alcotest.int (string_of_int v) v (R.int r)) values;
+  check Alcotest.bool "at end" true (R.at_end r)
+
+let test_codec_float () =
+  let values = [ 0.0; -0.0; 1.5; -3.25; infinity; neg_infinity; nan; 1e308; 4.9e-324 ] in
+  let w = W.create () in
+  List.iter (W.float w) values;
+  let r = R.of_string (W.contents w) in
+  List.iter
+    (fun v ->
+      (* bit-exact, including -0.0 and nan *)
+      check Alcotest.int64 (string_of_float v) (Int64.bits_of_float v)
+        (Int64.bits_of_float (R.float r)))
+    values
+
+let test_codec_string () =
+  let values = [ ""; "a"; "with\000nul\255bytes"; String.make 1000 'x' ] in
+  let w = W.create () in
+  List.iter (W.string w) values;
+  W.bool w true;
+  W.bool w false;
+  W.u8 w 200;
+  let r = R.of_string (W.contents w) in
+  List.iter (fun v -> check Alcotest.string "string" v (R.string r)) values;
+  check Alcotest.bool "true" true (R.bool r);
+  check Alcotest.bool "false" false (R.bool r);
+  check Alcotest.int "u8" 200 (R.u8 r)
+
+let test_codec_containers () =
+  let arr = [| 0; 7; 3; max_int; 1 |] in
+  let set = Int_set.create () in
+  List.iter (fun v -> ignore (Int_set.add set v)) [ 42; 0; 7; 1000000; 8 ];
+  let w = W.create () in
+  W.int_array w arr;
+  W.int_array w [||];
+  W.int_set w set;
+  W.int_set w (Int_set.create ());
+  W.option w W.uint (Some 9);
+  W.option w W.uint None;
+  let r = R.of_string (W.contents w) in
+  check (Alcotest.array Alcotest.int) "array" arr (R.int_array r);
+  check (Alcotest.array Alcotest.int) "empty array" [||] (R.int_array r);
+  check (Alcotest.list Alcotest.int) "set" (Int_set.to_sorted_list set)
+    (Int_set.to_sorted_list (R.int_set r));
+  check Alcotest.int "empty set" 0 (Int_set.cardinal (R.int_set r));
+  check (Alcotest.option Alcotest.int) "some" (Some 9) (R.option r R.uint);
+  check (Alcotest.option Alcotest.int) "none" None (R.option r R.uint)
+
+let expect_corrupt name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Codec.Corrupt" name
+  | exception Codec.Corrupt _ -> ()
+
+let test_codec_corrupt () =
+  (* reads past the end *)
+  let w = W.create () in
+  W.string w "hello";
+  let bytes = W.contents w in
+  for n = 0 to String.length bytes - 1 do
+    expect_corrupt
+      (Printf.sprintf "prefix %d" n)
+      (fun () -> R.string (R.of_string (String.sub bytes 0 n)))
+  done;
+  (* an unterminated varint *)
+  expect_corrupt "varint overflow" (fun () -> R.uint (R.of_string (String.make 10 '\255')));
+  (* a duplicate (gap 0) in a canonical set *)
+  let w = W.create () in
+  W.uint w 2;
+  W.uint w 5;
+  W.uint w 0;
+  expect_corrupt "duplicate set element" (fun () -> R.int_set (R.of_string (W.contents w)));
+  (* a failed magic check *)
+  expect_corrupt "expect" (fun () -> R.expect (R.of_string "XXXX") "IPSN")
+
+(* ---------- solved snapshots ---------- *)
+
+(* Solve [p], returning the result, its cache key and (for introspective
+   runs) the first-pass metrics — mirroring what the cache and the CLI
+   store. *)
+let solved ?(budget = 0) p flavor heuristic =
+  let program_digest = Snapshot.digest_program p in
+  match heuristic with
+  | None ->
+    let config = Solver.plain p ~budget (Flavors.strategy p flavor) in
+    ( Analysis.run_config p ~label:(Flavors.to_string flavor) config,
+      Snapshot.config_key ~program_digest config,
+      None )
+  | Some h ->
+    let ir = Analysis.run_introspective ~budget p flavor h in
+    ( ir.second,
+      Snapshot.config_key ~program_digest (Analysis.second_pass_config ~budget p flavor ir.refine),
+      Some ir.metrics )
+
+let snapshot_of p (r : Analysis.result) key metrics =
+  {
+    Snapshot.key;
+    program_digest = Snapshot.digest_program p;
+    label = r.label;
+    seconds = r.seconds;
+    solution = r.solution;
+    metrics;
+  }
+
+(* The deep comparison behind both the unit and the property round-trips.
+   [T.canon_native] self-checks each solution first, so every decoded
+   solution also passes [Solution.self_check]. *)
+let roundtrip_check p (snap : Snapshot.t) =
+  let bytes = Snapshot.encode snap in
+  match Snapshot.decode ~program:p ~expect_key:snap.key bytes with
+  | Error e -> Alcotest.failf "decode failed: %s" (Snapshot.error_to_string e)
+  | Ok got ->
+    check (Alcotest.list Alcotest.string) "relations" (T.canon_native snap.solution)
+      (T.canon_native got.solution);
+    check Alcotest.int "derivations" snap.solution.derivations got.solution.derivations;
+    check Alcotest.bool "outcome" true (snap.solution.outcome = got.solution.outcome);
+    check Alcotest.bool "counters" true (snap.solution.counters = got.solution.counters);
+    check Alcotest.string "label" snap.label got.label;
+    check Alcotest.bool "seconds" true (snap.seconds = got.seconds);
+    check Alcotest.string "key" snap.key got.key;
+    (match (snap.metrics, got.metrics) with
+    | None, None -> ()
+    | Some a, Some b -> check Alcotest.bool "metrics" true (a = b)
+    | _ -> Alcotest.fail "metrics presence changed");
+    (* the encoding is canonical: re-encoding the decoded snapshot
+       reproduces the bytes exactly *)
+    check Alcotest.string "canonical bytes" bytes (Snapshot.encode got)
+
+let boxes = lazy (T.parse_exn T.boxes_src)
+
+let test_roundtrip_boxes () =
+  let p = Lazy.force boxes in
+  List.iter
+    (fun (flavor, heuristic) ->
+      let r, key, metrics = solved p flavor heuristic in
+      roundtrip_check p (snapshot_of p r key metrics);
+      (* and without metrics *)
+      roundtrip_check p (snapshot_of p r key None))
+    [
+      (Flavors.Insensitive, None);
+      (Flavors.Object_sens { depth = 2; heap = 1 }, None);
+      (Flavors.Object_sens { depth = 2; heap = 1 }, Some Heuristics.default_a);
+      (Flavors.Call_site { depth = 2; heap = 1 }, Some Heuristics.default_b);
+    ]
+
+let test_roundtrip_budget_exceeded () =
+  let p = Lazy.force boxes in
+  let r, key, metrics = solved ~budget:5 p (Flavors.Object_sens { depth = 2; heap = 1 }) None in
+  check Alcotest.bool "timed out" true r.timed_out;
+  roundtrip_check p (snapshot_of p r key metrics)
+
+(* ---------- QCheck: round-trip on random programs ---------- *)
+
+let synthetic_program seed =
+  let w = Ipa_synthetic.World.create ~seed in
+  (match seed mod 3 with
+  | 0 ->
+    Ipa_synthetic.Motifs.chains w ~n:3 ~depth:2;
+    Ipa_synthetic.Motifs.factory_boxes w ~n:2
+  | 1 ->
+    Ipa_synthetic.Motifs.listeners w ~n:3;
+    Ipa_synthetic.Motifs.taint_pipes w ~n:2
+  | _ ->
+    Ipa_synthetic.Motifs.exceptional w ~n:2;
+    Ipa_synthetic.Motifs.dispatch_storm w ~wrappers:2 ~payload:2 ~depth:2);
+  Ipa_synthetic.World.finish w
+
+let flavors =
+  [|
+    Flavors.Insensitive;
+    Flavors.Object_sens { depth = 2; heap = 1 };
+    Flavors.Call_site { depth = 2; heap = 1 };
+    Flavors.Type_sens { depth = 2; heap = 1 };
+    Flavors.Hybrid { depth = 2; heap = 1 };
+  |]
+
+let gen_case =
+  QCheck2.Gen.(
+    let* family = int_range 0 2 in
+    let* seed = int_range 0 9999 in
+    let* flavor_i = int_range 0 (Array.length flavors - 1) in
+    let* heuristic_i = int_range 0 2 in
+    let* budgeted = frequencyl [ (4, false); (1, true) ] in
+    return (family, seed, flavor_i, heuristic_i, budgeted))
+
+let program_of_case (family, seed, _, _, _) =
+  match family with
+  | 0 -> T.random_program seed
+  | 1 -> synthetic_program seed
+  | _ -> Lazy.force boxes
+
+let prop_roundtrip case =
+  let (_, _, flavor_i, heuristic_i, budgeted) = case in
+  let p = program_of_case case in
+  let flavor = flavors.(flavor_i) in
+  let heuristic =
+    match heuristic_i with
+    | 0 -> None
+    | 1 -> Some Heuristics.default_a
+    | _ -> Some Heuristics.default_b
+  in
+  let budget = if budgeted then 300 else 0 in
+  let r, key, metrics = solved ~budget p flavor heuristic in
+  roundtrip_check p (snapshot_of p r key metrics);
+  true
+
+(* ---------- QCheck: corruption and truncation ---------- *)
+
+(* One reference snapshot, byte-level mutations against it. *)
+let reference_bytes =
+  lazy
+    (let p = Lazy.force boxes in
+     let r, key, metrics = solved p (Flavors.Object_sens { depth = 2; heap = 1 }) None in
+     Snapshot.encode (snapshot_of p r key metrics))
+
+let gen_mutation =
+  QCheck2.Gen.(
+    let* pos = int_range 0 (String.length (Lazy.force reference_bytes) - 1) in
+    let* mask = int_range 1 255 in
+    return (pos, mask))
+
+let prop_corruption_fails_cleanly (pos, mask) =
+  let bytes = Bytes.of_string (Lazy.force reference_bytes) in
+  Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor mask));
+  let p = Lazy.force boxes in
+  match Snapshot.decode ~program:p (Bytes.to_string bytes) with
+  | Error _ -> true
+  | Ok _ -> QCheck2.Test.fail_reportf "byte %d ^ 0x%02x accepted" pos mask
+  | exception e ->
+    QCheck2.Test.fail_reportf "byte %d ^ 0x%02x raised %s" pos mask (Printexc.to_string e)
+
+let gen_truncation =
+  QCheck2.Gen.(int_range 0 (String.length (Lazy.force reference_bytes) - 1))
+
+let prop_truncation_fails_cleanly n =
+  let p = Lazy.force boxes in
+  match Snapshot.decode ~program:p (String.sub (Lazy.force reference_bytes) 0 n) with
+  | Error _ -> true
+  | Ok _ -> QCheck2.Test.fail_reportf "prefix of %d bytes accepted" n
+  | exception e -> QCheck2.Test.fail_reportf "prefix of %d bytes raised %s" n (Printexc.to_string e)
+
+(* [inspect] must be exactly as robust. *)
+let prop_corrupt_inspect (pos, mask) =
+  let bytes = Bytes.of_string (Lazy.force reference_bytes) in
+  Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor mask));
+  match Snapshot.inspect (Bytes.to_string bytes) with
+  | Error _ | Ok _ -> true
+  | exception e ->
+    QCheck2.Test.fail_reportf "inspect: byte %d ^ 0x%02x raised %s" pos mask
+      (Printexc.to_string e)
+
+(* ---------- framing errors ---------- *)
+
+let test_version_mismatch () =
+  (* The version varint is the byte right after the 4-byte magic and lives
+     outside the checksum: a format bump reports itself as such. *)
+  let bytes = Bytes.of_string (Lazy.force reference_bytes) in
+  check Alcotest.char "layout: version byte" '\001' (Bytes.get bytes 4);
+  Bytes.set bytes 4 '\002';
+  match Snapshot.decode ~program:(Lazy.force boxes) (Bytes.to_string bytes) with
+  | Error (Snapshot.Version_mismatch { found = 2; expected = 1 }) -> ()
+  | Error e -> Alcotest.failf "expected Version_mismatch: %s" (Snapshot.error_to_string e)
+  | Ok _ -> Alcotest.fail "future version accepted"
+
+let test_framing_errors () =
+  let bytes = Lazy.force reference_bytes in
+  let p = Lazy.force boxes in
+  let expect name want got =
+    match got with
+    | Error e when e = want -> ()
+    | Error e -> Alcotest.failf "%s: wrong error: %s" name (Snapshot.error_to_string e)
+    | Ok _ -> Alcotest.failf "%s: accepted" name
+  in
+  expect "empty" Snapshot.Truncated (Snapshot.decode ~program:p "");
+  expect "bad magic" Snapshot.Bad_magic (Snapshot.decode ~program:p "garbage data");
+  expect "trailing bytes" (Snapshot.Malformed "trailing bytes after payload")
+    (Snapshot.decode ~program:p (bytes ^ "x"));
+  (* a different program of the same shape *)
+  (match Snapshot.decode ~program:(T.random_program 7) bytes with
+  | Error (Snapshot.Program_mismatch _) -> ()
+  | Error e -> Alcotest.failf "expected Program_mismatch: %s" (Snapshot.error_to_string e)
+  | Ok _ -> Alcotest.fail "wrong program accepted");
+  (* the right program under the wrong key *)
+  match Snapshot.decode ~program:p ~expect_key:(String.make 32 '0') bytes with
+  | Error (Snapshot.Key_mismatch _) -> ()
+  | Error e -> Alcotest.failf "expected Key_mismatch: %s" (Snapshot.error_to_string e)
+  | Ok _ -> Alcotest.fail "wrong key accepted"
+
+let test_inspect () =
+  let p = Lazy.force boxes in
+  let r, key, _ = solved p Flavors.Insensitive None in
+  let snap = snapshot_of p r key None in
+  match Snapshot.inspect (Snapshot.encode snap) with
+  | Error e -> Alcotest.failf "inspect failed: %s" (Snapshot.error_to_string e)
+  | Ok info ->
+    check Alcotest.string "key" key info.info_key;
+    check Alcotest.string "digest" (Snapshot.digest_program p) info.info_program_digest;
+    check Alcotest.string "label" "insens" info.info_label;
+    check Alcotest.bool "seconds" true (info.info_seconds = r.seconds)
+
+(* ---------- keys and digests ---------- *)
+
+let test_config_key_discriminates () =
+  let p = Lazy.force boxes in
+  let program_digest = Snapshot.digest_program p in
+  let key = Snapshot.config_key ~program_digest in
+  let base = Solver.plain p (Flavors.strategy p Flavors.Insensitive) in
+  check Alcotest.string "deterministic" (key base) (key base);
+  let skip = Int_set.create () in
+  ignore (Int_set.add skip 3);
+  let variants =
+    [
+      ("budget", { base with budget = 5 });
+      ("order", { base with order = Solver.Fifo });
+      ("field-based", { base with field_sensitive = false });
+      ( "refined strategy",
+        { base with refined_strategy = Flavors.strategy p (Flavors.Object_sens { depth = 2; heap = 1 }) } );
+      ( "refine sets",
+        { base with refine = Ipa_core.Refine.All_except { skip_objects = skip; skip_sites = Int_set.create () } } );
+    ]
+  in
+  List.iter
+    (fun (name, c) ->
+      if key c = key base then Alcotest.failf "%s does not change the key" name)
+    variants;
+  let other_digest = Snapshot.digest_program (T.random_program 3) in
+  if Snapshot.config_key ~program_digest:other_digest base = key base then
+    Alcotest.fail "program digest does not change the key"
+
+let test_program_digest () =
+  let p = Lazy.force boxes in
+  check Alcotest.string "deterministic" (Snapshot.digest_program p) (Snapshot.digest_program p);
+  check Alcotest.bool "reparse stable" true
+    (Snapshot.digest_program (T.parse_exn T.boxes_src) = Snapshot.digest_program p);
+  check Alcotest.bool "discriminates" true
+    (Snapshot.digest_program (T.random_program 1) <> Snapshot.digest_program (T.random_program 2))
+
+let () =
+  Alcotest.run "snapshot"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "uint boundaries" `Quick test_codec_uint;
+          Alcotest.test_case "zigzag extremes" `Quick test_codec_int;
+          Alcotest.test_case "float bit patterns" `Quick test_codec_float;
+          Alcotest.test_case "strings and scalars" `Quick test_codec_string;
+          Alcotest.test_case "arrays, sets, options" `Quick test_codec_containers;
+          Alcotest.test_case "corrupt inputs raise" `Quick test_codec_corrupt;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "boxes, all stored forms" `Quick test_roundtrip_boxes;
+          Alcotest.test_case "budget-exceeded solution" `Quick test_roundtrip_budget_exceeded;
+          qtest ~count:25 "random solved programs" gen_case prop_roundtrip;
+        ] );
+      ( "robustness",
+        [
+          qtest ~count:200 "single-byte corruption" gen_mutation prop_corruption_fails_cleanly;
+          qtest ~count:100 "truncation" gen_truncation prop_truncation_fails_cleanly;
+          qtest ~count:100 "corrupt inspect" gen_mutation prop_corrupt_inspect;
+          Alcotest.test_case "version mismatch" `Quick test_version_mismatch;
+          Alcotest.test_case "framing errors" `Quick test_framing_errors;
+          Alcotest.test_case "inspect" `Quick test_inspect;
+        ] );
+      ( "keys",
+        [
+          Alcotest.test_case "config key discriminates" `Quick test_config_key_discriminates;
+          Alcotest.test_case "program digest" `Quick test_program_digest;
+        ] );
+    ]
