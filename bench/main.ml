@@ -17,8 +17,12 @@
    run hit the disk for every shared first pass and produced identical
    tables, and writes BENCH_cache.json with both wall-clocks.
 
+   The [query] selection measures demand-query throughput over a decoded
+   snapshot: one pass with cold lazy indexes, one warm, written to
+   BENCH_query.json.
+
    Usage:
-     main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|micro|all]
+     main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|micro|all]
               [--scale S] [--budget N] [--jobs N] [--cache-dir DIR]
 *)
 
@@ -27,10 +31,19 @@ module Experiments = Ipa_harness.Experiments
 
 let usage () =
   prerr_endline
-    "usage: main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|micro|all] [--scale S] [--budget N] [--jobs N] [--cache-dir DIR]";
+    "usage: main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|micro|all] [--scale S] [--budget N] [--jobs N] [--cache-dir DIR]";
   exit 2
 
-type selection = Fig1 | Fig4 | Fig of Flavors.spec | Figs | Ablation | Cache_smoke | Micro | All
+type selection =
+  | Fig1
+  | Fig4
+  | Fig of Flavors.spec
+  | Figs
+  | Ablation
+  | Cache_smoke
+  | Query_bench
+  | Micro
+  | All
 
 let parse_args () =
   let selection = ref All in
@@ -64,6 +77,9 @@ let parse_args () =
       go rest
     | "--cache-dir" :: v :: rest ->
       cache_dir := v;
+      go rest
+    | "query" :: rest ->
+      selection := Query_bench;
       go rest
     | "micro" :: rest ->
       selection := Micro;
@@ -169,8 +185,8 @@ let reports_equal (a : Experiments.report) (b : Experiments.report) =
 
 let stats_json (s : Ipa_harness.Cache.stats) =
   Printf.sprintf
-    {|{"mem_hits": %d, "disk_hits": %d, "misses": %d, "stale": %d, "writes": %d, "write_conflicts": %d}|}
-    s.mem_hits s.disk_hits s.misses s.stale s.writes s.write_conflicts
+    {|{"mem_hits": %d, "disk_hits": %d, "misses": %d, "stale": %d, "writes": %d, "write_conflicts": %d, "disk_errors": %d}|}
+    s.mem_hits s.disk_hits s.misses s.stale s.writes s.write_conflicts s.disk_errors
 
 let run_cache_smoke (cfg : Ipa_harness.Config.t) ~dir =
   let removed = Ipa_harness.Cache.clear ~dir in
@@ -214,6 +230,101 @@ let run_cache_smoke (cfg : Ipa_harness.Config.t) ~dir =
   if warm.misses > 0 then
     fail (Printf.sprintf "warm run re-solved %d shared first pass(es)" warm.misses);
   print_endline "cache smoke OK: warm run reused every shared first pass, tables identical"
+
+(* ---------- BENCH_query.json: cold vs warm query-index throughput ---------- *)
+
+let query_json_path = "BENCH_query.json"
+
+(* A deterministic query mix covering every form, built from the program's
+   own entity tables (capped per category so the mix size scales gently). *)
+let query_mix program =
+  let module P = Ipa_ir.Program in
+  let cap = 250 in
+  let take n of_i = List.init (min n cap) of_i in
+  let var v = P.var_full_name program v in
+  let heap h = P.heap_full_name program h in
+  let meth m = P.meth_full_name program m in
+  let invo i = (P.invo_info program i).invo_name in
+  let n_vars = P.n_vars program and n_heaps = P.n_heaps program in
+  let n_meths = P.n_meths program and n_invos = P.n_invos program in
+  let instance_fields =
+    List.filter
+      (fun f -> not (P.field_info program f).is_static_field)
+      (List.init (P.n_fields program) Fun.id)
+  in
+  List.concat
+    [
+      take n_vars (fun v -> Ipa_query.Query.Pts (var v));
+      take n_heaps (fun h -> Ipa_query.Query.Pointed_by (heap h));
+      take (max 0 (n_vars - 1)) (fun v -> Ipa_query.Query.Alias (var v, var (v + 1)));
+      take n_invos (fun i -> Ipa_query.Query.Callees (invo i));
+      take n_meths (fun m -> Ipa_query.Query.Callers (meth m));
+      take (max 0 (n_meths - 7)) (fun m -> Ipa_query.Query.Reach (meth m, meth (m + 7)));
+      (match instance_fields with
+      | [] -> []
+      | fields ->
+        let fields = Array.of_list fields in
+        take n_heaps (fun h ->
+            Ipa_query.Query.Fieldpts
+              (heap h, P.field_full_name program fields.(h mod Array.length fields))));
+      [ Ipa_query.Query.Taint None; Ipa_query.Query.Stats ];
+    ]
+
+let run_query_bench (cfg : Ipa_harness.Config.t) =
+  let spec = List.hd Ipa_synthetic.Dacapo.all in
+  let program = Ipa_synthetic.Dacapo.build ~scale:cfg.scale spec in
+  let result = Ipa_core.Analysis.run_plain ~budget:cfg.budget program Flavors.Insensitive in
+  let module Snapshot = Ipa_core.Snapshot in
+  let bytes =
+    Snapshot.encode
+      {
+        Snapshot.key = "bench-query";
+        program_digest = Snapshot.digest_program program;
+        label = result.label;
+        seconds = result.seconds;
+        solution = result.solution;
+        metrics = None;
+      }
+  in
+  let queries = query_mix program in
+  let n_queries = List.length queries in
+  Printf.printf "query bench: %s at scale %g, %s: %d queries\n%!" spec.name cfg.scale result.label
+    n_queries;
+  (* Cold: a freshly decoded solution, so the first pass over the mix pays
+     every lazy index build. Warm: the same engine again, indexes hot. *)
+  let engine =
+    match Snapshot.decode ~program bytes with
+    | Error e -> failwith (Snapshot.error_to_string e)
+    | Ok snap -> Ipa_query.Engine.create snap.solution
+  in
+  let time_round () =
+    Ipa_support.Timer.time (fun () ->
+        List.iter (fun q -> ignore (Ipa_query.Engine.eval engine q)) queries)
+  in
+  let (), cold_seconds = time_round () in
+  let (), warm_seconds = time_round () in
+  let qps secs = if secs > 0.0 then float_of_int n_queries /. secs else 0.0 in
+  Printf.printf "cold  %.4fs  (%.0f queries/s)\n%!" cold_seconds (qps cold_seconds);
+  Printf.printf "warm  %.4fs  (%.0f queries/s)\n%!" warm_seconds (qps warm_seconds);
+  let body =
+    String.concat ",\n"
+      [
+        Printf.sprintf "  \"scale\": %g" cfg.scale;
+        Printf.sprintf "  \"budget\": %d" cfg.budget;
+        Printf.sprintf "  \"bench\": \"%s\"" spec.name;
+        Printf.sprintf "  \"analysis\": \"%s\"" result.label;
+        Printf.sprintf "  \"n_queries\": %d" n_queries;
+        Printf.sprintf "  \"cold\": {\"seconds\": %.6f, \"qps\": %.1f}" cold_seconds
+          (qps cold_seconds);
+        Printf.sprintf "  \"warm\": {\"seconds\": %.6f, \"qps\": %.1f}" warm_seconds
+          (qps warm_seconds);
+        Printf.sprintf "  \"warm_speedup\": %.2f"
+          (if warm_seconds > 0.0 then cold_seconds /. warm_seconds else 0.0);
+      ]
+  in
+  Out_channel.with_open_text query_json_path (fun oc ->
+      Out_channel.output_string oc ("{\n" ^ body ^ "\n}\n"));
+  Printf.printf "wrote %s\n%!" query_json_path
 
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
@@ -369,5 +480,6 @@ let () =
     Ipa_harness.Ablation.print_all cfg
   | Ablation -> Ipa_harness.Ablation.print_all cfg
   | Cache_smoke -> run_cache_smoke cfg ~dir:cache_dir
+  | Query_bench -> run_query_bench cfg
   | Micro -> ());
   match selection with Micro | All -> run_bechamel () | _ -> ()

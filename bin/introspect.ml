@@ -8,6 +8,8 @@
      cache        inspect or clear the on-disk snapshot cache
      metrics      print the paper's six cost metrics over a program
      gen          emit a synthetic DaCapo-like benchmark as .jir text
+     query        answer points-to queries over a solution, batch-style
+     serve        persistent query session with snapshot hot-loading
      experiments  regenerate the paper's tables and figures *)
 
 module Program = Ipa_ir.Program
@@ -610,6 +612,146 @@ let cache_cmd =
     (Cmd.info "cache" ~doc:"Inspect or clear the on-disk analysis snapshot cache.")
     [ cache_stats_cmd; cache_clear_cmd ]
 
+(* ---------- query / serve ---------- *)
+
+(* The initial solution of a query session: a saved snapshot when
+   --load-solution is given, otherwise a solve of the configured analysis
+   (through the snapshot cache when the server has one). *)
+let obtain_solution ?cache path flavor heuristic budget load =
+  match load_program path with
+  | Error msg -> Error msg
+  | Ok p -> (
+    match load with
+    | Some snap_path -> (
+      match In_channel.with_open_bin snap_path In_channel.input_all with
+      | exception Sys_error msg -> Error msg
+      | bytes -> (
+        match Snapshot.decode ~program:p bytes with
+        | Error e -> Error (Printf.sprintf "%s: %s" snap_path (Snapshot.error_to_string e))
+        | Ok snap -> Ok (p, snap.label, snap.solution)))
+    | None -> (
+      match cache with
+      | None ->
+        let r =
+          match heuristic with
+          | None -> Ipa_core.Analysis.run_plain ~budget p flavor
+          | Some h -> (Ipa_core.Analysis.run_introspective ~budget p flavor h).second
+        in
+        Ok (p, r.label, r.solution)
+      | Some cache -> (
+        match heuristic with
+        | None ->
+          let config = Ipa_core.Solver.plain p ~budget (Flavors.strategy p flavor) in
+          let r, _ = Ipa_harness.Cache.solve cache p ~label:(Flavors.to_string flavor) config in
+          Ok (p, r.label, r.solution)
+        | Some h ->
+          let base, metrics = Ipa_harness.Cache.base_pass cache ~budget p in
+          let refine = Heuristics.select base.solution metrics h in
+          let label = Flavors.to_string flavor ^ "-" ^ Heuristics.name h in
+          let config = Ipa_core.Analysis.second_pass_config ~budget p flavor refine in
+          let r, _ = Ipa_harness.Cache.solve cache p ~label config in
+          Ok (p, r.label, r.solution))))
+
+let load_solution_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "load-solution" ] ~docv:"FILE"
+        ~doc:"Answer queries over a snapshot saved with $(b,solve --save-solution) instead of solving.")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object per answer line.")
+
+let timings_arg =
+  Arg.(value & flag & info [ "timings" ] ~doc:"Append per-query evaluation latency to each answer.")
+
+let query_cmd =
+  let run path flavor heuristic budget load queries json timings =
+    match obtain_solution path flavor heuristic budget load with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok (p, label, sol) ->
+      let server = Ipa_query.Server.create ~json ~timings ~program:p ~label sol in
+      let session ic = ignore (Ipa_query.Server.session server ic stdout) in
+      (match queries with
+      | None -> session stdin
+      | Some f -> In_channel.with_open_text f session);
+      Printf.eprintf "query: %d answered (%d errors)\n" (Ipa_query.Server.served server)
+        (Ipa_query.Server.errors server);
+      if Ipa_query.Server.errors server = 0 then 0 else 1
+  in
+  let queries_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "queries" ] ~docv:"FILE" ~doc:"Query script, one query per line (default: stdin).")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Answer points-to queries (pts, alias, callees, reach, taint, ...) over a solution.")
+    Term.(
+      const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ load_solution_arg
+      $ queries_arg $ json_arg $ timings_arg)
+
+let serve_cmd =
+  let run path flavor heuristic budget load cache_dir jobs json timings socket =
+    let cache = Option.map (fun dir -> Ipa_harness.Cache.create ~dir ()) cache_dir in
+    match obtain_solution ?cache path flavor heuristic budget load with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok (p, label, sol) ->
+      let serve pool =
+        let server = Ipa_query.Server.create ?cache ?pool ~json ~timings ~program:p ~label sol in
+        let t0 = Ipa_support.Timer.now () in
+        (match socket with
+        | Some sock_path -> Ipa_query.Server.serve_socket server ~path:sock_path
+        | None -> ignore (Ipa_query.Server.session server stdin stdout));
+        Printf.eprintf "serve: %d served (%d errors), %d loads, %.3fs\n"
+          (Ipa_query.Server.served server) (Ipa_query.Server.errors server)
+          (Ipa_query.Server.loads server)
+          (Ipa_support.Timer.now () -. t0);
+        (match cache with Some c -> prerr_endline (Ipa_harness.Cache.stats_line c) | None -> ());
+        0
+      in
+      if jobs <= 1 then serve None
+      else Ipa_support.Domain_pool.with_pool ~jobs (fun pool -> serve (Some pool))
+  in
+  let serve_cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Snapshot cache: the initial solve is cached under DIR and $(b,load key <key>) \
+             serves snapshots from it.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for batched query evaluation. Answers are identical at any job \
+             count; only latency varies.")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Serve connections on a Unix-domain socket instead of stdin/stdout.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a persistent query session: answers queries line by line, hot-loads snapshots \
+          with $(b,load path/key), ends at $(b,quit) or end of input.")
+    Term.(
+      const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ load_solution_arg
+      $ serve_cache_dir_arg $ jobs_arg $ json_arg $ timings_arg $ socket_arg)
+
 (* ---------- experiments ---------- *)
 
 let experiments_cmd =
@@ -620,18 +762,24 @@ let experiments_cmd =
       | Some dir -> Ipa_harness.Cache.create ~dir ()
     in
     let cfg = { Ipa_harness.Config.scale; budget; jobs = max 1 jobs; cache } in
-    (match figure with
-    | None -> Ipa_harness.Experiments.print_all cfg
-    | Some 1 -> Ipa_harness.Experiments.Fig1.print cfg
-    | Some 4 -> Ipa_harness.Experiments.Fig4.print cfg
-    | Some 5 -> Ipa_harness.Experiments.Figs567.print cfg (Flavors.Object_sens { depth = 2; heap = 1 })
-    | Some 6 -> Ipa_harness.Experiments.Figs567.print cfg (Flavors.Type_sens { depth = 2; heap = 1 })
-    | Some 7 -> Ipa_harness.Experiments.Figs567.print cfg (Flavors.Call_site { depth = 2; heap = 1 })
-    | Some n ->
+    match figure with
+    | Some n when not (List.mem n [ 1; 4; 5; 6; 7 ]) ->
       Printf.eprintf "no figure %d (have 1, 4, 5, 6, 7)\n" n;
-      exit 1);
-    print_endline (Ipa_harness.Cache.stats_line cache);
-    0
+      1
+    | _ ->
+      (match figure with
+      | None -> Ipa_harness.Experiments.print_all cfg
+      | Some 1 -> Ipa_harness.Experiments.Fig1.print cfg
+      | Some 4 -> Ipa_harness.Experiments.Fig4.print cfg
+      | Some 5 ->
+        Ipa_harness.Experiments.Figs567.print cfg (Flavors.Object_sens { depth = 2; heap = 1 })
+      | Some 6 ->
+        Ipa_harness.Experiments.Figs567.print cfg (Flavors.Type_sens { depth = 2; heap = 1 })
+      | Some 7 ->
+        Ipa_harness.Experiments.Figs567.print cfg (Flavors.Call_site { depth = 2; heap = 1 })
+      | Some _ -> assert false);
+      print_endline (Ipa_harness.Cache.stats_line cache);
+      0
   in
   let figure_arg =
     Arg.(value & opt (some int) None & info [ "figure" ] ~docv:"N" ~doc:"Figure number (1, 4-7).")
@@ -669,9 +817,8 @@ let () =
     Cmd.info "introspect" ~version:"1.0.0"
       ~doc:"Introspective context-sensitive points-to analysis (PLDI 2014 reproduction)."
   in
-  exit
-    (Cmd.eval'
-       (Cmd.group info
+  let group =
+    Cmd.group info
           [
             check_cmd;
             analyze_cmd;
@@ -679,6 +826,8 @@ let () =
             cache_cmd;
             metrics_cmd;
             gen_cmd;
+            query_cmd;
+            serve_cmd;
             experiments_cmd;
             devirt_cmd;
             casts_cmd;
@@ -690,4 +839,12 @@ let () =
             dump_cmd;
             datalog_cmd;
             export_dl_cmd;
-          ]))
+          ]
+  in
+  (* Every failure path prints a message to stderr and exits nonzero: no
+     subcommand lets an exception escape as a backtrace. *)
+  exit
+    (try Cmd.eval' group with
+    | e ->
+      Printf.eprintf "introspect: %s\n" (Printexc.to_string e);
+      1)

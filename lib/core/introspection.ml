@@ -22,28 +22,29 @@ let compute (s : Solution.t) : t =
   let obj_total_field = Array.make (Program.n_heaps p) 0 in
   let obj_max_field = Array.make (Program.n_heaps p) 0 in
   let meth_max_var_field = Array.make (Program.n_meths p) 0 in
-  let pointed_by_vars = Array.make (Program.n_heaps p) 0 in
-  let pointed_by_objs = Array.make (Program.n_heaps p) 0 in
-  (* Var-based metrics: 2 (both variants) and 5. *)
+  (* Metrics 5 and 6 are cardinalities of the solution's shared reverse
+     indexes (per heap: pointing vars, pointing field slots), so the query
+     engine and these metrics build them once between them. *)
+  let pointed_by_vars = Array.map Int_set.cardinal (Solution.inverted_var_pts s) in
+  let pointed_by_objs = Array.map Int_set.cardinal (Solution.inverted_fld_pts s) in
+  (* Var-based metric 2 (both variants). *)
   Array.iteri
     (fun var set ->
       let size = Int_set.cardinal set in
       if size > 0 then begin
         let m = (Program.var_info p var).var_owner in
         meth_total_volume.(m) <- meth_total_volume.(m) + size;
-        if size > meth_max_var.(m) then meth_max_var.(m) <- size;
-        Int_set.iter (fun h -> pointed_by_vars.(h) <- pointed_by_vars.(h) + 1) set
+        if size > meth_max_var.(m) then meth_max_var.(m) <- size
       end)
     vpt;
-  (* Field-based metrics: 3 (both variants) and 6. *)
+  (* Field-based metric 3 (both variants). *)
   let n_fields = Program.n_fields p in
   Hashtbl.iter
     (fun key set ->
       let base = key / n_fields in
       let size = Int_set.cardinal set in
       obj_total_field.(base) <- obj_total_field.(base) + size;
-      if size > obj_max_field.(base) then obj_max_field.(base) <- size;
-      Int_set.iter (fun h -> pointed_by_objs.(h) <- pointed_by_objs.(h) + 1) set)
+      if size > obj_max_field.(base) then obj_max_field.(base) <- size)
     fpt;
   (* Metric 1: in-flow, for invocation sites present in the call graph. The
      Datalog query counts distinct (arg, heap) pairs, so duplicate actual

@@ -278,6 +278,10 @@ let decode_solution r program : Solution.t =
     collapsed_fpt_cache = None;
     reachable_meths_cache = None;
     call_targets_cache = None;
+    inverted_vpt_cache = None;
+    inverted_fpt_cache = None;
+    callee_meths_cache = None;
+    caller_sites_cache = None;
   }
 
 (* ---------- metrics ---------- *)

@@ -40,6 +40,10 @@ type t = {
   mutable collapsed_fpt_cache : (int, Int_set.t) Hashtbl.t option;
   mutable reachable_meths_cache : Int_set.t option;
   mutable call_targets_cache : (int, Int_set.t) Hashtbl.t option;
+  mutable inverted_vpt_cache : Int_set.t array option;
+  mutable inverted_fpt_cache : Int_set.t array option;
+  mutable callee_meths_cache : Int_set.t array option;
+  mutable caller_sites_cache : Int_set.t array option;
 }
 
 module Node = struct
@@ -163,6 +167,59 @@ let call_targets t =
         ignore (Int_set.add s meth));
     t.call_targets_cache <- Some h;
     h
+
+(* ---------- reverse indexes ---------- *)
+
+let inverted_var_pts t =
+  match t.inverted_vpt_cache with
+  | Some a -> a
+  | None ->
+    let a = Array.init (Program.n_heaps t.program) (fun _ -> Int_set.create ~capacity:4 ()) in
+    Array.iteri
+      (fun var set -> Int_set.iter (fun h -> ignore (Int_set.add a.(h) var)) set)
+      (collapsed_var_pts t);
+    t.inverted_vpt_cache <- Some a;
+    a
+
+let inverted_fld_pts t =
+  match t.inverted_fpt_cache with
+  | Some a -> a
+  | None ->
+    let a = Array.init (Program.n_heaps t.program) (fun _ -> Int_set.create ~capacity:4 ()) in
+    Hashtbl.iter
+      (fun key set -> Int_set.iter (fun h -> ignore (Int_set.add a.(h) key)) set)
+      (collapsed_fld_pts t);
+    t.inverted_fpt_cache <- Some a;
+    a
+
+let callee_meths t =
+  match t.callee_meths_cache with
+  | Some a -> a
+  | None ->
+    let a = Array.init (Program.n_meths t.program) (fun _ -> Int_set.create ~capacity:4 ()) in
+    iter_cg t (fun ~invo ~caller:_ ~meth ~callee:_ ->
+        ignore (Int_set.add a.((Program.invo_info t.program invo).invo_owner) meth));
+    t.callee_meths_cache <- Some a;
+    a
+
+let caller_sites t =
+  match t.caller_sites_cache with
+  | Some a -> a
+  | None ->
+    let a = Array.init (Program.n_meths t.program) (fun _ -> Int_set.create ~capacity:4 ()) in
+    iter_cg t (fun ~invo ~caller:_ ~meth ~callee:_ -> ignore (Int_set.add a.(meth) invo));
+    t.caller_sites_cache <- Some a;
+    a
+
+let warm_indexes t =
+  ignore (collapsed_var_pts t);
+  ignore (collapsed_fld_pts t);
+  ignore (reachable_meths t);
+  ignore (call_targets t);
+  ignore (inverted_var_pts t);
+  ignore (inverted_fld_pts t);
+  ignore (callee_meths t);
+  ignore (caller_sites t)
 
 type stats = {
   vpt_tuples : int;

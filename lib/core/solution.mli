@@ -47,6 +47,10 @@ type t = {
   mutable collapsed_fpt_cache : (int, Int_set.t) Hashtbl.t option;
   mutable reachable_meths_cache : Int_set.t option;
   mutable call_targets_cache : (int, Int_set.t) Hashtbl.t option;
+  mutable inverted_vpt_cache : Int_set.t array option;
+  mutable inverted_fpt_cache : Int_set.t array option;
+  mutable callee_meths_cache : Int_set.t array option;
+  mutable caller_sites_cache : Int_set.t array option;
 }
 
 (** Node-id encoding shared with the solver: a node is a variable under a
@@ -97,6 +101,37 @@ val reachable_meths : t -> Int_set.t
 val call_targets : t -> (int, Int_set.t) Hashtbl.t
 (** Per invocation site (virtual and static), the set of target methods in
     the call graph. Sites with no edge are absent. *)
+
+(** {1 Reverse indexes — lazy, memoized}
+
+    Demand clients (the query engine, {!Introspection}) ask the collapsed
+    relations "backwards": who points at this object, who calls this
+    method. Each index below is built on first use from the corresponding
+    forward projection and cached on the solution; like the collapsed
+    caches, treat the returned structures as read-only. *)
+
+val inverted_var_pts : t -> Int_set.t array
+(** Per heap id, the set of variables whose collapsed points-to set
+    contains it — the inverse of {!collapsed_var_pts}. *)
+
+val inverted_fld_pts : t -> Int_set.t array
+(** Per heap id, the set of field slots (keyed as in {!fld_pts_key})
+    whose collapsed field-points-to set contains it. *)
+
+val callee_meths : t -> Int_set.t array
+(** Per method, the set of methods it calls somewhere in the collapsed
+    call graph (adjacency for forward reachability queries). *)
+
+val caller_sites : t -> Int_set.t array
+(** Per method, the set of invocation sites with a call-graph edge into
+    it (the reverse call-graph adjacency; the calling method is the
+    site's [invo_owner]). *)
+
+val warm_indexes : t -> unit
+(** Force every lazy projection and reverse index above. After warming, a
+    solution can be read concurrently from several domains: all cached
+    structures are built and no further internal mutation occurs (the
+    query server calls this before fanning queries out). *)
 
 (** {1 Size statistics} *)
 

@@ -15,6 +15,7 @@ type t = {
   stale : int Atomic.t;
   writes : int Atomic.t;
   write_conflicts : int Atomic.t;
+  disk_errors : int Atomic.t;
 }
 
 let mkdir_p dir =
@@ -27,10 +28,24 @@ let mkdir_p dir =
   go dir
 
 let create ?dir () =
+  let disk_errors = Atomic.make 0 in
+  (* An unusable directory (unwritable parent, path through a regular
+     file, ...) degrades to a memory-only cache: the failure is counted,
+     never raised — a bad --cache-dir slows runs down, it cannot fail them. *)
   let dir =
     match dir with
     | None -> None
-    | Some d -> ( try mkdir_p d; Some d with _ -> None)
+    | Some d -> (
+      try
+        mkdir_p d;
+        if Sys.is_directory d then Some d
+        else begin
+          Atomic.incr disk_errors;
+          None
+        end
+      with _ ->
+        Atomic.incr disk_errors;
+        None)
   in
   {
     dir;
@@ -42,6 +57,7 @@ let create ?dir () =
     stale = Atomic.make 0;
     writes = Atomic.make 0;
     write_conflicts = Atomic.make 0;
+    disk_errors;
   }
 
 let dir t = t.dir
@@ -61,6 +77,7 @@ type stats = {
   stale : int;
   writes : int;
   write_conflicts : int;
+  disk_errors : int;
 }
 
 let stats (t : t) =
@@ -71,13 +88,14 @@ let stats (t : t) =
     stale = Atomic.get t.stale;
     writes = Atomic.get t.writes;
     write_conflicts = Atomic.get t.write_conflicts;
+    disk_errors = Atomic.get t.disk_errors;
   }
 
 let stats_line t =
   let s = stats t in
   Printf.sprintf
-    "cache: %d mem hits, %d disk hits, %d misses, %d stale, %d writes, %d write conflicts"
-    s.mem_hits s.disk_hits s.misses s.stale s.writes s.write_conflicts
+    "cache: %d mem hits, %d disk hits, %d misses, %d stale, %d writes, %d write conflicts, %d disk errors"
+    s.mem_hits s.disk_hits s.misses s.stale s.writes s.write_conflicts s.disk_errors
 
 (* ---------- the two storage layers ---------- *)
 
@@ -99,7 +117,13 @@ let disk_read t key =
   | None -> None
   | Some dir -> (
     let path = snap_path dir key in
-    try Some (In_channel.with_open_bin path In_channel.input_all) with Sys_error _ -> None)
+    match In_channel.with_open_bin path In_channel.input_all with
+    | bytes -> Some bytes
+    | exception Sys_error _ ->
+      (* An absent file is an ordinary miss; an unreadable present one is a
+         disk-layer failure, degraded to a miss and counted. *)
+      if Sys.file_exists path then Atomic.incr t.disk_errors;
+      None)
 
 let disk_drop t key =
   match t.dir with
@@ -115,18 +139,35 @@ let disk_publish t key bytes =
   | None -> ()
   | Some dir -> (
     match Filename.temp_file ~temp_dir:dir "ipa" ".tmp" with
-    | exception Sys_error _ -> ()
+    | exception Sys_error _ -> Atomic.incr t.disk_errors
     | tmp ->
       let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
       (try Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc bytes)
-       with Sys_error _ -> cleanup ());
+       with Sys_error _ ->
+         Atomic.incr t.disk_errors;
+         cleanup ());
       if Sys.file_exists tmp then begin
         (match Unix.link tmp (snap_path dir key) with
         | () -> Atomic.incr t.writes
         | exception Unix.Unix_error (Unix.EEXIST, _, _) -> Atomic.incr t.write_conflicts
-        | exception Unix.Unix_error _ -> ());
+        | exception Unix.Unix_error _ -> Atomic.incr t.disk_errors);
         cleanup ()
       end)
+
+let find_bytes t ~key =
+  match mem_find t key with
+  | Some bytes ->
+    Atomic.incr t.mem_hits;
+    Some bytes
+  | None -> (
+    match disk_read t key with
+    | Some bytes ->
+      Atomic.incr t.disk_hits;
+      mem_store t key bytes;
+      Some bytes
+    | None ->
+      Atomic.incr t.misses;
+      None)
 
 (* ---------- solve-through ---------- *)
 

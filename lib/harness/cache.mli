@@ -31,8 +31,10 @@ type t
 
 val create : ?dir:string -> unit -> t
 (** In-memory cache, plus a disk layer rooted at [dir] when given (the
-    directory is created if missing; creation failure degrades to
-    memory-only). *)
+    directory is created if missing). A [dir] that cannot be created or
+    used — read-only parent, path through a regular file, missing mount —
+    degrades to memory-only operation: no exception escapes, and the
+    failure is counted in {!stats} as a disk error. *)
 
 val dir : t -> string option
 
@@ -51,13 +53,22 @@ type stats = {
   writes : int;  (** snapshot files published to disk *)
   write_conflicts : int;
       (** publications that lost the single-writer race (work discarded) *)
+  disk_errors : int;
+      (** disk-layer failures degraded to memory-only operation (unusable
+          cache directory, unreadable present snapshot, failed publish) *)
 }
 
 val stats : t -> stats
 
 val stats_line : t -> string
 (** One-line rendering, e.g.
-    ["cache: 3 mem hits, 9 disk hits, 12 misses, 0 stale, 12 writes, 0 write conflicts"]. *)
+    ["cache: 3 mem hits, 9 disk hits, 12 misses, 0 stale, 12 writes, 0 write conflicts, 0 disk errors"]. *)
+
+val find_bytes : t -> key:string -> string option
+(** Raw encoded snapshot bytes stored under [key], memory layer first,
+    then disk (a disk hit is promoted to memory). Counts a memory/disk
+    hit or a miss in {!stats}. Used by the query server to hot-load
+    solutions by cache key; decode with {!Ipa_core.Snapshot.decode}. *)
 
 val solve :
   t ->

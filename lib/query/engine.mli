@@ -1,0 +1,57 @@
+(** Evaluation of {!Query} forms over one loaded {!Ipa_core.Solution}.
+
+    An engine wraps a solution with lazily built name-lookup tables
+    (entity full name → id); relation lookups go through the solution's
+    cached collapsed projections and reverse indexes
+    ({!Ipa_core.Solution.inverted_var_pts}, [callee_meths], ...), so the
+    first query of each kind pays the index build and later ones are
+    dictionary lookups. After {!warm}, evaluation performs no internal
+    mutation and an engine may be shared by concurrently evaluating
+    domains (how the server fans a batch out). *)
+
+type t
+
+val create : Ipa_core.Solution.t -> t
+
+val solution : t -> Ipa_core.Solution.t
+
+val warm : t -> unit
+(** Force the name tables and every lazy solution index. Required before
+    sharing the engine across domains. *)
+
+(** A successful answer. All name lists are sorted (and, where they came
+    from sets, duplicate-free), so answers are canonical: batch and
+    concurrent evaluation render identically. *)
+type answer =
+  | Names of { kind : string; items : string list }
+      (** [pts]/[fieldpts] ([kind = "objects"]), [pointed-by] ("vars"),
+          [callees] ("methods"), [callers] ("sites") *)
+  | Truth of { holds : bool; witness : string list }
+      (** [alias] (witness: common objects) and [reach] (witness: a
+          shortest call path, source to target, when reachable) *)
+  | Taint_report of { seeds : int; findings : (string * int * string) list }
+      (** (invocation site, argument index, resolved sink method) *)
+  | Stats_report of (string * int) list  (** ordered key/value pairs *)
+
+val eval : t -> Query.t -> (answer, string) result
+(** Errors name the unresolved entity (["unknown variable \"x\""], ...);
+    they never raise. *)
+
+(** {1 Rendering} — shared by the batch CLI, the server, and the tests. *)
+
+val render_text : ?latency_us:int -> Query.t -> (answer, string) result -> string
+(** One human-readable line, prefixed with the canonical query.
+    [latency_us] appends [" [Nus]"]. *)
+
+val render_json : ?latency_us:int -> Query.t -> (answer, string) result -> string
+(** One JSON object per line:
+    [{"q": ..., "ok": true, "kind": ..., ...}] on success,
+    [{"q": ..., "ok": false, "error": ...}] on failure.
+    [latency_us] adds an ["us"] field. *)
+
+val render_error : json:bool -> q:string -> string -> string
+(** An error record for a line that did not parse ([q] is the raw line). *)
+
+val json_string : string -> string
+(** JSON-escaped, double-quoted string literal (exposed for the server's
+    own records). *)

@@ -1,0 +1,194 @@
+module Cache = Ipa_harness.Cache
+module Domain_pool = Ipa_support.Domain_pool
+module Snapshot = Ipa_core.Snapshot
+module Timer = Ipa_support.Timer
+
+type t = {
+  program : Ipa_ir.Program.t;
+  cache : Cache.t option;
+  pool : Domain_pool.t option;
+  json : bool;
+  timings : bool;
+  mutable engine : Engine.t;
+  mutable label : string;
+  mutable served : int;
+  mutable errors : int;
+  mutable loads : int;
+}
+
+let warm_if_pooled t = match t.pool with Some _ -> Engine.warm t.engine | None -> ()
+
+let create ?cache ?pool ~json ~timings ~program ~label sol =
+  let t =
+    {
+      program;
+      cache;
+      pool;
+      json;
+      timings;
+      engine = Engine.create sol;
+      label;
+      served = 0;
+      errors = 0;
+      loads = 0;
+    }
+  in
+  warm_if_pooled t;
+  t
+
+let served t = t.served
+let errors t = t.errors
+let loads t = t.loads
+
+(* ---------- batched query evaluation ---------- *)
+
+type item = { line : string; parsed : (Query.t, string) result }
+
+let batch_cap t = match t.pool with Some p -> 16 * Domain_pool.jobs p | None -> 1
+
+let eval_one t item =
+  match item.parsed with
+  | Error e -> (Engine.render_error ~json:t.json ~q:item.line e, true)
+  | Ok q ->
+    let res, secs = Timer.time (fun () -> Engine.eval t.engine q) in
+    let latency_us = if t.timings then Some (int_of_float (secs *. 1e6)) else None in
+    let render = if t.json then Engine.render_json else Engine.render_text in
+    (render ?latency_us q res, Result.is_error res)
+
+let flush_pending t oc pending =
+  match List.rev !pending with
+  | [] -> ()
+  | items ->
+    pending := [];
+    let rendered =
+      match t.pool with
+      | Some p when List.length items > 1 -> Domain_pool.map_list p (eval_one t) items
+      | _ -> List.map (eval_one t) items
+    in
+    List.iter
+      (fun (line, is_err) ->
+        t.served <- t.served + 1;
+        if is_err then t.errors <- t.errors + 1;
+        output_string oc line;
+        output_char oc '\n')
+      rendered;
+    flush oc
+
+(* ---------- snapshot hot-loading ---------- *)
+
+let install t (snap : Snapshot.t) =
+  t.engine <- Engine.create snap.solution;
+  t.label <- snap.label;
+  warm_if_pooled t;
+  snap.label
+
+let load_path t file =
+  match In_channel.with_open_bin file In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | bytes -> (
+    match Snapshot.decode ~program:t.program bytes with
+    | Ok snap -> Ok (install t snap)
+    | Error e -> Error (Printf.sprintf "%s: %s" file (Snapshot.error_to_string e)))
+
+let load_key t key =
+  match t.cache with
+  | None -> Error "no cache configured (start the server with --cache-dir)"
+  | Some cache -> (
+    match Cache.find_bytes cache ~key with
+    | None -> Error (Printf.sprintf "cache miss for key %s" key)
+    | Some bytes -> (
+      match Snapshot.decode ~program:t.program ~expect_key:key bytes with
+      | Ok snap -> Ok (install t snap)
+      | Error e -> Error (Printf.sprintf "key %s: %s" key (Snapshot.error_to_string e))))
+
+let respond_control t oc ~q outcome =
+  t.served <- t.served + 1;
+  let line =
+    match outcome with
+    | Ok label ->
+      t.loads <- t.loads + 1;
+      if t.json then
+        Printf.sprintf {|{"q":%s,"ok":true,"kind":"load","label":%s}|} (Engine.json_string q)
+          (Engine.json_string label)
+      else Printf.sprintf "%s: ok (%s)" q label
+    | Error e ->
+      t.errors <- t.errors + 1;
+      Engine.render_error ~json:t.json ~q e
+  in
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+(* ---------- the session loop ---------- *)
+
+let input_ready ic =
+  match Unix.select [ Unix.descr_of_in_channel ic ] [] [] 0.0 with
+  | [ _ ], _, _ -> true
+  | _ -> false
+  | exception Unix.Unix_error _ -> false
+
+let session t ic oc =
+  let pending = ref [] in
+  let n_pending = ref 0 in
+  let finished = ref None in
+  while !finished = None do
+    (* Cut the batch when it is full or the next read would block; data
+       already sitting in the channel buffer (not the fd) may under-batch,
+       which costs parallelism but never changes the output. *)
+    if !n_pending > 0 && (!n_pending >= batch_cap t || not (input_ready ic)) then begin
+      flush_pending t oc pending;
+      n_pending := 0
+    end;
+    match input_line ic with
+    | exception End_of_file ->
+      flush_pending t oc pending;
+      finished := Some `Quit
+    | line -> (
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else
+        match Query.tokens line with
+        | Ok [ "quit" ] ->
+          flush_pending t oc pending;
+          finished := Some `Quit
+        | Ok [ "stop" ] ->
+          flush_pending t oc pending;
+          finished := Some `Stop
+        | Ok ("load" :: args) -> (
+          flush_pending t oc pending;
+          n_pending := 0;
+          match args with
+          | [ "path"; file ] ->
+            respond_control t oc ~q:(Printf.sprintf "load path %s" (Query.quote file)) (load_path t file)
+          | [ "key"; key ] ->
+            respond_control t oc ~q:(Printf.sprintf "load key %s" (Query.quote key)) (load_key t key)
+          | _ -> respond_control t oc ~q:line (Error "usage: load path <file> | load key <key>"))
+        | Ok _ | Error _ ->
+          (* a query line; tokenizer errors resurface from [Query.parse] *)
+          pending := { line; parsed = Query.parse line } :: !pending;
+          incr n_pending)
+  done;
+  Option.get !finished
+
+(* ---------- Unix-domain socket front end ---------- *)
+
+let serve_socket t ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  let stop = ref false in
+  while not !stop do
+    let conn, _ = Unix.accept sock in
+    let ic = Unix.in_channel_of_descr conn in
+    let oc = Unix.out_channel_of_descr conn in
+    let outcome = try session t ic oc with End_of_file | Sys_error _ -> `Quit in
+    (try flush oc with Sys_error _ -> ());
+    (try Unix.close conn with Unix.Unix_error _ -> ());
+    if outcome = `Stop then stop := true
+  done

@@ -1,0 +1,62 @@
+(** The long-running query session: JSON-lines (or plain text) over
+    channels, with batched concurrent evaluation and snapshot hot-loading.
+
+    A session reads lines and answers one record per line, in input
+    order. Besides the {!Query} forms it understands three control
+    commands (sharing the quoting syntax of queries):
+
+    {v
+    load path <file>     swap in the snapshot stored at <file>
+    load key <key>       swap in the snapshot stored in the cache under <key>
+    quit                 end the session
+    stop                 end the session and, under a socket server,
+                         stop accepting connections
+    v}
+
+    Blank lines and lines starting with [#] are ignored, so query scripts
+    can be commented. A malformed line (bad quoting, unknown form, wrong
+    arity, unresolved name) answers with an error record and the session
+    continues.
+
+    With a {!Ipa_support.Domain_pool} of [jobs > 1], consecutive query
+    lines are collected into a batch, fanned out across the pool, and
+    printed in input order — output is byte-identical to a sequential
+    run ({!Ipa_support.Domain_pool.map} preserves order and the engine is
+    warmed before sharing). A batch is cut when the input would block, at
+    [16 * jobs] pending queries, or at a control command. *)
+
+type t
+
+val create :
+  ?cache:Ipa_harness.Cache.t ->
+  ?pool:Ipa_support.Domain_pool.t ->
+  json:bool ->
+  timings:bool ->
+  program:Ipa_ir.Program.t ->
+  label:string ->
+  Ipa_core.Solution.t ->
+  t
+(** [cache] enables [load key]; [pool] enables batched concurrent
+    evaluation (omitted or [jobs = 1] evaluates inline); [timings]
+    appends per-query latency to each answer record. *)
+
+val session : t -> in_channel -> out_channel -> [ `Quit | `Stop ]
+(** Run one session to [quit] / [stop] / end of input ([`Quit]). Every
+    answer line is flushed before the next read, so an interactive client
+    sees answers promptly. Counters accumulate across sessions. *)
+
+val serve_socket : t -> path:string -> unit
+(** Bind a Unix-domain socket at [path] (removing a stale file first) and
+    serve connections sequentially until a session ends with [stop]. The
+    socket file is removed on the way out. *)
+
+(** {1 Counters} (cumulative, reported by the CLI on session end) *)
+
+val served : t -> int
+(** Lines answered — query and [load] records, including errors. *)
+
+val errors : t -> int
+(** Of {!served}, how many answered with an error record. *)
+
+val loads : t -> int
+(** Successful [load] commands. *)

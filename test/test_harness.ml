@@ -127,9 +127,76 @@ let test_timeouts_render () =
       check Alcotest.bool "no precision" true (r.precision = None))
     runs
 
+(* ---------- cache graceful degradation ----------
+
+   An unusable --cache-dir must degrade to memory-only operation: no
+   exception, the failure counted as a disk error, and solves still
+   deduplicated by the in-memory layer. Permission-based fixtures don't
+   work here (the suite may run as root, which bypasses mode bits), so
+   the unusable directories are paths through regular files. *)
+
+let degraded_cache_roundtrip cache =
+  let p = Ipa_testlib.parse_exn Ipa_testlib.boxes_src in
+  let cold, _ = Ipa_harness.Cache.base_pass cache ~budget:0 p in
+  let warm, _ = Ipa_harness.Cache.base_pass cache ~budget:0 p in
+  check Alcotest.bool "solves fine without a disk layer" false cold.timed_out;
+  check Alcotest.bool "second solve is an in-memory hit" true
+    (Ipa_testlib.canon_native cold.solution = Ipa_testlib.canon_native warm.solution);
+  Ipa_harness.Cache.stats cache
+
+let test_cache_dir_is_a_file () =
+  Ipa_testlib.with_temp_dir (fun dir ->
+      let file = Filename.concat dir "occupied" in
+      Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc "not a dir\n");
+      let cache = Ipa_harness.Cache.create ~dir:file () in
+      let s = degraded_cache_roundtrip cache in
+      check Alcotest.bool "degraded to memory-only" true (Ipa_harness.Cache.dir cache = None);
+      check Alcotest.bool "failure counted" true (s.disk_errors >= 1);
+      check Alcotest.int "one miss, one mem hit" 1 s.misses;
+      check Alcotest.int "mem hit" 1 s.mem_hits;
+      check Alcotest.int "nothing published" 0 s.writes)
+
+let test_cache_dir_beneath_a_file () =
+  Ipa_testlib.with_temp_dir (fun dir ->
+      let file = Filename.concat dir "occupied" in
+      Out_channel.with_open_text file (fun oc -> Out_channel.output_string oc "x");
+      let cache = Ipa_harness.Cache.create ~dir:(Filename.concat file "sub") () in
+      let s = degraded_cache_roundtrip cache in
+      check Alcotest.bool "degraded to memory-only" true (Ipa_harness.Cache.dir cache = None);
+      check Alcotest.bool "failure counted" true (s.disk_errors >= 1))
+
+let test_cache_missing_dir_created () =
+  (* A merely missing directory is not a failure: it is created. *)
+  Ipa_testlib.with_temp_dir (fun dir ->
+      let sub = Filename.concat dir "fresh" in
+      let cache = Ipa_harness.Cache.create ~dir:sub () in
+      let s = degraded_cache_roundtrip cache in
+      check Alcotest.bool "disk layer active" true (Ipa_harness.Cache.dir cache = Some sub);
+      check Alcotest.int "no disk errors" 0 s.disk_errors;
+      check Alcotest.int "snapshot published" 1 s.writes;
+      (* remove the published snapshot so with_temp_dir can clean up *)
+      ignore (Ipa_harness.Cache.clear ~dir:sub);
+      Unix.rmdir sub)
+
+let test_cache_find_bytes_counts () =
+  let cache = Ipa_harness.Cache.create () in
+  check Alcotest.bool "miss on empty cache" true
+    (Ipa_harness.Cache.find_bytes cache ~key:"no-such-key" = None);
+  let s = Ipa_harness.Cache.stats cache in
+  check Alcotest.int "miss counted" 1 s.misses;
+  check Alcotest.int "no disk errors" 0 s.disk_errors
+
 let () =
   Alcotest.run "harness"
     [
+      ( "cache-degradation",
+        [
+          Alcotest.test_case "cache dir is a regular file" `Quick test_cache_dir_is_a_file;
+          Alcotest.test_case "cache dir beneath a regular file" `Quick
+            test_cache_dir_beneath_a_file;
+          Alcotest.test_case "missing cache dir is created" `Quick test_cache_missing_dir_created;
+          Alcotest.test_case "find_bytes counts misses" `Quick test_cache_find_bytes_counts;
+        ] );
       ( "experiments",
         [
           Alcotest.test_case "config" `Quick test_config_default;

@@ -1,0 +1,461 @@
+(* Query-subsystem battery:
+   - parser: parse/to_string round-trips (including names with spaces,
+     quotes, backslashes and hashes — allocation-site names contain
+     spaces), a QCheck round-trip over arbitrary printable names, and the
+     exact error messages for bad arity / unknown forms / bad quoting;
+   - engine: answers cross-checked against direct [Solution] lookups (and
+     independent recomputations of the reverse indexes) on the quickstart
+     boxes program under insens and 2objH, plus the taint delegation;
+   - server: a scripted session over temp files — answers in order, a
+     malformed query mid-session answers an error record without killing
+     the session, [load path] hot-swaps the solution mid-session, [quit]
+     stops answering, and a jobs=4 pooled session is byte-identical to the
+     sequential one. *)
+
+module Program = Ipa_ir.Program
+module Solution = Ipa_core.Solution
+module Analysis = Ipa_core.Analysis
+module Flavors = Ipa_core.Flavors
+module Snapshot = Ipa_core.Snapshot
+module Int_set = Ipa_support.Int_set
+module Query = Ipa_query.Query
+module Engine = Ipa_query.Engine
+module Server = Ipa_query.Server
+module T = Ipa_testlib
+
+let check = Alcotest.check
+
+let query_t : Query.t Alcotest.testable =
+  Alcotest.testable (fun ppf q -> Format.pp_print_string ppf (Query.to_string q)) ( = )
+
+let parse_result = Alcotest.(result query_t string)
+
+(* ---------- parser ---------- *)
+
+let test_parse_roundtrip () =
+  let cases =
+    [
+      Query.Pts "Main::main/0$ra";
+      Query.Pts "name with spaces";
+      Query.Pts "quo\"te\\slash";
+      Query.Pts "Main::main/new Box#0";
+      Query.Pts "";
+      Query.Pointed_by "Main::main/new Box#0";
+      Query.Alias ("Main::main/0$ra", "Main::main/0$rb");
+      Query.Callees "Main::main/call set#0";
+      Query.Callers "Box::get/0";
+      Query.Reach ("Main::main/0", "Box::get/0");
+      Query.Fieldpts ("Main::main/new Box#0", "Box::val");
+      Query.Taint None;
+      Query.Taint (Some ("Secret", "*::consume/1"));
+      Query.Stats;
+    ]
+  in
+  List.iter
+    (fun q -> check parse_result (Query.to_string q) (Ok q) (Query.parse (Query.to_string q)))
+    cases
+
+let prop_roundtrip =
+  let gen =
+    QCheck2.Gen.(pair (int_range 0 6) (pair (small_string ~gen:printable) (small_string ~gen:printable)))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500 ~name:"parse/to_string round-trip" gen (fun (form, (a, b)) ->
+         let q =
+           match form with
+           | 0 -> Query.Pts a
+           | 1 -> Query.Pointed_by a
+           | 2 -> Query.Alias (a, b)
+           | 3 -> Query.Callees a
+           | 4 -> Query.Reach (a, b)
+           | 5 -> Query.Fieldpts (a, b)
+           | _ -> Query.Taint (Some (a, b))
+         in
+         Query.parse (Query.to_string q) = Ok q))
+
+let test_parse_errors () =
+  let err line msg = check parse_result line (Error msg) (Query.parse line) in
+  err "pts" "pts takes one argument, got 0: usage: pts <var>";
+  err "pts a b" "pts takes one argument, got 2: usage: pts <var>";
+  err "alias x" "alias takes two arguments, got 1: usage: alias <var> <var>";
+  err "stats x" "stats takes no arguments, got 1: usage: stats";
+  err "taint a" "taint takes zero or two arguments, got 1: usage: taint [<source-pattern> <sink-pattern>]";
+  err "reach a b c" "reach takes two arguments, got 3: usage: reach <method> <method>";
+  err "frobnicate x"
+    "unknown query form \"frobnicate\" (expected one of: pts, pointed-by, alias, callees, callers, reach, fieldpts, taint, stats)";
+  err "pts \"unterminated" "unterminated quote";
+  err "pts \"dangling\\" "dangling escape at end of line";
+  err "" "empty query"
+
+(* ---------- engine vs direct solution lookups ---------- *)
+
+let solve flavor =
+  let p = T.parse_exn T.boxes_src in
+  (p, (Analysis.run_plain p flavor).solution)
+
+let insens = Flavors.Insensitive
+let twoobj = Flavors.Object_sens { depth = 2; heap = 1 }
+
+let names_of what = function
+  | Ok (Engine.Names { items; _ }) -> items
+  | Ok _ -> Alcotest.failf "%s: expected a name-list answer" what
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+let truth_of what = function
+  | Ok (Engine.Truth { holds; witness }) -> (holds, witness)
+  | Ok _ -> Alcotest.failf "%s: expected a truth answer" what
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+let sorted l = List.sort compare l
+
+(* Every variable / heap / invocation site / method of the program,
+   cross-checked against the solution tables the engine is supposed to be
+   reading (the reverse directions recomputed independently of the
+   engine's inverted indexes). *)
+let test_engine_cross_check () =
+  List.iter
+    (fun flavor ->
+      let p, s = solve flavor in
+      let eng = Engine.create s in
+      let vpt = Solution.collapsed_var_pts s in
+      for v = 0 to Program.n_vars p - 1 do
+        let expect =
+          sorted (List.map (Program.heap_full_name p) (Int_set.to_sorted_list vpt.(v)))
+        in
+        check
+          Alcotest.(list string)
+          (Program.var_full_name p v) expect
+          (names_of "pts" (Engine.eval eng (Query.Pts (Program.var_full_name p v))))
+      done;
+      for h = 0 to Program.n_heaps p - 1 do
+        let expect = ref [] in
+        Array.iteri
+          (fun v set -> if Int_set.mem set h then expect := Program.var_full_name p v :: !expect)
+          vpt;
+        check
+          Alcotest.(list string)
+          (Program.heap_full_name p h) (sorted !expect)
+          (names_of "pointed-by"
+             (Engine.eval eng (Query.Pointed_by (Program.heap_full_name p h))))
+      done;
+      let callers = Array.make (Program.n_meths p) [] in
+      let callees = Hashtbl.create 16 in
+      Solution.iter_cg s (fun ~invo ~caller:_ ~meth ~callee:_ ->
+          let name = (Program.invo_info p invo).invo_name in
+          if not (List.mem name callers.(meth)) then callers.(meth) <- name :: callers.(meth);
+          let ms = try Hashtbl.find callees invo with Not_found -> [] in
+          let mname = Program.meth_full_name p meth in
+          if not (List.mem mname ms) then Hashtbl.replace callees invo (mname :: ms));
+      for i = 0 to Program.n_invos p - 1 do
+        let name = (Program.invo_info p i).invo_name in
+        let expect = sorted (try Hashtbl.find callees i with Not_found -> []) in
+        check
+          Alcotest.(list string)
+          name expect
+          (names_of "callees" (Engine.eval eng (Query.Callees name)))
+      done;
+      for m = 0 to Program.n_meths p - 1 do
+        check
+          Alcotest.(list string)
+          (Program.meth_full_name p m) (sorted callers.(m))
+          (names_of "callers"
+             (Engine.eval eng (Query.Callers (Program.meth_full_name p m))))
+      done)
+    [ insens; twoobj ]
+
+let test_engine_alias () =
+  let q = Query.Alias ("Main::main/0$ra", "Main::main/0$rb") in
+  let _, s0 = solve insens in
+  let holds, witness = truth_of "alias insens" (Engine.eval (Engine.create s0) q) in
+  check Alcotest.bool "insens: ra/rb alias" true holds;
+  check
+    Alcotest.(list string)
+    "insens witness" [ "Main::main/new A#2"; "Main::main/new B#3" ] witness;
+  let _, s2 = solve twoobj in
+  let holds, witness = truth_of "alias 2objH" (Engine.eval (Engine.create s2) q) in
+  check Alcotest.bool "2objH: ra/rb do not alias" false holds;
+  check Alcotest.(list string) "2objH witness empty" [] witness
+
+let test_engine_reach () =
+  let _, s = solve insens in
+  let eng = Engine.create s in
+  let holds, path = truth_of "reach" (Engine.eval eng (Query.Reach ("Main::main/0", "Box::get/0"))) in
+  check Alcotest.bool "main reaches get" true holds;
+  check Alcotest.(list string) "direct call path" [ "Main::main/0"; "Box::get/0" ] path;
+  let holds, path = truth_of "reach rev" (Engine.eval eng (Query.Reach ("Box::get/0", "Main::main/0"))) in
+  check Alcotest.bool "get does not reach main" false holds;
+  check Alcotest.(list string) "no path" [] path;
+  let holds, path = truth_of "reach self" (Engine.eval eng (Query.Reach ("Main::main/0", "Main::main/0"))) in
+  check Alcotest.bool "self-reach" true holds;
+  check Alcotest.(list string) "trivial path" [ "Main::main/0" ] path
+
+let test_engine_fieldpts () =
+  let box0 = "Main::main/new Box#0" in
+  let _, s0 = solve insens in
+  let eng0 = Engine.create s0 in
+  (* insens conflates [this] in set/1, so both boxes hold both objects *)
+  let expect = [ "Main::main/new A#2"; "Main::main/new B#3" ] in
+  check
+    Alcotest.(list string)
+    "insens box0.val" expect
+    (names_of "fieldpts" (Engine.eval eng0 (Query.Fieldpts (box0, "Box::val"))));
+  (* a bare unambiguous field name resolves like the qualified one *)
+  check
+    Alcotest.(list string)
+    "bare field name" expect
+    (names_of "fieldpts" (Engine.eval eng0 (Query.Fieldpts (box0, "val"))));
+  let _, s2 = solve twoobj in
+  check
+    Alcotest.(list string)
+    "2objH box0.val" [ "Main::main/new A#2" ]
+    (names_of "fieldpts" (Engine.eval (Engine.create s2) (Query.Fieldpts (box0, "val"))))
+
+let test_engine_stats () =
+  let _, s = solve insens in
+  let st = Solution.stats s in
+  match Engine.eval (Engine.create s) Query.Stats with
+  | Ok (Engine.Stats_report kvs) ->
+    check Alcotest.(option int) "vpt" (Some st.vpt_tuples) (List.assoc_opt "vpt_tuples" kvs);
+    check Alcotest.(option int) "cg" (Some st.cg_edges) (List.assoc_opt "cg_edges" kvs);
+    check Alcotest.(option int) "derivations" (Some s.Solution.derivations)
+      (List.assoc_opt "derivations" kvs);
+    check Alcotest.(option int) "complete" (Some 1) (List.assoc_opt "complete" kvs)
+  | _ -> Alcotest.fail "stats: expected a stats report"
+
+let test_engine_errors () =
+  let _, s = solve insens in
+  let eng = Engine.create s in
+  let err q msg =
+    match Engine.eval eng q with
+    | Error e -> check Alcotest.string (Query.to_string q) msg e
+    | Ok _ -> Alcotest.failf "%s: expected an error" (Query.to_string q)
+  in
+  err (Query.Pts "nope") "unknown variable \"nope\"";
+  err (Query.Pointed_by "nope") "unknown allocation site \"nope\"";
+  err (Query.Callees "nope") "unknown invocation site \"nope\"";
+  err (Query.Reach ("Main::main/0", "nope")) "unknown method \"nope\"";
+  err (Query.Fieldpts ("Main::main/new Box#0", "nope")) "unknown field \"nope\""
+
+let taint_src =
+  {|
+class Object { }
+class Secret { }
+class Sink {
+  method consume/1 (x) { }
+}
+class Well {
+  static method mkSecret/0 () { var s; s = new Secret; return s; }
+}
+class Main {
+  static method main/0 () {
+    var p, k;
+    p = Well::mkSecret();
+    k = new Sink;
+    k.consume(p);
+  }
+}
+entry Main::main/0;
+|}
+
+let test_engine_taint () =
+  let p = T.parse_exn taint_src in
+  let s = (Analysis.run_plain p insens).solution in
+  let eng = Engine.create s in
+  let direct = Ipa_clients.Taint.analyze s in
+  let expect =
+    List.map
+      (fun (f : Ipa_clients.Taint.finding) ->
+        ((Program.invo_info p f.invo).invo_name, f.arg, Program.meth_full_name p f.sink))
+      direct.findings
+  in
+  (match Engine.eval eng (Query.Taint None) with
+  | Ok (Engine.Taint_report { seeds; findings }) ->
+    check Alcotest.int "seeds" direct.n_seeds seeds;
+    check Alcotest.bool "findings match direct client" true (findings = expect);
+    check Alcotest.bool "found the flow" true (findings <> [])
+  | _ -> Alcotest.fail "taint: expected a report");
+  match Engine.eval eng (Query.Taint (Some ("Secret", "*::consume/1"))) with
+  | Ok (Engine.Taint_report { findings; _ }) ->
+    check Alcotest.bool "explicit spec finds the same sink" true
+      (List.map (fun (site, _, _) -> site) findings = List.map (fun (s, _, _) -> s) expect)
+  | _ -> Alcotest.fail "taint spec: expected a report"
+
+(* ---------- server sessions ---------- *)
+
+let read_lines path =
+  String.split_on_char '\n' (String.trim (In_channel.with_open_text path In_channel.input_all))
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let run_session ?cache ?pool ~json server_of script =
+  T.with_temp_dir (fun dir ->
+      let script_path = Filename.concat dir "script.txt" in
+      let out_path = Filename.concat dir "out.txt" in
+      Out_channel.with_open_text script_path (fun oc -> Out_channel.output_string oc script);
+      let server = server_of ?cache ?pool ~json () in
+      let outcome =
+        In_channel.with_open_text script_path (fun ic ->
+            Out_channel.with_open_text out_path (fun oc -> Server.session server ic oc))
+      in
+      (server, outcome, read_lines out_path))
+
+let boxes_server ?cache ?pool ~json () =
+  let p, s = solve insens in
+  Server.create ?cache ?pool ~json ~timings:false ~program:p ~label:"insens" s
+
+let test_server_scripted_session () =
+  let script =
+    String.concat "\n"
+      [
+        "# a comment, then a blank line";
+        "";
+        "stats";
+        "pts Main::main/0$ra";
+        "pts \"oops";  (* malformed mid-session: must answer, not die *)
+        "alias Main::main/0$ra Main::main/0$rb";
+        "quit";
+        "pts Main::main/0$rb";  (* after quit: must NOT be answered *)
+      ]
+  in
+  let server, outcome, lines = run_session ~json:true boxes_server script in
+  check Alcotest.bool "session ended by quit" true (outcome = `Quit);
+  check Alcotest.int "four answers" 4 (List.length lines);
+  check Alcotest.int "served" 4 (Server.served server);
+  check Alcotest.int "one error" 1 (Server.errors server);
+  let third = List.nth lines 2 in
+  check Alcotest.bool "error record for the malformed line" true
+    (String.starts_with ~prefix:{|{"q":"pts \"oops"|} third
+    && contains ~sub:"unterminated quote" third)
+
+let test_server_stop () =
+  let _, outcome, lines = run_session ~json:false boxes_server "stats\nstop\n" in
+  check Alcotest.bool "session ended by stop" true (outcome = `Stop);
+  check Alcotest.int "one answer" 1 (List.length lines)
+
+let test_server_load_path () =
+  T.with_temp_dir (fun dir ->
+      let p, s2 = solve twoobj in
+      let snap_path = Filename.concat dir "boxes_2objH.snap" in
+      let bytes =
+        Snapshot.encode
+          {
+            Snapshot.key = "test-load";
+            program_digest = Snapshot.digest_program p;
+            label = "2objH";
+            seconds = 0.0;
+            solution = s2;
+            metrics = None;
+          }
+      in
+      Out_channel.with_open_bin snap_path (fun oc -> Out_channel.output_string oc bytes);
+      let script =
+        String.concat "\n"
+          [
+            "alias Main::main/0$ra Main::main/0$rb";
+            Printf.sprintf "load path %s" (Query.quote snap_path);
+            "alias Main::main/0$ra Main::main/0$rb";
+            "load path /nonexistent.snap";
+          ]
+      in
+      let server, _, lines = run_session ~json:false boxes_server script in
+      check Alcotest.int "four answers" 4 (List.length lines);
+      check Alcotest.bool "insens answer first" true
+        (String.starts_with ~prefix:"alias Main::main/0$ra Main::main/0$rb: true"
+           (List.nth lines 0));
+      check Alcotest.bool "load acknowledged with the snapshot label" true
+        (String.ends_with ~suffix:": ok (2objH)" (List.nth lines 1));
+      check Alcotest.bool "2objH answer after the hot-swap" true
+        (String.starts_with ~prefix:"alias Main::main/0$ra Main::main/0$rb: false"
+           (List.nth lines 2));
+      check Alcotest.bool "failed load answers an error record" true
+        (contains ~sub:"error:" (List.nth lines 3));
+      check Alcotest.int "one successful load" 1 (Server.loads server))
+
+(* The acceptance property: a pooled server answers a long mixed script
+   byte-identically to the sequential one. *)
+let test_server_jobs_identical () =
+  let p, _ = solve insens in
+  let queries =
+    List.concat
+      [
+        List.init (Program.n_vars p) (fun v ->
+            Printf.sprintf "pts %s" (Query.quote (Program.var_full_name p v)));
+        List.init (Program.n_heaps p) (fun h ->
+            Printf.sprintf "pointed-by %s" (Query.quote (Program.heap_full_name p h)));
+        List.init (Program.n_meths p) (fun m ->
+            Printf.sprintf "callers %s" (Query.quote (Program.meth_full_name p m)));
+        [ "alias Main::main/0$ra Main::main/0$rb"; "not a query"; "stats" ];
+      ]
+  in
+  let script = String.concat "\n" queries in
+  let _, _, seq_lines = run_session ~json:true boxes_server script in
+  let _, _, par_lines =
+    Ipa_support.Domain_pool.with_pool ~jobs:4 (fun pool ->
+        run_session ~pool ~json:true boxes_server script)
+  in
+  check Alcotest.(list string) "jobs=4 output identical to jobs=1" seq_lines par_lines
+
+let test_server_load_key () =
+  T.with_temp_dir (fun dir ->
+      let p, s = solve insens in
+      let key = "deadbeefdeadbeefdeadbeefdeadbeef" in
+      let bytes =
+        Snapshot.encode
+          {
+            Snapshot.key;
+            program_digest = Snapshot.digest_program p;
+            label = "insens";
+            seconds = 0.0;
+            solution = s;
+            metrics = None;
+          }
+      in
+      Out_channel.with_open_bin
+        (Filename.concat dir (key ^ ".snap"))
+        (fun oc -> Out_channel.output_string oc bytes);
+      let cache = Ipa_harness.Cache.create ~dir () in
+      let script =
+        String.concat "\n"
+          [ Printf.sprintf "load key %s" key; "load key 0000"; "pts Main::main/0$ra" ]
+      in
+      let server, _, lines = run_session ~cache ~json:false boxes_server script in
+      check Alcotest.bool "cache hit loads" true
+        (String.ends_with ~suffix:": ok (insens)" (List.nth lines 0));
+      check Alcotest.bool "cache miss answers an error" true
+        (contains ~sub:"cache miss for key 0000" (List.nth lines 1));
+      check Alcotest.bool "queries keep working" true
+        (String.starts_with ~prefix:"pts Main::main/0$ra: 2 objects" (List.nth lines 2));
+      check Alcotest.int "one load" 1 (Server.loads server))
+
+let () =
+  Alcotest.run "query"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "round-trips" `Quick test_parse_roundtrip;
+          prop_roundtrip;
+          Alcotest.test_case "error messages" `Quick test_parse_errors;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "cross-check vs solution lookups" `Quick test_engine_cross_check;
+          Alcotest.test_case "alias insens vs 2objH" `Quick test_engine_alias;
+          Alcotest.test_case "reach with path" `Quick test_engine_reach;
+          Alcotest.test_case "fieldpts" `Quick test_engine_fieldpts;
+          Alcotest.test_case "stats" `Quick test_engine_stats;
+          Alcotest.test_case "unknown-name errors" `Quick test_engine_errors;
+          Alcotest.test_case "taint delegation" `Quick test_engine_taint;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "scripted session, malformed mid-session" `Quick
+            test_server_scripted_session;
+          Alcotest.test_case "stop" `Quick test_server_stop;
+          Alcotest.test_case "load path hot-swap" `Quick test_server_load_path;
+          Alcotest.test_case "load key via cache" `Quick test_server_load_key;
+          Alcotest.test_case "jobs=4 identical to jobs=1" `Quick test_server_jobs_identical;
+        ] );
+    ]
