@@ -31,7 +31,7 @@ module Experiments = Ipa_harness.Experiments
 
 let usage () =
   prerr_endline
-    "usage: main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|micro|all] [--scale S] [--budget N] [--jobs N] [--cache-dir DIR]";
+    "usage: main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|micro|all] [--scale S] [--budget N] [--jobs N] [--cache-dir DIR] [--check-against FILE]";
   exit 2
 
 type selection =
@@ -49,6 +49,7 @@ let parse_args () =
   let selection = ref All in
   let cfg = ref Ipa_harness.Config.default in
   let cache_dir = ref "_ipa_cache" in
+  let check_against = ref None in
   let rec go = function
     | [] -> ()
     | "fig1" :: rest ->
@@ -78,6 +79,9 @@ let parse_args () =
     | "--cache-dir" :: v :: rest ->
       cache_dir := v;
       go rest
+    | "--check-against" :: v :: rest ->
+      check_against := Some v;
+      go rest
     | "query" :: rest ->
       selection := Query_bench;
       go rest
@@ -105,7 +109,7 @@ let parse_args () =
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!selection, !cfg, !cache_dir)
+  (!selection, !cfg, !cache_dir, !check_against)
 
 (* ---------- BENCH_solver.json ---------- *)
 
@@ -115,9 +119,10 @@ let run_json (r : Experiments.run) =
   let c = r.counters in
   Printf.sprintf
     {|    {"bench": "%s", "analysis": "%s", "seconds": %.6f, "derivations": %d, "timed_out": %b,
-     "counters": {"edges_added": %d, "edges_deduped": %d, "batches": %d, "batch_objs": %d, "max_batch": %d, "set_promotions": %d}}|}
+     "counters": {"edges_added": %d, "edges_deduped": %d, "batches": %d, "batch_objs": %d, "max_batch": %d, "set_promotions": %d, "cycles_collapsed": %d, "nodes_merged": %d, "repropagations_avoided": %d}}|}
     r.bench r.analysis r.seconds r.derivations r.timed_out c.edges_added c.edges_deduped c.batches
-    c.batch_objs c.max_batch c.set_promotions
+    c.batch_objs c.max_batch c.set_promotions c.cycles_collapsed c.nodes_merged
+    c.repropagations_avoided
 
 let write_json (cfg : Ipa_harness.Config.t) (report : Experiments.report) =
   let runs =
@@ -134,8 +139,20 @@ let write_json (cfg : Ipa_harness.Config.t) (report : Experiments.report) =
           batch_objs = acc.batch_objs + c.batch_objs;
           max_batch = max acc.max_batch c.max_batch;
           set_promotions = acc.set_promotions + c.set_promotions;
+          cycles_collapsed = acc.cycles_collapsed + c.cycles_collapsed;
+          nodes_merged = acc.nodes_merged + c.nodes_merged;
+          repropagations_avoided = acc.repropagations_avoided + c.repropagations_avoided;
         })
       Ipa_core.Solution.zero_counters runs
+  in
+  let total_derivations =
+    List.fold_left (fun acc (r : Experiments.run) -> acc + r.derivations) 0 runs
+  in
+  let total_seconds =
+    List.fold_left (fun acc (r : Experiments.run) -> acc +. r.seconds) 0.0 runs
+  in
+  let derivations_per_second =
+    if total_seconds > 0.0 then float_of_int total_derivations /. total_seconds else 0.0
   in
   let section name rs =
     Printf.sprintf "  \"%s\": [\n%s\n  ]" name (String.concat ",\n" (List.map run_json rs))
@@ -152,20 +169,106 @@ let write_json (cfg : Ipa_harness.Config.t) (report : Experiments.report) =
         section "fig7" report.fig7;
         section "taint" report.taint;
         Printf.sprintf
-          "  \"totals\": {\"runs\": %d, \"edges_added\": %d, \"edges_deduped\": %d, \"batches\": \
-           %d, \"batch_objs\": %d, \"max_batch\": %d, \"set_promotions\": %d}"
-          (List.length runs) totals.edges_added totals.edges_deduped totals.batches
-          totals.batch_objs totals.max_batch totals.set_promotions;
+          "  \"totals\": {\"runs\": %d, \"derivations\": %d, \"edges_added\": %d, \
+           \"edges_deduped\": %d, \"batches\": %d, \"batch_objs\": %d, \"max_batch\": %d, \
+           \"set_promotions\": %d, \"cycles_collapsed\": %d, \"nodes_merged\": %d, \
+           \"repropagations_avoided\": %d, \"derivations_per_second\": %.1f}"
+          (List.length runs) total_derivations totals.edges_added totals.edges_deduped
+          totals.batches totals.batch_objs totals.max_batch totals.set_promotions
+          totals.cycles_collapsed totals.nodes_merged totals.repropagations_avoided
+          derivations_per_second;
       ]
   in
   Out_channel.with_open_text json_path (fun oc ->
       Out_channel.output_string oc ("{\n" ^ body ^ "\n}\n"));
-  Printf.printf "wrote %s (%d runs)\n%!" json_path (List.length runs)
+  Printf.printf "wrote %s (%d runs)\n%!" json_path (List.length runs);
+  (* The cross-PR perf-trajectory summary. *)
+  Printf.printf
+    "summary: %d derivations in %.2fs solver time (%.0f derivations/s), %d batch objs, %d \
+     repropagations avoided (%d cycles collapsed, %d nodes merged)\n%!"
+    total_derivations total_seconds derivations_per_second totals.batch_objs
+    totals.repropagations_avoided totals.cycles_collapsed totals.nodes_merged
 
-let run_figs cfg =
+(* ---------- regression gate against a committed BENCH_solver.json ---------- *)
+
+(* The committed report is our own output, so a string scan of the totals
+   object is dependable: find the "totals" key, then read the integer after
+   the field name. *)
+let find_substring haystack needle from =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    if i + nl > hl then None
+    else if String.sub haystack i nl = needle then Some i
+    else go (i + 1)
+  in
+  go from
+
+let scan_total ~file ~contents field =
+  let fail msg =
+    prerr_endline (Printf.sprintf "bench check FAILED: %s: %s" file msg);
+    exit 1
+  in
+  match find_substring contents "\"totals\"" 0 with
+  | None -> fail "no totals object"
+  | Some totals_at -> (
+    match find_substring contents (Printf.sprintf "\"%s\":" field) totals_at with
+    | None -> fail (Printf.sprintf "no %S field in totals" field)
+    | Some at ->
+      let i = ref (at + String.length field + 3) in
+      let len = String.length contents in
+      while !i < len && contents.[!i] = ' ' do
+        incr i
+      done;
+      let start = !i in
+      while !i < len && contents.[!i] >= '0' && contents.[!i] <= '9' do
+        incr i
+      done;
+      if !i = start then fail (Printf.sprintf "field %S is not an integer" field)
+      else int_of_string (String.sub contents start (!i - start)))
+
+(* Tolerance bands: derivations are deterministic and semantic, so any
+   growth at all is a real precision/semantics change; batch_objs is the
+   propagation volume this PR exists to shrink, so a modest slack absorbs
+   scheduling noise while still catching a regressed worklist or collapse. *)
+let derivations_tolerance = 0.001
+let batch_objs_tolerance = 0.10
+
+let check_against ~file (report : Experiments.report) =
+  let contents =
+    match In_channel.with_open_text file In_channel.input_all with
+    | s -> s
+    | exception Sys_error msg ->
+      prerr_endline ("bench check FAILED: cannot read baseline: " ^ msg);
+      exit 1
+  in
+  let runs = report.fig1 @ report.fig5 @ report.fig6 @ report.fig7 @ report.taint in
+  let fresh_derivations =
+    List.fold_left (fun acc (r : Experiments.run) -> acc + r.derivations) 0 runs
+  in
+  let fresh_batch_objs =
+    List.fold_left (fun acc (r : Experiments.run) -> acc + r.counters.batch_objs) 0 runs
+  in
+  let base_derivations = scan_total ~file ~contents "derivations" in
+  let base_batch_objs = scan_total ~file ~contents "batch_objs" in
+  let check name fresh base tolerance =
+    let limit = int_of_float (ceil (float_of_int base *. (1.0 +. tolerance))) in
+    Printf.printf "bench check: %s fresh %d vs committed %d (limit %d)\n%!" name fresh base limit;
+    if fresh > limit then begin
+      prerr_endline
+        (Printf.sprintf "bench check FAILED: %s regressed beyond %.1f%%: %d > %d (committed %d)"
+           name (100.0 *. tolerance) fresh limit base);
+      exit 1
+    end
+  in
+  check "derivations" fresh_derivations base_derivations derivations_tolerance;
+  check "batch_objs" fresh_batch_objs base_batch_objs batch_objs_tolerance;
+  print_endline "bench check OK: totals within tolerance of committed baseline"
+
+let run_figs ?baseline cfg =
   let report = Experiments.compute_report cfg in
   Experiments.print_report cfg report;
-  write_json cfg report
+  write_json cfg report;
+  match baseline with None -> () | Some file -> check_against ~file report
 
 (* ---------- BENCH_cache.json: cold vs warm differential ---------- *)
 
@@ -469,14 +572,14 @@ let run_bechamel () =
     tests
 
 let () =
-  let selection, cfg, cache_dir = parse_args () in
+  let selection, cfg, cache_dir, baseline = parse_args () in
   (match selection with
   | Fig1 -> Experiments.Fig1.print cfg
   | Fig4 -> Experiments.Fig4.print cfg
   | Fig flavor -> Experiments.Figs567.print cfg flavor
-  | Figs -> run_figs cfg
+  | Figs -> run_figs ?baseline cfg
   | All ->
-    run_figs cfg;
+    run_figs ?baseline cfg;
     Ipa_harness.Ablation.print_all cfg
   | Ablation -> Ipa_harness.Ablation.print_all cfg
   | Cache_smoke -> run_cache_smoke cfg ~dir:cache_dir

@@ -23,7 +23,8 @@ let second_pass_config ?(budget = 0) p flavor refine =
     refined_strategy = Flavors.strategy p flavor;
     refine;
     budget;
-    order = Solver.Lifo;
+    order = Solver.Topo;
+    collapse_cycles = true;
     field_sensitive = true;
   }
 
@@ -73,7 +74,8 @@ let run_mixed ?(budget = 0) p ~default ~refined ~refine =
       refined_strategy = Flavors.strategy p refined;
       refine;
       budget;
-      order = Solver.Lifo;
+      order = Solver.Topo;
+      collapse_cycles = true;
       field_sensitive = true;
     }
   in

@@ -96,6 +96,13 @@ let print_counters (s : Solution.t) =
         Printf.sprintf "max %d" c.max_batch;
       ];
       [ "small-set promotions"; string_of_int c.set_promotions; "past 8 elements" ];
+      [ "cycles collapsed"; string_of_int c.cycles_collapsed; "online cycle elimination" ];
+      [ "nodes merged"; string_of_int c.nodes_merged; "absorbed into representatives" ];
+      [
+        "repropagations avoided";
+        string_of_int c.repropagations_avoided;
+        pct c.repropagations_avoided s.derivations ^ " of derivations";
+      ];
     ]
 
 let top_methods ?(limit = 15) s = take limit (compute s).methods

@@ -5,7 +5,11 @@ module Dynarr = Ipa_support.Dynarr
 module Pair_tbl = Ipa_support.Pair_tbl
 module Program = Ipa_ir.Program
 
-let version = 1
+(* Version 2: solver cycle-elimination counters joined [Solution.counters]
+   (cycles_collapsed, nodes_merged, repropagations_avoided), and the
+   configuration key grew the worklist order's [Topo] case plus the
+   [collapse_cycles] flag. *)
+let version = 2
 let magic = "IPSN"
 let trailer = "NSPI"
 
@@ -172,7 +176,8 @@ let config_key ~program_digest (c : Solver.config) =
     Writer.int_set w skip_objects;
     Writer.int_set w skip_sites);
   Writer.uint w c.budget;
-  Writer.u8 w (match c.order with Solver.Lifo -> 0 | Solver.Fifo -> 1);
+  Writer.u8 w (match c.order with Solver.Lifo -> 0 | Solver.Fifo -> 1 | Solver.Topo -> 2);
+  Writer.bool w c.collapse_cycles;
   Writer.bool w c.field_sensitive;
   Digest.to_hex (Digest.string (Writer.contents w))
 
@@ -231,7 +236,10 @@ let encode_solution w (s : Solution.t) =
   Writer.uint w c.batches;
   Writer.uint w c.batch_objs;
   Writer.uint w c.max_batch;
-  Writer.uint w c.set_promotions
+  Writer.uint w c.set_promotions;
+  Writer.uint w c.cycles_collapsed;
+  Writer.uint w c.nodes_merged;
+  Writer.uint w c.repropagations_avoided
 
 let decode_solution r program : Solution.t =
   let ctxs = decode_ctxs r in
@@ -262,6 +270,9 @@ let decode_solution r program : Solution.t =
   let batch_objs = Reader.uint r in
   let max_batch = Reader.uint r in
   let set_promotions = Reader.uint r in
+  let cycles_collapsed = Reader.uint r in
+  let nodes_merged = Reader.uint r in
+  let repropagations_avoided = Reader.uint r in
   {
     Solution.program;
     ctxs;
@@ -273,7 +284,18 @@ let decode_solution r program : Solution.t =
     cg;
     outcome;
     derivations;
-    counters = { edges_added; edges_deduped; batches; batch_objs; max_batch; set_promotions };
+    counters =
+      {
+        edges_added;
+        edges_deduped;
+        batches;
+        batch_objs;
+        max_batch;
+        set_promotions;
+        cycles_collapsed;
+        nodes_merged;
+        repropagations_avoided;
+      };
     collapsed_vpt_cache = None;
     collapsed_fpt_cache = None;
     reachable_meths_cache = None;

@@ -12,6 +12,9 @@ type counters = {
   batch_objs : int;
   max_batch : int;
   set_promotions : int;
+  cycles_collapsed : int;
+  nodes_merged : int;
+  repropagations_avoided : int;
 }
 
 let zero_counters =
@@ -22,6 +25,9 @@ let zero_counters =
     batch_objs = 0;
     max_batch = 0;
     set_promotions = 0;
+    cycles_collapsed = 0;
+    nodes_merged = 0;
+    repropagations_avoided = 0;
   }
 
 type t = {

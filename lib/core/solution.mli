@@ -27,6 +27,12 @@ type counters = {
   max_batch : int;  (** largest single pending batch *)
   set_promotions : int;
       (** {!Ipa_support.Int_set} small-to-hash promotions during the run *)
+  cycles_collapsed : int;
+      (** copy-edge cycles merged by online cycle elimination *)
+  nodes_merged : int;  (** nodes absorbed into a representative *)
+  repropagations_avoided : int;
+      (** semantic insertions that needed no physical pending push — work the
+          collapse saved relative to an uncollapsed solve *)
 }
 
 val zero_counters : counters

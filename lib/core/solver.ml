@@ -1,10 +1,12 @@
 module Int_set = Ipa_support.Int_set
 module Pair_tbl = Ipa_support.Pair_tbl
 module Dynarr = Ipa_support.Dynarr
+module Union_find = Ipa_support.Union_find
+module Int_heap = Ipa_support.Int_heap
 module Program = Ipa_ir.Program
 module Node = Solution.Node
 
-type worklist_order = Lifo | Fifo
+type worklist_order = Lifo | Fifo | Topo
 
 type config = {
   default_strategy : Strategy.t;
@@ -12,6 +14,7 @@ type config = {
   refine : Refine.t;
   budget : int;
   order : worklist_order;
+  collapse_cycles : bool;
   field_sensitive : bool;
 }
 
@@ -21,7 +24,8 @@ let plain _p ?(budget = 0) strategy =
     refined_strategy = strategy;
     refine = Refine.None_;
     budget;
-    order = Lifo;
+    order = Topo;
+    collapse_cycles = true;
     field_sensitive = true;
   }
 
@@ -66,12 +70,17 @@ module Filters = struct
 end
 
 (* Edges are packed into one int: destination node in the high bits, the
-   filter-spec id in the low 21 bits. *)
+   filter-spec id in the low 21 bits. A spec id past the field width would
+   silently corrupt the destination, so overflow is a hard failure even in
+   release builds (a bare [assert] would compile away under [-noassert]). *)
 let filter_bits = 21
 let filter_mask = (1 lsl filter_bits) - 1
 
 let pack_edge ~dst ~spec =
-  assert (spec <= filter_mask);
+  if spec < 0 || spec > filter_mask then
+    invalid_arg
+      (Printf.sprintf "Solver.pack_edge: filter spec %d outside the %d-bit field" spec
+         filter_bits);
   (dst lsl filter_bits) lor spec
 
 let edge_dst e = e lsr filter_bits
@@ -81,6 +90,33 @@ let edge_spec e = e land filter_mask
    must fit in [cg_key_bits] bits (2 * 31 = 62 < Sys.int_size). *)
 let cg_key_bits = 31
 
+(* Topological worklist keys pack (rank, node) into one int: rank in the
+   high bits so the heap drains low ranks (copy-graph sources) first, node
+   id in the low bits as a deterministic tie-break. Node ids are pair ids
+   (< 2^31) times 4, so 33 bits; ranks are clamped below 2^28, keeping the
+   key within 61 bits. Nodes born after the last sweep carry the maximum
+   rank and drain last. *)
+let rank_bits = 33
+let unranked = (1 lsl 28) - 1
+let rank_cap = unranked - 1
+let heap_key ~rank ~node = (rank lsl rank_bits) lor node
+let heap_node key = key land ((1 lsl rank_bits) - 1)
+
+(* Sweep trigger: a Tarjan pass costs O(nodes + edges), so it runs at most
+   once per [sweep_min_attempts] insertion attempts, and only when the
+   attempt/gain ratio says propagation is mostly re-delivering known
+   objects — the signature of cycles and of a stale topological order. *)
+let sweep_min_attempts = 4096
+let sweep_ratio = 4
+
+(* Bound on nodes visited by the insertion-time cycle walk; cycles longer
+   than this are left for the next Tarjan sweep. *)
+let walk_visit_budget = 32
+
+(* FIFO consumed-prefix compaction threshold (satellite fix: the prefix used
+   to grow unreclaimed for the whole solve). *)
+let fifo_compact_threshold = 1024
+
 type state = {
   p : Program.t;
   cfg : config;
@@ -88,7 +124,9 @@ type state = {
   objs : Pair_tbl.t; (* (heap, hctx) *)
   var_nodes : Pair_tbl.t; (* (var, ctx) *)
   fld_nodes : Pair_tbl.t; (* (obj, field) *)
-  (* Per-node state, indexed by the Solution.Node encoding. *)
+  (* Per-node state, indexed by the Solution.Node encoding. All of it lives
+     on the node's current representative; merged-away nodes have their
+     slots cleared. *)
   pts : Int_set.t option Dynarr.t;
   edges : int Dynarr.t option Dynarr.t;
   (* Dedup index over [edges]: built lazily once a node's out-degree crosses
@@ -99,6 +137,17 @@ type state = {
   on_list : bool Dynarr.t;
   worklist : int Dynarr.t;
   mutable worklist_head : int; (* consumed prefix, FIFO mode *)
+  heap : Int_heap.t; (* Topo mode *)
+  rank : int Dynarr.t; (* reverse-postorder rank from the last sweep *)
+  (* Cycle elimination. [member_count n] is the number of original nodes a
+     representative stands for; [use_members n] lists merged-away var nodes
+     whose base uses must fire on the representative's batches. *)
+  uf : Union_find.t;
+  member_count : int Dynarr.t;
+  use_members : int Dynarr.t option Dynarr.t;
+  mutable in_merge : bool;
+  mutable attempts_since_sweep : int;
+  mutable gains_since_sweep : int;
   reach : Pair_tbl.t; (* (meth, ctx) *)
   cg : int Dynarr.t; (* flattened 4-tuples *)
   cg_caller : Pair_tbl.t; (* (invo, callerCtx) *)
@@ -116,6 +165,9 @@ type state = {
   mutable batches : int;
   mutable batch_objs : int;
   mutable max_batch : int;
+  mutable cycles_collapsed : int;
+  mutable nodes_merged : int;
+  mutable repropagations_avoided : int;
 }
 
 let compute_base_uses (p : Program.t) : use list array =
@@ -152,6 +204,14 @@ let create p cfg =
     on_list = Dynarr.create ~capacity:1024 ~dummy:false ();
     worklist = Dynarr.create ~capacity:1024 ~dummy:0 ();
     worklist_head = 0;
+    heap = Int_heap.create ~capacity:1024 ();
+    rank = Dynarr.create ~capacity:1024 ~dummy:unranked ();
+    uf = Union_find.create ~capacity:1024 ();
+    member_count = Dynarr.create ~capacity:1024 ~dummy:1 ();
+    use_members = Dynarr.create ~capacity:1024 ~dummy:None ();
+    in_merge = false;
+    attempts_since_sweep = 0;
+    gains_since_sweep = 0;
     reach = Pair_tbl.create ~capacity:1024 ();
     cg = Dynarr.create ~capacity:4096 ~dummy:0 ();
     cg_caller = Pair_tbl.create ~capacity:1024 ();
@@ -165,6 +225,9 @@ let create p cfg =
     batches = 0;
     batch_objs = 0;
     max_batch = 0;
+    cycles_collapsed = 0;
+    nodes_merged = 0;
+    repropagations_avoided = 0;
   }
 
 let ensure_node st n =
@@ -173,7 +236,10 @@ let ensure_node st n =
     Dynarr.push st.edges None;
     Dynarr.push st.edge_seen None;
     Dynarr.push st.pending None;
-    Dynarr.push st.on_list false
+    Dynarr.push st.on_list false;
+    Dynarr.push st.rank unranked;
+    Dynarr.push st.member_count 1;
+    Dynarr.push st.use_members None
   done
 
 let node_pts st n =
@@ -203,9 +269,34 @@ let node_pending st n =
     Dynarr.set st.pending n (Some d);
     d
 
+let node_use_members st n =
+  ensure_node st n;
+  match Dynarr.get st.use_members n with
+  | Some d -> d
+  | None ->
+    let d = Dynarr.create ~capacity:2 ~dummy:0 () in
+    Dynarr.set st.use_members n (Some d);
+    d
+
 let spend st =
   st.derivations <- st.derivations + 1;
   if st.cfg.budget > 0 && st.derivations > st.cfg.budget then raise Out_of_budget
+
+(* [spend] one at a time so the budget aborts at exactly [budget + 1]
+   derivations, as it would without collapsing. *)
+let spend_n st n =
+  for _ = 1 to n do
+    spend st
+  done
+
+(* The caller must have resolved and ensured [n]. *)
+let enqueue st n =
+  if not (Dynarr.get st.on_list n) then begin
+    Dynarr.set st.on_list n true;
+    match st.cfg.order with
+    | Topo -> Int_heap.push st.heap (heap_key ~rank:(Dynarr.get st.rank n) ~node:n)
+    | Lifo | Fifo -> Dynarr.push st.worklist n
+  end
 
 let var_node st var ctx = Node.of_var_node (Pair_tbl.intern st.var_nodes var ctx)
 
@@ -245,17 +336,31 @@ let catch_specs st meth =
     st.catch_specs.(meth) <- Some specs;
     specs
 
-(* Insert [obj] into [pts(node)], respecting the edge's filter spec. *)
-let add_obj st node obj ~spec =
+let var_has_uses st vn = st.base_uses.(Pair_tbl.fst st.var_nodes vn) <> []
+let edge_linear_threshold = 16
+
+(* Everything from object insertion to call-graph growth is mutually
+   recursive once merging is online: merging a group applies the merged
+   variables' base uses, which can dispatch calls, which process new method
+   bodies, which add edges, which can close new cycles. *)
+
+(* Insert [obj] into [pts(node)], respecting the edge's filter spec. With
+   collapsing, the insertion lands on the node's representative and counts
+   one derivation per merged member, so [derivations] stays the semantic
+   (uncollapsed) insertion count and budget-exceeded runs abort at the same
+   point they always did. *)
+let rec add_obj st node obj ~spec =
+  let node = Union_find.find st.uf node in
+  st.attempts_since_sweep <- st.attempts_since_sweep + 1;
   if Filters.passes st.filters st.p spec (heap_class st (Pair_tbl.fst st.objs obj)) then begin
     let s = node_pts st node in
     if Int_set.add s obj then begin
-      spend st;
+      st.gains_since_sweep <- st.gains_since_sweep + 1;
+      let k = Dynarr.get st.member_count node in
+      spend_n st k;
+      st.repropagations_avoided <- st.repropagations_avoided + k - 1;
       Dynarr.push (node_pending st node) obj;
-      if not (Dynarr.get st.on_list node) then begin
-        Dynarr.set st.on_list node true;
-        Dynarr.push st.worklist node
-      end
+      enqueue st node
     end
   end
 
@@ -263,43 +368,208 @@ let add_obj st node obj ~spec =
    re-propagated across them and every re-add re-flushed the full source
    set. Dedup instead: a linear scan of the edge list while the out-degree
    is small, a lazily-built seen-set once it is not. *)
-let edge_linear_threshold = 16
-
-let add_edge st ~src ~dst ~spec =
-  let packed = pack_edge ~dst ~spec in
-  let es = node_edges st src in
-  let fresh =
-    match Dynarr.get st.edge_seen src with
-    | Some seen -> Int_set.add seen packed
-    | None ->
-      let n = Dynarr.length es in
-      if n < edge_linear_threshold then begin
-        let rec scan i = i < n && (Dynarr.get es i = packed || scan (i + 1)) in
-        not (scan 0)
-      end
-      else begin
-        let seen = Int_set.create ~capacity:(2 * n) () in
-        Dynarr.iter (fun e -> ignore (Int_set.add seen e)) es;
-        Dynarr.set st.edge_seen src (Some seen);
-        Int_set.add seen packed
-      end
-  in
-  if fresh then begin
-    st.edges_added <- st.edges_added + 1;
-    Dynarr.push es packed;
-    match Dynarr.get st.pts src with
-    | None -> ()
-    | Some s -> Int_set.iter (fun obj -> add_obj st dst obj ~spec) s
+and add_edge st ~src ~dst ~spec =
+  let src = Union_find.find st.uf src in
+  let dst = Union_find.find st.uf dst in
+  if src = dst then
+    (* A self copy edge can never add anything (its filtered image is a
+       subset of the set itself) — count it with the duplicates. *)
+    st.edges_deduped <- st.edges_deduped + 1
+  else begin
+    let packed = pack_edge ~dst ~spec in
+    let es = node_edges st src in
+    let fresh =
+      match Dynarr.get st.edge_seen src with
+      | Some seen -> Int_set.add seen packed
+      | None ->
+        let n = Dynarr.length es in
+        if n < edge_linear_threshold then begin
+          let rec scan i = i < n && (Dynarr.get es i = packed || scan (i + 1)) in
+          not (scan 0)
+        end
+        else begin
+          let seen = Int_set.create ~capacity:(2 * n) () in
+          Dynarr.iter (fun e -> ignore (Int_set.add seen e)) es;
+          Dynarr.set st.edge_seen src (Some seen);
+          Int_set.add seen packed
+        end
+    in
+    if fresh then begin
+      st.edges_added <- st.edges_added + 1;
+      Dynarr.push es packed;
+      (match Dynarr.get st.pts src with
+      | None -> ()
+      | Some s -> Int_set.iter (fun obj -> add_obj st dst obj ~spec) s);
+      if st.cfg.collapse_cycles && spec = Filters.none && not st.in_merge then
+        try_collapse st ~src ~dst
+    end
+    else st.edges_deduped <- st.edges_deduped + 1
   end
-  else st.edges_deduped <- st.edges_deduped + 1
 
-let cast_spec st cls = Filters.intern st.filters [| Filters.pos cls |]
+(* The new unfiltered edge [src -> dst] closes a cycle iff [src] is
+   reachable from [dst] over unfiltered edges. Walk a bounded DFS from
+   [dst]; on a hit, merge the discovered path (it is a cycle together with
+   the new edge). Longer cycles are left for the periodic Tarjan sweep. *)
+and try_collapse st ~src ~dst =
+  let visited = Int_set.create ~capacity:16 () in
+  ignore (Int_set.add visited dst);
+  let parent = Hashtbl.create 16 in
+  let stack = ref [ dst ] in
+  let found = ref false in
+  let visits = ref 0 in
+  let n_nodes = Dynarr.length st.edges in
+  while (not !found) && !stack <> [] && !visits < walk_visit_budget do
+    match !stack with
+    | [] -> assert false
+    | n :: rest ->
+      stack := rest;
+      incr visits;
+      if n < n_nodes then begin
+        match Dynarr.get st.edges n with
+        | None -> ()
+        | Some es ->
+          let len = Dynarr.length es in
+          let i = ref 0 in
+          while (not !found) && !i < len do
+            let packed = Dynarr.get es !i in
+            incr i;
+            if edge_spec packed = Filters.none then begin
+              let d = Union_find.find st.uf (edge_dst packed) in
+              if d = src then begin
+                Hashtbl.replace parent src n;
+                found := true
+              end
+              else if d <> n && Int_set.add visited d then begin
+                Hashtbl.replace parent d n;
+                stack := d :: !stack
+              end
+            end
+          done
+      end
+  done;
+  if !found then begin
+    let members = ref [ src ] in
+    let cur = ref src in
+    while !cur <> dst do
+      let p = Hashtbl.find parent !cur in
+      members := p :: !members;
+      cur := p
+    done;
+    merge_group st !members
+  end
+
+(* Merge a set of mutually-cycle-connected representatives into one class,
+   keyed by the minimum node id (deterministic regardless of discovery
+   order). Re-entrant cycle detection is suppressed for the duration: the
+   edges a merge itself inserts are picked up by later walks and sweeps. *)
+and merge_group st members =
+  let members = List.sort_uniq compare (List.map (Union_find.find st.uf) members) in
+  match members with
+  | [] | [ _ ] -> ()
+  | rep :: losers ->
+    st.cycles_collapsed <- st.cycles_collapsed + 1;
+    let saved = st.in_merge in
+    st.in_merge <- true;
+    List.iter (fun l -> merge_into st ~rep ~loser:l) losers;
+    st.in_merge <- saved
+
+and merge_into st ~rep ~loser =
+  ensure_node st (max rep loser);
+  Union_find.union st.uf ~winner:rep ~loser;
+  st.nodes_merged <- st.nodes_merged + 1;
+  let cr = Dynarr.get st.member_count rep in
+  let cl = Dynarr.get st.member_count loser in
+  Dynarr.set st.member_count rep (cr + cl);
+  (* Union the points-to sets. Derivation attribution: every object new to
+     one side is a semantic insertion for each member of the other side, so
+     the running total still equals the uncollapsed insertion count. *)
+  (match Dynarr.get st.pts loser with
+  | None -> (
+    match Dynarr.get st.pts rep with
+    | None -> ()
+    | Some pr ->
+      let n = Int_set.cardinal pr in
+      st.repropagations_avoided <- st.repropagations_avoided + (cl * n);
+      spend_n st (cl * n))
+  | Some pl ->
+    let pr = node_pts st rep in
+    let common = Int_set.fold (fun o acc -> if Int_set.mem pr o then acc + 1 else acc) pl 0 in
+    let fresh_to_rep = Int_set.cardinal pl - common in
+    let fresh_to_loser = Int_set.cardinal pr - common in
+    spend_n st ((cr * fresh_to_rep) + (cl * fresh_to_loser));
+    st.repropagations_avoided <-
+      st.repropagations_avoided + ((cr - 1) * fresh_to_rep) + (cl * fresh_to_loser);
+    if fresh_to_rep > 0 then begin
+      let pending = node_pending st rep in
+      Int_set.iter (fun o -> if Int_set.add pr o then Dynarr.push pending o) pl;
+      enqueue st rep
+    end;
+    Dynarr.set st.pts loser None);
+  (* Splice the loser's out-edges onto the representative. [add_edge]
+     resolves, drops the resulting self-loops, dedups against the rep's
+     list, and re-flushes the (now unioned) source set along each spliced
+     edge — which also covers whatever sat undrained in the loser's pending
+     batch. *)
+  (match Dynarr.get st.edges loser with
+  | None -> ()
+  | Some les ->
+    Dynarr.set st.edges loser None;
+    Dynarr.set st.edge_seen loser None;
+    Dynarr.iter
+      (fun packed -> add_edge st ~src:rep ~dst:(edge_dst packed) ~spec:(edge_spec packed))
+      les);
+  Dynarr.set st.pending loser None;
+  Dynarr.set st.on_list loser false;
+  (* Base uses of merged-away var nodes keep firing on the representative's
+     future batches; fire them once now over the full union so objects the
+     loser had never seen are covered. Duplicate applications are no-ops. *)
+  let transferred = Dynarr.create ~capacity:2 ~dummy:0 () in
+  (match Node.kind loser with
+  | Node.Var_node vn when var_has_uses st vn -> Dynarr.push transferred loser
+  | _ -> ());
+  (match Dynarr.get st.use_members loser with
+  | None -> ()
+  | Some ms ->
+    Dynarr.set st.use_members loser None;
+    Dynarr.iter (fun m -> Dynarr.push transferred m) ms);
+  if Dynarr.length transferred > 0 then begin
+    let rum = node_use_members st rep in
+    Dynarr.iter (fun m -> Dynarr.push rum m) transferred;
+    let objs =
+      match Dynarr.get st.pts rep with
+      | None -> []
+      | Some s -> Int_set.to_sorted_list s
+    in
+    Dynarr.iter
+      (fun m ->
+        match Node.kind m with
+        | Node.Var_node vn -> List.iter (fun obj -> apply_var_uses st vn obj) objs
+        | _ -> assert false)
+      transferred
+  end
+
+and apply_var_uses st vn obj =
+  let var = Pair_tbl.fst st.var_nodes vn in
+  let ctx = Pair_tbl.snd st.var_nodes vn in
+  List.iter
+    (fun use ->
+      match use with
+      | Use_load { target; field } ->
+        add_edge st ~src:(fld_node st obj field) ~dst:(var_node st target ctx)
+          ~spec:Filters.none
+      | Use_store { source; field } ->
+        add_edge st ~src:(var_node st source ctx) ~dst:(fld_node st obj field)
+          ~spec:Filters.none
+      | Use_vcall invo -> dispatch_call st ~invo ~ctx obj)
+    st.base_uses.(var)
+
+and cast_spec st cls = Filters.intern st.filters [| Filters.pos cls |]
 
 (* Route exceptional flow out of [src] through the catch chain of the
    handling method instance [(handler, ctx)]: matched objects are bound to
    the clause variables, the rest escape to the handler's own exception
    node. *)
-let route_exceptions st ~src ~handler ~ctx ~handler_reach_id =
+and route_exceptions st ~src ~handler ~ctx ~handler_reach_id =
   let clauses = (Program.meth_info st.p handler).catches in
   let clause_specs, escape_spec = catch_specs st handler in
   Array.iteri
@@ -310,7 +580,7 @@ let route_exceptions st ~src ~handler ~ctx ~handler_reach_id =
 
 (* Mark (meth, ctx) reachable, processing the body on first sight; returns
    the dense id of the pair. *)
-let rec ensure_reachable st meth ctx =
+and ensure_reachable st meth ctx =
   match Pair_tbl.find_opt st.reach meth ctx with
   | Some id -> id
   | None ->
@@ -409,7 +679,7 @@ and add_cg_edge st ~invo ~caller_ctx ~meth ~callee_ctx =
       ~handler_reach_id:caller_reach_id
   end
 
-let dispatch_call st ~invo ~ctx obj =
+and dispatch_call st ~invo ~ctx obj =
   let ii = Program.invo_info st.p invo in
   match ii.call with
   | Static _ -> assert false
@@ -453,57 +723,327 @@ let process_node st n =
   (match Node.kind n with
   | Node.Fld_node _ | Node.Static_fld _ | Node.Exc_node _ -> ()
   | Node.Var_node vn ->
-    let var = Pair_tbl.fst st.var_nodes vn in
-    let ctx = Pair_tbl.snd st.var_nodes vn in
-    let uses = st.base_uses.(var) in
-    if uses <> [] then
-      Dynarr.iter_prefix
-        (fun obj ->
-          List.iter
-            (fun use ->
-              match use with
-              | Use_load { target; field } ->
-                add_edge st ~src:(fld_node st obj field) ~dst:(var_node st target ctx)
-                  ~spec:Filters.none
-              | Use_store { source; field } ->
-                add_edge st ~src:(var_node st source ctx) ~dst:(fld_node st obj field)
-                  ~spec:Filters.none
-              | Use_vcall invo -> dispatch_call st ~invo ~ctx obj)
-            uses)
-        pending ~n:n_batch);
+    if var_has_uses st vn then
+      Dynarr.iter_prefix (fun obj -> apply_var_uses st vn obj) pending ~n:n_batch);
+  (* Uses of var nodes merged into this representative fire on the same
+     batch. Members merged in mid-batch were already applied over the full
+     union at merge time, so missing them here loses nothing. *)
+  (match Dynarr.get st.use_members n with
+  | None -> ()
+  | Some ms ->
+    Dynarr.iter
+      (fun m ->
+        match Node.kind m with
+        | Node.Var_node vn ->
+          Dynarr.iter_prefix (fun obj -> apply_var_uses st vn obj) pending ~n:n_batch
+        | _ -> assert false)
+      ms);
   Dynarr.drop_prefix pending n_batch
 
-let run p cfg =
-  let st = create p cfg in
-  let promotions_before = Int_set.promotion_count () in
-  let outcome =
-    try
-      List.iter (fun m -> ignore (ensure_reachable st m Ctx.empty)) (Program.entries p);
-      (match cfg.order with
-      | Lifo ->
-        while Dynarr.length st.worklist > 0 do
-          match Dynarr.pop st.worklist with
-          | Some n -> process_node st n
-          | None -> assert false
-        done
-      | Fifo ->
-        while st.worklist_head < Dynarr.length st.worklist do
-          let n = Dynarr.get st.worklist st.worklist_head in
-          st.worklist_head <- st.worklist_head + 1;
-          process_node st n
-        done);
-      Solution.Complete
-    with Out_of_budget -> Solution.Budget_exceeded
+(* ------------------------------------------------------------------ *)
+(* Periodic sweep: Tarjan SCC collapse over the unfiltered copy graph,
+   then a reverse-postorder re-ranking of the full copy graph for the
+   topological worklist. Triggered by the re-propagation ratio. *)
+
+let should_sweep st =
+  (st.cfg.collapse_cycles || st.cfg.order = Topo)
+  && st.attempts_since_sweep >= sweep_min_attempts
+  && st.attempts_since_sweep > sweep_ratio * max 1 st.gains_since_sweep
+
+(* Iterative Tarjan (explicit frame stack — copy chains can be deep) over
+   the representatives' unfiltered edges; returns components of size >= 2 in
+   a deterministic order. *)
+let find_sccs st =
+  let n_nodes = Dynarr.length st.edges in
+  let index = Array.make (max 1 n_nodes) (-1) in
+  let lowlink = Array.make (max 1 n_nodes) 0 in
+  let on_stack = Array.make (max 1 n_nodes) false in
+  let scc_stack = ref [] in
+  let next_index = ref 0 in
+  let sccs = ref [] in
+  let frame_node = Dynarr.create ~capacity:64 ~dummy:0 () in
+  let frame_edge = Dynarr.create ~capacity:64 ~dummy:0 () in
+  let discover v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    on_stack.(v) <- true;
+    scc_stack := v :: !scc_stack;
+    Dynarr.push frame_node v;
+    Dynarr.push frame_edge 0
   in
+  let successor v i =
+    (* The [i]-th unfiltered, resolved, non-self successor of [v], scanning
+       from edge index [i]; returns (next index, successor option). *)
+    match Dynarr.get st.edges v with
+    | None -> (i, None)
+    | Some es ->
+      let len = Dynarr.length es in
+      let rec scan i =
+        if i >= len then (i, None)
+        else begin
+          let packed = Dynarr.get es i in
+          if edge_spec packed <> Filters.none then scan (i + 1)
+          else begin
+            let d = Union_find.find st.uf (edge_dst packed) in
+            if d = v || d >= n_nodes then scan (i + 1) else (i + 1, Some d)
+          end
+        end
+      in
+      scan i
+  in
+  for root = 0 to n_nodes - 1 do
+    if Union_find.find st.uf root = root && index.(root) = -1 then begin
+      discover root;
+      while Dynarr.length frame_node > 0 do
+        let top = Dynarr.length frame_node - 1 in
+        let v = Dynarr.get frame_node top in
+        let i, succ = successor v (Dynarr.get frame_edge top) in
+        Dynarr.set frame_edge top i;
+        match succ with
+        | Some w when index.(w) = -1 -> discover w
+        | Some w ->
+          if on_stack.(w) && index.(w) < lowlink.(v) then lowlink.(v) <- index.(w)
+        | None ->
+          (* v is exhausted: pop, propagate lowlink, close the component. *)
+          ignore (Dynarr.pop frame_node);
+          ignore (Dynarr.pop frame_edge);
+          (if Dynarr.length frame_node > 0 then begin
+             let parent = Dynarr.get frame_node (Dynarr.length frame_node - 1) in
+             if lowlink.(v) < lowlink.(parent) then lowlink.(parent) <- lowlink.(v)
+           end);
+          if lowlink.(v) = index.(v) then begin
+            let comp = ref [] in
+            let stop = ref false in
+            while not !stop do
+              match !scc_stack with
+              | [] -> assert false
+              | w :: rest ->
+                scc_stack := rest;
+                on_stack.(w) <- false;
+                comp := w :: !comp;
+                if w = v then stop := true
+            done;
+            match !comp with
+            | [] | [ _ ] -> ()
+            | comp -> sccs := comp :: !sccs
+          end
+      done
+    end
+  done;
+  List.rev !sccs
+
+(* Re-rank every representative by reverse postorder of the full copy graph
+   (filtered edges included — they are scheduling topology even though they
+   never merge), then rebuild the priority heap so queued nodes adopt their
+   new ranks. Deterministic: roots ascend, edge lists scan in order. *)
+let recompute_ranks st =
+  let n_nodes = Dynarr.length st.edges in
+  let state = Array.make (max 1 n_nodes) 0 in
+  let order = Dynarr.create ~capacity:(max 16 n_nodes) ~dummy:0 () in
+  let frame_node = Dynarr.create ~capacity:64 ~dummy:0 () in
+  let frame_edge = Dynarr.create ~capacity:64 ~dummy:0 () in
+  let successor v i =
+    match Dynarr.get st.edges v with
+    | None -> (i, None)
+    | Some es ->
+      let len = Dynarr.length es in
+      let rec scan i =
+        if i >= len then (i, None)
+        else begin
+          let d = Union_find.find st.uf (edge_dst (Dynarr.get es i)) in
+          if d >= n_nodes || d = v || state.(d) <> 0 then scan (i + 1) else (i + 1, Some d)
+        end
+      in
+      scan i
+  in
+  for root = 0 to n_nodes - 1 do
+    if Union_find.find st.uf root = root && state.(root) = 0 then begin
+      state.(root) <- 1;
+      Dynarr.push frame_node root;
+      Dynarr.push frame_edge 0;
+      while Dynarr.length frame_node > 0 do
+        let top = Dynarr.length frame_node - 1 in
+        let v = Dynarr.get frame_node top in
+        let i, succ = successor v (Dynarr.get frame_edge top) in
+        Dynarr.set frame_edge top i;
+        match succ with
+        | Some w ->
+          state.(w) <- 1;
+          Dynarr.push frame_node w;
+          Dynarr.push frame_edge 0
+        | None ->
+          ignore (Dynarr.pop frame_node);
+          ignore (Dynarr.pop frame_edge);
+          Dynarr.push order v
+      done
+    end
+  done;
+  let n_order = Dynarr.length order in
+  for i = 0 to n_order - 1 do
+    let v = Dynarr.get order i in
+    Dynarr.set st.rank v (min rank_cap (n_order - 1 - i))
+  done;
+  Int_heap.clear st.heap;
+  for v = 0 to n_nodes - 1 do
+    if Union_find.find st.uf v = v && Dynarr.get st.on_list v then
+      Int_heap.push st.heap (heap_key ~rank:(Dynarr.get st.rank v) ~node:v)
+  done
+
+let sweep st =
+  if st.cfg.collapse_cycles then List.iter (fun comp -> merge_group st comp) (find_sccs st);
+  if st.cfg.order = Topo then recompute_ranks st;
+  st.attempts_since_sweep <- 0;
+  st.gains_since_sweep <- 0
+
+(* ------------------------------------------------------------------ *)
+(* Materialization. Collapse (and the worklist discipline) must be invisible
+   above the solver, bit for bit: the solution is renumbered into a
+   canonical order — contexts by their element sequences, pair tables by
+   their (renumbered) components, call-graph edges sorted — and every
+   merged node gets its own copy of the representative's points-to set. The
+   resulting tables are a pure function of the semantic fixpoint,
+   independent of propagation order, worklist discipline, or collapsing. *)
+
+let cmp_int_arrays a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i =
+      if i = la then 0
+      else
+        let c = compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  end
+
+(* Renumber a pair table by sorting on a caller-supplied (already renumbered)
+   key; keys are injective, so the order is total and the permutation
+   canonical. Returns the rebuilt table and the old-id -> new-id map. *)
+let renumber_pairs tbl key_of =
+  let n = Pair_tbl.count tbl in
+  let keys = Array.init n key_of in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare keys.(a) keys.(b)) order;
+  let map = Array.make (max 1 n) 0 in
+  Array.iteri (fun new_id old_id -> map.(old_id) <- new_id) order;
+  let tbl' = Pair_tbl.create ~capacity:(max 16 n) () in
+  Array.iter
+    (fun old_id ->
+      let k1, k2 = keys.(old_id) in
+      let id = Pair_tbl.intern tbl' k1 k2 in
+      assert (id = map.(old_id)))
+    order;
+  (tbl', map)
+
+let materialize st outcome ~set_promotions =
+  (* Contexts first: every other table's canonical key depends on them. The
+     empty context sorts first (shortest sequence), so it keeps id 0. *)
+  let n_ctxs = Ctx.count st.ctxs in
+  let ctx_order = Array.init n_ctxs (fun i -> i) in
+  Array.sort (fun a b -> cmp_int_arrays (Ctx.elems st.ctxs a) (Ctx.elems st.ctxs b)) ctx_order;
+  let ctx_map = Array.make (max 1 n_ctxs) 0 in
+  Array.iteri (fun new_id old_id -> ctx_map.(old_id) <- new_id) ctx_order;
+  let ctxs' = Ctx.create () in
+  Array.iter
+    (fun old_id ->
+      let id = Ctx.intern ctxs' (Array.copy (Ctx.elems st.ctxs old_id)) in
+      assert (id = ctx_map.(old_id)))
+    ctx_order;
+  let objs', obj_map =
+    renumber_pairs st.objs (fun id ->
+        (Pair_tbl.fst st.objs id, ctx_map.(Pair_tbl.snd st.objs id)))
+  in
+  let var_nodes', var_map =
+    renumber_pairs st.var_nodes (fun id ->
+        (Pair_tbl.fst st.var_nodes id, ctx_map.(Pair_tbl.snd st.var_nodes id)))
+  in
+  let fld_nodes', fld_map =
+    renumber_pairs st.fld_nodes (fun id ->
+        (* Field-based mode stores a literal 0 as every base object; keep it
+           (it is not an object id there). *)
+        let obj = Pair_tbl.fst st.fld_nodes id in
+        let obj' = if st.cfg.field_sensitive then obj_map.(obj) else obj in
+        (obj', Pair_tbl.snd st.fld_nodes id))
+  in
+  let reach', reach_map =
+    renumber_pairs st.reach (fun id ->
+        (Pair_tbl.fst st.reach id, ctx_map.(Pair_tbl.snd st.reach id)))
+  in
+  let n_cg = Dynarr.length st.cg / 4 in
+  let quads =
+    Array.init n_cg (fun i ->
+        ( Dynarr.get st.cg (4 * i),
+          ctx_map.(Dynarr.get st.cg ((4 * i) + 1)),
+          Dynarr.get st.cg ((4 * i) + 2),
+          ctx_map.(Dynarr.get st.cg ((4 * i) + 3)) ))
+  in
+  Array.sort compare quads;
+  let cg' = Dynarr.create ~capacity:(max 16 (4 * n_cg)) ~dummy:0 () in
+  Array.iter
+    (fun (invo, caller, meth, callee) ->
+      Dynarr.push cg' invo;
+      Dynarr.push cg' caller;
+      Dynarr.push cg' meth;
+      Dynarr.push cg' callee)
+    quads;
+  let remap_node n =
+    match Node.kind n with
+    | Node.Var_node vn -> Node.of_var_node var_map.(vn)
+    | Node.Fld_node fn -> Node.of_fld_node fld_map.(fn)
+    | Node.Static_fld f -> Node.of_static_fld f
+    | Node.Exc_node r -> Node.of_exc reach_map.(r)
+  in
+  (* Expand representatives: every original node gets the (renumbered)
+     points-to set of its representative. Sets are shared within a merged
+     class — the solution is read-only above the solver. Slots are written
+     sparsely, so the array length is max populated slot + 1: canonical. *)
+  let n_old = Dynarr.length st.pts in
+  let remapped_sets = Hashtbl.create 64 in
+  let remap_set rep s =
+    match Hashtbl.find_opt remapped_sets rep with
+    | Some s' -> s'
+    | None ->
+      let s' = Int_set.of_list (List.map (fun o -> obj_map.(o)) (Int_set.to_sorted_list s)) in
+      Hashtbl.add remapped_sets rep s';
+      s'
+  in
+  let pts' = Dynarr.create ~capacity:(max 16 n_old) ~dummy:None () in
+  let slots = Array.make (max 1 n_old) (-1) in
+  let max_slot = ref (-1) in
+  for n = 0 to n_old - 1 do
+    let r = Union_find.find st.uf n in
+    match (if r < n_old then Dynarr.get st.pts r else None) with
+    | None -> ()
+    | Some s ->
+      if Int_set.cardinal s > 0 then begin
+        let n' = remap_node n in
+        ignore (remap_set r s);
+        slots.(n) <- n';
+        if n' > !max_slot then max_slot := n'
+      end
+  done;
+  for _ = 0 to !max_slot do
+    Dynarr.push pts' None
+  done;
+  for n = 0 to n_old - 1 do
+    if slots.(n) >= 0 then begin
+      let r = Union_find.find st.uf n in
+      match Dynarr.get st.pts r with
+      | Some s -> Dynarr.set pts' slots.(n) (Some (remap_set r s))
+      | None -> assert false
+    end
+  done;
   {
-    Solution.program = p;
-    ctxs = st.ctxs;
-    objs = st.objs;
-    var_nodes = st.var_nodes;
-    fld_nodes = st.fld_nodes;
-    pts = st.pts;
-    reach = st.reach;
-    cg = st.cg;
+    Solution.program = st.p;
+    ctxs = ctxs';
+    objs = objs';
+    var_nodes = var_nodes';
+    fld_nodes = fld_nodes';
+    pts = pts';
+    reach = reach';
+    cg = cg';
     outcome;
     derivations = st.derivations;
     counters =
@@ -513,7 +1053,10 @@ let run p cfg =
         batches = st.batches;
         batch_objs = st.batch_objs;
         max_batch = st.max_batch;
-        set_promotions = Int_set.promotion_count () - promotions_before;
+        set_promotions;
+        cycles_collapsed = st.cycles_collapsed;
+        nodes_merged = st.nodes_merged;
+        repropagations_avoided = st.repropagations_avoided;
       };
     collapsed_vpt_cache = None;
     collapsed_fpt_cache = None;
@@ -524,3 +1067,53 @@ let run p cfg =
     callee_meths_cache = None;
     caller_sites_cache = None;
   }
+
+let run p cfg =
+  let st = create p cfg in
+  let promotions_before = Int_set.promotion_count () in
+  let pop_and_process st n =
+    (* The entry may be stale: the node may have been merged away (or its
+       representative already drained) since it was queued. *)
+    let r = Union_find.find st.uf n in
+    if Dynarr.get st.on_list r then process_node st r;
+    if should_sweep st then sweep st
+  in
+  let outcome =
+    try
+      List.iter (fun m -> ignore (ensure_reachable st m Ctx.empty)) (Program.entries p);
+      (* Rank the seeded graph (and collapse its static cycles) before the
+         first pop, so the heap starts in topological order. *)
+      if st.cfg.collapse_cycles || cfg.order = Topo then sweep st;
+      (match cfg.order with
+      | Lifo ->
+        while Dynarr.length st.worklist > 0 do
+          match Dynarr.pop st.worklist with
+          | Some n -> pop_and_process st n
+          | None -> assert false
+        done
+      | Fifo ->
+        while st.worklist_head < Dynarr.length st.worklist do
+          let n = Dynarr.get st.worklist st.worklist_head in
+          st.worklist_head <- st.worklist_head + 1;
+          (* Reclaim the consumed prefix once it dominates the array. *)
+          if
+            st.worklist_head >= fifo_compact_threshold
+            && 2 * st.worklist_head >= Dynarr.length st.worklist
+          then begin
+            Dynarr.drop_prefix st.worklist st.worklist_head;
+            st.worklist_head <- 0
+          end;
+          pop_and_process st n
+        done
+      | Topo ->
+        let exhausted = ref false in
+        while not !exhausted do
+          match Int_heap.pop_min st.heap with
+          | None -> exhausted := true
+          | Some key -> pop_and_process st (heap_node key)
+        done);
+      Solution.Complete
+    with Out_of_budget -> Solution.Budget_exceeded
+  in
+  let set_promotions = Int_set.promotion_count () - promotions_before in
+  materialize st outcome ~set_promotions

@@ -1,0 +1,65 @@
+(* Binary min-heap over plain ints (the solver packs a priority and a payload
+   into one int, so no boxing is ever needed). *)
+
+type t = {
+  mutable data : int array;
+  mutable len : int;
+}
+
+let create ?(capacity = 64) () = { data = Array.make (max capacity 1) 0; len = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+let clear t = t.len <- 0
+
+let push t x =
+  if t.len = Array.length t.data then begin
+    let data = Array.make (2 * t.len) 0 in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  let data = t.data in
+  let i = ref t.len in
+  t.len <- t.len + 1;
+  (* Sift up. *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if data.(parent) > x then begin
+      data.(!i) <- data.(parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  data.(!i) <- x
+
+let pop_min t =
+  if t.len = 0 then None
+  else begin
+    let data = t.data in
+    let min = data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      let x = data.(t.len) in
+      (* Sift the last element down from the root. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 in
+        let r = l + 1 in
+        let smallest =
+          if l < t.len && data.(l) < x then l else !i
+        in
+        let smallest =
+          if r < t.len && data.(r) < (if smallest = !i then x else data.(smallest)) then r
+          else smallest
+        in
+        if smallest = !i then continue := false
+        else begin
+          data.(!i) <- data.(smallest);
+          i := smallest
+        end
+      done;
+      data.(!i) <- x
+    end;
+    Some min
+  end

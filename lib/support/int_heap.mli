@@ -1,0 +1,20 @@
+(** A binary min-heap of plain ints.
+
+    The solver's topological worklist packs [(priority, node)] into a single
+    int, so the heap never boxes; ties on priority resolve by payload, which
+    keeps pop order deterministic. Duplicate pushes are allowed — callers
+    dedup with their own on-list flag. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val is_empty : t -> bool
+
+val push : t -> int -> unit
+
+val pop_min : t -> int option
+(** Smallest element, or [None] when empty. *)
+
+val clear : t -> unit
+(** Drop all elements (storage is retained). *)

@@ -1,0 +1,55 @@
+(* Growable int-indexed union-find. Elements outside the allocated range are
+   implicitly their own singletons, so [find] never allocates: the parent
+   array only grows when a union actually involves a high index. *)
+
+type t = {
+  mutable parent : int array; (* parent.(i) = i when i is a representative *)
+  mutable len : int; (* initialized prefix of [parent] *)
+  mutable merged : int; (* unions performed *)
+}
+
+let create ?(capacity = 64) () =
+  let capacity = max capacity 1 in
+  { parent = Array.init capacity (fun i -> i); len = 0; merged = 0 }
+
+let ensure t n =
+  if n >= Array.length t.parent then begin
+    let cap = ref (2 * Array.length t.parent) in
+    while n >= !cap do
+      cap := 2 * !cap
+    done;
+    let parent = Array.init !cap (fun i -> if i < t.len then t.parent.(i) else i) in
+    t.parent <- parent
+  end;
+  (* Entries in [len, n] were initialized to themselves at allocation. *)
+  if n >= t.len then t.len <- n + 1
+
+let rec root t i = if t.parent.(i) = i then i else root t t.parent.(i)
+
+let find t i =
+  if i < 0 then invalid_arg "Union_find.find: negative element";
+  if i >= t.len then i
+  else begin
+    let r = root t i in
+    (* Path compression: point the whole chain at the root. *)
+    let rec compress j =
+      if t.parent.(j) <> r then begin
+        let next = t.parent.(j) in
+        t.parent.(j) <- r;
+        compress next
+      end
+    in
+    compress i;
+    r
+  end
+
+let union t ~winner ~loser =
+  ensure t (max winner loser);
+  if find t winner <> winner || find t loser <> loser then
+    invalid_arg "Union_find.union: arguments must be representatives";
+  if winner = loser then invalid_arg "Union_find.union: winner = loser";
+  t.parent.(loser) <- winner;
+  t.merged <- t.merged + 1
+
+let merged_count t = t.merged
+let is_identity t = t.merged = 0

@@ -1,0 +1,31 @@
+(** Growable int-indexed union-find with path compression.
+
+    Every non-negative int is implicitly a singleton; storage grows only when
+    a {!union} touches a high index, so [find] on untouched elements is a
+    bounds check. Union is by {e explicit} winner rather than by rank: the
+    solver needs deterministic representatives (the minimum node id of a
+    merged group), and merged groups are overwhelmingly small, so the
+    worst-case tree depth never matters in practice — path compression on
+    [find] flattens what little depth appears. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val find : t -> int -> int
+(** Representative of an element's class. Raises [Invalid_argument] on a
+    negative element. *)
+
+val union : t -> winner:int -> loser:int -> unit
+(** Merge two classes; [winner] becomes the representative. Both arguments
+    must be (distinct) representatives — raises [Invalid_argument]
+    otherwise, because silently redirecting a non-root would corrupt the
+    caller's notion of which class absorbed which state. *)
+
+val merged_count : t -> int
+(** Number of unions performed, i.e. elements that are no longer their own
+    representative. *)
+
+val is_identity : t -> bool
+(** [true] while no union has been performed — callers can skip remapping
+    work entirely. *)

@@ -24,7 +24,7 @@ let bloat ~scale w =
   Motifs.chains w ~n:(s 40) ~depth:5;
   Motifs.factory_boxes w ~n:(s 60);
   Motifs.factory_boxes w ~n:(s 25) ~junk:(s 110);
-  Motifs.dispatch_storm w ~wrappers:(s 220) ~payload:(s 5200) ~depth:10;
+  Motifs.dispatch_storm w ~recursive:true ~wrappers:(s 220) ~payload:(s 5200) ~depth:10;
   Motifs.mega_hub w ~items:(s 1100) ~users:(s 160) ~chain:2
 
 let chart ~scale w =
@@ -66,7 +66,7 @@ let jython ~scale w =
   Motifs.chains w ~n:(s 30) ~depth:4;
   Motifs.factory_boxes w ~n:(s 50);
   Motifs.factory_boxes w ~n:(s 20) ~junk:(s 110);
-  Motifs.interp_loop w ~ops:(s 1200) ~vals:3 ~steps:8 ~family:4;
+  Motifs.interp_loop w ~feedback:true ~ops:(s 1200) ~vals:3 ~steps:8 ~family:4;
   Motifs.mega_hub w ~items:(s 2200) ~users:(s 20) ~typed_users:(s 300) ~chain:1
 
 let lusearch ~scale w =
@@ -97,7 +97,7 @@ let xalan ~scale w =
   Motifs.chains w ~n:(s 40) ~depth:5;
   Motifs.factory_boxes w ~n:(s 60);
   Motifs.factory_boxes w ~n:(s 25) ~junk:(s 110);
-  Motifs.dispatch_storm w ~wrappers:(s 220) ~payload:(s 5200) ~depth:10;
+  Motifs.dispatch_storm w ~recursive:true ~wrappers:(s 220) ~payload:(s 5200) ~depth:10;
   Motifs.mega_hub w ~items:(s 1800) ~users:(s 150) ~chain:3
 
 let all =

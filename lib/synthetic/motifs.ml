@@ -397,7 +397,7 @@ let mega_hub ?(typed_users = 0) (w : World.t) ~items ~users ~chain =
 
 (* ---------- dispatch_storm ---------- *)
 
-let dispatch_storm (w : World.t) ~wrappers ~payload ~depth =
+let dispatch_storm ?(recursive = false) (w : World.t) ~wrappers ~payload ~depth =
   let b = w.b in
   if wrappers < 1 || payload < 1 || depth < 1 then invalid_arg "Motifs.dispatch_storm";
   let n_payload_classes = min 25 ((payload / 25) + 1) in
@@ -413,10 +413,23 @@ let dispatch_storm (w : World.t) ~wrappers ~payload ~depth =
   done;
   B.return_ b mk p;
   let util = B.add_class b ~super:w.object_cls (World.fresh w "StormUtil") in
-  (* Build the chain back to front. *)
+  (* Build the chain back to front. With [recursive], the innermost utility
+     also re-enters the chain head with its argument (real utility chains
+     bottom out in recursive normalization): the chain's formals and returns
+     then form copy-edge cycles once call-site contexts saturate, which is
+     the workload online cycle elimination in the solver is built for. *)
+  let head = ref None in
   let rec build k =
     let m = B.add_method b ~owner:util ~name:(Printf.sprintf "su%d" k) ~static:true ~params:[ "x" ] () in
-    if k = depth - 1 then B.return_ b m (B.formal b m 0)
+    if k = 0 then head := Some m;
+    if k = depth - 1 then begin
+      B.return_ b m (B.formal b m 0);
+      if recursive then begin
+        let r = B.add_var b m "r" in
+        ignore (B.scall b m ~callee:(Option.get !head) ~actuals:[ B.formal b m 0 ] ~recv:r ());
+        B.return_ b m r
+      end
+    end
     else begin
       let next = build (k + 1) in
       let r = B.add_var b m "r" in
@@ -436,13 +449,22 @@ let dispatch_storm (w : World.t) ~wrappers ~payload ~depth =
     ignore (B.scall b wm ~callee:mk ~actuals:[] ~recv:wp ());
     ignore (B.scall b wm ~callee:su0 ~actuals:[ wp ] ~recv:wr ());
     B.return_ b wm wr;
+    (* Recursive chains are idempotent normalizers, and real callers lean on
+       that: re-normalizing the result routes each wrapper's return value
+       back into the chain, so the whole per-wrapper return tail joins the
+       chain's copy-edge cycle instead of dangling off it. *)
+    if recursive then begin
+      let wr2 = B.add_var b wm "r2" in
+      ignore (B.scall b wm ~callee:su0 ~actuals:[ wr ] ~recv:wr2 ());
+      B.return_ b wm wr2
+    end;
     let r = World.main_var w "sw" in
     ignore (B.scall b w.main ~callee:wm ~actuals:[] ~recv:r ())
   done
 
 (* ---------- interp_loop ---------- *)
 
-let interp_loop ?(family = 1) (w : World.t) ~ops ~vals ~steps =
+let interp_loop ?(family = 1) ?(feedback = false) (w : World.t) ~ops ~vals ~steps =
   let b = w.b in
   if ops < 1 || vals < 1 || steps < 1 || family < 1 then invalid_arg "Motifs.interp_loop";
   let opcode = B.add_interface b (World.fresh w "Opcode") in
@@ -468,7 +490,14 @@ let interp_loop ?(family = 1) (w : World.t) ~ops ~vals ~steps =
     let d0 = B.add_var b oprun "d0" in
     let d1 = B.add_var b oprun "d1" in
     ignore (B.vcall b oprun ~base:(B.formal b oprun 0) ~name:"fpop" ~actuals:[] ~recv:d0 ());
-    ignore (B.vcall b oprun ~base:(B.formal b oprun 0) ~name:"fpop" ~actuals:[] ~recv:d1 ())
+    ignore (B.vcall b oprun ~base:(B.formal b oprun 0) ~name:"fpop" ~actuals:[] ~recv:d1 ());
+    (* With [feedback], drained values go back onto the stack (a real
+       interpreter pops operands and pushes results): the stack field, the
+       [fpop] returns, and every context's drain variables become one big
+       copy-edge cycle without adding any points-to fact — [d0] already
+       comes from the stack — so precision is untouched while the solver's
+       cycle elimination gets the interpreter's whole feedback loop. *)
+    if feedback then ignore (B.vcall b oprun ~base:(B.formal b oprun 0) ~name:"fpush" ~actuals:[ d0 ] ())
   in
   (* Two drain methods rather than one wider one: each stays below Heuristic
      B's volume threshold P in the first pass, so B refines them and the

@@ -75,12 +75,27 @@ val mega_hub : ?typed_users:int -> World.t -> items:int -> users:int -> chain:in
     virtual self-calls. Cost for a deep-context analysis scales with
     [users × chain × items]; context-insensitively with [chain × items]. *)
 
-val dispatch_storm : World.t -> wrappers:int -> payload:int -> depth:int -> unit
+val dispatch_storm :
+  ?recursive:bool -> World.t -> wrappers:int -> payload:int -> depth:int -> unit
 (** [wrappers] static wrapper methods each calling a [depth]-deep static
     utility chain with a [payload]-sized points-to set. Call-site contexts
-    multiply the payload per wrapper; object-sensitivity is immune. *)
+    multiply the payload per wrapper; object-sensitivity is immune.
 
-val interp_loop : ?family:int -> World.t -> ops:int -> vals:int -> steps:int -> unit
+    With [recursive] (default false), the innermost utility re-enters the
+    chain head — the recursive-normalization shape of real utility code —
+    and each wrapper re-normalizes its result (normalization is idempotent).
+    The chain's formals and returns, and each wrapper's return tail, then
+    close into copy-edge cycles once contexts saturate, exercising the
+    solver's online cycle elimination. *)
+
+val interp_loop :
+  ?family:int -> ?feedback:bool -> World.t -> ops:int -> vals:int -> steps:int -> unit
 (** [ops] opcode classes, each pushing [vals] fresh values through a shared
     frame; [steps] dispatch calls in [main]. Feedback through the frame's
-    field makes context-sensitive cost roughly quadratic in [ops]. *)
+    field makes context-sensitive cost roughly quadratic in [ops].
+
+    With [feedback] (default false), the shared drain also pushes its popped
+    value back (pop-transform-push, as a real interpreter does): the frame's
+    stack field and every context's drain variables become one copy-edge
+    cycle — no new points-to facts, but the whole feedback loop collapses
+    under the solver's cycle elimination. *)

@@ -413,6 +413,7 @@ let test_refine_all_equals_plain () =
               { skip_objects = Int_set.create (); skip_sites = Int_set.create () };
           budget = 0;
           order = Solver.Lifo;
+          collapse_cycles = true;
           field_sensitive = true;
         }
       in
@@ -444,6 +445,7 @@ let test_skip_all_equals_insens () =
       refine = Refine.All_except { skip_objects; skip_sites };
       budget = 0;
       order = Solver.Lifo;
+      collapse_cycles = true;
       field_sensitive = true;
     }
   in
@@ -590,6 +592,7 @@ let test_cross_introspective () =
             refine;
             budget = 0;
             order = Solver.Lifo;
+            collapse_cycles = true;
             field_sensitive = true;
           }
         in
@@ -606,6 +609,25 @@ let test_cross_introspective () =
           (Ipa_testlib.canon_datalog p datalog))
       [ Ipa_core.Heuristics.default_a; Ipa_core.Heuristics.default_b ]
   done
+
+let test_pack_edge_bounds () =
+  (* Round trip across the whole filter-spec field, typed failure beyond. *)
+  List.iter
+    (fun spec ->
+      let packed = Solver.pack_edge ~dst:12345 ~spec in
+      check Alcotest.int "dst" 12345 (Solver.edge_dst packed);
+      check Alcotest.int "spec" spec (Solver.edge_spec packed))
+    [ 0; 1; Solver.filter_mask ];
+  let expect_invalid name spec =
+    match Solver.pack_edge ~dst:1 ~spec with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument msg ->
+      check Alcotest.bool (name ^ ": message names pack_edge") true
+        (String.length msg > 0
+        && String.sub msg 0 (min 15 (String.length msg)) = "Solver.pack_edg")
+  in
+  expect_invalid "one past the field" (Solver.filter_mask + 1);
+  expect_invalid "negative spec" (-1)
 
 let () =
   Alcotest.run "core"
@@ -631,6 +653,7 @@ let () =
           Alcotest.test_case "recursion" `Quick test_recursion_terminates;
           Alcotest.test_case "interface dispatch" `Quick test_interface_dispatch;
           Alcotest.test_case "budget" `Quick test_budget_timeout;
+          Alcotest.test_case "pack_edge bounds" `Quick test_pack_edge_bounds;
         ] );
       ( "precision",
         [

@@ -270,37 +270,121 @@ let test_budget_monotone () =
 
 (* ---------- solver configuration invariants ---------- *)
 
-let config_with p flavor ~order ~field_sensitive : Ipa_core.Solver.config =
+let config_with p flavor ~order ?(collapse = false) ~field_sensitive () :
+    Ipa_core.Solver.config =
   {
     default_strategy = Ipa_core.Flavors.strategy p flavor;
     refined_strategy = Ipa_core.Flavors.strategy p flavor;
     refine = Ipa_core.Refine.None_;
     budget = 0;
     order;
+    collapse_cycles = collapse;
     field_sensitive;
   }
 
 let test_worklist_order_independence () =
-  (* LIFO and FIFO must compute the same fixpoint on random programs and on
-     a generated benchmark, for several flavors. *)
+  (* Every worklist discipline, with and without cycle elimination, must
+     compute the same fixpoint on random programs and on a generated
+     benchmark, for several flavors. *)
   let programs =
     List.init 6 (fun i -> Ipa_testlib.random_program (500 + i))
-    @ [ Ipa_synthetic.Dacapo.build ~scale:0.03 (Option.get (Ipa_synthetic.Dacapo.find "chart")) ]
+    @ [ Ipa_synthetic.Dacapo.build ~scale:0.03 (Option.get (Ipa_synthetic.Dacapo.find "chart"));
+        (* jython's feedback-cycle interpreter guarantees nontrivial SCCs, so
+           the collapse variants below exercise actual merging, not a no-op. *)
+        Ipa_synthetic.Dacapo.build ~scale:0.02 (Option.get (Ipa_synthetic.Dacapo.find "jython"))
+      ]
   in
   List.iter
     (fun p ->
       List.iter
         (fun flavor ->
-          let lifo =
-            Ipa_core.Solver.run p (config_with p flavor ~order:Lifo ~field_sensitive:true)
+          let solve ~order ~collapse =
+            Ipa_core.Solver.run p (config_with p flavor ~order ~collapse ~field_sensitive:true ())
           in
-          let fifo =
-            Ipa_core.Solver.run p (config_with p flavor ~order:Fifo ~field_sensitive:true)
-          in
-          check (Alcotest.list Alcotest.string) "order independent"
-            (Ipa_testlib.canon_native lifo) (Ipa_testlib.canon_native fifo))
+          let reference = Ipa_testlib.canon_native (solve ~order:Lifo ~collapse:false) in
+          List.iter
+            (fun (name, order, collapse) ->
+              check (Alcotest.list Alcotest.string) name reference
+                (Ipa_testlib.canon_native (solve ~order ~collapse)))
+            [
+              ("fifo", Ipa_core.Solver.Fifo, false);
+              ("topo", Ipa_core.Solver.Topo, false);
+              ("lifo+collapse", Ipa_core.Solver.Lifo, true);
+              ("fifo+collapse", Ipa_core.Solver.Fifo, true);
+              ("topo+collapse", Ipa_core.Solver.Topo, true);
+            ])
         [ Ipa_core.Flavors.Insensitive; Ipa_core.Flavors.Object_sens { depth = 2; heap = 1 } ])
     programs
+
+(* Cycle elimination must be invisible above the solver: on random solved
+   programs, under every flavor and both introspective heuristics' second
+   passes, the collapse-enabled topo solver has to produce the same semantic
+   derivation count, pass the soundness self-check, and encode to snapshot
+   bytes identical to a collapse-free Lifo solve once the instrumentation
+   counters (the only intentional difference) are zeroed out. *)
+let test_collapse_differential =
+  let canonical_bytes p (s : Ipa_core.Solution.t) =
+    let s = { s with Ipa_core.Solution.counters = Ipa_core.Solution.zero_counters } in
+    Ipa_core.Snapshot.encode
+      {
+        key = "differential";
+        program_digest = Ipa_core.Snapshot.digest_program p;
+        label = "differential";
+        seconds = 0.;
+        solution = s;
+        metrics = None;
+      }
+  in
+  let compare_solves name p ~solve =
+    let off : Ipa_core.Solution.t = solve ~order:Ipa_core.Solver.Lifo ~collapse:false in
+    let on : Ipa_core.Solution.t = solve ~order:Ipa_core.Solver.Topo ~collapse:true in
+    if off.derivations <> on.derivations then
+      QCheck2.Test.fail_reportf "%s: derivations %d (off) vs %d (on)" name
+        off.derivations on.derivations;
+    (match Ipa_core.Solution.self_check on with
+    | [] -> ()
+    | errs ->
+      QCheck2.Test.fail_reportf "%s: self_check: %s" name (String.concat "; " errs));
+    if canonical_bytes p off <> canonical_bytes p on then
+      QCheck2.Test.fail_reportf "%s: collapse changed the snapshot bytes" name
+  in
+  qtest ~count:4 "cycle elimination is invisible above the solver"
+    (QCheck2.Gen.int_range 700 899)
+    (fun seed ->
+      let p = Ipa_testlib.random_program seed in
+      let base = Ipa_core.Analysis.run_plain p Ipa_core.Flavors.Insensitive in
+      let metrics = Ipa_core.Introspection.compute base.solution in
+      List.iter
+        (fun flavor ->
+          let name = Printf.sprintf "seed %d %s" seed (Ipa_core.Flavors.to_string flavor) in
+          compare_solves name p ~solve:(fun ~order ~collapse ->
+              Ipa_core.Solver.run p
+                (config_with p flavor ~order ~collapse ~field_sensitive:true ()));
+          if flavor <> Ipa_core.Flavors.Insensitive then
+            List.iter
+              (fun heuristic ->
+                let refine = Ipa_core.Heuristics.select base.solution metrics heuristic in
+                let hname = name ^ "-" ^ Ipa_core.Heuristics.name heuristic in
+                compare_solves hname p ~solve:(fun ~order ~collapse ->
+                    Ipa_core.Solver.run p
+                      {
+                        Ipa_core.Solver.default_strategy =
+                          Ipa_core.Flavors.strategy p Ipa_core.Flavors.Insensitive;
+                        refined_strategy = Ipa_core.Flavors.strategy p flavor;
+                        refine;
+                        budget = 0;
+                        order;
+                        collapse_cycles = collapse;
+                        field_sensitive = true;
+                      }))
+              [ Ipa_core.Heuristics.default_a; Ipa_core.Heuristics.default_b ])
+        [
+          Ipa_core.Flavors.Insensitive;
+          Ipa_core.Flavors.Object_sens { depth = 2; heap = 1 };
+          Ipa_core.Flavors.Type_sens { depth = 2; heap = 1 };
+          Ipa_core.Flavors.Call_site { depth = 2; heap = 1 };
+        ];
+      true)
 
 let test_field_based_coarser () =
   (* The field-based degradation must over-approximate the field-sensitive
@@ -308,8 +392,12 @@ let test_field_based_coarser () =
   for seed = 520 to 526 do
     let p = Ipa_testlib.random_program seed in
     let flavor = Ipa_core.Flavors.Insensitive in
-    let fs = Ipa_core.Solver.run p (config_with p flavor ~order:Lifo ~field_sensitive:true) in
-    let fb = Ipa_core.Solver.run p (config_with p flavor ~order:Lifo ~field_sensitive:false) in
+    let fs =
+      Ipa_core.Solver.run p (config_with p flavor ~order:Lifo ~field_sensitive:true ())
+    in
+    let fb =
+      Ipa_core.Solver.run p (config_with p flavor ~order:Lifo ~field_sensitive:false ())
+    in
     let collapse (s : Ipa_core.Solution.t) =
       let tbl = Hashtbl.create 64 in
       Ipa_core.Solution.iter_var_pts s (fun ~var ~ctx:_ ~heap ~hctx:_ ->
@@ -326,8 +414,8 @@ let test_field_based_coarser () =
   (* and it must actually be coarser somewhere: the boxes program conflates *)
   let p = Ipa_testlib.parse_exn Ipa_testlib.boxes_src in
   let flavor = Ipa_core.Flavors.Object_sens { depth = 2; heap = 1 } in
-  let fs = Ipa_core.Solver.run p (config_with p flavor ~order:Lifo ~field_sensitive:true) in
-  let fb = Ipa_core.Solver.run p (config_with p flavor ~order:Lifo ~field_sensitive:false) in
+  let fs = Ipa_core.Solver.run p (config_with p flavor ~order:Lifo ~field_sensitive:true ()) in
+  let fb = Ipa_core.Solver.run p (config_with p flavor ~order:Lifo ~field_sensitive:false ()) in
   let count (s : Ipa_core.Solution.t) = (Ipa_core.Solution.stats s).vpt_tuples in
   check Alcotest.bool "field-based is coarser on boxes" true (count fb > count fs)
 
@@ -443,6 +531,7 @@ let () =
           Alcotest.test_case "budget determinism" `Quick test_budget_monotone;
           Alcotest.test_case "worklist order independence" `Quick
             test_worklist_order_independence;
+          test_collapse_differential;
           Alcotest.test_case "field-based coarser" `Quick test_field_based_coarser;
         ] );
       ( "taint",

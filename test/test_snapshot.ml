@@ -302,10 +302,10 @@ let test_version_mismatch () =
   (* The version varint is the byte right after the 4-byte magic and lives
      outside the checksum: a format bump reports itself as such. *)
   let bytes = Bytes.of_string (Lazy.force reference_bytes) in
-  check Alcotest.char "layout: version byte" '\001' (Bytes.get bytes 4);
-  Bytes.set bytes 4 '\002';
+  check Alcotest.char "layout: version byte" '\002' (Bytes.get bytes 4);
+  Bytes.set bytes 4 '\003';
   match Snapshot.decode ~program:(Lazy.force boxes) (Bytes.to_string bytes) with
-  | Error (Snapshot.Version_mismatch { found = 2; expected = 1 }) -> ()
+  | Error (Snapshot.Version_mismatch { found = 3; expected = 2 }) -> ()
   | Error e -> Alcotest.failf "expected Version_mismatch: %s" (Snapshot.error_to_string e)
   | Ok _ -> Alcotest.fail "future version accepted"
 
@@ -358,7 +358,9 @@ let test_config_key_discriminates () =
   let variants =
     [
       ("budget", { base with budget = 5 });
-      ("order", { base with order = Solver.Fifo });
+      ("order fifo", { base with order = Solver.Fifo });
+      ("order lifo", { base with order = Solver.Lifo });
+      ("collapse", { base with collapse_cycles = not base.collapse_cycles });
       ("field-based", { base with field_sensitive = false });
       ( "refined strategy",
         { base with refined_strategy = Flavors.strategy p (Flavors.Object_sens { depth = 2; heap = 1 }) } );

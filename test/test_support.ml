@@ -295,6 +295,86 @@ let test_splitmix_split () =
 
 (* ---------- Ascii_table ---------- *)
 
+(* ---------- union_find ---------- *)
+
+module Union_find = Ipa_support.Union_find
+
+let test_union_find_basic () =
+  let uf = Union_find.create () in
+  check Alcotest.bool "fresh is identity" true (Union_find.is_identity uf);
+  check Alcotest.int "untouched" 41 (Union_find.find uf 41);
+  Union_find.union uf ~winner:2 ~loser:7;
+  check Alcotest.int "loser redirected" 2 (Union_find.find uf 7);
+  check Alcotest.int "winner unchanged" 2 (Union_find.find uf 2);
+  check Alcotest.bool "no longer identity" false (Union_find.is_identity uf);
+  Union_find.union uf ~winner:1 ~loser:2;
+  check Alcotest.int "transitive" 1 (Union_find.find uf 7);
+  check Alcotest.int "merged count" 2 (Union_find.merged_count uf);
+  (* growth: union far beyond current storage, lower ids stay untouched *)
+  Union_find.union uf ~winner:1000 ~loser:2000;
+  check Alcotest.int "high loser" 1000 (Union_find.find uf 2000);
+  check Alcotest.int "between untouched" 500 (Union_find.find uf 500)
+
+let test_union_find_errors () =
+  let uf = Union_find.create () in
+  let expect_invalid name f =
+    match f () with
+    | () -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "negative find" (fun () -> ignore (Union_find.find uf (-1)));
+  Union_find.union uf ~winner:0 ~loser:1;
+  expect_invalid "non-root loser" (fun () -> Union_find.union uf ~winner:2 ~loser:1);
+  expect_invalid "non-root winner" (fun () -> Union_find.union uf ~winner:1 ~loser:2);
+  expect_invalid "self union" (fun () -> Union_find.union uf ~winner:0 ~loser:0)
+
+let prop_union_find_vs_naive =
+  qtest ~count:100 "union_find matches a naive partition"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Splitmix.create seed in
+      let n = 40 in
+      let uf = Union_find.create () in
+      let naive = Array.init n (fun i -> i) in
+      let naive_find i = naive.(i) in
+      for _ = 1 to 60 do
+        let a = naive_find (Splitmix.int rng n) and b = naive_find (Splitmix.int rng n) in
+        if a <> b then begin
+          let winner = min a b and loser = max a b in
+          Union_find.union uf ~winner ~loser;
+          Array.iteri (fun i r -> if r = loser then naive.(i) <- winner) naive
+        end
+      done;
+      Array.for_all (fun i -> Union_find.find uf i = naive_find i) (Array.init n (fun i -> i)))
+
+(* ---------- int_heap ---------- *)
+
+module Int_heap = Ipa_support.Int_heap
+
+let test_int_heap_basic () =
+  let h = Int_heap.create () in
+  check Alcotest.bool "empty" true (Int_heap.is_empty h);
+  check (Alcotest.option Alcotest.int) "pop empty" None (Int_heap.pop_min h);
+  List.iter (Int_heap.push h) [ 5; 1; 4; 1; 3 ];
+  check Alcotest.int "length" 5 (Int_heap.length h);
+  let drained = List.init 5 (fun _ -> Option.get (Int_heap.pop_min h)) in
+  check (Alcotest.list Alcotest.int) "sorted drain" [ 1; 1; 3; 4; 5 ] drained;
+  Int_heap.push h 9;
+  Int_heap.clear h;
+  check Alcotest.bool "cleared" true (Int_heap.is_empty h)
+
+let prop_int_heap_sorts =
+  qtest ~count:100 "heap drains in sorted order"
+    QCheck2.Gen.(list_size (int_range 0 200) (int_range 0 1_000_000))
+    (fun xs ->
+      let h = Int_heap.create () in
+      List.iter (Int_heap.push h) xs;
+      let rec drain acc = match Int_heap.pop_min h with
+        | None -> List.rev acc
+        | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
 let test_ascii_table () =
   let out = Ascii_table.render ~header:[ "name"; "n" ] [ [ "a"; "10" ]; [ "bcd"; "5" ] ] in
   let lines = String.split_on_char '\n' out in
@@ -347,6 +427,14 @@ let () =
           Alcotest.test_case "shuffle" `Quick test_splitmix_shuffle;
           Alcotest.test_case "split" `Quick test_splitmix_split;
         ] );
+      ( "union_find",
+        [
+          Alcotest.test_case "basic" `Quick test_union_find_basic;
+          Alcotest.test_case "errors" `Quick test_union_find_errors;
+          prop_union_find_vs_naive;
+        ] );
+      ( "int_heap",
+        [ Alcotest.test_case "basic" `Quick test_int_heap_basic; prop_int_heap_sorts ] );
       ( "ascii_table",
         [
           Alcotest.test_case "render" `Quick test_ascii_table;
