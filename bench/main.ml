@@ -21,8 +21,12 @@
    snapshot: one pass with cold lazy indexes, one warm, written to
    BENCH_query.json.
 
+   The [lint] selection times every lint rule over two solved synthetic
+   benchmarks and writes the per-rule wall-clocks and finding counts to
+   BENCH_lint.json.
+
    Usage:
-     main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|micro|all]
+     main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|lint|micro|all]
               [--scale S] [--budget N] [--jobs N] [--cache-dir DIR]
 *)
 
@@ -31,7 +35,7 @@ module Experiments = Ipa_harness.Experiments
 
 let usage () =
   prerr_endline
-    "usage: main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|micro|all] [--scale S] [--budget N] [--jobs N] [--cache-dir DIR] [--check-against FILE]";
+    "usage: main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|lint|micro|all] [--scale S] [--budget N] [--jobs N] [--cache-dir DIR] [--check-against FILE]";
   exit 2
 
 type selection =
@@ -42,6 +46,7 @@ type selection =
   | Ablation
   | Cache_smoke
   | Query_bench
+  | Lint_bench
   | Micro
   | All
 
@@ -84,6 +89,9 @@ let parse_args () =
       go rest
     | "query" :: rest ->
       selection := Query_bench;
+      go rest
+    | "lint" :: rest ->
+      selection := Lint_bench;
       go rest
     | "micro" :: rest ->
       selection := Micro;
@@ -429,6 +437,63 @@ let run_query_bench (cfg : Ipa_harness.Config.t) =
       Out_channel.output_string oc ("{\n" ^ body ^ "\n}\n"));
   Printf.printf "wrote %s\n%!" query_json_path
 
+(* ---------- BENCH_lint.json: per-rule lint timings ---------- *)
+
+let lint_json_path = "BENCH_lint.json"
+
+let run_lint_bench (cfg : Ipa_harness.Config.t) =
+  let module J = Ipa_support.Json in
+  let specs =
+    match Ipa_synthetic.Dacapo.all with
+    | a :: b :: _ -> [ a; b ]
+    | specs -> specs
+  in
+  let bench_entry (spec : Ipa_synthetic.Dacapo.spec) =
+    let program = Ipa_synthetic.Dacapo.build ~scale:cfg.scale spec in
+    let result = Ipa_core.Analysis.run_plain ~budget:cfg.budget program Flavors.Insensitive in
+    let ctx = Ipa_lint.Lint.make_ctx ~solution:result.solution program in
+    let findings, timings = Ipa_lint.Lint.run ctx in
+    let lint_seconds =
+      List.fold_left (fun a (t : Ipa_lint.Lint.timing) -> a +. t.seconds) 0. timings
+    in
+    Printf.printf "lint bench: %s at scale %g: %d finding(s)  (solve %.3fs, lint %.3fs)\n%!"
+      spec.name cfg.scale (List.length findings) result.seconds lint_seconds;
+    List.iter
+      (fun (t : Ipa_lint.Lint.timing) ->
+        Printf.printf "  %-10s %8.4fs  %6d finding(s)\n%!" t.rule_id t.seconds t.n_findings)
+      timings;
+    J.Obj
+      [
+        ("bench", J.Str spec.name);
+        ("analysis", J.Str result.label);
+        ("solve_seconds", J.Float result.seconds);
+        ("lint_seconds", J.Float lint_seconds);
+        ("n_findings", J.Int (List.length findings));
+        ( "rules",
+          J.List
+            (List.map
+               (fun (t : Ipa_lint.Lint.timing) ->
+                 J.Obj
+                   [
+                     ("rule", J.Str t.rule_id);
+                     ("seconds", J.Float t.seconds);
+                     ("n_findings", J.Int t.n_findings);
+                   ])
+               timings) );
+      ]
+  in
+  let doc =
+    J.Obj
+      [
+        ("scale", J.Float cfg.scale);
+        ("budget", J.Int cfg.budget);
+        ("benches", J.List (List.map bench_entry specs));
+      ]
+  in
+  Out_channel.with_open_text lint_json_path (fun oc ->
+      Out_channel.output_string oc (J.to_string ~pretty:true doc ^ "\n"));
+  Printf.printf "wrote %s\n%!" lint_json_path
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let kernel_tests () =
@@ -584,5 +649,6 @@ let () =
   | Ablation -> Ipa_harness.Ablation.print_all cfg
   | Cache_smoke -> run_cache_smoke cfg ~dir:cache_dir
   | Query_bench -> run_query_bench cfg
+  | Lint_bench -> run_lint_bench cfg
   | Micro -> ());
   match selection with Micro | All -> run_bechamel () | _ -> ()

@@ -20,7 +20,7 @@ open Cmdliner
 let load_program path =
   match Ipa_frontend.Jir.parse_file path with
   | Ok p -> Ok p
-  | Error e -> Error (Printf.sprintf "%s: %s" path (Ipa_frontend.Jir.error_to_string e))
+  | Error e -> Error (Ipa_frontend.Jir.error_to_string e)
 
 (* ---------- common arguments ---------- *)
 
@@ -145,8 +145,10 @@ let analyze_cmd =
 
 (* ---------- client-analysis commands ---------- *)
 
-(* Run the configured analysis and hand its solution to a report printer. *)
-let with_solution path flavor heuristic budget k =
+(* Run the configured analysis and hand its solution to a report printer.
+   [to_stderr] moves the analysis banner off stdout so machine-readable
+   reports (--json) stay parseable. *)
+let with_solution ?(to_stderr = false) path flavor heuristic budget k =
   match load_program path with
   | Error msg ->
     prerr_endline msg;
@@ -163,7 +165,9 @@ let with_solution path flavor heuristic budget k =
       1
     end
     else begin
-      Printf.printf "analysis: %s (%.3fs)\n\n" result.label result.seconds;
+      Printf.fprintf
+        (if to_stderr then stderr else stdout)
+        "analysis: %s (%.3fs)\n\n" result.label result.seconds;
       k p result.solution;
       0
     end
@@ -173,17 +177,47 @@ let client_cmd name ~doc k =
   Cmd.v (Cmd.info name ~doc)
     Term.(const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg)
 
+let client_json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit one JSON object per finding (the lint jsonl format) instead of text.")
+
 let devirt_cmd =
-  client_cmd "devirt" ~doc:"Report devirtualizable and polymorphic call sites." (fun _ s ->
-      let summary = Ipa_clients.Devirtualize.summarize s in
-      Printf.printf "monomorphic %d   polymorphic %d   unreachable %d\n\n" summary.monomorphic
-        summary.polymorphic summary.unreachable;
-      Ipa_clients.Devirtualize.print ~only_poly:true s)
+  let run path flavor heuristic budget json =
+    with_solution ~to_stderr:json path flavor heuristic budget (fun _ s ->
+        let summary = Ipa_clients.Devirtualize.summarize s in
+        (* Threshold 2 = every polymorphic site, as the old report showed. *)
+        let ds =
+          List.sort_uniq Ipa_ir.Diagnostic.compare
+            (Ipa_lint.Semantic.megamorphic_call ~threshold:2 s)
+        in
+        if json then print_string (Ipa_lint.Report.jsonl ds)
+        else begin
+          Printf.printf "monomorphic %d   polymorphic %d   unreachable %d\n\n" summary.monomorphic
+            summary.polymorphic summary.unreachable;
+          print_string (Ipa_lint.Report.human ds)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "devirt" ~doc:"Report devirtualizable and polymorphic call sites.")
+    Term.(const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ client_json_arg)
 
 let casts_cmd =
-  client_cmd "casts" ~doc:"Report casts that may fail under the analysis." (fun _ s ->
-      Printf.printf "casts that may fail: %d\n\n" (Ipa_clients.Cast_check.unsafe_count s);
-      Ipa_clients.Cast_check.print ~only_unsafe:true s)
+  let run path flavor heuristic budget json =
+    with_solution ~to_stderr:json path flavor heuristic budget (fun _ s ->
+        let ds =
+          List.sort_uniq Ipa_ir.Diagnostic.compare (Ipa_lint.Semantic.may_fail_cast s)
+        in
+        if json then print_string (Ipa_lint.Report.jsonl ds)
+        else begin
+          Printf.printf "casts that may fail: %d\n\n" (List.length ds);
+          print_string (Ipa_lint.Report.human ds)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "casts" ~doc:"Report casts that may fail under the analysis.")
+    Term.(const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ client_json_arg)
 
 let exceptions_cmd =
   client_cmd "exceptions" ~doc:"Report uncaught exceptions and handler contents." (fun _ s ->
@@ -752,6 +786,162 @@ let serve_cmd =
       const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ load_solution_arg
       $ serve_cache_dir_arg $ jobs_arg $ json_arg $ timings_arg $ socket_arg)
 
+(* ---------- lint ---------- *)
+
+let lint_cmd =
+  let run path flavor heuristic budget rules_spec no_solve format output baseline_path
+      update_baseline jobs mega taint_spec_path =
+    let ( let* ) r k =
+      match r with
+      | Error msg ->
+        Printf.eprintf "lint: %s\n" msg;
+        1
+      | Ok v -> k v
+    in
+    let* rules = Ipa_lint.Lint.select_rules rules_spec in
+    let* taint_spec =
+      match taint_spec_path with
+      | None -> Ok None
+      | Some sp -> Result.map Option.some (Ipa_clients.Taint.spec_of_file sp)
+    in
+    let* p = load_program path in
+    let solution =
+      if no_solve then None
+      else begin
+        let r =
+          match heuristic with
+          | None -> Ipa_core.Analysis.run_plain ~budget p flavor
+          | Some h -> (Ipa_core.Analysis.run_introspective ~budget p flavor h).second
+        in
+        if r.timed_out then
+          Printf.eprintf
+            "lint: %s exceeded its derivation budget; solution-backed findings are partial\n"
+            r.label
+        else Printf.eprintf "lint: analysis %s (%.3fs)\n" r.label r.seconds;
+        Some r.solution
+      end
+    in
+    let ctx = Ipa_lint.Lint.make_ctx ?solution ?taint_spec ~megamorphic_threshold:mega p in
+    let findings, timings = Ipa_lint.Lint.run ~jobs ~rules ctx in
+    if update_baseline then begin
+      match baseline_path with
+      | None ->
+        prerr_endline "lint: --update-baseline requires --baseline FILE";
+        1
+      | Some bp ->
+        Ipa_lint.Baseline.save bp findings;
+        Printf.eprintf "lint: wrote %s (%d finding(s))\n" bp (List.length findings);
+        0
+    end
+    else begin
+      let* baseline =
+        match baseline_path with
+        | None -> Ok None
+        | Some bp -> Result.map Option.some (Ipa_lint.Baseline.load bp)
+      in
+      let fresh =
+        match baseline with None -> findings | Some b -> Ipa_lint.Baseline.filter_new b findings
+      in
+      let text = Ipa_lint.Report.render ~rules format fresh in
+      (match output with
+      | None -> print_string text
+      | Some out ->
+        Out_channel.with_open_text out (fun oc -> Out_channel.output_string oc text);
+        Printf.eprintf "lint: wrote %s\n" out);
+      let rule_time =
+        List.fold_left (fun a (t : Ipa_lint.Lint.timing) -> a +. t.seconds) 0. timings
+      in
+      Printf.eprintf "lint: %d finding(s)%s from %d rule(s) in %.3fs\n" (List.length findings)
+        (match baseline with
+        | None -> ""
+        | Some _ -> Printf.sprintf ", %d new" (List.length fresh))
+        (List.length rules) rule_time;
+      if fresh = [] then 0 else 1
+    end
+  in
+  let rules_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rules" ] ~docv:"SPEC"
+          ~doc:
+            "Comma-separated rule ids and family selectors ($(b,all), $(b,syntactic), \
+             $(b,semantic)); a trailing $(b,-) excludes a rule, e.g. $(b,all,IPA-P006-). \
+             Default: every rule.")
+  in
+  let no_solve_arg =
+    Arg.(
+      value & flag
+      & info [ "no-solve" ]
+          ~doc:"Skip the points-to analysis: run only the syntactic rule family.")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("human", Ipa_lint.Report.Human);
+               ("jsonl", Ipa_lint.Report.Jsonl);
+               ("sarif", Ipa_lint.Report.Sarif);
+             ])
+          Ipa_lint.Report.Human
+      & info [ "format" ] ~docv:"FMT" ~doc:"Report format: $(b,human), $(b,jsonl), or $(b,sarif).")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the report to FILE instead of stdout.")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Baseline file of accepted findings: only findings not in it are reported, and the \
+             exit status is nonzero only for those new findings.")
+  in
+  let update_baseline_arg =
+    Arg.(
+      value & flag
+      & info [ "update-baseline" ]
+          ~doc:"Rewrite the $(b,--baseline) file to accept the current findings, then exit 0.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for rule evaluation. The report is byte-identical at any job \
+             count; only timings vary.")
+  in
+  let mega_arg =
+    Arg.(
+      value
+      & opt int 3
+      & info [ "megamorphic" ] ~docv:"K"
+          ~doc:"Target count at which IPA-P004 flags a virtual call (default 3).")
+  in
+  let taint_spec_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "taint-spec" ] ~docv:"FILE"
+          ~doc:"Taint specification for IPA-P005 (defaults to the built-in spec).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the diagnostics suite: syntactic rules plus solution-backed rules grounded in a \
+          points-to analysis.")
+    Term.(
+      const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ rules_arg $ no_solve_arg
+      $ format_arg $ output_arg $ baseline_arg $ update_baseline_arg $ jobs_arg $ mega_arg
+      $ taint_spec_arg)
+
 (* ---------- experiments ---------- *)
 
 let experiments_cmd =
@@ -821,6 +1011,7 @@ let () =
     Cmd.group info
           [
             check_cmd;
+            lint_cmd;
             analyze_cmd;
             solve_cmd;
             cache_cmd;

@@ -4,8 +4,10 @@ module Solution = Ipa_core.Solution
 
 type t = {
   meth : Program.meth_id;
+  index : int;
   source : Program.var_id;
   target_type : Program.class_id;
+  total : int;
   witnesses : Program.heap_id list;
 }
 
@@ -16,8 +18,8 @@ let analyze (s : Solution.t) =
   let out = ref [] in
   for m = Program.n_meths p - 1 downto 0 do
     if Int_set.mem reachable m then
-      Array.iter
-        (fun (i : Program.instr) ->
+      Array.iteri
+        (fun index (i : Program.instr) ->
           match i with
           | Cast { source; cast_to; _ } ->
             let witnesses =
@@ -26,7 +28,16 @@ let analyze (s : Solution.t) =
                   not (Program.subtype p ~sub:(Program.heap_info p h).heap_class ~super:cast_to))
                 (Int_set.to_sorted_list vpt.(source))
             in
-            out := { meth = m; source; target_type = cast_to; witnesses } :: !out
+            out :=
+              {
+                meth = m;
+                index;
+                source;
+                target_type = cast_to;
+                total = Int_set.cardinal vpt.(source);
+                witnesses;
+              }
+              :: !out
           | Alloc _ | Move _ | Load _ | Store _ | Load_static _ | Store_static _ | Call _
           | Return _ | Throw _ -> ())
         (Program.meth_info p m).body
@@ -34,20 +45,3 @@ let analyze (s : Solution.t) =
   !out
 
 let unsafe_count s = List.length (List.filter (fun c -> c.witnesses <> []) (analyze s))
-
-let print ?(only_unsafe = false) (s : Solution.t) =
-  let p = s.program in
-  List.iter
-    (fun { meth; source; target_type; witnesses } ->
-      match witnesses with
-      | [] ->
-        if not only_unsafe then
-          Printf.printf "%s: (%s) %s : safe\n" (Program.meth_full_name p meth)
-            (Program.class_name p target_type)
-            (Program.var_info p source).var_name
-      | ws ->
-        Printf.printf "%s: (%s) %s : MAY FAIL on {%s}\n" (Program.meth_full_name p meth)
-          (Program.class_name p target_type)
-          (Program.var_info p source).var_name
-          (String.concat ", " (List.map (Program.heap_full_name p) ws)))
-    (analyze s)

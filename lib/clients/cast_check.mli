@@ -6,15 +6,17 @@
 
 type t = {
   meth : Ipa_ir.Program.meth_id;  (** enclosing method *)
+  index : int;  (** body index of the cast in [meth] *)
   source : Ipa_ir.Program.var_id;
   target_type : Ipa_ir.Program.class_id;
+  total : int;  (** points-to cardinality of [source] *)
   witnesses : Ipa_ir.Program.heap_id list;  (** objects that would fail; [] = safe *)
 }
 
 val analyze : Ipa_core.Solution.t -> t list
-(** Every cast in a reachable method, in program order. *)
+(** Every cast in a reachable method, in program order. A cast with
+    [total > 0] and as many witnesses as [total] is {e guaranteed} to fail
+    under the analysis, not merely unproven. *)
 
 val unsafe_count : Ipa_core.Solution.t -> int
 (** The paper's metric: casts with at least one witness. *)
-
-val print : ?only_unsafe:bool -> Ipa_core.Solution.t -> unit

@@ -43,18 +43,3 @@ let summarize s =
       | Unreachable -> { acc with unreachable = acc.unreachable + 1 })
     { monomorphic = 0; polymorphic = 0; unreachable = 0 }
     (analyze s)
-
-let print ?(only_poly = false) (s : Solution.t) =
-  let p = s.program in
-  List.iter
-    (fun { site; verdict } ->
-      let name = (Program.invo_info p site).invo_name in
-      match verdict with
-      | Monomorphic m ->
-        if not only_poly then
-          Printf.printf "%-40s -> %s\n" name (Program.meth_full_name p m)
-      | Polymorphic ms ->
-        Printf.printf "%-40s POLYMORPHIC {%s}\n" name
-          (String.concat ", " (List.map (Program.meth_full_name p) ms))
-      | Unreachable -> if not only_poly then Printf.printf "%-40s unreachable\n" name)
-    (analyze s)

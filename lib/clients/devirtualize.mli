@@ -20,6 +20,3 @@ val analyze : Ipa_core.Solution.t -> t list
 type summary = { monomorphic : int; polymorphic : int; unreachable : int }
 
 val summarize : Ipa_core.Solution.t -> summary
-
-val print : ?only_poly:bool -> Ipa_core.Solution.t -> unit
-(** Human-readable site-by-site report. *)

@@ -1,19 +1,24 @@
-type error = { line : int; col : int; msg : string }
+type error = { file : string option; line : int; col : int; msg : string }
 
-let error_to_string { line; col; msg } = Printf.sprintf "%d:%d: %s" line col msg
+let error_to_string { file; line; col; msg } =
+  match file with
+  | Some f -> Printf.sprintf "%s:%d:%d: %s" f line col msg
+  | None -> Printf.sprintf "%d:%d: %s" line col msg
 
-let of_pos (p : Ast.pos) msg = { line = p.line; col = p.col; msg }
+let of_pos ?file (p : Ast.pos) msg = { file; line = p.line; col = p.col; msg }
 
-let parse_string src =
+let parse ?file src =
   match Parser.parse src with
-  | exception Lexer.Lex_error (pos, msg) -> Error (of_pos pos msg)
-  | exception Parser.Parse_error (pos, msg) -> Error (of_pos pos msg)
+  | exception Lexer.Lex_error (pos, msg) -> Error (of_pos ?file pos msg)
+  | exception Parser.Parse_error (pos, msg) -> Error (of_pos ?file pos msg)
   | ast -> (
-    match Resolver.resolve ast with
+    match Resolver.resolve ?file ast with
     | Ok p -> Ok p
-    | Error { pos; msg } -> Error (of_pos pos msg))
+    | Error { pos; msg } -> Error (of_pos ?file pos msg))
+
+let parse_string src = parse src
 
 let parse_file path =
   match In_channel.with_open_text path In_channel.input_all with
-  | exception Sys_error msg -> Error { line = 0; col = 0; msg }
-  | src -> parse_string src
+  | exception Sys_error msg -> Error { file = Some path; line = 0; col = 0; msg }
+  | src -> parse ~file:path src

@@ -1,12 +1,16 @@
 (** Facade: parse [.jir] source into a validated [Ipa_ir.Program.t]. *)
 
-type error = { line : int; col : int; msg : string }
+type error = { file : string option; line : int; col : int; msg : string }
 
 val error_to_string : error -> string
+(** ["file:line:col: msg"], or ["line:col: msg"] when no file is known. *)
 
 val parse_string : string -> (Ipa_ir.Program.t, error) result
-(** Lex, parse, resolve, and well-formedness-check a compilation unit. *)
+(** Lex, parse, resolve, and well-formedness-check a compilation unit. The
+    resulting error (and the program's {!Ipa_ir.Srcloc.t}) carries no file
+    name. *)
 
 val parse_file : string -> (Ipa_ir.Program.t, error) result
-(** [parse_string] on the contents of a file. I/O failures are reported as an
-    [error] at position 0:0. *)
+(** [parse_string] on the contents of a file; errors carry the file path.
+    I/O failures (missing file, permissions) are reported as an [error] at
+    position 0:0 with the path in [file] and the system message in [msg]. *)

@@ -9,6 +9,8 @@ exception Err of error
 
 let err pos fmt = Printf.ksprintf (fun msg -> raise (Err { pos; msg })) fmt
 
+let loc (p : Ast.pos) : Ipa_ir.Srcloc.pos = { line = p.line; col = p.col }
+
 (* Emit classes so that supertypes precede subtypes (the builder requires
    parent ids up front). Kahn's algorithm; ties broken by file order, so an
    already-topological file keeps its order and printing round-trips. *)
@@ -141,6 +143,7 @@ let declare_members env (d : Ast.class_decl) =
   let c = Hashtbl.find env.class_ids d.cd_name in
   List.iter
     (fun ((m : Ast.member), pos) ->
+      Builder.set_pos env.b (loc pos);
       match m with
       | Field { static; name } ->
         if Hashtbl.mem env.fields (c, name) then err pos "duplicate field %s::%s" d.cd_name name;
@@ -181,6 +184,7 @@ let resolve_body env (d : Ast.class_decl) ((m : Ast.member), mpos) =
       (fun ((s : Ast.stmt), pos) ->
         match s with
         | Decl_vars names ->
+          Builder.set_pos env.b (loc pos);
           List.iter
             (fun v ->
               if Hashtbl.mem vars v then err pos "duplicate variable %s" v
@@ -196,6 +200,7 @@ let resolve_body env (d : Ast.class_decl) ((m : Ast.member), mpos) =
     ignore mpos;
     List.iter
       (fun ((s : Ast.stmt), pos) ->
+        Builder.set_pos env.b (loc pos);
         match s with
         | Decl_vars _ -> ()
         | Alloc { target; cls } ->
@@ -238,7 +243,7 @@ let resolve_body env (d : Ast.class_decl) ((m : Ast.member), mpos) =
           Builder.add_catch env.b mid ~cls:(class_id env pos cls) ~var:(var pos cv))
       body
 
-let resolve (ast : Ast.program) : (Program.t, error) result =
+let resolve ?file (ast : Ast.program) : (Program.t, error) result =
   try
     let decls = Array.of_list ast.decls in
     let order = topo_order decls in
@@ -252,10 +257,12 @@ let resolve (ast : Ast.program) : (Program.t, error) result =
         meths = Hashtbl.create 64;
       }
     in
+    (match file with Some f -> Builder.set_source env.b f | None -> ());
     List.iter
       (fun i ->
         let d = decls.(i) in
         Hashtbl.add env.decl_by_name d.cd_name d;
+        Builder.set_pos env.b (loc d.cd_pos);
         let interfaces = List.map (class_id env d.cd_pos) d.cd_interfaces in
         let c =
           if d.cd_interface then Builder.add_interface env.b ~interfaces d.cd_name

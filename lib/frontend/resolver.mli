@@ -10,8 +10,11 @@ type error = { pos : Ast.pos; msg : string }
 
 val error_to_string : error -> string
 
-val resolve : Ast.program -> (Ipa_ir.Program.t, error) result
-(** Resolution rules:
+val resolve : ?file:string -> Ast.program -> (Ipa_ir.Program.t, error) result
+(** [resolve ?file ast] names the source file in the resulting program's
+    {!Ipa_ir.Srcloc.t} (diagnostics then carry [file:line:col] spans); the
+    declaration and statement positions from the AST are recorded either way.
+    Resolution rules:
     - classes/interfaces: names are global, duplicates rejected; the
       hierarchy must be acyclic;
     - variables: [this], the formals, and every [var]-declared local, scoped

@@ -13,6 +13,8 @@ type meth_build = {
   mutable mb_ret : var_id option;
   mutable mb_catches : catch_clause list; (* reverse order *)
   mb_body : instr Dynarr.t;
+  mb_instr_pos : Srcloc.pos Dynarr.t; (* parallel to mb_body *)
+  mutable mb_catch_pos : Srcloc.pos list; (* reverse, parallel to mb_catches *)
   var_by_name : (string, var_id) Hashtbl.t;
   mutable heap_count : int;
   mutable invo_count : int;
@@ -40,6 +42,18 @@ type t = {
   invos : invo_info Dynarr.t;
   mutable entry_list : meth_id list;
   mutable finished : bool;
+  (* Source positions, parallel to the entity tables above. [cur_pos] is
+     stamped onto every entity created until the next [set_pos]; entities
+     created with no position at all get generator coordinates in [finish]
+     when no source file was ever declared. *)
+  class_pos : Srcloc.pos Dynarr.t;
+  field_pos : Srcloc.pos Dynarr.t;
+  meth_pos : Srcloc.pos Dynarr.t;
+  var_pos : Srcloc.pos Dynarr.t;
+  heap_pos : Srcloc.pos Dynarr.t;
+  invo_pos : Srcloc.pos Dynarr.t;
+  mutable src_file : string option;
+  mutable cur_pos : Srcloc.pos option;
 }
 
 let dummy_class =
@@ -73,6 +87,8 @@ let dummy_meth =
     mb_ret = None;
     mb_catches = [];
     mb_body = Dynarr.create ~dummy:(Return { source = 0 }) ();
+    mb_instr_pos = Dynarr.create ~dummy:Srcloc.no_pos ();
+    mb_catch_pos = [];
     var_by_name = Hashtbl.create 1;
     heap_count = 0;
     invo_count = 0;
@@ -91,7 +107,21 @@ let create () =
     invos = Dynarr.create ~dummy:dummy_invo ();
     entry_list = [];
     finished = false;
+    class_pos = Dynarr.create ~dummy:Srcloc.no_pos ();
+    field_pos = Dynarr.create ~dummy:Srcloc.no_pos ();
+    meth_pos = Dynarr.create ~dummy:Srcloc.no_pos ();
+    var_pos = Dynarr.create ~dummy:Srcloc.no_pos ();
+    heap_pos = Dynarr.create ~dummy:Srcloc.no_pos ();
+    invo_pos = Dynarr.create ~dummy:Srcloc.no_pos ();
+    src_file = None;
+    cur_pos = None;
   }
+
+let set_source t file = t.src_file <- Some file
+
+let set_pos t (p : Srcloc.pos) = t.cur_pos <- Some p
+
+let here t = match t.cur_pos with Some p -> p | None -> Srcloc.no_pos
 
 let check_live t = if t.finished then failwith "Builder: already finished"
 
@@ -125,6 +155,7 @@ let add_class_gen t ~super ~interfaces ~is_interface name =
   Hashtbl.add t.class_names name ();
   (match super with Some s -> check_class t s "add_class" | None -> ());
   List.iter (fun i -> check_class t i "add_class") interfaces;
+  Dynarr.push t.class_pos (here t);
   Dynarr.push_get_index t.classes
     {
       cb_name = name;
@@ -148,6 +179,7 @@ let add_field t ~owner ?(static = false) name =
   let cb = Dynarr.get t.classes owner in
   if Hashtbl.mem cb.field_by_name name then
     failwith (Printf.sprintf "duplicate field %s::%s" cb.cb_name name);
+  Dynarr.push t.field_pos (here t);
   let f =
     Dynarr.push_get_index t.fields
       { field_name = name; field_owner = owner; is_static_field = static }
@@ -156,6 +188,7 @@ let add_field t ~owner ?(static = false) name =
   f
 
 let fresh_var t ~owner name =
+  Dynarr.push t.var_pos (here t);
   Dynarr.push_get_index t.vars { var_name = name; var_owner = owner }
 
 let add_method t ~owner ~name ?(static = false) ?(abstract = false) ~params () =
@@ -177,6 +210,7 @@ let add_method t ~owner ~name ?(static = false) ?(abstract = false) ~params () =
   in
   let mb_this = if static || abstract then None else Some (declare_var "this") in
   let mb_formals = if abstract then [||] else Array.of_list (List.map declare_var params) in
+  Dynarr.push t.meth_pos (here t);
   let mb =
     {
       mb_name = name;
@@ -189,6 +223,8 @@ let add_method t ~owner ~name ?(static = false) ?(abstract = false) ~params () =
       mb_ret = None;
       mb_catches = [];
       mb_body = Dynarr.create ~dummy:(Return { source = 0 }) ();
+      mb_instr_pos = Dynarr.create ~dummy:Srcloc.no_pos ();
+      mb_catch_pos = [];
       var_by_name;
       heap_count = 0;
       invo_count = 0;
@@ -231,6 +267,10 @@ let body_meth t m what =
   if mb.mb_abstract then failwith (Printf.sprintf "Builder.%s: abstract method" what);
   mb
 
+let push_instr t mb instr =
+  Dynarr.push mb.mb_body instr;
+  Dynarr.push mb.mb_instr_pos (here t)
+
 let meth_label t m =
   let mb = Dynarr.get t.meths m in
   Printf.sprintf "%s::%s" (Dynarr.get t.classes mb.mb_owner).cb_name mb.mb_name
@@ -244,59 +284,61 @@ let alloc t m ~target ~cls =
       mb.heap_count
   in
   mb.heap_count <- mb.heap_count + 1;
+  Dynarr.push t.heap_pos (here t);
   let h = Dynarr.push_get_index t.heaps { heap_name = name; heap_class = cls; heap_owner = m } in
-  Dynarr.push mb.mb_body (Alloc { target; heap = h });
+  push_instr t mb (Alloc { target; heap = h });
   h
 
 let move t m ~target ~source =
   let mb = body_meth t m "move" in
   check_var t target "move";
   check_var t source "move";
-  Dynarr.push mb.mb_body (Move { target; source })
+  push_instr t mb (Move { target; source })
 
 let cast t m ~target ~source ~cls =
   let mb = body_meth t m "cast" in
   check_var t target "cast";
   check_var t source "cast";
   check_class t cls "cast";
-  Dynarr.push mb.mb_body (Cast { target; source; cast_to = cls })
+  push_instr t mb (Cast { target; source; cast_to = cls })
 
 let load t m ~target ~base ~field =
   let mb = body_meth t m "load" in
   check_var t target "load";
   check_var t base "load";
   check_field t field "load";
-  Dynarr.push mb.mb_body (Load { target; base; field })
+  push_instr t mb (Load { target; base; field })
 
 let store t m ~base ~field ~source =
   let mb = body_meth t m "store" in
   check_var t base "store";
   check_var t source "store";
   check_field t field "store";
-  Dynarr.push mb.mb_body (Store { base; field; source })
+  push_instr t mb (Store { base; field; source })
 
 let load_static t m ~target ~field =
   let mb = body_meth t m "load_static" in
   check_var t target "load_static";
   check_field t field "load_static";
-  Dynarr.push mb.mb_body (Load_static { target; field })
+  push_instr t mb (Load_static { target; field })
 
 let store_static t m ~field ~source =
   let mb = body_meth t m "store_static" in
   check_var t source "store_static";
   check_field t field "store_static";
-  Dynarr.push mb.mb_body (Store_static { field; source })
+  push_instr t mb (Store_static { field; source })
 
 let add_invo t m mb call actuals recv kind_label =
   List.iter (fun v -> check_var t v "call actual") actuals;
   (match recv with Some v -> check_var t v "call receiver" | None -> ());
   let name = Printf.sprintf "%s/%s#%d" (meth_label t m) kind_label mb.invo_count in
   mb.invo_count <- mb.invo_count + 1;
+  Dynarr.push t.invo_pos (here t);
   let i =
     Dynarr.push_get_index t.invos
       { call; actuals = Array.of_list actuals; recv; invo_owner = m; invo_name = name }
   in
-  Dynarr.push mb.mb_body (Call i);
+  push_instr t mb (Call i);
   i
 
 let vcall t m ~base ~name ~actuals ?recv () =
@@ -317,18 +359,19 @@ let return_ t m source =
   (match mb.mb_ret with
   | Some _ -> ()
   | None -> mb.mb_ret <- Some (fresh_var t ~owner:m "$ret"));
-  Dynarr.push mb.mb_body (Return { source })
+  push_instr t mb (Return { source })
 
 let throw t m source =
   let mb = body_meth t m "throw" in
   check_var t source "throw";
-  Dynarr.push mb.mb_body (Throw { source })
+  push_instr t mb (Throw { source })
 
 let add_catch t m ~cls ~var =
   let mb = body_meth t m "add_catch" in
   check_class t cls "add_catch";
   check_var t var "add_catch";
-  mb.mb_catches <- { catch_type = cls; catch_var = var } :: mb.mb_catches
+  mb.mb_catches <- { catch_type = cls; catch_var = var } :: mb.mb_catches;
+  mb.mb_catch_pos <- here t :: mb.mb_catch_pos
 
 let add_entry t m =
   check_live t;
@@ -367,15 +410,54 @@ let finish t =
         })
       (Dynarr.to_array t.meths)
   in
+  (* Source positions. With a declared source file the recorded coordinates
+     are kept as-is (unstamped entities stay at 0:0); without one every
+     entity gets deterministic generator coordinates — line = id + 1,
+     column 0 — so synthetic findings are still stably addressable. *)
+  let meth_builds = Dynarr.to_array t.meths in
+  let srcloc =
+    let fill arr =
+      match t.src_file with
+      | Some _ -> arr
+      | None ->
+        Array.mapi
+          (fun i (p : Srcloc.pos) ->
+            if p = Srcloc.no_pos then { Srcloc.line = i + 1; col = 0 } else p)
+          arr
+    in
+    let fill2 m arr =
+      match t.src_file with
+      | Some _ -> arr
+      | None ->
+        Array.mapi
+          (fun k (p : Srcloc.pos) ->
+            if p = Srcloc.no_pos then { Srcloc.line = m + 1; col = k + 1 } else p)
+          arr
+    in
+    {
+      Srcloc.file = (match t.src_file with Some f -> f | None -> Srcloc.synthetic_file);
+      classes = fill (Dynarr.to_array t.class_pos);
+      fields = fill (Dynarr.to_array t.field_pos);
+      meths = fill (Dynarr.to_array t.meth_pos);
+      vars = fill (Dynarr.to_array t.var_pos);
+      heaps = fill (Dynarr.to_array t.heap_pos);
+      invos = fill (Dynarr.to_array t.invo_pos);
+      instrs = Array.mapi (fun m mb -> fill2 m (Dynarr.to_array mb.mb_instr_pos)) meth_builds;
+      catches =
+        Array.mapi
+          (fun m mb -> fill2 m (Array.of_list (List.rev mb.mb_catch_pos)))
+          meth_builds;
+    }
+  in
   let program =
-    Program.make ~classes
+    Program.make ~srcloc ~classes
       ~fields:(Dynarr.to_array t.fields)
       ~sigs:(Dynarr.to_array t.sig_list)
       ~meths
       ~vars:(Dynarr.to_array t.vars)
       ~heaps:(Dynarr.to_array t.heaps)
       ~invos:(Dynarr.to_array t.invos)
-      ~entries:(List.rev t.entry_list)
+      ~entries:(List.rev t.entry_list) ()
   in
   match Wf.check program with
   | Ok () -> program

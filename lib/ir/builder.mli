@@ -13,6 +13,20 @@ type t
 
 val create : unit -> t
 
+(** {1 Source positions}
+
+    Optional. [set_pos] stamps the given position onto every entity
+    (class, field, method, variable, allocation/invocation site, body
+    instruction, catch clause) created until the next call; the front-end
+    resolver calls it at each declaration and statement. When neither
+    function is ever called the finished program gets deterministic
+    generator coordinates (see {!Srcloc}). *)
+
+val set_source : t -> string -> unit
+(** Declare the source file name recorded in the program's {!Srcloc.t}. *)
+
+val set_pos : t -> Srcloc.pos -> unit
+
 (** {1 Declarations} *)
 
 val add_class : t -> ?super:Program.class_id -> ?interfaces:Program.class_id list -> string -> Program.class_id

@@ -1,0 +1,57 @@
+type severity = Error | Warning | Info
+
+let severity_to_string = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+type span = { file : string; line : int; col : int }
+
+let no_span = { file = ""; line = 0; col = 0 }
+
+let span_of_pos ~file (p : Srcloc.pos) = { file; line = p.line; col = p.col }
+
+let span_to_string { file; line; col } =
+  if file = "" then Printf.sprintf "%d:%d" line col else Printf.sprintf "%s:%d:%d" file line col
+
+type t = {
+  rule : string;
+  severity : severity;
+  span : span;
+  entity : string;
+  message : string;
+  witnesses : string list;
+}
+
+let make ~rule ~severity ?(span = no_span) ~entity ?(witnesses = []) message =
+  { rule; severity; span; entity; message; witnesses }
+
+(* Deterministic report order: by rule id, then source position, then the
+   stable entity anchor and message. Independent of discovery order, so a
+   parallel rule run sorts to the same byte sequence as a sequential one. *)
+let compare a b =
+  let c = String.compare a.rule b.rule in
+  if c <> 0 then c
+  else
+    let c = String.compare a.span.file b.span.file in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.span.line b.span.line in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.span.col b.span.col in
+        if c <> 0 then c
+        else
+          let c = String.compare a.entity b.entity in
+          if c <> 0 then c else String.compare a.message b.message
+
+(* Baseline identity. Spans and messages are excluded on purpose: renumbering
+   lines (or a precision change rewording a witness list) must not turn a
+   known finding into a "new" one. The entity anchor is expected to make a
+   finding unique within its rule. *)
+let fingerprint t = Digest.to_hex (Digest.string (t.rule ^ "\x00" ^ t.entity))
+
+let to_human t =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "%s: %s: %s [%s]" (span_to_string t.span) (severity_to_string t.severity)
+       t.message t.rule);
+  List.iter (fun w -> Buffer.add_string b ("\n    witness: " ^ w)) t.witnesses;
+  Buffer.contents b

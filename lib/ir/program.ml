@@ -84,6 +84,7 @@ type t = {
   class_by_name : (string, class_id) Hashtbl.t;
   sig_by_key : (string * int, sig_id) Hashtbl.t;
   impls_by_sig : (sig_id, meth_id list) Hashtbl.t;
+  srcloc_tbl : Srcloc.t option;
 }
 
 let n_classes t = Array.length t.classes
@@ -213,7 +214,9 @@ let compute_dispatch (classes : class_info array) : (int, meth_id) Hashtbl.t =
   done;
   tbl
 
-let make ~classes ~fields ~sigs ~meths ~vars ~heaps ~invos ~entries =
+let srcloc t = t.srcloc_tbl
+
+let make ?srcloc ~classes ~fields ~sigs ~meths ~vars ~heaps ~invos ~entries () =
   let ancestors = compute_ancestors classes in
   let dispatch_tbl = compute_dispatch classes in
   let class_by_name = Hashtbl.create (Array.length classes) in
@@ -241,4 +244,5 @@ let make ~classes ~fields ~sigs ~meths ~vars ~heaps ~invos ~entries =
     class_by_name;
     sig_by_key;
     impls_by_sig;
+    srcloc_tbl = srcloc;
   }

@@ -160,7 +160,12 @@ val catch_route : t -> meth_id -> class_id -> int option
 
 (** {1 Construction} — used by {!Builder}; not for direct consumption. *)
 
+val srcloc : t -> Srcloc.t option
+(** Source positions of the program's entities, when the construction path
+    recorded them ({!Builder} always does; a direct {!make} may not). *)
+
 val make :
+  ?srcloc:Srcloc.t ->
   classes:class_info array ->
   fields:field_info array ->
   sigs:sig_info array ->
@@ -169,6 +174,7 @@ val make :
   heaps:heap_info array ->
   invos:invo_info array ->
   entries:meth_id list ->
+  unit ->
   t
 (** Computes the subtyping closure and dispatch tables. Raises [Failure] on a
     cyclic class hierarchy. Callers are expected to have validated the rest

@@ -1,55 +1,112 @@
 open Program
 
-let check p =
-  let errs = ref [] in
-  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+(* One rule id per check class. The numbering is part of the tool's public
+   surface (baselines and docs refer to it): append new rules, never renumber. *)
+let rule_foreign_var = "IPA-W001"
+let rule_class_extends_interface = "IPA-W002"
+let rule_interface_super = "IPA-W003"
+let rule_implements_non_interface = "IPA-W004"
+let rule_interface_concrete_method = "IPA-W005"
+let rule_interface_instance_field = "IPA-W006"
+let rule_abstract_with_body = "IPA-W007"
+let rule_static_with_this = "IPA-W008"
+let rule_foreign_alloc = "IPA-W009"
+let rule_interface_alloc = "IPA-W010"
+let rule_instance_access_static_field = "IPA-W011"
+let rule_static_access_instance_field = "IPA-W012"
+let rule_foreign_call_site = "IPA-W013"
+let rule_call_arity = "IPA-W014"
+let rule_static_call_abstract = "IPA-W015"
+let rule_static_call_instance = "IPA-W016"
+let rule_return_without_ret_var = "IPA-W017"
+let rule_catch_interface = "IPA-W018"
+let rule_abstract_with_catches = "IPA-W019"
+let rule_abstract_entry = "IPA-W020"
+
+let diagnostics p =
+  let ds = ref [] in
+  let sl = Program.srcloc p in
+  let span get =
+    match sl with
+    | None -> Diagnostic.no_span
+    | Some sl -> Diagnostic.span_of_pos ~file:sl.file (get sl)
+  in
+  let class_span c = span (fun sl -> Srcloc.class_pos sl c) in
+  let field_span f = span (fun sl -> Srcloc.field_pos sl f) in
+  let meth_span m = span (fun sl -> Srcloc.meth_pos sl m) in
+  let instr_span m k = span (fun sl -> Srcloc.instr_pos sl m k) in
+  let err ~rule ~span ~entity fmt =
+    Printf.ksprintf
+      (fun msg -> ds := Diagnostic.make ~rule ~severity:Error ~span ~entity msg :: !ds)
+      fmt
+  in
   (* Classes *)
   for c = 0 to n_classes p - 1 do
     let ci = class_info p c in
+    let span = class_span c and entity = ci.class_name in
     (match ci.super with
     | Some s when (class_info p s).is_interface ->
-      err "class %s extends interface %s" ci.class_name (class_name p s)
+      err ~rule:rule_class_extends_interface ~span ~entity "class %s extends interface %s"
+        ci.class_name (class_name p s)
     | Some _ when ci.is_interface ->
-      err "interface %s uses [super]; interfaces extend via [interfaces]" ci.class_name
+      err ~rule:rule_interface_super ~span ~entity
+        "interface %s uses [super]; interfaces extend via [interfaces]" ci.class_name
     | _ -> ());
     List.iter
       (fun i ->
         if not (class_info p i).is_interface then
-          err "%s implements non-interface %s" ci.class_name (class_name p i))
+          err ~rule:rule_implements_non_interface ~span ~entity "%s implements non-interface %s"
+            ci.class_name (class_name p i))
       ci.interfaces;
     if ci.is_interface && ci.declared <> [] then
-      err "interface %s declares concrete methods" ci.class_name
+      err ~rule:rule_interface_concrete_method ~span ~entity "interface %s declares concrete methods"
+        ci.class_name
   done;
   (* Fields *)
   for f = 0 to n_fields p - 1 do
     let fi = field_info p f in
     if (class_info p fi.field_owner).is_interface && not fi.is_static_field then
-      err "interface %s declares instance field %s" (class_name p fi.field_owner) fi.field_name
+      err ~rule:rule_interface_instance_field ~span:(field_span f) ~entity:(field_full_name p f)
+        "interface %s declares instance field %s" (class_name p fi.field_owner) fi.field_name
   done;
   (* Methods and bodies *)
   for m = 0 to n_meths p - 1 do
     let mi = meth_info p m in
     let mname = meth_full_name p m in
-    let owned v what =
+    let mspan = meth_span m in
+    let owned ?span ?entity v what =
       let vi = var_info p v in
       if vi.var_owner <> m then
-        err "%s: %s variable %s belongs to %s" mname what vi.var_name
+        err ~rule:rule_foreign_var
+          ~span:(match span with Some s -> s | None -> mspan)
+          ~entity:(match entity with Some e -> e | None -> mname)
+          "%s: %s variable %s belongs to %s" mname what vi.var_name
           (meth_full_name p vi.var_owner)
     in
     (match mi.this_var with Some v -> owned v "this" | None -> ());
     Array.iter (fun v -> owned v "formal") mi.formals;
     (match mi.ret_var with Some v -> owned v "return" | None -> ());
-    if mi.is_abstract && Array.length mi.body > 0 then err "%s: abstract method with a body" mname;
-    if mi.is_static_meth && mi.this_var <> None then err "%s: static method with [this]" mname;
-    Array.iter
-      (fun instr ->
+    if mi.is_abstract && Array.length mi.body > 0 then
+      err ~rule:rule_abstract_with_body ~span:mspan ~entity:mname "%s: abstract method with a body"
+        mname;
+    if mi.is_static_meth && mi.this_var <> None then
+      err ~rule:rule_static_with_this ~span:mspan ~entity:mname "%s: static method with [this]"
+        mname;
+    Array.iteri
+      (fun k instr ->
+        let span = instr_span m k in
+        let entity = Printf.sprintf "%s#%d" mname k in
+        let owned v what = owned ~span ~entity v what in
         match instr with
         | Alloc { target; heap } ->
           owned target "alloc target";
           let hi = heap_info p heap in
-          if hi.heap_owner <> m then err "%s: allocation site %s owned elsewhere" mname hi.heap_name;
+          if hi.heap_owner <> m then
+            err ~rule:rule_foreign_alloc ~span ~entity "%s: allocation site %s owned elsewhere"
+              mname hi.heap_name;
           if (class_info p hi.heap_class).is_interface then
-            err "%s: allocation of interface %s" mname (class_name p hi.heap_class)
+            err ~rule:rule_interface_alloc ~span ~entity "%s: allocation of interface %s" mname
+              (class_name p hi.heap_class)
         | Move { target; source } ->
           owned target "move target";
           owned source "move source"
@@ -61,23 +118,29 @@ let check p =
           owned target "load target";
           owned base "load base";
           if (field_info p field).is_static_field then
-            err "%s: instance load of static field %s" mname (field_full_name p field)
+            err ~rule:rule_instance_access_static_field ~span ~entity
+              "%s: instance load of static field %s" mname (field_full_name p field)
         | Store { base; field; source } ->
           owned base "store base";
           owned source "store source";
           if (field_info p field).is_static_field then
-            err "%s: instance store to static field %s" mname (field_full_name p field)
+            err ~rule:rule_instance_access_static_field ~span ~entity
+              "%s: instance store to static field %s" mname (field_full_name p field)
         | Load_static { target; field } ->
           owned target "static load target";
           if not (field_info p field).is_static_field then
-            err "%s: static load of instance field %s" mname (field_full_name p field)
+            err ~rule:rule_static_access_instance_field ~span ~entity
+              "%s: static load of instance field %s" mname (field_full_name p field)
         | Store_static { field; source } ->
           owned source "static store source";
           if not (field_info p field).is_static_field then
-            err "%s: static store to instance field %s" mname (field_full_name p field)
+            err ~rule:rule_static_access_instance_field ~span ~entity
+              "%s: static store to instance field %s" mname (field_full_name p field)
         | Call invo ->
           let ii = invo_info p invo in
-          if ii.invo_owner <> m then err "%s: call site %s owned elsewhere" mname ii.invo_name;
+          if ii.invo_owner <> m then
+            err ~rule:rule_foreign_call_site ~span ~entity "%s: call site %s owned elsewhere" mname
+              ii.invo_name;
           Array.iter (fun v -> owned v "call actual") ii.actuals;
           (match ii.recv with Some v -> owned v "call receiver" | None -> ());
           (match ii.call with
@@ -85,34 +148,48 @@ let check p =
             owned base "call base";
             let si = sig_info p signature in
             if Array.length ii.actuals <> si.arity then
-              err "%s: call %s passes %d arguments to signature /%d" mname ii.invo_name
+              err ~rule:rule_call_arity ~span ~entity
+                "%s: call %s passes %d arguments to signature /%d" mname ii.invo_name
                 (Array.length ii.actuals) si.arity
           | Static { callee } ->
             let callee_info = meth_info p callee in
             if callee_info.is_abstract then
-              err "%s: static call to abstract %s" mname (meth_full_name p callee);
+              err ~rule:rule_static_call_abstract ~span ~entity "%s: static call to abstract %s"
+                mname (meth_full_name p callee);
             if not callee_info.is_static_meth then
-              err "%s: static call to instance method %s" mname (meth_full_name p callee);
+              err ~rule:rule_static_call_instance ~span ~entity
+                "%s: static call to instance method %s" mname (meth_full_name p callee);
             if Array.length ii.actuals <> Array.length callee_info.formals then
-              err "%s: call %s passes %d arguments to %s/%d formals" mname ii.invo_name
-                (Array.length ii.actuals) (meth_full_name p callee)
+              err ~rule:rule_call_arity ~span ~entity "%s: call %s passes %d arguments to %s/%d formals"
+                mname ii.invo_name (Array.length ii.actuals) (meth_full_name p callee)
                 (Array.length callee_info.formals))
         | Return { source } ->
           owned source "return source";
-          if mi.ret_var = None then err "%s: return without a return variable" mname
+          if mi.ret_var = None then
+            err ~rule:rule_return_without_ret_var ~span ~entity
+              "%s: return without a return variable" mname
         | Throw { source } -> owned source "throw source")
       mi.body;
     Array.iter
       (fun (clause : catch_clause) ->
         owned clause.catch_var "catch";
         if (class_info p clause.catch_type).is_interface then
-          err "%s: catch of interface type %s" mname (class_name p clause.catch_type))
+          err ~rule:rule_catch_interface ~span:mspan ~entity:mname "%s: catch of interface type %s"
+            mname (class_name p clause.catch_type))
       mi.catches;
     if mi.is_abstract && Array.length mi.catches > 0 then
-      err "%s: abstract method with catch clauses" mname
+      err ~rule:rule_abstract_with_catches ~span:mspan ~entity:mname
+        "%s: abstract method with catch clauses" mname
   done;
   List.iter
     (fun m ->
-      if (meth_info p m).is_abstract then err "entry point %s is abstract" (meth_full_name p m))
+      if (meth_info p m).is_abstract then
+        err ~rule:rule_abstract_entry ~span:(meth_span m) ~entity:(meth_full_name p m)
+          "entry point %s is abstract" (meth_full_name p m))
     (entries p);
-  match !errs with [] -> Ok () | es -> Error (List.rev es)
+  List.rev !ds
+
+let check p =
+  match diagnostics p with
+  | [] -> Ok ()
+  | ds -> Error (List.map (fun (d : Diagnostic.t) -> d.message) ds)

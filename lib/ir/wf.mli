@@ -3,11 +3,18 @@
     Both the builder and the front-end funnel programs through this checker,
     so every program the analysis sees satisfies the invariants the solver
     relies on (variable ownership, arity agreement, instantiable allocation
-    classes, acyclic hierarchy — the latter enforced by [Program.make]). *)
+    classes, acyclic hierarchy — the latter enforced by [Program.make]).
 
-val check : Program.t -> (unit, string list) result
-(** [check p] is [Ok ()] or [Error messages], one human-readable message per
-    violation. Checked invariants:
+    Each check class carries a stable rule id ([IPA-W001] … [IPA-W020]); the
+    ids appear in lint baselines and the rule catalog in
+    [docs/jir-format.md], so new checks append ids and existing ones are
+    never renumbered. *)
+
+val diagnostics : Program.t -> Diagnostic.t list
+(** All well-formedness violations, in a deterministic order (classes, then
+    fields, then methods and their bodies, then entry points). Spans come
+    from the program's {!Srcloc.t} when present; an empty list means the
+    program is well-formed. Checked invariants:
     - a class's [super] is a class (not an interface); [interfaces] are
       interfaces;
     - interfaces declare no concrete methods, no instance fields, and are
@@ -25,3 +32,7 @@ val check : Program.t -> (unit, string list) result
     - abstract methods have empty bodies, no body-owned sites, and no catch
       clauses;
     - entry points are concrete methods. *)
+
+val check : Program.t -> (unit, string list) result
+(** Compatibility wrapper over {!diagnostics}: [Ok ()] or [Error messages],
+    the diagnostic messages in the same order. *)

@@ -190,10 +190,6 @@ let test_printers_smoke () =
      formatting paths). *)
   let p = parse exn_src in
   let r = Analysis.run_plain p insens in
-  Devirt.print r.solution;
-  Devirt.print ~only_poly:true r.solution;
-  Casts.print r.solution;
-  Casts.print ~only_unsafe:true r.solution;
   Exns.print r.solution;
   Diag.print ~limit:5 r.solution;
   Ipa_clients.Compare.print r.solution r.solution;

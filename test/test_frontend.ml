@@ -57,16 +57,23 @@ let test_lexer_positions () =
   check Alcotest.int "line 2" 2 p2.line;
   check Alcotest.int "col 3" 3 p2.col
 
-let expect_lex_error src fragment =
+let expect_lex_error src (line, col) fragment =
   match Lexer.tokenize src with
   | _ -> Alcotest.failf "expected lex error on %S" src
-  | exception Lexer.Lex_error (_, msg) ->
-    if not (contains msg fragment) then Alcotest.failf "message %S lacks %S" msg fragment
+  | exception Lexer.Lex_error (pos, msg) ->
+    if not (contains msg fragment) then Alcotest.failf "message %S lacks %S" msg fragment;
+    check
+      Alcotest.(pair int int)
+      (Printf.sprintf "position of error in %S" src)
+      (line, col) (pos.line, pos.col)
 
 let test_lexer_errors () =
-  expect_lex_error "a ? b" "unexpected character";
-  expect_lex_error "a : b" "expected '::'";
-  expect_lex_error "/* never closed" "unterminated block comment"
+  expect_lex_error "a ? b" (1, 3) "unexpected character";
+  expect_lex_error "a : b" (1, 3) "expected '::'";
+  (* Unterminated comments are reported at the opening delimiter. *)
+  expect_lex_error "/* never closed" (1, 1) "unterminated block comment";
+  expect_lex_error "ab\n  /* zap" (2, 3) "unterminated block comment";
+  expect_lex_error "class A {\n  field ^;\n}" (2, 9) "unexpected character"
 
 (* ---------- parser ---------- *)
 
@@ -81,6 +88,17 @@ let expect_error src fragment =
   | Error e ->
     if not (contains e.msg fragment) then
       Alcotest.failf "error %S lacks %S" (Jir.error_to_string e) fragment
+
+let expect_error_at src (line, col) fragment =
+  match Jir.parse_string src with
+  | Ok _ -> Alcotest.failf "expected parse/resolve error (%s)" fragment
+  | Error e ->
+    if not (contains e.msg fragment) then
+      Alcotest.failf "error %S lacks %S" (Jir.error_to_string e) fragment;
+    check
+      Alcotest.(pair int int)
+      (Printf.sprintf "position of %S" fragment)
+      (line, col) (e.line, e.col)
 
 let wrap body = Printf.sprintf {|
 class Object { }
@@ -140,6 +158,20 @@ let test_parser_errors () =
   expect_error "class Object { method m/2 (x) { } }" "declares 1 parameters";
   expect_error "interface I { method m/0 () { } }" "declares a method body";
   expect_error "class Object { static method m/0; }" "abstract method m cannot be static"
+
+(* Exact error positions, one per error-site class. Lexer errors point at
+   the offending character (or the opening delimiter of an unterminated
+   comment); parser errors point at the token where the inconsistency was
+   detected. *)
+let test_parser_error_positions () =
+  (* Unterminated comment, through the Jir facade. *)
+  expect_error_at "class Object { }\n/* oops" (2, 1) "unterminated block comment";
+  (* Bad token inside a class body. *)
+  expect_error_at "class Object { ? }" (1, 16) "unexpected character";
+  (* Arity mismatch: detected at the token after the parameter list. *)
+  expect_error_at "class Object { method m/2 (x) { } }" (1, 31) "declares 1 parameters";
+  (* Abstract-static: detected at the token after the semicolon. *)
+  expect_error_at "class Object { static method m/0; }" (1, 35) "cannot be static"
 
 (* ---------- resolver ---------- *)
 
@@ -232,7 +264,29 @@ entry App::main/0;
 let test_parse_file_missing () =
   match Jir.parse_file "/nonexistent/path.jir" with
   | Ok _ -> Alcotest.fail "expected error"
-  | Error e -> check Alcotest.bool "io error reported" true (String.length e.msg > 0)
+  | Error e ->
+    check Alcotest.bool "io error reported" true (String.length e.msg > 0);
+    (* I/O failures carry the path and a 0:0 position, and the rendered
+       error leads with the path — not a bare "0:0: No such file". *)
+    check (Alcotest.option Alcotest.string) "file" (Some "/nonexistent/path.jir") e.file;
+    check Alcotest.int "line" 0 e.line;
+    check Alcotest.int "col" 0 e.col;
+    check Alcotest.bool "rendering names the file" true
+      (contains (Jir.error_to_string e) "/nonexistent/path.jir")
+
+let test_parse_file_positions () =
+  (* Errors from parse_file carry the file name alongside the position. *)
+  Ipa_testlib.with_temp_dir (fun dir ->
+      let path = Filename.concat dir "broken.jir" in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc "class Object {\n  junk\n}\n");
+      match Jir.parse_file path with
+      | Ok _ -> Alcotest.fail "expected parse error"
+      | Error e ->
+        check (Alcotest.option Alcotest.string) "file" (Some path) e.file;
+        check Alcotest.(pair int int) "position" (2, 3) (e.line, e.col);
+        check Alcotest.bool "rendering is file:line:col" true
+          (contains (Jir.error_to_string e) (path ^ ":2:3:")))
 
 (* ---------- round-trips ---------- *)
 
@@ -282,6 +336,7 @@ let () =
         [
           Alcotest.test_case "statements" `Quick test_parser_statements;
           Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "error positions" `Quick test_parser_error_positions;
         ] );
       ( "resolver",
         [
@@ -291,6 +346,7 @@ let () =
           Alcotest.test_case "inherited static call" `Quick test_resolver_inherited_static_call;
           Alcotest.test_case "inherited entry" `Quick test_resolver_entry_inherited;
           Alcotest.test_case "missing file" `Quick test_parse_file_missing;
+          Alcotest.test_case "file positions" `Quick test_parse_file_positions;
         ] );
       ( "roundtrip",
         [

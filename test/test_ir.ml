@@ -141,7 +141,7 @@ let test_cycle_detection () =
   match
     P.make
       ~classes:[| ci "A" (Some 1); ci "B" (Some 0) |]
-      ~fields:[||] ~sigs:[||] ~meths:[||] ~vars:[||] ~heaps:[||] ~invos:[||] ~entries:[]
+      ~fields:[||] ~sigs:[||] ~meths:[||] ~vars:[||] ~heaps:[||] ~invos:[||] ~entries:[] ()
   with
   | _ -> Alcotest.fail "expected cycle failure"
   | exception Failure msg ->
@@ -194,7 +194,7 @@ let base_classes () : P.class_info array =
 let wf_errors ?classes ?(fields = [||]) ?(vars = [||]) ?(heaps = [||]) ?(invos = [||]) meths
     entries =
   let classes = match classes with Some c -> c | None -> base_classes () in
-  let p = P.make ~classes ~fields ~sigs:[| base_sig |] ~meths ~vars ~heaps ~invos ~entries in
+  let p = P.make ~classes ~fields ~sigs:[| base_sig |] ~meths ~vars ~heaps ~invos ~entries () in
   match Wf.check p with Ok () -> [] | Error es -> es
 
 let expect_wf_error what substring errs =
@@ -312,6 +312,34 @@ let test_wf_interface_instance_field () =
   let m = mk_meth "m" in
   expect_wf_error "iface field" "declares instance field" (wf_errors ~fields [| m |] [ 0 ])
 
+let test_wf_diagnostics_ids () =
+  (* [Wf.diagnostics] carries stable per-check rule ids, in deterministic
+     emission order (classes, fields, methods and bodies, entries), and
+     [Wf.check] is exactly its message projection. *)
+  let vars : P.var_info array = [| { var_name = "x"; var_owner = 1 } |] in
+  let m0 = mk_meth ~body:[| P.Move { target = 0; source = 0 } |] "m" in
+  let m1 = mk_meth ~static:false ~abstract:true "n" in
+  let p =
+    P.make ~classes:(base_classes ()) ~fields:[||] ~sigs:[| base_sig |] ~meths:[| m0; m1 |]
+      ~vars ~heaps:[||] ~invos:[||] ~entries:[ 0; 1 ] ()
+  in
+  let ds = Wf.diagnostics p in
+  check
+    (Alcotest.list Alcotest.string)
+    "rule ids in emission order"
+    (* The foreign [Move] reports both of its operands, then the entry. *)
+    [ "IPA-W001"; "IPA-W001"; "IPA-W020" ]
+    (List.map (fun (d : Ipa_ir.Diagnostic.t) -> d.rule) ds);
+  List.iter
+    (fun (d : Ipa_ir.Diagnostic.t) ->
+      check Alcotest.string "wf severity" "error" (Ipa_ir.Diagnostic.severity_to_string d.severity))
+    ds;
+  check
+    (Alcotest.list Alcotest.string)
+    "check is the message projection"
+    (List.map (fun (d : Ipa_ir.Diagnostic.t) -> d.message) ds)
+    (match Wf.check p with Ok () -> [] | Error es -> es)
+
 (* ---------- Pretty ---------- *)
 
 let test_pretty_instrs () =
@@ -379,6 +407,7 @@ let () =
           Alcotest.test_case "class extends interface" `Quick test_wf_class_extends_interface;
           Alcotest.test_case "implements class" `Quick test_wf_implements_class;
           Alcotest.test_case "interface instance field" `Quick test_wf_interface_instance_field;
+          Alcotest.test_case "diagnostic ids" `Quick test_wf_diagnostics_ids;
         ] );
       ( "pretty",
         [
