@@ -25,9 +25,16 @@
    benchmarks and writes the per-rule wall-clocks and finding counts to
    BENCH_lint.json.
 
+   The [solver] selection (also folded into [figs]/[all]) measures
+   intra-solve scaling: the same solve sharded across --shards K domains on
+   the cyclic benchmarks, with a built-in assertion that every sharded
+   solution is byte-identical to the sequential one. The scaling rows land
+   in BENCH_solver.json under "solver_scaling" with a speedup_vs_1 column.
+
    Usage:
-     main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|lint|micro|all]
-              [--scale S] [--budget N] [--jobs N] [--cache-dir DIR]
+     main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|lint|solver|micro|all]
+              [--scale S] [--budget N] [--jobs N] [--shards K1,K2,...]
+              [--cache-dir DIR] [--check-against FILE]
 *)
 
 module Flavors = Ipa_core.Flavors
@@ -35,7 +42,7 @@ module Experiments = Ipa_harness.Experiments
 
 let usage () =
   prerr_endline
-    "usage: main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|lint|micro|all] [--scale S] [--budget N] [--jobs N] [--cache-dir DIR] [--check-against FILE]";
+    "usage: main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|lint|solver|micro|all] [--scale S] [--budget N] [--jobs N] [--shards K1,K2,...] [--cache-dir DIR] [--check-against FILE]";
   exit 2
 
 type selection =
@@ -47,6 +54,7 @@ type selection =
   | Cache_smoke
   | Query_bench
   | Lint_bench
+  | Solver_scaling
   | Micro
   | All
 
@@ -55,6 +63,7 @@ let parse_args () =
   let cfg = ref Ipa_harness.Config.default in
   let cache_dir = ref "_ipa_cache" in
   let check_against = ref None in
+  let shards_list = ref [ 1; 2; 4; 8 ] in
   let rec go = function
     | [] -> ()
     | "fig1" :: rest ->
@@ -93,6 +102,15 @@ let parse_args () =
     | "lint" :: rest ->
       selection := Lint_bench;
       go rest
+    | "solver" :: rest ->
+      selection := Solver_scaling;
+      go rest
+    | "--shards" :: v :: rest ->
+      let ks = List.map int_of_string_opt (String.split_on_char ',' v) in
+      if ks <> [] && List.for_all (function Some k -> k >= 1 | None -> false) ks then
+        shards_list := List.filter_map Fun.id ks
+      else usage ();
+      go rest
     | "micro" :: rest ->
       selection := Micro;
       go rest
@@ -117,7 +135,120 @@ let parse_args () =
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!selection, !cfg, !cache_dir, !check_against)
+  (!selection, !cfg, !cache_dir, !check_against, !shards_list)
+
+(* ---------- intra-solve scaling: the sharded solver curve ---------- *)
+
+(* The tentpole measurement: the same solve at 1, 2, 4, ... worklist shards
+   on the benchmarks whose copy graphs are cyclic enough to stress the
+   partitioner (jython, bloat, xalan) under the two context-sensitive
+   flavors with the heaviest propagation. Every K > 1 run is asserted
+   byte-identical to the sequential solve — zeroing only the K-dependent
+   counters — before its wall-clock is trusted. *)
+
+type scaling_row = {
+  shards : int;
+  speedup_vs_1 : float;
+  run : Experiments.run;
+}
+
+let scaling_specs () =
+  List.filter_map Ipa_synthetic.Dacapo.find [ "jython"; "bloat"; "xalan" ]
+
+let scaling_flavors =
+  [ Flavors.Object_sens { depth = 2; heap = 1 }; Flavors.Call_site { depth = 2; heap = 1 } ]
+
+let canonical_bytes program (s : Ipa_core.Solution.t) =
+  let module Snapshot = Ipa_core.Snapshot in
+  Snapshot.encode
+    {
+      Snapshot.key = "scaling";
+      program_digest = Snapshot.digest_program program;
+      label = "scaling";
+      seconds = 0.0;
+      solution = { s with counters = Ipa_core.Solution.zero_counters };
+      metrics = None;
+    }
+
+let compute_scaling (cfg : Ipa_harness.Config.t) shards_list =
+  (* The baseline always runs, whether or not 1 is in the requested list. *)
+  let ks = List.sort_uniq compare (1 :: shards_list) in
+  List.concat_map
+    (fun (spec : Ipa_synthetic.Dacapo.spec) ->
+      let program = Ipa_synthetic.Dacapo.build ~scale:cfg.scale spec in
+      List.concat_map
+        (fun flavor ->
+          let solve shards : Ipa_core.Analysis.result =
+            let config =
+              Ipa_core.Solver.plain program ~budget:cfg.budget ~shards
+                (Flavors.strategy program flavor)
+            in
+            Ipa_core.Analysis.run_config program ~label:(Flavors.to_string flavor) config
+          in
+          let base = solve 1 in
+          let base_bytes = canonical_bytes program base.solution in
+          List.map
+            (fun k ->
+              let r = if k = 1 then base else solve k in
+              if
+                k > 1
+                && (r.solution.derivations <> base.solution.derivations
+                   || not (String.equal (canonical_bytes program r.solution) base_bytes))
+              then begin
+                prerr_endline
+                  (Printf.sprintf
+                     "scaling FAILED: %s %s at %d shard(s) differs from the sequential solve"
+                     spec.name (Flavors.to_string flavor) k);
+                exit 1
+              end;
+              {
+                shards = k;
+                speedup_vs_1 = (if r.seconds > 0.0 then base.seconds /. r.seconds else 0.0);
+                run = Experiments.of_result spec.name r;
+              })
+            ks)
+        scaling_flavors)
+    (scaling_specs ())
+
+let print_scaling rows =
+  print_endline "== Intra-solve scaling: one solve sharded across domains ==";
+  Printf.printf "cores available to this process: %d\n" (Domain.recommended_domain_count ());
+  let row (s : scaling_row) =
+    let r = s.run in
+    let dps = if r.seconds > 0.0 then float_of_int r.derivations /. r.seconds else 0.0 in
+    [
+      r.bench;
+      r.analysis;
+      string_of_int s.shards;
+      (if r.timed_out then Ipa_harness.Config.timeout_label else Printf.sprintf "%.2f" r.seconds);
+      Printf.sprintf "%.2fx" s.speedup_vs_1;
+      Printf.sprintf "%.0f" dps;
+      Printf.sprintf "%.0f" (dps /. float_of_int s.shards);
+      string_of_int r.counters.sync_rounds;
+      string_of_int r.counters.deltas_exchanged;
+    ]
+  in
+  Ipa_support.Ascii_table.print
+    ~header:
+      [
+        "benchmark"; "analysis"; "shards"; "time(s)"; "speedup"; "derivs/s"; "derivs/s/shard";
+        "sync rounds"; "deltas";
+      ]
+    (List.map row rows);
+  print_endline
+    "(identity gate: every sharded row above was checked byte-identical to its shards=1 row)";
+  print_newline ()
+
+(* One JSON object per line so the --check-against scan can match a row by
+   its (bench, analysis, shards) prefix and compare the rest textually. *)
+let scaling_row_json (s : scaling_row) =
+  let r = s.run in
+  let c = r.counters in
+  Printf.sprintf
+    {|    {"bench": "%s", "analysis": "%s", "shards": %d, "seconds": %.6f, "speedup_vs_1": %.3f, "derivations": %d, "timed_out": %b, "sync_rounds": %d, "deltas_exchanged": %d, "cross_shard_edges": %d, "batch_objs": %d, "cycles_collapsed": %d, "repropagations_avoided": %d}|}
+    r.bench r.analysis s.shards r.seconds s.speedup_vs_1 r.derivations r.timed_out c.sync_rounds
+    c.deltas_exchanged c.cross_shard_edges c.batch_objs c.cycles_collapsed
+    c.repropagations_avoided
 
 (* ---------- BENCH_solver.json ---------- *)
 
@@ -127,12 +258,12 @@ let run_json (r : Experiments.run) =
   let c = r.counters in
   Printf.sprintf
     {|    {"bench": "%s", "analysis": "%s", "seconds": %.6f, "derivations": %d, "timed_out": %b,
-     "counters": {"edges_added": %d, "edges_deduped": %d, "batches": %d, "batch_objs": %d, "max_batch": %d, "set_promotions": %d, "cycles_collapsed": %d, "nodes_merged": %d, "repropagations_avoided": %d}}|}
+     "counters": {"edges_added": %d, "edges_deduped": %d, "batches": %d, "batch_objs": %d, "max_batch": %d, "set_promotions": %d, "cycles_collapsed": %d, "nodes_merged": %d, "repropagations_avoided": %d, "shards": %d, "sync_rounds": %d, "deltas_exchanged": %d, "cross_shard_edges": %d}}|}
     r.bench r.analysis r.seconds r.derivations r.timed_out c.edges_added c.edges_deduped c.batches
     c.batch_objs c.max_batch c.set_promotions c.cycles_collapsed c.nodes_merged
-    c.repropagations_avoided
+    c.repropagations_avoided c.shards c.sync_rounds c.deltas_exchanged c.cross_shard_edges
 
-let write_json (cfg : Ipa_harness.Config.t) (report : Experiments.report) =
+let write_json ?(scaling = []) (cfg : Ipa_harness.Config.t) (report : Experiments.report) =
   let runs =
     report.fig1 @ report.fig5 @ report.fig6 @ report.fig7 @ report.taint
   in
@@ -150,6 +281,10 @@ let write_json (cfg : Ipa_harness.Config.t) (report : Experiments.report) =
           cycles_collapsed = acc.cycles_collapsed + c.cycles_collapsed;
           nodes_merged = acc.nodes_merged + c.nodes_merged;
           repropagations_avoided = acc.repropagations_avoided + c.repropagations_avoided;
+          shards = max acc.shards c.shards;
+          sync_rounds = acc.sync_rounds + c.sync_rounds;
+          deltas_exchanged = acc.deltas_exchanged + c.deltas_exchanged;
+          cross_shard_edges = acc.cross_shard_edges + c.cross_shard_edges;
         })
       Ipa_core.Solution.zero_counters runs
   in
@@ -165,27 +300,40 @@ let write_json (cfg : Ipa_harness.Config.t) (report : Experiments.report) =
   let section name rs =
     Printf.sprintf "  \"%s\": [\n%s\n  ]" name (String.concat ",\n" (List.map run_json rs))
   in
+  let scaling_section =
+    if scaling = [] then []
+    else
+      [
+        Printf.sprintf "  \"solver_scaling\": [\n%s\n  ]"
+          (String.concat ",\n" (List.map scaling_row_json scaling));
+      ]
+  in
   let body =
     String.concat ",\n"
-      [
-        Printf.sprintf "  \"scale\": %g" cfg.scale;
-        Printf.sprintf "  \"budget\": %d" cfg.budget;
-        Printf.sprintf "  \"jobs\": %d" cfg.jobs;
-        section "fig1" report.fig1;
-        section "fig5" report.fig5;
-        section "fig6" report.fig6;
-        section "fig7" report.fig7;
-        section "taint" report.taint;
-        Printf.sprintf
-          "  \"totals\": {\"runs\": %d, \"derivations\": %d, \"edges_added\": %d, \
-           \"edges_deduped\": %d, \"batches\": %d, \"batch_objs\": %d, \"max_batch\": %d, \
-           \"set_promotions\": %d, \"cycles_collapsed\": %d, \"nodes_merged\": %d, \
-           \"repropagations_avoided\": %d, \"derivations_per_second\": %.1f}"
-          (List.length runs) total_derivations totals.edges_added totals.edges_deduped
-          totals.batches totals.batch_objs totals.max_batch totals.set_promotions
-          totals.cycles_collapsed totals.nodes_merged totals.repropagations_avoided
-          derivations_per_second;
-      ]
+      ([
+         Printf.sprintf "  \"scale\": %g" cfg.scale;
+         Printf.sprintf "  \"budget\": %d" cfg.budget;
+         Printf.sprintf "  \"jobs\": %d" cfg.jobs;
+         Printf.sprintf "  \"cores\": %d" (Domain.recommended_domain_count ());
+         section "fig1" report.fig1;
+         section "fig5" report.fig5;
+         section "fig6" report.fig6;
+         section "fig7" report.fig7;
+         section "taint" report.taint;
+       ]
+      @ scaling_section
+      @ [
+          Printf.sprintf
+            "  \"totals\": {\"runs\": %d, \"derivations\": %d, \"edges_added\": %d, \
+             \"edges_deduped\": %d, \"batches\": %d, \"batch_objs\": %d, \"max_batch\": %d, \
+             \"set_promotions\": %d, \"cycles_collapsed\": %d, \"nodes_merged\": %d, \
+             \"repropagations_avoided\": %d, \"sync_rounds\": %d, \"deltas_exchanged\": %d, \
+             \"derivations_per_second\": %.1f}"
+            (List.length runs) total_derivations totals.edges_added totals.edges_deduped
+            totals.batches totals.batch_objs totals.max_batch totals.set_promotions
+            totals.cycles_collapsed totals.nodes_merged totals.repropagations_avoided
+            totals.sync_rounds totals.deltas_exchanged derivations_per_second;
+        ])
   in
   Out_channel.with_open_text json_path (fun oc ->
       Out_channel.output_string oc ("{\n" ^ body ^ "\n}\n"));
@@ -272,11 +420,89 @@ let check_against ~file (report : Experiments.report) =
   check "batch_objs" fresh_batch_objs base_batch_objs batch_objs_tolerance;
   print_endline "bench check OK: totals within tolerance of committed baseline"
 
-let run_figs ?baseline cfg =
+(* Scaling rows carry wall-clock, which legitimately drifts between
+   machines and runs; every other field is a deterministic counter. The
+   comparison strips the timing fields from both sides and demands the rest
+   match exactly — counter drift at any shard count is a solver change. *)
+let strip_scaling_timing line =
+  let strip field line =
+    match find_substring line (Printf.sprintf "\"%s\":" field) 0 with
+    | None -> line
+    | Some at ->
+      let len = String.length line in
+      let j = ref at in
+      while !j < len && line.[!j] <> ',' && line.[!j] <> '}' do
+        incr j
+      done;
+      let stop = if !j < len && line.[!j] = ',' then !j + 1 else !j in
+      let stop = if stop < len && line.[stop] = ' ' then stop + 1 else stop in
+      String.sub line 0 at ^ String.sub line stop (len - stop)
+  in
+  strip "seconds" (strip "speedup_vs_1" line)
+
+let check_scaling_against ~file rows =
+  let contents =
+    match In_channel.with_open_text file In_channel.input_all with
+    | s -> s
+    | exception Sys_error msg ->
+      prerr_endline ("bench check FAILED: cannot read baseline: " ^ msg);
+      exit 1
+  in
+  match find_substring contents "\"solver_scaling\"" 0 with
+  | None ->
+    print_endline
+      "bench check: baseline has no solver_scaling section (pre-sharding baseline); skipping"
+  | Some section_at ->
+    let missing = ref 0 in
+    List.iter
+      (fun (s : scaling_row) ->
+        let key =
+          Printf.sprintf {|{"bench": "%s", "analysis": "%s", "shards": %d,|} s.run.bench
+            s.run.analysis s.shards
+        in
+        match find_substring contents key section_at with
+        | None -> incr missing
+        | Some at ->
+          let line_end =
+            match String.index_from_opt contents at '\n' with
+            | Some i -> i
+            | None -> String.length contents
+          in
+          let committed = String.trim (String.sub contents at (line_end - at)) in
+          let committed =
+            let n = String.length committed in
+            if n > 0 && committed.[n - 1] = ',' then String.sub committed 0 (n - 1)
+            else committed
+          in
+          let fresh = String.trim (scaling_row_json s) in
+          if strip_scaling_timing fresh <> strip_scaling_timing committed then begin
+            prerr_endline
+              (Printf.sprintf
+                 "bench check FAILED: solver_scaling counters drifted for %s %s at %d shard(s)\n\
+                 \  committed: %s\n\
+                 \  fresh:     %s"
+                 s.run.bench s.run.analysis s.shards
+                 (strip_scaling_timing committed) (strip_scaling_timing fresh));
+            exit 1
+          end)
+      rows;
+    if !missing > 0 then
+      Printf.printf
+        "bench check: %d scaling row(s) absent from baseline (new configuration); skipped\n%!"
+        !missing;
+    print_endline "bench check OK: solver_scaling counters match the committed baseline"
+
+let run_figs ?baseline ~shards_list cfg =
   let report = Experiments.compute_report cfg in
   Experiments.print_report cfg report;
-  write_json cfg report;
-  match baseline with None -> () | Some file -> check_against ~file report
+  let scaling = compute_scaling cfg shards_list in
+  print_scaling scaling;
+  write_json ~scaling cfg report;
+  match baseline with
+  | None -> ()
+  | Some file ->
+    check_against ~file report;
+    check_scaling_against ~file scaling
 
 (* ---------- BENCH_cache.json: cold vs warm differential ---------- *)
 
@@ -637,18 +863,22 @@ let run_bechamel () =
     tests
 
 let () =
-  let selection, cfg, cache_dir, baseline = parse_args () in
+  let selection, cfg, cache_dir, baseline, shards_list = parse_args () in
   (match selection with
   | Fig1 -> Experiments.Fig1.print cfg
   | Fig4 -> Experiments.Fig4.print cfg
   | Fig flavor -> Experiments.Figs567.print cfg flavor
-  | Figs -> run_figs ?baseline cfg
+  | Figs -> run_figs ?baseline ~shards_list cfg
   | All ->
-    run_figs ?baseline cfg;
+    run_figs ?baseline ~shards_list cfg;
     Ipa_harness.Ablation.print_all cfg
   | Ablation -> Ipa_harness.Ablation.print_all cfg
   | Cache_smoke -> run_cache_smoke cfg ~dir:cache_dir
   | Query_bench -> run_query_bench cfg
   | Lint_bench -> run_lint_bench cfg
+  | Solver_scaling ->
+    let rows = compute_scaling cfg shards_list in
+    print_scaling rows;
+    (match baseline with None -> () | Some file -> check_scaling_against ~file rows)
   | Micro -> ());
   match selection with Micro | All -> run_bechamel () | _ -> ()

@@ -68,6 +68,15 @@ let budget_arg =
     & info [ "budget" ] ~docv:"N"
         ~doc:"Derivation budget (deterministic timeout); 0 means unlimited.")
 
+let shards_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "shards" ] ~docv:"K"
+        ~doc:
+          "Worklist shards (domains) within each solve. Results are byte-identical at any \
+           shard count; only wall-clock varies. Default 1 (sequential).")
+
 let scale_arg =
   Arg.(
     value
@@ -118,16 +127,16 @@ let print_result ~verbose p (r : Ipa_core.Analysis.result) =
   end
 
 let analyze_cmd =
-  let run path flavor heuristic budget verbose =
+  let run path flavor heuristic budget shards verbose =
     match load_program path with
     | Error msg ->
       prerr_endline msg;
       1
     | Ok p ->
       (match heuristic with
-      | None -> print_result ~verbose p (Ipa_core.Analysis.run_plain ~budget p flavor)
+      | None -> print_result ~verbose p (Ipa_core.Analysis.run_plain ~budget ~shards p flavor)
       | Some h ->
-        let ir = Ipa_core.Analysis.run_introspective ~budget p flavor h in
+        let ir = Ipa_core.Analysis.run_introspective ~budget ~shards p flavor h in
         Printf.printf "first pass    %s  %.3fs  (%d derivations)\n" ir.base.label ir.base.seconds
           ir.base.solution.derivations;
         Printf.printf "selection     %d/%d sites and %d/%d objects kept context-insensitive\n"
@@ -141,14 +150,14 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run a points-to analysis on a .jir program.")
-    Term.(const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ verbose_arg)
+    Term.(const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ shards_arg $ verbose_arg)
 
 (* ---------- client-analysis commands ---------- *)
 
 (* Run the configured analysis and hand its solution to a report printer.
    [to_stderr] moves the analysis banner off stdout so machine-readable
    reports (--json) stay parseable. *)
-let with_solution ?(to_stderr = false) path flavor heuristic budget k =
+let with_solution ?(to_stderr = false) path flavor heuristic budget shards k =
   match load_program path with
   | Error msg ->
     prerr_endline msg;
@@ -156,8 +165,8 @@ let with_solution ?(to_stderr = false) path flavor heuristic budget k =
   | Ok p ->
     let result =
       match heuristic with
-      | None -> Ipa_core.Analysis.run_plain ~budget p flavor
-      | Some h -> (Ipa_core.Analysis.run_introspective ~budget p flavor h).second
+      | None -> Ipa_core.Analysis.run_plain ~budget ~shards p flavor
+      | Some h -> (Ipa_core.Analysis.run_introspective ~budget ~shards p flavor h).second
     in
     if result.timed_out then begin
       Printf.eprintf "%s exceeded its derivation budget; results are partial\n" result.label;
@@ -173,9 +182,11 @@ let with_solution ?(to_stderr = false) path flavor heuristic budget k =
     end
 
 let client_cmd name ~doc k =
-  let run path flavor heuristic budget = with_solution path flavor heuristic budget k in
+  let run path flavor heuristic budget shards =
+    with_solution path flavor heuristic budget shards k
+  in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg)
+    Term.(const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ shards_arg)
 
 let client_json_arg =
   Arg.(
@@ -184,8 +195,8 @@ let client_json_arg =
         ~doc:"Emit one JSON object per finding (the lint jsonl format) instead of text.")
 
 let devirt_cmd =
-  let run path flavor heuristic budget json =
-    with_solution ~to_stderr:json path flavor heuristic budget (fun _ s ->
+  let run path flavor heuristic budget shards json =
+    with_solution ~to_stderr:json path flavor heuristic budget shards (fun _ s ->
         let summary = Ipa_clients.Devirtualize.summarize s in
         (* Threshold 2 = every polymorphic site, as the old report showed. *)
         let ds =
@@ -201,11 +212,13 @@ let devirt_cmd =
   in
   Cmd.v
     (Cmd.info "devirt" ~doc:"Report devirtualizable and polymorphic call sites.")
-    Term.(const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ client_json_arg)
+    Term.(
+      const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ shards_arg
+      $ client_json_arg)
 
 let casts_cmd =
-  let run path flavor heuristic budget json =
-    with_solution ~to_stderr:json path flavor heuristic budget (fun _ s ->
+  let run path flavor heuristic budget shards json =
+    with_solution ~to_stderr:json path flavor heuristic budget shards (fun _ s ->
         let ds =
           List.sort_uniq Ipa_ir.Diagnostic.compare (Ipa_lint.Semantic.may_fail_cast s)
         in
@@ -217,7 +230,9 @@ let casts_cmd =
   in
   Cmd.v
     (Cmd.info "casts" ~doc:"Report casts that may fail under the analysis.")
-    Term.(const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ client_json_arg)
+    Term.(
+      const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ shards_arg
+      $ client_json_arg)
 
 let exceptions_cmd =
   client_cmd "exceptions" ~doc:"Report uncaught exceptions and handler contents." (fun _ s ->
@@ -229,8 +244,8 @@ let hotspots_cmd =
       Ipa_core.Diagnostics.print s)
 
 let callgraph_cmd =
-  let run path flavor heuristic budget output =
-    with_solution path flavor heuristic budget (fun _ s ->
+  let run path flavor heuristic budget shards output =
+    with_solution path flavor heuristic budget shards (fun _ s ->
         match output with
         | Some out ->
           Ipa_clients.Callgraph_export.write_dot s ~path:out;
@@ -243,10 +258,10 @@ let callgraph_cmd =
   in
   Cmd.v
     (Cmd.info "callgraph" ~doc:"Export the collapsed call graph as Graphviz DOT.")
-    Term.(const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ output_arg)
+    Term.(const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ shards_arg $ output_arg)
 
 let taint_cmd =
-  let run path flavor heuristic budget spec_path =
+  let run path flavor heuristic budget shards spec_path =
     let spec =
       match spec_path with
       | None -> Ok Ipa_clients.Taint.default_spec
@@ -257,7 +272,7 @@ let taint_cmd =
       prerr_endline msg;
       1
     | Ok spec ->
-      with_solution path flavor heuristic budget (fun p s ->
+      with_solution path flavor heuristic budget shards (fun p s ->
           (match Ipa_core.Solution.self_check s with
           | [] -> Printf.printf "self-check: ok\n"
           | errs ->
@@ -308,7 +323,7 @@ let taint_cmd =
   Cmd.v
     (Cmd.info "taint"
        ~doc:"Report source-to-sink taint flows over the solution's value-flow graph.")
-    Term.(const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ spec_arg)
+    Term.(const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ shards_arg $ spec_arg)
 
 let compare_cmd =
   let run path coarse fine budget =
@@ -346,8 +361,8 @@ let compare_cmd =
     Term.(const run $ file_arg $ coarse_arg $ fine_arg $ budget_arg)
 
 let dump_cmd =
-  let run path flavor heuristic budget full output =
-    with_solution path flavor heuristic budget (fun _ s ->
+  let run path flavor heuristic budget shards full output =
+    with_solution path flavor heuristic budget shards (fun _ s ->
         match output with
         | Some out ->
           Ipa_clients.Facts_dump.write ~full s ~path:out;
@@ -365,7 +380,9 @@ let dump_cmd =
   in
   Cmd.v
     (Cmd.info "dump" ~doc:"Dump the computed relations as diffable text facts.")
-    Term.(const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ full_arg $ output_arg)
+    Term.(
+      const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ shards_arg $ full_arg
+      $ output_arg)
 
 (* ---------- metrics ---------- *)
 
@@ -498,7 +515,7 @@ let datalog_cmd =
 module Snapshot = Ipa_core.Snapshot
 
 let solve_cmd =
-  let run path flavor heuristic budget save load =
+  let run path flavor heuristic budget shards save load =
     match load with
     | Some snap_path -> (
       (* Load a previously saved snapshot instead of solving. *)
@@ -546,16 +563,16 @@ let solve_cmd =
           match heuristic with
           | None ->
             let flavor_strategy = Ipa_core.Flavors.strategy p flavor in
-            let config = Ipa_core.Solver.plain p ~budget flavor_strategy in
+            let config = Ipa_core.Solver.plain p ~budget ~shards flavor_strategy in
             ( Ipa_core.Analysis.run_config p ~label:(Flavors.to_string flavor) config,
               Snapshot.config_key ~program_digest config )
           | Some h ->
-            let ir = Ipa_core.Analysis.run_introspective ~budget p flavor h in
+            let ir = Ipa_core.Analysis.run_introspective ~budget ~shards p flavor h in
             Printf.printf "first pass    %s  %.3fs  (%d derivations)\n" ir.base.label
               ir.base.seconds ir.base.solution.derivations;
             ( ir.second,
               Snapshot.config_key ~program_digest
-                (Ipa_core.Analysis.second_pass_config ~budget p flavor ir.refine) )
+                (Ipa_core.Analysis.second_pass_config ~budget ~shards p flavor ir.refine) )
         in
         print_result ~verbose:false p result;
         (match save with
@@ -595,7 +612,9 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Run an analysis and save the solution as a snapshot, or reload a saved one.")
-    Term.(const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ save_arg $ load_arg)
+    Term.(
+      const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ shards_arg $ save_arg
+      $ load_arg)
 
 (* ---------- cache maintenance ---------- *)
 
@@ -651,7 +670,7 @@ let cache_cmd =
 (* The initial solution of a query session: a saved snapshot when
    --load-solution is given, otherwise a solve of the configured analysis
    (through the snapshot cache when the server has one). *)
-let obtain_solution ?cache path flavor heuristic budget load =
+let obtain_solution ?cache path flavor heuristic budget shards load =
   match load_program path with
   | Error msg -> Error msg
   | Ok p -> (
@@ -668,21 +687,21 @@ let obtain_solution ?cache path flavor heuristic budget load =
       | None ->
         let r =
           match heuristic with
-          | None -> Ipa_core.Analysis.run_plain ~budget p flavor
-          | Some h -> (Ipa_core.Analysis.run_introspective ~budget p flavor h).second
+          | None -> Ipa_core.Analysis.run_plain ~budget ~shards p flavor
+          | Some h -> (Ipa_core.Analysis.run_introspective ~budget ~shards p flavor h).second
         in
         Ok (p, r.label, r.solution)
       | Some cache -> (
         match heuristic with
         | None ->
-          let config = Ipa_core.Solver.plain p ~budget (Flavors.strategy p flavor) in
+          let config = Ipa_core.Solver.plain p ~budget ~shards (Flavors.strategy p flavor) in
           let r, _ = Ipa_harness.Cache.solve cache p ~label:(Flavors.to_string flavor) config in
           Ok (p, r.label, r.solution)
         | Some h ->
           let base, metrics = Ipa_harness.Cache.base_pass cache ~budget p in
           let refine = Heuristics.select base.solution metrics h in
           let label = Flavors.to_string flavor ^ "-" ^ Heuristics.name h in
-          let config = Ipa_core.Analysis.second_pass_config ~budget p flavor refine in
+          let config = Ipa_core.Analysis.second_pass_config ~budget ~shards p flavor refine in
           let r, _ = Ipa_harness.Cache.solve cache p ~label config in
           Ok (p, r.label, r.solution))))
 
@@ -700,8 +719,8 @@ let timings_arg =
   Arg.(value & flag & info [ "timings" ] ~doc:"Append per-query evaluation latency to each answer.")
 
 let query_cmd =
-  let run path flavor heuristic budget load queries json timings =
-    match obtain_solution path flavor heuristic budget load with
+  let run path flavor heuristic budget shards load queries json timings =
+    match obtain_solution path flavor heuristic budget shards load with
     | Error msg ->
       prerr_endline msg;
       1
@@ -725,13 +744,13 @@ let query_cmd =
     (Cmd.info "query"
        ~doc:"Answer points-to queries (pts, alias, callees, reach, taint, ...) over a solution.")
     Term.(
-      const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ load_solution_arg
-      $ queries_arg $ json_arg $ timings_arg)
+      const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ shards_arg
+      $ load_solution_arg $ queries_arg $ json_arg $ timings_arg)
 
 let serve_cmd =
-  let run path flavor heuristic budget load cache_dir jobs json timings socket =
+  let run path flavor heuristic budget shards load cache_dir jobs json timings socket =
     let cache = Option.map (fun dir -> Ipa_harness.Cache.create ~dir ()) cache_dir in
-    match obtain_solution ?cache path flavor heuristic budget load with
+    match obtain_solution ?cache path flavor heuristic budget shards load with
     | Error msg ->
       prerr_endline msg;
       1
@@ -783,13 +802,13 @@ let serve_cmd =
          "Run a persistent query session: answers queries line by line, hot-loads snapshots \
           with $(b,load path/key), ends at $(b,quit) or end of input.")
     Term.(
-      const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ load_solution_arg
-      $ serve_cache_dir_arg $ jobs_arg $ json_arg $ timings_arg $ socket_arg)
+      const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ shards_arg
+      $ load_solution_arg $ serve_cache_dir_arg $ jobs_arg $ json_arg $ timings_arg $ socket_arg)
 
 (* ---------- lint ---------- *)
 
 let lint_cmd =
-  let run path flavor heuristic budget rules_spec no_solve format output baseline_path
+  let run path flavor heuristic budget shards rules_spec no_solve format output baseline_path
       update_baseline jobs mega taint_spec_path =
     let ( let* ) r k =
       match r with
@@ -810,8 +829,8 @@ let lint_cmd =
       else begin
         let r =
           match heuristic with
-          | None -> Ipa_core.Analysis.run_plain ~budget p flavor
-          | Some h -> (Ipa_core.Analysis.run_introspective ~budget p flavor h).second
+          | None -> Ipa_core.Analysis.run_plain ~budget ~shards p flavor
+          | Some h -> (Ipa_core.Analysis.run_introspective ~budget ~shards p flavor h).second
         in
         if r.timed_out then
           Printf.eprintf
@@ -938,9 +957,9 @@ let lint_cmd =
          "Run the diagnostics suite: syntactic rules plus solution-backed rules grounded in a \
           points-to analysis.")
     Term.(
-      const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ rules_arg $ no_solve_arg
-      $ format_arg $ output_arg $ baseline_arg $ update_baseline_arg $ jobs_arg $ mega_arg
-      $ taint_spec_arg)
+      const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ shards_arg $ rules_arg
+      $ no_solve_arg $ format_arg $ output_arg $ baseline_arg $ update_baseline_arg $ jobs_arg
+      $ mega_arg $ taint_spec_arg)
 
 (* ---------- experiments ---------- *)
 

@@ -21,8 +21,10 @@ type result = {
   timed_out : bool;  (** derivation budget exceeded; tables are partial *)
 }
 
-val run_plain : ?budget:int -> Ipa_ir.Program.t -> Flavors.spec -> result
-(** [budget] is the maximum number of derivations (default unlimited). *)
+val run_plain : ?budget:int -> ?shards:int -> Ipa_ir.Program.t -> Flavors.spec -> result
+(** [budget] is the maximum number of derivations (default unlimited);
+    [shards] splits the solve across that many domains (default 1,
+    sequential) with byte-identical results — see {!Solver.run}. *)
 
 val run_config : Ipa_ir.Program.t -> label:string -> Solver.config -> result
 (** Run an arbitrary solver configuration, timing it and stamping the
@@ -31,7 +33,7 @@ val run_config : Ipa_ir.Program.t -> label:string -> Solver.config -> result
     keyed). *)
 
 val second_pass_config :
-  ?budget:int -> Ipa_ir.Program.t -> Flavors.spec -> Refine.t -> Solver.config
+  ?budget:int -> ?shards:int -> Ipa_ir.Program.t -> Flavors.spec -> Refine.t -> Solver.config
 (** The configuration of an introspective (or client-driven) second pass:
     context-insensitive constructors by default, [flavor]'s constructors on
     the elements selected by [refine], LIFO worklist, field-sensitive.
@@ -47,13 +49,14 @@ type introspective = {
 }
 
 val run_introspective :
-  ?budget:int -> Ipa_ir.Program.t -> Flavors.spec -> Heuristics.t -> introspective
+  ?budget:int -> ?shards:int -> Ipa_ir.Program.t -> Flavors.spec -> Heuristics.t -> introspective
 (** The [budget] applies to each pass separately. If the first pass itself
     exceeds the budget (which defeats the technique's premise), the
     heuristics run on its partial results and [base.timed_out] is set. *)
 
 val run_introspective_from_base :
   ?budget:int ->
+  ?shards:int ->
   Ipa_ir.Program.t ->
   base:result ->
   metrics:Introspection.t ->
@@ -75,13 +78,19 @@ type client_driven = {
 }
 
 val run_client_driven :
-  ?budget:int -> Ipa_ir.Program.t -> Flavors.spec -> Client_driven.query -> client_driven
+  ?budget:int ->
+  ?shards:int ->
+  Ipa_ir.Program.t ->
+  Flavors.spec ->
+  Client_driven.query ->
+  client_driven
 (** The §5 comparison baseline: refine only the dependence slice of the
     query variables (see {!Client_driven}), everything else stays
     context-insensitive. *)
 
 val run_client_driven_from_base :
   ?budget:int ->
+  ?shards:int ->
   Ipa_ir.Program.t ->
   base:result ->
   Flavors.spec ->
@@ -94,6 +103,7 @@ val run_client_driven_from_base :
 
 val run_mixed :
   ?budget:int ->
+  ?shards:int ->
   Ipa_ir.Program.t ->
   default:Flavors.spec ->
   refined:Flavors.spec ->

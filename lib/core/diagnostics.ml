@@ -103,6 +103,14 @@ let print_counters (s : Solution.t) =
         string_of_int c.repropagations_avoided;
         pct c.repropagations_avoided s.derivations ^ " of derivations";
       ];
+      [ "solver shards"; string_of_int c.shards; (if c.shards <= 1 then "sequential" else "") ];
+      [ "sync rounds"; string_of_int c.sync_rounds; "cross-shard barriers" ];
+      [
+        "deltas exchanged";
+        string_of_int c.deltas_exchanged;
+        pct c.deltas_exchanged c.batch_objs ^ " of batch objects";
+      ];
+      [ "cross-shard edges"; string_of_int c.cross_shard_edges; "in the last partition" ];
     ]
 
 let top_methods ?(limit = 15) s = take limit (compute s).methods

@@ -8,8 +8,12 @@ module Program = Ipa_ir.Program
 (* Version 2: solver cycle-elimination counters joined [Solution.counters]
    (cycles_collapsed, nodes_merged, repropagations_avoided), and the
    configuration key grew the worklist order's [Topo] case plus the
-   [collapse_cycles] flag. *)
-let version = 2
+   [collapse_cycles] flag.
+   Version 3: sharded-solve counters joined [Solution.counters] (shards,
+   sync_rounds, deltas_exchanged, cross_shard_edges). The configuration key
+   deliberately does NOT include the shard count: a sharded solve is
+   byte-identical to a sequential one, so both share a cache entry. *)
+let version = 3
 let magic = "IPSN"
 let trailer = "NSPI"
 
@@ -239,7 +243,11 @@ let encode_solution w (s : Solution.t) =
   Writer.uint w c.set_promotions;
   Writer.uint w c.cycles_collapsed;
   Writer.uint w c.nodes_merged;
-  Writer.uint w c.repropagations_avoided
+  Writer.uint w c.repropagations_avoided;
+  Writer.uint w c.shards;
+  Writer.uint w c.sync_rounds;
+  Writer.uint w c.deltas_exchanged;
+  Writer.uint w c.cross_shard_edges
 
 let decode_solution r program : Solution.t =
   let ctxs = decode_ctxs r in
@@ -273,6 +281,10 @@ let decode_solution r program : Solution.t =
   let cycles_collapsed = Reader.uint r in
   let nodes_merged = Reader.uint r in
   let repropagations_avoided = Reader.uint r in
+  let shards = Reader.uint r in
+  let sync_rounds = Reader.uint r in
+  let deltas_exchanged = Reader.uint r in
+  let cross_shard_edges = Reader.uint r in
   {
     Solution.program;
     ctxs;
@@ -295,6 +307,10 @@ let decode_solution r program : Solution.t =
         cycles_collapsed;
         nodes_merged;
         repropagations_avoided;
+        shards;
+        sync_rounds;
+        deltas_exchanged;
+        cross_shard_edges;
       };
     collapsed_vpt_cache = None;
     collapsed_fpt_cache = None;

@@ -28,7 +28,24 @@
 
     A configurable derivation budget bounds the number of tuple insertions;
     exceeding it aborts with [Solution.Budget_exceeded] — our deterministic
-    substitute for the paper's 90-minute wall-clock timeout. *)
+    substitute for the paper's 90-minute wall-clock timeout.
+
+    {b Sharded solving.} With [shards = K >= 2] a single solve is split
+    across [K] OCaml domains. Constraint nodes are partitioned by copy-graph
+    SCC condensation: union-find representatives, sorted by reverse-postorder
+    rank, are cut into [K] contiguous blocks balanced by estimated weight
+    (1 + out-degree + points-to cardinality), so an SCC is never split and
+    intra-shard propagation follows the topological order. Each shard drains
+    its own priority worklist; values crossing a shard boundary travel in
+    per-destination outboxes of (target-node, object) deltas exchanged at
+    synchronization sub-rounds in (source-shard, send-sequence) order.
+    Graph growth (base uses, call dispatch, merges) is deferred to sequential
+    grow phases between propagation rounds, driven by a sorted consumption
+    log, and Tarjan sweeps run on the merged global graph at round boundaries
+    only — so the solve is deterministic and the returned solution (tables,
+    snapshots, cache keys, query answers) is byte-identical to [shards = 1].
+    Budget-limited runs abort at round rather than insertion granularity, so
+    only {e complete} sharded runs are bit-comparable to sequential ones. *)
 
 (** Worklist discipline. The computed fixpoint is identical in all cases
     (asserted by property tests); only the visit order — and hence wall-clock
@@ -50,14 +67,28 @@ type config = {
       (** [false] degrades field handling to a field-based analysis (all base
           objects of a field collapse) — an ablation of a design choice the
           paper's model takes for granted. *)
+  shards : int;
+      (** number of solver shards (domains) for this single solve; [<= 1]
+          runs the sequential solver. When [>= 2], [order] is ignored —
+          sharded propagation is always topology-aware per shard. *)
 }
 
-val plain : Ipa_ir.Program.t -> ?budget:int -> Strategy.t -> config
+val plain : Ipa_ir.Program.t -> ?budget:int -> ?shards:int -> Strategy.t -> config
 (** A non-introspective configuration: [strategy] everywhere, empty refine
-    sets, topological worklist, cycle elimination on, field-sensitive. *)
+    sets, topological worklist, cycle elimination on, field-sensitive,
+    [shards] worklist shards (default 1, i.e. sequential). *)
 
 val run : Ipa_ir.Program.t -> config -> Solution.t
 (** Run to fixpoint (or budget exhaustion) from the program's entry points. *)
+
+val partition_blocks : weights:int array -> shards:int -> int array
+(** The sharded solver's pure partitioner, exposed for tests. Assigns each
+    position of [weights] (positive, in topological order; one position per
+    SCC representative, so components are never split) to a shard: the
+    result is monotone non-decreasing position-to-shard, values in
+    [\[0, shards)], and each shard's summed weight is at most
+    [ceil(total / shards) + max weight]. Raises [Invalid_argument] on
+    [shards < 1] or a non-positive weight. *)
 
 (** {1 Packed copy-edge representation}
 

@@ -28,6 +28,11 @@ type run = {
           {!Ipa_core.Diagnostics.print_counters}) *)
 }
 
+val of_result : string -> Ipa_core.Analysis.result -> run
+(** [of_result bench r] summarizes a solved analysis as a {!run} row —
+    precision and tainted sinks are computed here (and skipped on budget
+    exhaustion, where they would be misleading). *)
+
 val run_to_row : run -> string list
 (** Table cells: analysis, time, derivations, the three precision metrics,
     tainted sinks. *)

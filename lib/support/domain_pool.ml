@@ -101,6 +101,10 @@ let map t f items =
 
 let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
 
+let run_shards t ~shards f =
+  if shards < 1 then invalid_arg "Domain_pool.run_shards: shards must be >= 1";
+  map t f (Array.init shards Fun.id)
+
 let with_pool ~jobs f =
   let t = create ~jobs in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -28,6 +28,14 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 
+val run_shards : t -> shards:int -> (int -> 'a) -> 'a array
+(** [run_shards t ~shards f] runs [f 0 .. f (shards - 1)] on the pooled
+    domains and returns the results in shard order — one synchronization
+    round of a sharded solve. The pool's domains are reused across rounds,
+    so a round costs a queue hand-off rather than [shards] domain spawns.
+    Exception discipline is {!map}'s (lowest shard index wins). Raises
+    [Invalid_argument] when [shards < 1]. *)
+
 val shutdown : t -> unit
 (** Signals the workers to exit and joins them. Idempotent. Subsequent
     {!map} calls raise [Invalid_argument]. *)

@@ -270,7 +270,7 @@ let test_budget_monotone () =
 
 (* ---------- solver configuration invariants ---------- *)
 
-let config_with p flavor ~order ?(collapse = false) ~field_sensitive () :
+let config_with p flavor ~order ?(collapse = false) ?(shards = 1) ~field_sensitive () :
     Ipa_core.Solver.config =
   {
     default_strategy = Ipa_core.Flavors.strategy p flavor;
@@ -280,6 +280,7 @@ let config_with p flavor ~order ?(collapse = false) ~field_sensitive () :
     order;
     collapse_cycles = collapse;
     field_sensitive;
+    shards;
   }
 
 let test_worklist_order_independence () =
@@ -376,6 +377,7 @@ let test_collapse_differential =
                         order;
                         collapse_cycles = collapse;
                         field_sensitive = true;
+                        shards = 1;
                       }))
               [ Ipa_core.Heuristics.default_a; Ipa_core.Heuristics.default_b ])
         [
@@ -385,6 +387,173 @@ let test_collapse_differential =
           Ipa_core.Flavors.Call_site { depth = 2; heap = 1 };
         ];
       true)
+
+(* ---------- sharded-solve differential ---------- *)
+
+(* The sharded solver's determinism contract: a solve split across K domains
+   must be invisible above the solver — same semantic derivation count, a
+   passing soundness self-check, and snapshot bytes identical to the
+   sequential solve once the instrumentation counters (the only intentional
+   difference) are zeroed. Additionally, because Tarjan sweeps and topology
+   recomputation happen on the merged global graph at round boundaries, the
+   cycle-elimination counters must agree between different shard counts. *)
+let test_shard_differential =
+  let canonical_bytes p (s : Ipa_core.Solution.t) =
+    let s = { s with Ipa_core.Solution.counters = Ipa_core.Solution.zero_counters } in
+    Ipa_core.Snapshot.encode
+      {
+        key = "differential";
+        program_digest = Ipa_core.Snapshot.digest_program p;
+        label = "differential";
+        seconds = 0.;
+        solution = s;
+        metrics = None;
+      }
+  in
+  let compare_shards name p ~solve =
+    let base : Ipa_core.Solution.t = solve ~shards:1 in
+    let base_bytes = canonical_bytes p base in
+    let prev = ref None in
+    List.iter
+      (fun shards ->
+        let s : Ipa_core.Solution.t = solve ~shards in
+        if s.derivations <> base.derivations then
+          QCheck2.Test.fail_reportf "%s: derivations %d (1 shard) vs %d (%d shards)" name
+            base.derivations s.derivations shards;
+        (match Ipa_core.Solution.self_check s with
+        | [] -> ()
+        | errs -> QCheck2.Test.fail_reportf "%s: self_check: %s" name (String.concat "; " errs));
+        if canonical_bytes p s <> base_bytes then
+          QCheck2.Test.fail_reportf "%s: %d shards changed the snapshot bytes" name shards;
+        if s.counters.shards <> shards then
+          QCheck2.Test.fail_reportf "%s: counters.shards = %d after a %d-shard solve" name
+            s.counters.shards shards;
+        (match !prev with
+        | Some (prev_k, (pc : Ipa_core.Solution.counters)) ->
+          if
+            s.counters.cycles_collapsed <> pc.cycles_collapsed
+            || s.counters.repropagations_avoided <> pc.repropagations_avoided
+            || s.counters.batch_objs <> pc.batch_objs
+          then
+            QCheck2.Test.fail_reportf
+              "%s: topology counters depend on the shard count (%d vs %d shards)" name prev_k
+              shards
+        | None -> ());
+        prev := Some (shards, s.counters))
+      [ 2; 4 ]
+  in
+  qtest ~count:3 "sharded solving is invisible above the solver"
+    (QCheck2.Gen.int_range 900 999)
+    (fun seed ->
+      let p = Ipa_testlib.random_program seed in
+      let base = Ipa_core.Analysis.run_plain p Ipa_core.Flavors.Insensitive in
+      let metrics = Ipa_core.Introspection.compute base.solution in
+      List.iter
+        (fun flavor ->
+          let name = Printf.sprintf "seed %d %s" seed (Ipa_core.Flavors.to_string flavor) in
+          compare_shards name p ~solve:(fun ~shards ->
+              Ipa_core.Solver.run p
+                (config_with p flavor ~order:Topo ~collapse:true ~shards ~field_sensitive:true ()));
+          if flavor <> Ipa_core.Flavors.Insensitive then
+            List.iter
+              (fun heuristic ->
+                let refine = Ipa_core.Heuristics.select base.solution metrics heuristic in
+                let hname = name ^ "-" ^ Ipa_core.Heuristics.name heuristic in
+                compare_shards hname p ~solve:(fun ~shards ->
+                    Ipa_core.Solver.run p
+                      {
+                        Ipa_core.Solver.default_strategy =
+                          Ipa_core.Flavors.strategy p Ipa_core.Flavors.Insensitive;
+                        refined_strategy = Ipa_core.Flavors.strategy p flavor;
+                        refine;
+                        budget = 0;
+                        order = Topo;
+                        collapse_cycles = true;
+                        field_sensitive = true;
+                        shards;
+                      }))
+              [ Ipa_core.Heuristics.default_a; Ipa_core.Heuristics.default_b ])
+        [
+          Ipa_core.Flavors.Insensitive;
+          Ipa_core.Flavors.Object_sens { depth = 2; heap = 1 };
+          Ipa_core.Flavors.Type_sens { depth = 2; heap = 1 };
+          Ipa_core.Flavors.Call_site { depth = 2; heap = 1 };
+        ];
+      true)
+
+(* A guaranteed-cyclic workload: jython's feedback-cycle interpreter yields
+   real SCCs, so sharded runs exercise merges, cross-shard outboxes and
+   round-boundary sweeps rather than a trivially acyclic partition. *)
+let test_shard_cyclic_benchmark () =
+  let p =
+    Ipa_synthetic.Dacapo.build ~scale:0.02 (Option.get (Ipa_synthetic.Dacapo.find "jython"))
+  in
+  List.iter
+    (fun flavor ->
+      let base = Ipa_core.Analysis.run_plain p flavor in
+      List.iter
+        (fun shards ->
+          let r = Ipa_core.Analysis.run_plain ~shards p flavor in
+          let what =
+            Printf.sprintf "%s at %d shards" (Ipa_core.Flavors.to_string flavor) shards
+          in
+          check Alcotest.int (what ^ ": derivations") base.solution.derivations
+            r.solution.derivations;
+          check (Alcotest.list Alcotest.string) (what ^ ": tables")
+            (Ipa_testlib.canon_native base.solution)
+            (Ipa_testlib.canon_native r.solution))
+        [ 2; 3; 4 ])
+    [ Ipa_core.Flavors.Insensitive; Ipa_core.Flavors.Object_sens { depth = 2; heap = 1 } ]
+
+(* Outbox-exchange determinism: the same sharded solve twice must agree on
+   everything including the exchange counters — deltas are applied in
+   (source-shard, sequence) order, never in domain-scheduling order. *)
+let test_shard_rerun_deterministic () =
+  let p =
+    Ipa_synthetic.Dacapo.build ~scale:0.02 (Option.get (Ipa_synthetic.Dacapo.find "jython"))
+  in
+  let flavor = Ipa_core.Flavors.Object_sens { depth = 2; heap = 1 } in
+  let a = Ipa_core.Analysis.run_plain ~shards:4 p flavor in
+  let b = Ipa_core.Analysis.run_plain ~shards:4 p flavor in
+  check (Alcotest.list Alcotest.string) "rerun tables"
+    (Ipa_testlib.canon_native a.solution)
+    (Ipa_testlib.canon_native b.solution);
+  check Alcotest.bool "rerun counters (sync rounds, deltas, ...)" true
+    (a.solution.counters = b.solution.counters);
+  check Alcotest.bool "exchanged at least one cross-shard delta" true
+    (a.solution.counters.deltas_exchanged > 0)
+
+(* ---------- the pure partitioner ---------- *)
+
+let test_partition_blocks =
+  qtest ~count:300 "partitioner: monotone blocks within the balance bound"
+    QCheck2.Gen.(pair (list_size (int_range 1 60) (int_range 1 20)) (int_range 1 8))
+    (fun (ws, shards) ->
+      let weights = Array.of_list ws in
+      let assign = Ipa_core.Solver.partition_blocks ~weights ~shards in
+      let monotone = ref true in
+      Array.iteri (fun i s -> if i > 0 && s < assign.(i - 1) then monotone := false) assign;
+      let in_range = Array.for_all (fun s -> s >= 0 && s < shards) assign in
+      let total = Array.fold_left ( + ) 0 weights in
+      let max_w = Array.fold_left max 0 weights in
+      let per = Array.make shards 0 in
+      Array.iteri (fun i s -> per.(s) <- per.(s) + weights.(i)) assign;
+      let limit = ((total + shards - 1) / shards) + max_w in
+      Array.length assign = Array.length weights
+      && in_range && !monotone
+      && Array.for_all (fun w -> w <= limit) per)
+
+let test_partition_blocks_invalid () =
+  Alcotest.check_raises "shards < 1"
+    (Invalid_argument "Solver.partition_blocks: shards must be >= 1") (fun () ->
+      ignore (Ipa_core.Solver.partition_blocks ~weights:[| 1 |] ~shards:0));
+  Alcotest.check_raises "non-positive weight"
+    (Invalid_argument "Solver.partition_blocks: weights must be positive") (fun () ->
+      ignore (Ipa_core.Solver.partition_blocks ~weights:[| 1; 0; 2 |] ~shards:2));
+  (* more shards than positions: all positions land on valid shards *)
+  let assign = Ipa_core.Solver.partition_blocks ~weights:[| 5; 5 |] ~shards:7 in
+  check Alcotest.bool "over-provisioned shards stay in range" true
+    (Array.for_all (fun s -> s >= 0 && s < 7) assign)
 
 let test_field_based_coarser () =
   (* The field-based degradation must over-approximate the field-sensitive
@@ -533,6 +702,14 @@ let () =
             test_worklist_order_independence;
           test_collapse_differential;
           Alcotest.test_case "field-based coarser" `Quick test_field_based_coarser;
+        ] );
+      ( "sharding",
+        [
+          test_shard_differential;
+          Alcotest.test_case "cyclic benchmark identical" `Quick test_shard_cyclic_benchmark;
+          Alcotest.test_case "rerun deterministic" `Quick test_shard_rerun_deterministic;
+          test_partition_blocks;
+          Alcotest.test_case "partitioner invalid inputs" `Quick test_partition_blocks_invalid;
         ] );
       ( "taint",
         [ Alcotest.test_case "monotone in precision" `Slow test_taint_monotone ] );
