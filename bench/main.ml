@@ -21,6 +21,16 @@
    snapshot: one pass with cold lazy indexes, one warm, written to
    BENCH_query.json.
 
+   The [serve] selection is the query-serving load harness: a socket
+   server over a snapshot cache, driven by N concurrent clients (1, 2, 4,
+   8 by default) each streaming a seeded zipf mix of queries interleaved
+   with [load key] hot-swaps between two snapshots. Every answer is
+   checked byte-identical to a sequential simulation over the same
+   engines, the per-run counters (served/errors/loads — deterministic for
+   the fixed scripts) land in BENCH_serve.json next to qps and client-side
+   latency percentiles, and --check-against diffs the deterministic
+   fields against the committed baseline.
+
    The [lint] selection times every lint rule over two solved synthetic
    benchmarks and writes the per-rule wall-clocks and finding counts to
    BENCH_lint.json.
@@ -32,9 +42,9 @@
    in BENCH_solver.json under "solver_scaling" with a speedup_vs_1 column.
 
    Usage:
-     main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|lint|solver|micro|all]
+     main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|serve|lint|solver|micro|all]
               [--scale S] [--budget N] [--jobs N] [--shards K1,K2,...]
-              [--cache-dir DIR] [--check-against FILE]
+              [--clients N1,N2,...] [--cache-dir DIR] [--check-against FILE]
 *)
 
 module Flavors = Ipa_core.Flavors
@@ -42,7 +52,7 @@ module Experiments = Ipa_harness.Experiments
 
 let usage () =
   prerr_endline
-    "usage: main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|lint|solver|micro|all] [--scale S] [--budget N] [--jobs N] [--shards K1,K2,...] [--cache-dir DIR] [--check-against FILE]";
+    "usage: main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|serve|lint|solver|micro|all] [--scale S] [--budget N] [--jobs N] [--shards K1,K2,...] [--clients N1,N2,...] [--cache-dir DIR] [--check-against FILE]";
   exit 2
 
 type selection =
@@ -53,6 +63,7 @@ type selection =
   | Ablation
   | Cache_smoke
   | Query_bench
+  | Serve_bench
   | Lint_bench
   | Solver_scaling
   | Micro
@@ -64,6 +75,7 @@ let parse_args () =
   let cache_dir = ref "_ipa_cache" in
   let check_against = ref None in
   let shards_list = ref [ 1; 2; 4; 8 ] in
+  let clients_list = ref [ 1; 2; 4; 8 ] in
   let rec go = function
     | [] -> ()
     | "fig1" :: rest ->
@@ -98,6 +110,15 @@ let parse_args () =
       go rest
     | "query" :: rest ->
       selection := Query_bench;
+      go rest
+    | "serve" :: rest ->
+      selection := Serve_bench;
+      go rest
+    | "--clients" :: v :: rest ->
+      let ns = List.map int_of_string_opt (String.split_on_char ',' v) in
+      if ns <> [] && List.for_all (function Some n -> n >= 1 | None -> false) ns then
+        clients_list := List.filter_map Fun.id ns
+      else usage ();
       go rest
     | "lint" :: rest ->
       selection := Lint_bench;
@@ -135,7 +156,7 @@ let parse_args () =
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!selection, !cfg, !cache_dir, !check_against, !shards_list)
+  (!selection, !cfg, !cache_dir, !check_against, !shards_list, !clients_list)
 
 (* ---------- intra-solve scaling: the sharded solver curve ---------- *)
 
@@ -522,8 +543,9 @@ let reports_equal (a : Experiments.report) (b : Experiments.report) =
 
 let stats_json (s : Ipa_harness.Cache.stats) =
   Printf.sprintf
-    {|{"mem_hits": %d, "disk_hits": %d, "misses": %d, "stale": %d, "writes": %d, "write_conflicts": %d, "disk_errors": %d}|}
-    s.mem_hits s.disk_hits s.misses s.stale s.writes s.write_conflicts s.disk_errors
+    {|{"mem_hits": %d, "disk_hits": %d, "misses": %d, "stale": %d, "writes": %d, "write_conflicts": %d, "disk_errors": %d, "evictions": %d, "resident_bytes": %d}|}
+    s.mem_hits s.disk_hits s.misses s.stale s.writes s.write_conflicts s.disk_errors s.evictions
+    s.resident_bytes
 
 let run_cache_smoke (cfg : Ipa_harness.Config.t) ~dir =
   let removed = Ipa_harness.Cache.clear ~dir in
@@ -662,6 +684,358 @@ let run_query_bench (cfg : Ipa_harness.Config.t) =
   Out_channel.with_open_text query_json_path (fun oc ->
       Out_channel.output_string oc ("{\n" ^ body ^ "\n}\n"));
   Printf.printf "wrote %s\n%!" query_json_path
+
+(* ---------- BENCH_serve.json: concurrent socket-serving load harness ---------- *)
+
+let serve_json_path = "BENCH_serve.json"
+
+(* Client c's request stream: a seeded zipf mix over the query corpus
+   (hot queries dominate, the tail is long), interleaved with [load key]
+   hot-swaps between the two snapshots every [swap_every] requests. The
+   streams are fully deterministic — fixed seeds, no wall-clock input —
+   so served/errors/loads are reproducible counters a drift gate can
+   compare across machines. *)
+let serve_swap_every = 40
+
+let serve_requests_per_client = 320
+
+(* Integer-weight zipf sampler: weight of rank r is ~1/r. *)
+let zipf_pick rng cum total =
+  let r = Ipa_support.Splitmix.int rng total in
+  let n = Array.length cum in
+  let rec bisect lo hi = (* first index with cum.(i) > r *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cum.(mid) > r then bisect lo mid else bisect (mid + 1) hi
+  in
+  bisect 0 (n - 1)
+
+let client_script ~corpus ~keys c =
+  let rng = Ipa_support.Splitmix.create (0xC0FFEE + (c * 7919)) in
+  let n = Array.length corpus in
+  let cum = Array.make n 0 in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    total := !total + (1_000_000 / (i + 1));
+    cum.(i) <- !total
+  done;
+  List.init serve_requests_per_client (fun i ->
+      if i > 0 && i mod serve_swap_every = 0 then
+        (* alternate snapshots, staggered per client so swaps interleave *)
+        Printf.sprintf "load key %s" keys.((((i / serve_swap_every) + c) mod Array.length keys))
+      else corpus.(zipf_pick rng cum !total))
+
+(* The expected byte-exact transcript of one client's session, replayed
+   sequentially over private engines (mirroring the server's per-session
+   views: a swap changes only this client's answers). *)
+let expected_transcript ~program ~engines ~labels ~keys script =
+  let current = ref 0 in
+  List.map
+    (fun line ->
+      match Ipa_query.Query.tokens line with
+      | Ok [ "load"; "key"; key ] ->
+        let i = ref 0 in
+        Array.iteri (fun j k -> if k = key then i := j) keys;
+        current := !i;
+        Printf.sprintf "load key %s: ok (%s)" (Ipa_query.Query.quote key) labels.(!current)
+      | _ -> (
+        match Ipa_query.Query.parse line with
+        | Error e -> Ipa_query.Engine.render_error ~json:false ~q:line e
+        | Ok q ->
+          ignore program;
+          Ipa_query.Engine.render_text q (Ipa_query.Engine.eval engines.(!current) q)))
+    script
+
+(* One lockstep client: write a request, read the answer, check it against
+   the expected transcript, record the round-trip. Returns the latencies
+   (us) or the first mismatch. *)
+let run_client ~path ~script ~expected =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let rec connect tries =
+    match Unix.connect sock (Unix.ADDR_UNIX path) with
+    | () -> true
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when tries > 0 ->
+      Unix.sleepf 0.02;
+      connect (tries - 1)
+    | exception Unix.Unix_error _ -> false
+  in
+  if not (connect 250) then Error "cannot connect"
+  else begin
+    let ic = Unix.in_channel_of_descr sock and oc = Unix.out_channel_of_descr sock in
+    let latencies = ref [] in
+    let mismatch = ref None in
+    (try
+       List.iter2
+         (fun line want ->
+           if !mismatch = None then begin
+             let t0 = Ipa_support.Timer.now () in
+             output_string oc line;
+             output_char oc '\n';
+             flush oc;
+             let got = input_line ic in
+             latencies := int_of_float ((Ipa_support.Timer.now () -. t0) *. 1e6) :: !latencies;
+             if got <> want then
+               mismatch := Some (Printf.sprintf "sent %S\n  want %S\n  got  %S" line want got)
+           end)
+         script expected;
+       output_string oc "quit\n";
+       flush oc
+     with End_of_file | Sys_error _ -> mismatch := Some "server closed the connection early");
+    match !mismatch with Some m -> Error m | None -> Ok !latencies
+  end
+
+let percentile_us sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0 else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+
+type serve_row = {
+  clients : int;
+  row_served : int;
+  row_errors : int;
+  row_loads : int;
+  row_evictions : int;
+  row_seconds : float;
+  row_qps : float;
+  row_p50_us : int;
+  row_p99_us : int;
+}
+
+let serve_row_json r =
+  Printf.sprintf
+    {|    {"clients": %d, "served": %d, "errors": %d, "loads": %d, "evictions": %d, "seconds": %.6f, "qps": %.1f, "p50_us": %d, "p99_us": %d}|}
+    r.clients r.row_served r.row_errors r.row_loads r.row_evictions r.row_seconds r.row_qps
+    r.row_p50_us r.row_p99_us
+
+(* Timing and schedule-dependent fields (wall-clock, qps, percentiles,
+   evictions — the victim schedule depends on session interleaving) are
+   stripped from both sides; the rest (served/errors/loads for the fixed
+   scripts) must match the committed baseline exactly. *)
+let strip_serve_timing line =
+  let strip field line =
+    match find_substring line (Printf.sprintf "\"%s\":" field) 0 with
+    | None -> line
+    | Some at ->
+      let len = String.length line in
+      let j = ref at in
+      while !j < len && line.[!j] <> ',' && line.[!j] <> '}' do
+        incr j
+      done;
+      let stop = if !j < len && line.[!j] = ',' then !j + 1 else !j in
+      let stop = if stop < len && line.[stop] = ' ' then stop + 1 else stop in
+      String.sub line 0 at ^ String.sub line stop (len - stop)
+  in
+  List.fold_left (fun l f -> strip f l) line [ "seconds"; "qps"; "p50_us"; "p99_us"; "evictions" ]
+
+let check_serve_against ~file rows =
+  let contents =
+    match In_channel.with_open_text file In_channel.input_all with
+    | s -> s
+    | exception Sys_error msg ->
+      prerr_endline ("bench check FAILED: cannot read baseline: " ^ msg);
+      exit 1
+  in
+  match find_substring contents "\"rows\"" 0 with
+  | None ->
+    prerr_endline "bench check FAILED: baseline has no rows section";
+    exit 1
+  | Some section_at ->
+    let missing = ref 0 in
+    List.iter
+      (fun r ->
+        let key = Printf.sprintf {|{"clients": %d,|} r.clients in
+        match find_substring contents key section_at with
+        | None -> incr missing
+        | Some at ->
+          let line_end =
+            match String.index_from_opt contents at '\n' with
+            | Some i -> i
+            | None -> String.length contents
+          in
+          let committed = String.trim (String.sub contents at (line_end - at)) in
+          let committed =
+            let n = String.length committed in
+            if n > 0 && committed.[n - 1] = ',' then String.sub committed 0 (n - 1)
+            else committed
+          in
+          let fresh = String.trim (serve_row_json r) in
+          if strip_serve_timing fresh <> strip_serve_timing committed then begin
+            prerr_endline
+              (Printf.sprintf
+                 "bench check FAILED: serve counters drifted at %d client(s)\n\
+                 \  committed: %s\n\
+                 \  fresh:     %s"
+                 r.clients (strip_serve_timing committed) (strip_serve_timing fresh));
+            exit 1
+          end)
+      rows;
+    if !missing > 0 then
+      Printf.printf
+        "bench check: %d serve row(s) absent from baseline (new client count); skipped\n%!"
+        !missing;
+    print_endline "bench check OK: serve counters match the committed baseline"
+
+let run_serve_bench (cfg : Ipa_harness.Config.t) ~clients_list ~baseline =
+  let module Snapshot = Ipa_core.Snapshot in
+  let spec = List.hd Ipa_synthetic.Dacapo.all in
+  let program = Ipa_synthetic.Dacapo.build ~scale:cfg.scale spec in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ipa-serve-bench-%d" (Unix.getpid ()))
+  in
+  let fail msg =
+    prerr_endline ("serve bench FAILED: " ^ msg);
+    exit 1
+  in
+  (* Two snapshots of the same program — the base pass and a
+     context-sensitive solve — published to a shared cache directory so
+     the server can hot-load either by cache key. *)
+  let solve_cache = Ipa_harness.Cache.create ~dir () in
+  let program_digest = Snapshot.digest_program program in
+  let configs =
+    [
+      ("insens", Ipa_core.Solver.plain program ~budget:cfg.budget (Flavors.strategy program Flavors.Insensitive));
+      ( "2objH",
+        Ipa_core.Solver.plain program ~budget:cfg.budget
+          (Flavors.strategy program (Flavors.Object_sens { depth = 2; heap = 1 })) );
+    ]
+  in
+  let solved =
+    List.map
+      (fun (label, config) ->
+        ignore (Ipa_harness.Cache.solve solve_cache program ~label config);
+        let key = Snapshot.config_key ~program_digest config in
+        match Ipa_harness.Cache.find_bytes solve_cache ~key with
+        | None -> fail (Printf.sprintf "snapshot %s not in cache after solve" label)
+        | Some bytes -> (
+          match Snapshot.decode ~program ~expect_key:key bytes with
+          | Error e -> fail (Snapshot.error_to_string e)
+          | Ok snap -> (key, label, String.length bytes, snap)))
+      configs
+  in
+  let keys = Array.of_list (List.map (fun (k, _, _, _) -> k) solved) in
+  let labels = Array.of_list (List.map (fun (_, l, _, _) -> l) solved) in
+  let sizes = List.map (fun (_, _, s, _) -> s) solved in
+  (* A budget below the working set: holding both snapshots resident is
+     impossible, so the swap traffic exercises eviction + disk re-loads on
+     the serving path (evictions are schedule-dependent under concurrency,
+     so the drift gate ignores that column). *)
+  let mem_budget = List.fold_left max 0 sizes + (List.fold_left min max_int sizes / 2) in
+  let engines =
+    Array.of_list
+      (List.map
+         (fun (_, _, _, (snap : Snapshot.t)) ->
+           let e = Ipa_query.Engine.create snap.solution in
+           Ipa_query.Engine.warm e;
+           e)
+         solved)
+  in
+  let corpus =
+    Array.of_list (List.map Ipa_query.Query.to_string (query_mix program))
+  in
+  Printf.printf
+    "serve bench: %s at scale %g; snapshots %s (%s bytes); corpus %d queries; %d requests/client\n%!"
+    spec.name cfg.scale
+    (String.concat ", " (Array.to_list labels))
+    (String.concat ", " (List.map string_of_int sizes))
+    (Array.length corpus) serve_requests_per_client;
+  let max_clients = List.fold_left max 1 clients_list in
+  let scripts = Array.init max_clients (fun c -> client_script ~corpus ~keys c) in
+  let expected =
+    Array.map (fun s -> expected_transcript ~program ~engines ~labels ~keys s) scripts
+  in
+  let jobs = max 2 (List.fold_left max cfg.jobs clients_list) in
+  let rows =
+    List.map
+      (fun n ->
+        (* A fresh server (and counters) per client count: the row's
+           served/errors/loads depend only on the fixed scripts. *)
+        let serve_cache = Ipa_harness.Cache.create ~dir ~mem_budget () in
+        let path = Filename.concat dir (Printf.sprintf "serve-%d.sock" n) in
+        let _, _, _, (snap0 : Snapshot.t) = List.hd solved in
+        Ipa_support.Domain_pool.with_pool ~jobs (fun pool ->
+            let server =
+              Ipa_query.Server.create ~cache:serve_cache ~pool ~json:false ~timings:false
+                ~program ~label:labels.(0) snap0.solution
+            in
+            let server_domain =
+              Domain.spawn (fun () -> Ipa_query.Server.serve_socket server ~path)
+            in
+            let t0 = Ipa_support.Timer.now () in
+            let client_domains =
+              List.init n (fun c ->
+                  Domain.spawn (fun () ->
+                      run_client ~path ~script:scripts.(c) ~expected:expected.(c)))
+            in
+            let results = List.map Domain.join client_domains in
+            let seconds = Ipa_support.Timer.now () -. t0 in
+            Ipa_query.Server.request_stop server;
+            (match Domain.join server_domain with
+            | Ok () -> ()
+            | Error msg -> fail ("server: " ^ msg));
+            let latencies =
+              List.concat_map
+                (function
+                  | Ok ls -> ls
+                  | Error msg -> fail (Printf.sprintf "client answer drift (%d clients): %s" n msg))
+                results
+            in
+            let sorted = Array.of_list latencies in
+            Array.sort compare sorted;
+            let stats = Ipa_harness.Cache.stats serve_cache in
+            let row =
+              {
+                clients = n;
+                row_served = Ipa_query.Server.served server;
+                row_errors = Ipa_query.Server.errors server;
+                row_loads = Ipa_query.Server.loads server;
+                row_evictions = stats.evictions;
+                row_seconds = seconds;
+                row_qps =
+                  (if seconds > 0.0 then float_of_int (List.length latencies) /. seconds else 0.0);
+                row_p50_us = percentile_us sorted 0.50;
+                row_p99_us = percentile_us sorted 0.99;
+              }
+            in
+            Printf.printf
+              "%d client(s): %d served (%d errors), %d loads, %d evictions, %.3fs, %.0f qps, p50 %dus, p99 %dus\n%!"
+              n row.row_served row.row_errors row.row_loads row.row_evictions row.row_seconds
+              row.row_qps row.row_p50_us row.row_p99_us;
+            row))
+      clients_list
+  in
+  let expected_served = List.map (fun n -> n * serve_requests_per_client) clients_list in
+  List.iter2
+    (fun row want ->
+      if row.row_served <> want then
+        fail
+          (Printf.sprintf "%d client(s): served %d, expected %d" row.clients row.row_served want))
+    rows expected_served;
+  let body =
+    String.concat ",\n"
+      [
+        Printf.sprintf "  \"scale\": %g" cfg.scale;
+        Printf.sprintf "  \"budget\": %d" cfg.budget;
+        Printf.sprintf "  \"bench\": \"%s\"" spec.name;
+        Printf.sprintf "  \"snapshots\": [%s]"
+          (String.concat ", " (Array.to_list (Array.map (Printf.sprintf "%S") labels)));
+        Printf.sprintf "  \"mem_budget\": %d" mem_budget;
+        Printf.sprintf "  \"requests_per_client\": %d" serve_requests_per_client;
+        Printf.sprintf "  \"rows\": [\n%s\n  ]"
+          (String.concat ",\n" (List.map serve_row_json rows));
+        "  \"identical_answers\": true";
+      ]
+  in
+  Out_channel.with_open_text serve_json_path (fun oc ->
+      Out_channel.output_string oc ("{\n" ^ body ^ "\n}\n"));
+  Printf.printf "wrote %s\n%!" serve_json_path;
+  (match baseline with
+  | None -> ()
+  | Some file -> check_serve_against ~file rows);
+  print_endline
+    "serve bench OK: every answer byte-identical to the sequential simulation, served counts exact"
 
 (* ---------- BENCH_lint.json: per-rule lint timings ---------- *)
 
@@ -863,7 +1237,7 @@ let run_bechamel () =
     tests
 
 let () =
-  let selection, cfg, cache_dir, baseline, shards_list = parse_args () in
+  let selection, cfg, cache_dir, baseline, shards_list, clients_list = parse_args () in
   (match selection with
   | Fig1 -> Experiments.Fig1.print cfg
   | Fig4 -> Experiments.Fig4.print cfg
@@ -875,6 +1249,7 @@ let () =
   | Ablation -> Ipa_harness.Ablation.print_all cfg
   | Cache_smoke -> run_cache_smoke cfg ~dir:cache_dir
   | Query_bench -> run_query_bench cfg
+  | Serve_bench -> run_serve_bench cfg ~clients_list ~baseline
   | Lint_bench -> run_lint_bench cfg
   | Solver_scaling ->
     let rows = compute_scaling cfg shards_list in

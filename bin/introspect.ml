@@ -748,28 +748,67 @@ let query_cmd =
       $ load_solution_arg $ queries_arg $ json_arg $ timings_arg)
 
 let serve_cmd =
-  let run path flavor heuristic budget shards load cache_dir jobs json timings socket =
-    let cache = Option.map (fun dir -> Ipa_harness.Cache.create ~dir ()) cache_dir in
-    match obtain_solution ?cache path flavor heuristic budget shards load with
-    | Error msg ->
-      prerr_endline msg;
-      1
-    | Ok (p, label, sol) ->
-      let serve pool =
-        let server = Ipa_query.Server.create ?cache ?pool ~json ~timings ~program:p ~label sol in
-        let t0 = Ipa_support.Timer.now () in
-        (match socket with
-        | Some sock_path -> Ipa_query.Server.serve_socket server ~path:sock_path
-        | None -> ignore (Ipa_query.Server.session server stdin stdout));
-        Printf.eprintf "serve: %d served (%d errors), %d loads, %.3fs\n"
-          (Ipa_query.Server.served server) (Ipa_query.Server.errors server)
-          (Ipa_query.Server.loads server)
-          (Ipa_support.Timer.now () -. t0);
-        (match cache with Some c -> prerr_endline (Ipa_harness.Cache.stats_line c) | None -> ());
-        0
+  let run path flavor heuristic budget shards load cache_dir mem_budget jobs json timings socket
+      log_path read_timeout max_line max_queries =
+    let ( let* ) r k =
+      match r with
+      | Error msg ->
+        Printf.eprintf "serve: %s\n" msg;
+        1
+      | Ok v -> k v
+    in
+    let* mem_budget =
+      match mem_budget with
+      | None -> Ok None
+      | Some s -> Result.map Option.some (Ipa_harness.Cache.parse_budget s)
+    in
+    let cache = Option.map (fun dir -> Ipa_harness.Cache.create ~dir ?mem_budget ()) cache_dir in
+    let* () =
+      if mem_budget <> None && cache = None then
+        Error "--mem-budget requires --cache-dir (it bounds the snapshot cache)"
+      else Ok ()
+    in
+    let* p, label, sol = obtain_solution ?cache path flavor heuristic budget shards load in
+    let limits =
+      {
+        Ipa_query.Server.max_line;
+        max_queries;
+        idle_timeout = (if read_timeout > 0.0 then Some read_timeout else None);
+      }
+    in
+    let with_log k =
+      match log_path with
+      | None -> k None
+      | Some f -> Out_channel.with_open_text f (fun oc -> k (Some oc))
+    in
+    with_log @@ fun log ->
+    let serve pool =
+      let server =
+        Ipa_query.Server.create ?cache ?pool ?log ~limits ~json ~timings ~program:p ~label sol
       in
-      if jobs <= 1 then serve None
-      else Ipa_support.Domain_pool.with_pool ~jobs (fun pool -> serve (Some pool))
+      let t0 = Ipa_support.Timer.now () in
+      let status =
+        match socket with
+        | Some sock_path -> (
+          match Ipa_query.Server.serve_socket server ~path:sock_path with
+          | Ok () -> 0
+          | Error msg ->
+            Printf.eprintf "serve: %s\n" msg;
+            1)
+        | None ->
+          ignore (Ipa_query.Server.session server stdin stdout);
+          0
+      in
+      Printf.eprintf "serve: %d served (%d errors), %d loads, %.3fs\n"
+        (Ipa_query.Server.served server) (Ipa_query.Server.errors server)
+        (Ipa_query.Server.loads server)
+        (Ipa_support.Timer.now () -. t0);
+      prerr_endline (Ipa_query.Server.metrics_line server);
+      (match cache with Some c -> prerr_endline (Ipa_harness.Cache.stats_line c) | None -> ());
+      status
+    in
+    if jobs <= 1 then serve None
+    else Ipa_support.Domain_pool.with_pool ~jobs (fun pool -> serve (Some pool))
   in
   let serve_cache_dir_arg =
     Arg.(
@@ -794,16 +833,55 @@ let serve_cmd =
       value
       & opt (some string) None
       & info [ "socket" ] ~docv:"PATH"
-          ~doc:"Serve connections on a Unix-domain socket instead of stdin/stdout.")
+          ~doc:
+            "Serve connections on a Unix-domain socket instead of stdin/stdout. With \
+             $(b,--jobs) > 1, connections are served concurrently.")
+  in
+  let mem_budget_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mem-budget" ] ~docv:"BYTES"
+          ~doc:
+            "Bound the bytes of snapshots held in memory (suffixes k/m/g); least-recently-used \
+             unpinned snapshots are evicted to disk. Requires $(b,--cache-dir).")
+  in
+  let log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE" ~doc:"Append one JSONL record per request to FILE.")
+  in
+  let read_timeout_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "read-timeout" ] ~docv:"SECONDS"
+          ~doc:"Close a socket session idle longer than SECONDS (0 disables; the default).")
+  in
+  let max_line_arg =
+    Arg.(
+      value
+      & opt int Ipa_query.Server.default_limits.max_line
+      & info [ "max-line" ] ~docv:"BYTES"
+          ~doc:"Longest accepted input line; an over-limit line answers an error record.")
+  in
+  let max_queries_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-queries" ] ~docv:"N"
+          ~doc:"Close a session after N queries/loads with a structured error reply.")
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run a persistent query session: answers queries line by line, hot-loads snapshots \
-          with $(b,load path/key), ends at $(b,quit) or end of input.")
+          with $(b,load path/key), reports $(b,metrics), ends at $(b,quit) or end of input.")
     Term.(
       const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ shards_arg
-      $ load_solution_arg $ serve_cache_dir_arg $ jobs_arg $ json_arg $ timings_arg $ socket_arg)
+      $ load_solution_arg $ serve_cache_dir_arg $ mem_budget_arg $ jobs_arg $ json_arg
+      $ timings_arg $ socket_arg $ log_arg $ read_timeout_arg $ max_line_arg $ max_queries_arg)
 
 (* ---------- lint ---------- *)
 

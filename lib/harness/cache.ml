@@ -5,10 +5,19 @@ module Flavors = Ipa_core.Flavors
 module Solver = Ipa_core.Solver
 module Timer = Ipa_support.Timer
 
+type entry = {
+  bytes : string;
+  mutable pins : int;  (** > 0 exempts the entry from eviction *)
+  mutable tick : int;  (** last-access stamp from [clock]; larger = more recent *)
+}
+
 type t = {
   dir : string option;
+  mem_budget : int option;  (** byte budget for the in-memory layer *)
   lock : Mutex.t;
-  mem : (string, string) Hashtbl.t;  (** key -> encoded snapshot bytes *)
+  mem : (string, entry) Hashtbl.t;  (** key -> encoded snapshot bytes *)
+  mutable clock : int;  (** monotone access counter (under [lock]) *)
+  mutable resident : int;  (** total bytes held by [mem] (under [lock]) *)
   mem_hits : int Atomic.t;
   disk_hits : int Atomic.t;
   misses : int Atomic.t;
@@ -16,6 +25,7 @@ type t = {
   writes : int Atomic.t;
   write_conflicts : int Atomic.t;
   disk_errors : int Atomic.t;
+  evictions : int Atomic.t;
 }
 
 let mkdir_p dir =
@@ -27,7 +37,10 @@ let mkdir_p dir =
   in
   go dir
 
-let create ?dir () =
+let create ?dir ?mem_budget () =
+  (match mem_budget with
+  | Some b when b < 0 -> invalid_arg "Cache.create: mem_budget must be >= 0"
+  | _ -> ());
   let disk_errors = Atomic.make 0 in
   (* An unusable directory (unwritable parent, path through a regular
      file, ...) degrades to a memory-only cache: the failure is counted,
@@ -49,8 +62,11 @@ let create ?dir () =
   in
   {
     dir;
+    mem_budget;
     lock = Mutex.create ();
     mem = Hashtbl.create 16;
+    clock = 0;
+    resident = 0;
     mem_hits = Atomic.make 0;
     disk_hits = Atomic.make 0;
     misses = Atomic.make 0;
@@ -58,9 +74,29 @@ let create ?dir () =
     writes = Atomic.make 0;
     write_conflicts = Atomic.make 0;
     disk_errors;
+    evictions = Atomic.make 0;
   }
 
 let dir t = t.dir
+let mem_budget t = t.mem_budget
+
+(* Human-friendly byte sizes for --mem-budget: a non-negative integer with
+   an optional k/m/g suffix (binary multiples, case-insensitive). *)
+let parse_budget s =
+  let fail () = Error (Printf.sprintf "bad size %S (expected BYTES, or with a k/m/g suffix)" s) in
+  let n = String.length s in
+  if n = 0 then fail ()
+  else
+    let unit, digits =
+      match Char.lowercase_ascii s.[n - 1] with
+      | 'k' -> (1024, String.sub s 0 (n - 1))
+      | 'm' -> (1024 * 1024, String.sub s 0 (n - 1))
+      | 'g' -> (1024 * 1024 * 1024, String.sub s 0 (n - 1))
+      | _ -> (1, s)
+    in
+    match int_of_string_opt digits with
+    | Some v when v >= 0 && digits <> "" -> Ok (v * unit)
+    | _ -> fail ()
 
 let default_dir () =
   match Sys.getenv_opt "XDG_CACHE_HOME" with
@@ -78,9 +114,14 @@ type stats = {
   writes : int;
   write_conflicts : int;
   disk_errors : int;
+  evictions : int;
+  resident_bytes : int;
 }
 
 let stats (t : t) =
+  Mutex.lock t.lock;
+  let resident_bytes = t.resident in
+  Mutex.unlock t.lock;
   {
     mem_hits = Atomic.get t.mem_hits;
     disk_hits = Atomic.get t.disk_hits;
@@ -89,26 +130,108 @@ let stats (t : t) =
     writes = Atomic.get t.writes;
     write_conflicts = Atomic.get t.write_conflicts;
     disk_errors = Atomic.get t.disk_errors;
+    evictions = Atomic.get t.evictions;
+    resident_bytes;
   }
 
 let stats_line t =
   let s = stats t in
   Printf.sprintf
-    "cache: %d mem hits, %d disk hits, %d misses, %d stale, %d writes, %d write conflicts, %d disk errors"
-    s.mem_hits s.disk_hits s.misses s.stale s.writes s.write_conflicts s.disk_errors
+    "cache: %d mem hits, %d disk hits, %d misses, %d stale, %d writes, %d write conflicts, %d disk errors, %d evictions, %d resident bytes"
+    s.mem_hits s.disk_hits s.misses s.stale s.writes s.write_conflicts s.disk_errors s.evictions
+    s.resident_bytes
 
 (* ---------- the two storage layers ---------- *)
 
+(* The in-memory layer under a budget: every hit restamps its entry with
+   the (monotone) clock, and whenever the resident total exceeds the
+   budget the least-recently-used unpinned entries are dropped, oldest
+   stamp first, key order breaking (impossible) ties. Pinned entries are
+   never dropped, so the resident total can exceed the budget only when
+   pins alone force it. A dropped entry is only an in-memory copy: the
+   disk layer (when configured) still holds the snapshot, so the next
+   [find_bytes] degrades to a disk hit, never to a wrong answer. *)
+
+let evict_locked t =
+  match t.mem_budget with
+  | None -> ()
+  | Some budget ->
+    while
+      t.resident > budget
+      &&
+      let victim =
+        Hashtbl.fold
+          (fun key (e : entry) best ->
+            if e.pins > 0 then best
+            else
+              (* ticks are unique (monotone under the lock), so oldest-tick
+                 selection is total and deterministic *)
+              match best with
+              | Some (_, b) when b.tick < e.tick -> best
+              | _ -> Some (key, e))
+          t.mem None
+      in
+      match victim with
+      | None -> false (* everything left is pinned *)
+      | Some (key, e) ->
+        Hashtbl.remove t.mem key;
+        t.resident <- t.resident - String.length e.bytes;
+        Atomic.incr t.evictions;
+        true
+    do
+      ()
+    done
+
 let mem_find t key =
   Mutex.lock t.lock;
-  let found = Hashtbl.find_opt t.mem key in
+  let found =
+    match Hashtbl.find_opt t.mem key with
+    | None -> None
+    | Some e ->
+      t.clock <- t.clock + 1;
+      e.tick <- t.clock;
+      Some e.bytes
+  in
   Mutex.unlock t.lock;
   found
 
 let mem_store t key bytes =
   Mutex.lock t.lock;
-  if not (Hashtbl.mem t.mem key) then Hashtbl.add t.mem key bytes;
+  if not (Hashtbl.mem t.mem key) then begin
+    t.clock <- t.clock + 1;
+    Hashtbl.add t.mem key { bytes; pins = 0; tick = t.clock };
+    t.resident <- t.resident + String.length bytes;
+    evict_locked t
+  end;
   Mutex.unlock t.lock
+
+let pin t ~key =
+  Mutex.lock t.lock;
+  let pinned =
+    match Hashtbl.find_opt t.mem key with
+    | None -> false
+    | Some e ->
+      e.pins <- e.pins + 1;
+      true
+  in
+  Mutex.unlock t.lock;
+  pinned
+
+let unpin t ~key =
+  Mutex.lock t.lock;
+  (match Hashtbl.find_opt t.mem key with
+  | Some e when e.pins > 0 ->
+    e.pins <- e.pins - 1;
+    (* the budget may have been overridden by this pin; re-enforce *)
+    if e.pins = 0 then evict_locked t
+  | _ -> ());
+  Mutex.unlock t.lock
+
+let resident_keys t =
+  Mutex.lock t.lock;
+  let keys = Hashtbl.fold (fun key _ acc -> key :: acc) t.mem [] in
+  Mutex.unlock t.lock;
+  List.sort compare keys
 
 let snap_path dir key = Filename.concat dir (key ^ ".snap")
 

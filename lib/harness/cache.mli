@@ -29,14 +29,45 @@
 
 type t
 
-val create : ?dir:string -> unit -> t
+val create : ?dir:string -> ?mem_budget:int -> unit -> t
 (** In-memory cache, plus a disk layer rooted at [dir] when given (the
     directory is created if missing). A [dir] that cannot be created or
     used — read-only parent, path through a regular file, missing mount —
     degrades to memory-only operation: no exception escapes, and the
-    failure is counted in {!stats} as a disk error. *)
+    failure is counted in {!stats} as a disk error.
+
+    [mem_budget] bounds the bytes held by the in-memory layer: whenever
+    the resident total exceeds it, least-recently-used unpinned entries
+    are evicted (oldest access first — deterministic for a given access
+    order, since stamps are issued under the cache lock). Eviction only
+    drops the in-memory copy; the disk layer still serves the snapshot,
+    so a later lookup degrades to a disk hit. {!pin}ned entries are never
+    evicted — the resident total exceeds the budget only when pins alone
+    force it. No budget means nothing is ever evicted.
+    Raises [Invalid_argument] when [mem_budget < 0]. *)
 
 val dir : t -> string option
+
+val mem_budget : t -> int option
+
+val parse_budget : string -> (int, string) result
+(** Parse a byte-size argument: a non-negative integer with an optional
+    [k]/[m]/[g] suffix (binary multiples, case-insensitive), e.g.
+    ["65536"], ["64k"], ["2M"]. *)
+
+val pin : t -> key:string -> bool
+(** Exempt the resident entry under [key] from eviction (a counted pin:
+    [unpin] the same number of times to release). Returns [false] — and
+    pins nothing — when [key] is not currently resident in memory. The
+    query server pins the snapshot each live session is serving from. *)
+
+val unpin : t -> key:string -> unit
+(** Release one {!pin} on [key]; the budget is re-enforced immediately
+    when the entry becomes unpinned. No-op for unknown or unpinned keys. *)
+
+val resident_keys : t -> string list
+(** The keys currently held by the in-memory layer, sorted. For tests and
+    diagnostics. *)
 
 val default_dir : unit -> string
 (** [$XDG_CACHE_HOME/ipa], falling back to [$HOME/.cache/ipa], then
@@ -56,13 +87,15 @@ type stats = {
   disk_errors : int;
       (** disk-layer failures degraded to memory-only operation (unusable
           cache directory, unreadable present snapshot, failed publish) *)
+  evictions : int;  (** in-memory entries dropped to enforce the budget *)
+  resident_bytes : int;  (** bytes currently held by the in-memory layer *)
 }
 
 val stats : t -> stats
 
 val stats_line : t -> string
 (** One-line rendering, e.g.
-    ["cache: 3 mem hits, 9 disk hits, 12 misses, 0 stale, 12 writes, 0 write conflicts, 0 disk errors"]. *)
+    ["cache: 3 mem hits, 9 disk hits, 12 misses, 0 stale, 12 writes, 0 write conflicts, 0 disk errors, 0 evictions, 81212 resident bytes"]. *)
 
 val find_bytes : t -> key:string -> string option
 (** Raw encoded snapshot bytes stored under [key], memory layer first,

@@ -3,22 +3,90 @@ module Domain_pool = Ipa_support.Domain_pool
 module Snapshot = Ipa_core.Snapshot
 module Timer = Ipa_support.Timer
 
+(* ---------- per-session limits ---------- *)
+
+type limits = {
+  max_line : int;
+  max_queries : int option;
+  idle_timeout : float option;
+}
+
+let default_limits = { max_line = 65536; max_queries = None; idle_timeout = None }
+
+(* ---------- latency histogram ----------
+
+   Power-of-two microsecond buckets: bucket [i] counts evaluations whose
+   latency fell in [2^i, 2^(i+1)) us (bucket 0 also holds sub-microsecond
+   ones). Increments are atomic, so concurrent sessions record without a
+   lock; quantiles are read as the upper bound of the bucket holding the
+   requested rank — a <= 2x overestimate, stable enough for p50/p99
+   serving dashboards. *)
+
+module Hist = struct
+  let n_buckets = 32
+
+  type t = int Atomic.t array
+
+  let create () : t = Array.init n_buckets (fun _ -> Atomic.make 0)
+
+  let bucket_of us =
+    let rec go b v = if v <= 1 || b = n_buckets - 1 then b else go (b + 1) (v lsr 1) in
+    go 0 (max us 0)
+
+  let record t us = Atomic.incr t.(bucket_of us)
+  let count t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t
+
+  let quantile_us t q =
+    let total = count t in
+    if total = 0 then 0
+    else begin
+      let rank = max 1 (int_of_float (ceil (q *. float_of_int total))) in
+      let cum = ref 0 and found = ref (n_buckets - 1) in
+      (try
+         Array.iteri
+           (fun i c ->
+             cum := !cum + Atomic.get c;
+             if !cum >= rank then begin
+               found := i;
+               raise Exit
+             end)
+           t
+       with Exit -> ());
+      if !found = 0 then 1 else (1 lsl (!found + 1)) - 1
+    end
+end
+
+(* ---------- the server ---------- *)
+
 type t = {
   program : Ipa_ir.Program.t;
   cache : Cache.t option;
   pool : Domain_pool.t option;
   json : bool;
   timings : bool;
-  mutable engine : Engine.t;
-  mutable label : string;
-  mutable served : int;
-  mutable errors : int;
-  mutable loads : int;
+  limits : limits;
+  log : out_channel option;
+  log_lock : Mutex.t;
+  base_engine : Engine.t;
+  base_label : string;
+  served : int Atomic.t;
+  errors : int Atomic.t;
+  loads : int Atomic.t;
+  sessions : int Atomic.t;
+  active : int Atomic.t;
+  timeouts : int Atomic.t;
+  line_limit_hits : int Atomic.t;
+  query_limit_hits : int Atomic.t;
+  disconnects : int Atomic.t;
+  log_seq : int Atomic.t;
+  stopping : bool Atomic.t;
+  hist : Hist.t;
 }
 
-let warm_if_pooled t = match t.pool with Some _ -> Engine.warm t.engine | None -> ()
+let warm_if_pooled t engine = match t.pool with Some _ -> Engine.warm engine | None -> ()
 
-let create ?cache ?pool ~json ~timings ~program ~label sol =
+let create ?cache ?pool ?(limits = default_limits) ?log ~json ~timings ~program ~label sol =
+  if limits.max_line < 1 then invalid_arg "Server.create: max_line must be >= 1";
   let t =
     {
       program;
@@ -26,71 +94,128 @@ let create ?cache ?pool ~json ~timings ~program ~label sol =
       pool;
       json;
       timings;
-      engine = Engine.create sol;
-      label;
-      served = 0;
-      errors = 0;
-      loads = 0;
+      limits;
+      log;
+      log_lock = Mutex.create ();
+      base_engine = Engine.create sol;
+      base_label = label;
+      served = Atomic.make 0;
+      errors = Atomic.make 0;
+      loads = Atomic.make 0;
+      sessions = Atomic.make 0;
+      active = Atomic.make 0;
+      timeouts = Atomic.make 0;
+      line_limit_hits = Atomic.make 0;
+      query_limit_hits = Atomic.make 0;
+      disconnects = Atomic.make 0;
+      log_seq = Atomic.make 0;
+      stopping = Atomic.make false;
+      hist = Hist.create ();
     }
   in
-  warm_if_pooled t;
+  warm_if_pooled t t.base_engine;
   t
 
-let served t = t.served
-let errors t = t.errors
-let loads t = t.loads
+let served t = Atomic.get t.served
+let errors t = Atomic.get t.errors
+let loads t = Atomic.get t.loads
+let request_stop t = Atomic.set t.stopping true
 
-(* ---------- batched query evaluation ---------- *)
+(* Deterministic counters first, then the cache gauges (deterministic for
+   a fixed workload), then the timing estimates (never deterministic). *)
+let metrics t =
+  let cache_stats = Option.map Cache.stats t.cache in
+  let of_cache f = match cache_stats with Some s -> f s | None -> 0 in
+  [
+    ("served", Atomic.get t.served);
+    ("errors", Atomic.get t.errors);
+    ("loads", Atomic.get t.loads);
+    ("sessions", Atomic.get t.sessions);
+    ("active_sessions", Atomic.get t.active);
+    ("timeouts", Atomic.get t.timeouts);
+    ("line_limit_hits", Atomic.get t.line_limit_hits);
+    ("query_limit_hits", Atomic.get t.query_limit_hits);
+    ("disconnects", Atomic.get t.disconnects);
+    ("evictions", of_cache (fun (s : Cache.stats) -> s.evictions));
+    ("resident_bytes", of_cache (fun (s : Cache.stats) -> s.resident_bytes));
+    ("p50_us", Hist.quantile_us t.hist 0.50);
+    ("p99_us", Hist.quantile_us t.hist 0.99);
+  ]
 
-type item = { line : string; parsed : (Query.t, string) result }
+let render_metrics t =
+  let kvs = metrics t in
+  if t.json then
+    Printf.sprintf {|{"q":"metrics","ok":true,"kind":"metrics",%s}|}
+      (String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s:%d" (Engine.json_string k) v) kvs))
+  else
+    Printf.sprintf "metrics: %s"
+      (String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s %d" k v) kvs))
 
-let batch_cap t = match t.pool with Some p -> 16 * Domain_pool.jobs p | None -> 1
+let metrics_line t =
+  let kvs = metrics t in
+  Printf.sprintf "metrics: %s"
+    (String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s %d" k v) kvs))
 
-let eval_one t item =
-  match item.parsed with
-  | Error e -> (Engine.render_error ~json:t.json ~q:item.line e, true)
-  | Ok q ->
-    let res, secs = Timer.time (fun () -> Engine.eval t.engine q) in
-    let latency_us = if t.timings then Some (int_of_float (secs *. 1e6)) else None in
-    let render = if t.json then Engine.render_json else Engine.render_text in
-    (render ?latency_us q res, Result.is_error res)
+(* ---------- JSONL request log ---------- *)
 
-let flush_pending t oc pending =
-  match List.rev !pending with
-  | [] -> ()
-  | items ->
-    pending := [];
-    let rendered =
-      match t.pool with
-      | Some p when List.length items > 1 -> Domain_pool.map_list p (eval_one t) items
-      | _ -> List.map (eval_one t) items
+let log_record t ~session ~q ~ok ~us =
+  match t.log with
+  | None -> ()
+  | Some oc ->
+    let seq = Atomic.fetch_and_add t.log_seq 1 in
+    let us_field = match us with Some u -> Printf.sprintf ",\"us\":%d" u | None -> "" in
+    let line =
+      Printf.sprintf {|{"seq":%d,"session":%d,"q":%s,"ok":%b%s}|} seq session
+        (Engine.json_string q) ok us_field
     in
-    List.iter
-      (fun (line, is_err) ->
-        t.served <- t.served + 1;
-        if is_err then t.errors <- t.errors + 1;
-        output_string oc line;
-        output_char oc '\n')
-      rendered;
-    flush oc
+    Mutex.lock t.log_lock;
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    Mutex.unlock t.log_lock
 
-(* ---------- snapshot hot-loading ---------- *)
+(* ---------- per-session state ---------- *)
 
-let install t (snap : Snapshot.t) =
-  t.engine <- Engine.create snap.solution;
-  t.label <- snap.label;
-  warm_if_pooled t;
+(* Each connection gets its own view of the loaded solution, so one
+   session's [load] hot-swap never disturbs another mid-query. The view
+   pins the cache entry it serves from ([load key]) so the LRU budget
+   cannot evict a snapshot a live session still reads. *)
+type view = {
+  id : int;
+  mutable engine : Engine.t;
+  mutable label : string;
+  mutable pinned : string option;
+  mutable answered : int;  (** records answered in this session *)
+  mutable queries : int;  (** query and [load] lines accepted (the limited kind) *)
+}
+
+let release_pin t view =
+  match (view.pinned, t.cache) with
+  | Some key, Some cache ->
+    view.pinned <- None;
+    Cache.unpin cache ~key
+  | _ -> ()
+
+let install t view ?key (snap : Snapshot.t) =
+  let engine = Engine.create snap.solution in
+  warm_if_pooled t engine;
+  release_pin t view;
+  (match (key, t.cache) with
+  | Some key, Some cache -> if Cache.pin cache ~key then view.pinned <- Some key
+  | _ -> ());
+  view.engine <- engine;
+  view.label <- snap.label;
   snap.label
 
-let load_path t file =
+let load_path t view file =
   match In_channel.with_open_bin file In_channel.input_all with
   | exception Sys_error e -> Error e
   | bytes -> (
     match Snapshot.decode ~program:t.program bytes with
-    | Ok snap -> Ok (install t snap)
+    | Ok snap -> Ok (install t view snap)
     | Error e -> Error (Printf.sprintf "%s: %s" file (Snapshot.error_to_string e)))
 
-let load_key t key =
+let load_key t view key =
   match t.cache with
   | None -> Error "no cache configured (start the server with --cache-dir)"
   | Some cache -> (
@@ -98,97 +223,512 @@ let load_key t key =
     | None -> Error (Printf.sprintf "cache miss for key %s" key)
     | Some bytes -> (
       match Snapshot.decode ~program:t.program ~expect_key:key bytes with
-      | Ok snap -> Ok (install t snap)
+      | Ok snap -> Ok (install t view ~key snap)
       | Error e -> Error (Printf.sprintf "key %s: %s" key (Snapshot.error_to_string e))))
 
-let respond_control t oc ~q outcome =
-  t.served <- t.served + 1;
+(* ---------- input sources ----------
+
+   Socket sessions read through an explicit buffered line reader over the
+   raw fd: it blocks in [select] with a real timeout (retrying EINTR and
+   re-checking the server's stop flag every tick), enforces the
+   line-length limit while the line streams in (an over-limit line is
+   discarded, not accumulated), and knows exactly what is buffered — so
+   the batch cutter never confuses "nothing buffered" with "buffered but
+   not yet scanned". Channel sessions (stdin, query scripts, tests) keep
+   the blocking [input_line] path: no timeouts apply there. *)
+
+type fd_reader = {
+  fd : Unix.file_descr;
+  mutable data : Bytes.t;
+  mutable start : int;  (* consumed prefix *)
+  mutable len : int;  (* end of valid data *)
+  mutable dropped : int;  (* bytes discarded of an over-limit line in flight *)
+  mutable at_eof : bool;
+}
+
+type input = Chan of in_channel | Fd of fd_reader
+
+let fd_reader fd = { fd; data = Bytes.create 8192; start = 0; len = 0; dropped = 0; at_eof = false }
+
+type read_result =
+  | Line of string
+  | Too_long of int  (** the over-limit line's length; its content is dropped *)
+  | Timed_out
+  | Eof
+  | Stopped  (** the server is shutting down *)
+
+let select_tick = 0.25
+
+let rec fd_next_line t r =
+  let scan () =
+    let rec go i = if i >= r.len then None else if Bytes.get r.data i = '\n' then Some i else go (i + 1) in
+    go r.start
+  in
+  match scan () with
+  | Some nl ->
+    let raw_len = nl - r.start in
+    let line = Bytes.sub_string r.data r.start raw_len in
+    r.start <- nl + 1;
+    if r.start >= r.len then begin
+      r.start <- 0;
+      r.len <- 0
+    end;
+    if r.dropped > 0 then begin
+      let total = r.dropped + raw_len in
+      r.dropped <- 0;
+      Too_long total
+    end
+    else if raw_len > t.limits.max_line then Too_long raw_len
+    else Line line
+  | None ->
+    let buffered = r.len - r.start in
+    if buffered > t.limits.max_line then begin
+      (* discard the over-limit prefix; keep counting until the newline *)
+      r.dropped <- r.dropped + buffered;
+      r.start <- 0;
+      r.len <- 0;
+      fd_next_line t r
+    end
+    else if r.at_eof then
+      if buffered = 0 then
+        if r.dropped > 0 then begin
+          let total = r.dropped in
+          r.dropped <- 0;
+          Too_long total
+        end
+        else Eof
+      else begin
+        (* final unterminated line *)
+        let line = Bytes.sub_string r.data r.start buffered in
+        r.start <- 0;
+        r.len <- 0;
+        if r.dropped > 0 then begin
+          let total = r.dropped + buffered in
+          r.dropped <- 0;
+          Too_long total
+        end
+        else Line line
+      end
+    else begin
+      (* make room, then block for more input *)
+      if r.len = Bytes.length r.data then
+        if r.start > 0 then begin
+          Bytes.blit r.data r.start r.data 0 buffered;
+          r.start <- 0;
+          r.len <- buffered
+        end
+        else begin
+          let bigger = Bytes.create (2 * Bytes.length r.data) in
+          Bytes.blit r.data 0 bigger 0 r.len;
+          r.data <- bigger
+        end;
+      let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) t.limits.idle_timeout in
+      let rec wait () =
+        if Atomic.get t.stopping then Stopped
+        else begin
+          let slice =
+            match deadline with
+            | None -> select_tick
+            | Some d ->
+              let remaining = d -. Unix.gettimeofday () in
+              if remaining <= 0.0 then -1.0 else Float.min select_tick remaining
+          in
+          if slice < 0.0 then Timed_out
+          else
+            match Unix.select [ r.fd ] [] [] slice with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+            | [], _, _ -> wait ()
+            | _ -> (
+              match Unix.read r.fd r.data r.len (Bytes.length r.data - r.len) with
+              | 0 ->
+                r.at_eof <- true;
+                fd_next_line t r
+              | n ->
+                r.len <- r.len + n;
+                fd_next_line t r
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+              | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+                r.at_eof <- true;
+                fd_next_line t r)
+        end
+      in
+      wait ()
+    end
+
+let next_line t input =
+  match input with
+  | Fd r -> fd_next_line t r
+  | Chan ic -> (
+    match input_line ic with
+    | exception End_of_file -> Eof
+    | line -> if String.length line > t.limits.max_line then Too_long (String.length line) else Line line)
+
+(* Would another line be available without blocking? Used only to decide
+   where to cut a batch: a wrong "no" under-batches (costs parallelism,
+   never changes output). *)
+let input_ready _t input =
+  match input with
+  | Chan ic -> (
+    match Unix.select [ Unix.descr_of_in_channel ic ] [] [] 0.0 with
+    | [ _ ], _, _ -> true
+    | _ -> false
+    | exception Unix.Unix_error _ -> false)
+  | Fd r ->
+    let has_newline () =
+      let rec go i = i < r.len && (Bytes.get r.data i = '\n' || go (i + 1)) in
+      go r.start
+    in
+    let rec ready () =
+      has_newline () || r.at_eof
+      ||
+      match Unix.select [ r.fd ] [] [] 0.0 with
+      | [], _, _ -> false
+      | _ -> (
+        (* select said readable, so this read cannot block *)
+        if r.len = Bytes.length r.data then begin
+          if r.start > 0 then begin
+            let buffered = r.len - r.start in
+            Bytes.blit r.data r.start r.data 0 buffered;
+            r.start <- 0;
+            r.len <- buffered
+          end
+          else begin
+            let bigger = Bytes.create (2 * Bytes.length r.data) in
+            Bytes.blit r.data 0 bigger 0 r.len;
+            r.data <- bigger
+          end
+        end;
+        match Unix.read r.fd r.data r.len (Bytes.length r.data - r.len) with
+        | 0 ->
+          r.at_eof <- true;
+          true
+        | n ->
+          r.len <- r.len + n;
+          ready ()
+        | exception Unix.Unix_error _ ->
+          r.at_eof <- true;
+          true)
+      | exception Unix.Unix_error _ -> false
+    in
+    ready ()
+
+(* ---------- batched query evaluation ---------- *)
+
+type item = { line : string; parsed : (Query.t, string) result }
+
+let batch_cap t = match t.pool with Some p -> 16 * Domain_pool.jobs p | None -> 1
+
+let eval_one t view item =
+  match item.parsed with
+  | Error e -> (Engine.render_error ~json:t.json ~q:item.line e, true, None)
+  | Ok q ->
+    let res, secs = Timer.time (fun () -> Engine.eval view.engine q) in
+    let us = int_of_float (secs *. 1e6) in
+    let latency_us = if t.timings then Some us else None in
+    let render = if t.json then Engine.render_json else Engine.render_text in
+    (render ?latency_us q res, Result.is_error res, Some us)
+
+exception Client_gone
+
+let emit t view oc line is_err =
+  Atomic.incr t.served;
+  if is_err then Atomic.incr t.errors;
+  view.answered <- view.answered + 1;
+  try
+    output_string oc line;
+    output_char oc '\n'
+  with Sys_error _ -> raise Client_gone
+
+let emit_flush t view oc line is_err =
+  emit t view oc line is_err;
+  try flush oc with Sys_error _ -> raise Client_gone
+
+let flush_pending t view oc pending =
+  match List.rev !pending with
+  | [] -> ()
+  | items ->
+    pending := [];
+    let rendered =
+      match t.pool with
+      | Some p when List.length items > 1 -> Domain_pool.map_list p (eval_one t view) items
+      | _ -> List.map (eval_one t view) items
+    in
+    List.iter2
+      (fun (item : item) (line, is_err, us) ->
+        (match us with Some u -> Hist.record t.hist u | None -> ());
+        log_record t ~session:view.id ~q:item.line ~ok:(not is_err) ~us;
+        emit t view oc line is_err)
+      items rendered;
+    try flush oc with Sys_error _ -> raise Client_gone
+
+(* ---------- the session loop ---------- *)
+
+let respond_control t view oc ~q outcome =
   let line =
     match outcome with
     | Ok label ->
-      t.loads <- t.loads + 1;
+      Atomic.incr t.loads;
       if t.json then
         Printf.sprintf {|{"q":%s,"ok":true,"kind":"load","label":%s}|} (Engine.json_string q)
           (Engine.json_string label)
       else Printf.sprintf "%s: ok (%s)" q label
-    | Error e ->
-      t.errors <- t.errors + 1;
-      Engine.render_error ~json:t.json ~q e
+    | Error e -> Engine.render_error ~json:t.json ~q e
   in
-  output_string oc line;
-  output_char oc '\n';
-  flush oc
+  log_record t ~session:view.id ~q ~ok:(Result.is_ok outcome) ~us:None;
+  emit_flush t view oc line (Result.is_error outcome)
 
-(* ---------- the session loop ---------- *)
+type outcome = [ `Quit | `Stop | `Timeout | `Limit | `Disconnect ]
 
-let input_ready ic =
-  match Unix.select [ Unix.descr_of_in_channel ic ] [] [] 0.0 with
-  | [ _ ], _, _ -> true
-  | _ -> false
-  | exception Unix.Unix_error _ -> false
-
-let session t ic oc =
+let run_session t input oc : outcome =
+  let view =
+    {
+      id = Atomic.fetch_and_add t.sessions 1;
+      engine = t.base_engine;
+      label = t.base_label;
+      pinned = None;
+      answered = 0;
+      queries = 0;
+    }
+  in
+  Atomic.incr t.active;
+  Fun.protect
+    ~finally:(fun () ->
+      release_pin t view;
+      Atomic.decr t.active)
+  @@ fun () ->
   let pending = ref [] in
   let n_pending = ref 0 in
   let finished = ref None in
-  while !finished = None do
-    (* Cut the batch when it is full or the next read would block; data
-       already sitting in the channel buffer (not the fd) may under-batch,
-       which costs parallelism but never changes the output. *)
-    if !n_pending > 0 && (!n_pending >= batch_cap t || not (input_ready ic)) then begin
-      flush_pending t oc pending;
-      n_pending := 0
-    end;
-    match input_line ic with
-    | exception End_of_file ->
-      flush_pending t oc pending;
-      finished := Some `Quit
-    | line -> (
-      let line = String.trim line in
-      if line = "" || line.[0] = '#' then ()
-      else
-        match Query.tokens line with
-        | Ok [ "quit" ] ->
-          flush_pending t oc pending;
-          finished := Some `Quit
-        | Ok [ "stop" ] ->
-          flush_pending t oc pending;
-          finished := Some `Stop
-        | Ok ("load" :: args) -> (
-          flush_pending t oc pending;
-          n_pending := 0;
-          match args with
-          | [ "path"; file ] ->
-            respond_control t oc ~q:(Printf.sprintf "load path %s" (Query.quote file)) (load_path t file)
-          | [ "key"; key ] ->
-            respond_control t oc ~q:(Printf.sprintf "load key %s" (Query.quote key)) (load_key t key)
-          | _ -> respond_control t oc ~q:line (Error "usage: load path <file> | load key <key>"))
-        | Ok _ | Error _ ->
-          (* a query line; tokenizer errors resurface from [Query.parse] *)
-          pending := { line; parsed = Query.parse line } :: !pending;
-          incr n_pending)
-  done;
+  let finish o = finished := Some o in
+  (* The query/load limit is checked before the line is accepted, so
+     [quit], [stop] and [metrics] always work on an exhausted session. *)
+  let admit_query line k =
+    match t.limits.max_queries with
+    | Some m when view.queries >= m ->
+      flush_pending t view oc pending;
+      n_pending := 0;
+      Atomic.incr t.query_limit_hits;
+      let msg = Printf.sprintf "query limit reached (%d per session); closing session" m in
+      log_record t ~session:view.id ~q:line ~ok:false ~us:None;
+      emit_flush t view oc (Engine.render_error ~json:t.json ~q:line msg) true;
+      finish `Limit
+    | _ ->
+      view.queries <- view.queries + 1;
+      k ()
+  in
+  (try
+     while !finished = None do
+       (* Cut the batch when it is full or the next read would block. *)
+       if !n_pending > 0 && (!n_pending >= batch_cap t || not (input_ready t input)) then begin
+         flush_pending t view oc pending;
+         n_pending := 0
+       end;
+       if Atomic.get t.stopping then begin
+         flush_pending t view oc pending;
+         finish `Stop
+       end
+       else
+         match next_line t input with
+         | Eof ->
+           flush_pending t view oc pending;
+           finish `Quit
+         | Stopped ->
+           flush_pending t view oc pending;
+           finish `Stop
+         | Timed_out ->
+           flush_pending t view oc pending;
+           n_pending := 0;
+           Atomic.incr t.timeouts;
+           let msg =
+             Printf.sprintf "idle timeout (%gs); closing session"
+               (Option.value ~default:0.0 t.limits.idle_timeout)
+           in
+           log_record t ~session:view.id ~q:"<idle>" ~ok:false ~us:None;
+           emit_flush t view oc (Engine.render_error ~json:t.json ~q:"<idle>" msg) true;
+           finish `Timeout
+         | Too_long len ->
+           flush_pending t view oc pending;
+           n_pending := 0;
+           Atomic.incr t.line_limit_hits;
+           let msg =
+             Printf.sprintf "line exceeds limit (%d > %d bytes); line dropped" len
+               t.limits.max_line
+           in
+           log_record t ~session:view.id ~q:"<oversized line>" ~ok:false ~us:None;
+           emit_flush t view oc (Engine.render_error ~json:t.json ~q:"<oversized line>" msg) true
+         | Line line -> (
+           let line = String.trim line in
+           if line = "" || line.[0] = '#' then ()
+           else
+             match Query.tokens line with
+             | Ok [ "quit" ] ->
+               flush_pending t view oc pending;
+               finish `Quit
+             | Ok [ "stop" ] ->
+               flush_pending t view oc pending;
+               finish `Stop
+             | Ok [ "metrics" ] ->
+               flush_pending t view oc pending;
+               n_pending := 0;
+               log_record t ~session:view.id ~q:"metrics" ~ok:true ~us:None;
+               emit_flush t view oc (render_metrics t) false
+             | Ok ("metrics" :: _) ->
+               flush_pending t view oc pending;
+               n_pending := 0;
+               log_record t ~session:view.id ~q:line ~ok:false ~us:None;
+               emit_flush t view oc (Engine.render_error ~json:t.json ~q:line "usage: metrics") true
+             | Ok ("load" :: args) ->
+               admit_query line (fun () ->
+                   flush_pending t view oc pending;
+                   n_pending := 0;
+                   match args with
+                   | [ "path"; file ] ->
+                     respond_control t view oc
+                       ~q:(Printf.sprintf "load path %s" (Query.quote file))
+                       (load_path t view file)
+                   | [ "key"; key ] ->
+                     respond_control t view oc
+                       ~q:(Printf.sprintf "load key %s" (Query.quote key))
+                       (load_key t view key)
+                   | _ ->
+                     respond_control t view oc ~q:line
+                       (Error "usage: load path <file> | load key <key>"))
+             | Ok _ | Error _ ->
+               (* a query line; tokenizer errors resurface from [Query.parse] *)
+               admit_query line (fun () ->
+                   pending := { line; parsed = Query.parse line } :: !pending;
+                   incr n_pending))
+     done
+   with
+  | Client_gone ->
+    Atomic.incr t.disconnects;
+    finish `Disconnect
+  | End_of_file | Sys_error _ ->
+    Atomic.incr t.disconnects;
+    finish `Disconnect);
   Option.get !finished
+
+let session t ic oc = run_session t (Chan ic) oc
 
 (* ---------- Unix-domain socket front end ---------- *)
 
+(* Refuse to clobber a socket path another live server owns: a connect
+   probe that succeeds means someone is accepting there. ECONNREFUSED (or
+   a vanished path) means the file is a stale leftover of an unclean
+   shutdown and is safe to remove. *)
+let probe_socket_path path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "%s: cannot stat: %s" path (Unix.error_message e))
+  | { Unix.st_kind; _ } when st_kind <> Unix.S_SOCK ->
+    (* never unlink a path that is not a socket — it is someone's file *)
+    Error (Printf.sprintf "%s: exists and is not a socket" path)
+  | _ -> begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let verdict =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> Error (Printf.sprintf "%s: another server is live on this socket" path)
+      | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> Ok `Stale
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Ok `Gone
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "%s: cannot probe socket: %s" path (Unix.error_message e))
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    match verdict with
+    | Ok `Stale -> (
+      match Unix.unlink path with
+      | () -> Ok ()
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "%s: cannot remove stale socket: %s" path (Unix.error_message e)))
+    | Ok `Gone -> Ok ()
+    | Error _ as e -> e
+  end
+
+let accept_tick = 0.25
+
+let handle_connection t conn =
+  let oc = Unix.out_channel_of_descr conn in
+  let outcome =
+    try run_session t (Fd (fd_reader conn)) oc
+    with _ ->
+      Atomic.incr t.disconnects;
+      `Disconnect
+  in
+  (try flush oc with Sys_error _ -> ());
+  (try Unix.close conn with Unix.Unix_error _ -> ());
+  if outcome = `Stop then Atomic.set t.stopping true
+
 let serve_socket t ~path =
-  (try Unix.unlink path with Unix.Unix_error _ -> ());
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Fun.protect
-    ~finally:(fun () ->
-      (try Unix.close sock with Unix.Unix_error _ -> ());
-      try Unix.unlink path with Unix.Unix_error _ -> ())
-  @@ fun () ->
-  Unix.bind sock (Unix.ADDR_UNIX path);
-  Unix.listen sock 8;
-  let stop = ref false in
-  while not !stop do
-    let conn, _ = Unix.accept sock in
-    let ic = Unix.in_channel_of_descr conn in
-    let oc = Unix.out_channel_of_descr conn in
-    let outcome = try session t ic oc with End_of_file | Sys_error _ -> `Quit in
-    (try flush oc with Sys_error _ -> ());
-    (try Unix.close conn with Unix.Unix_error _ -> ());
-    if outcome = `Stop then stop := true
-  done
+  match probe_socket_path path with
+  | Error _ as e -> e
+  | Ok () ->
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (* Graceful shutdown: SIGINT/SIGTERM only raise the stop flag; the
+       accept loop and every blocked session notice it within a tick, so
+       all exit paths run the [finally] cleanup below and no stale socket
+       file survives a signal. SIGPIPE must not kill the process — a write
+       to a dropped connection surfaces as an error the session handles. *)
+    let stop_signal _ = Atomic.set t.stopping true in
+    let installed =
+      List.filter_map
+        (fun sg ->
+          match Sys.signal sg (Sys.Signal_handle stop_signal) with
+          | prev -> Some (sg, prev)
+          | exception (Sys_error _ | Invalid_argument _) -> None)
+        [ Sys.sigint; Sys.sigterm ]
+    in
+    let sigpipe =
+      match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+      | prev -> Some prev
+      | exception (Sys_error _ | Invalid_argument _) -> None
+    in
+    (* Bind under a temporary name and rename into place only after
+       [listen]: the advertised path never exists in a bound-but-not-yet-
+       listening state, so a concurrent [probe_socket_path] cannot mistake
+       a starting server for a stale socket and unlink it. Rename keeps the
+       binding — unix(7) sockets resolve through the path to the inode. *)
+    let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+    let bound = ref None in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        (match !bound with
+        | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+        | None -> ());
+        List.iter (fun (sg, prev) -> try Sys.set_signal sg prev with _ -> ()) installed;
+        match sigpipe with
+        | Some prev -> ( try Sys.set_signal Sys.sigpipe prev with _ -> ())
+        | None -> ())
+    @@ fun () ->
+    (try Unix.unlink tmp with Unix.Unix_error _ -> ());
+    match Unix.bind sock (Unix.ADDR_UNIX tmp) with
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "%s: cannot bind: %s" path (Unix.error_message e))
+    | () -> (
+      bound := Some tmp;
+      Unix.listen sock 64;
+      match Unix.rename tmp path with
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "%s: cannot publish socket: %s" path (Unix.error_message e))
+      | () ->
+        bound := Some path;
+        while not (Atomic.get t.stopping) do
+          match Unix.select [ sock ] [] [] accept_tick with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | [], _, _ -> ()
+          | _ -> (
+            match Unix.accept sock with
+            | exception Unix.Unix_error _ -> ()
+            | conn, _ -> (
+              match t.pool with
+              | Some p when Domain_pool.jobs p > 1 ->
+                Domain_pool.submit p (fun () -> handle_connection t conn)
+              | _ -> handle_connection t conn))
+        done;
+        (* Drain: sessions poll the stop flag every [select_tick], so active
+           connections wind down promptly; wait for the last one. *)
+        while Atomic.get t.active > 0 do
+          Unix.sleepf 0.01
+        done;
+        Ok ())

@@ -7,6 +7,7 @@ type t = {
   queue : task Queue.t;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
+  mutable worker_ids : Domain.id list;
 }
 
 let rec worker_loop t =
@@ -38,15 +39,20 @@ let create ~jobs =
       queue = Queue.create ();
       closed = false;
       workers = [];
+      worker_ids = [];
     }
   in
   (* With one job every map runs inline in the caller — the sequential
      baseline involves no domains at all. *)
-  if jobs > 1 then
+  if jobs > 1 then begin
     t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    t.worker_ids <- List.map Domain.get_id t.workers
+  end;
   t
 
 let jobs t = t.jobs
+
+let on_worker t = List.mem (Domain.self ()) t.worker_ids
 
 let shutdown t =
   Mutex.lock t.mutex;
@@ -58,7 +64,10 @@ let shutdown t =
 
 let map t f items =
   let n = Array.length items in
-  if t.jobs = 1 || n <= 1 then begin
+  (* A map issued from one of the pool's own workers runs inline: blocking
+     that worker on tasks only the (busy) workers could drain would
+     deadlock. Results are identical either way — only wall-clock changes. *)
+  if t.jobs = 1 || n <= 1 || on_worker t then begin
     if t.closed then invalid_arg "Domain_pool.map: pool is shut down";
     Array.map f items
   end
@@ -100,6 +109,25 @@ let map t f items =
   end
 
 let map_list t f xs = Array.to_list (map t f (Array.of_list xs))
+
+let submit t task =
+  (* Fire-and-forget: exceptions are confined to the task (a raising task
+     must not kill its worker, which outlives it and serves later tasks). *)
+  let guarded () = try task () with _ -> () in
+  if t.jobs = 1 then begin
+    if t.closed then invalid_arg "Domain_pool.submit: pool is shut down";
+    guarded ()
+  end
+  else begin
+    Mutex.lock t.mutex;
+    if t.closed then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Domain_pool.submit: pool is shut down"
+    end;
+    Queue.add guarded t.queue;
+    Condition.signal t.work;
+    Mutex.unlock t.mutex
+  end
 
 let run_shards t ~shards f =
   if shards < 1 then invalid_arg "Domain_pool.run_shards: shards must be >= 1";

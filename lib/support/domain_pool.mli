@@ -24,9 +24,22 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
     the results in input order. If any task raises, the exception of the
     {e lowest index} is re-raised in the caller after all tasks finish —
     deterministic regardless of scheduling. Empty and singleton inputs run
-    inline. Raises [Invalid_argument] after {!shutdown}. *)
+    inline, as does a map issued {e from a pool worker} (a long-running
+    {!submit} task may keep using the pool without deadlocking it).
+    Raises [Invalid_argument] after {!shutdown}. *)
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+val submit : t -> (unit -> unit) -> unit
+(** [submit t task] enqueues [task] to run on some worker and returns
+    immediately ([jobs = 1] runs it inline — the sequential baseline). An
+    exception escaping [task] is dropped: long-running tasks (the query
+    server's per-connection sessions) must do their own error handling.
+    {!shutdown} drains already-submitted tasks before joining the workers.
+    Raises [Invalid_argument] after {!shutdown}. *)
+
+val on_worker : t -> bool
+(** Whether the calling domain is one of this pool's workers. *)
 
 val run_shards : t -> shards:int -> (int -> 'a) -> 'a array
 (** [run_shards t ~shards f] runs [f 0 .. f (shards - 1)] on the pooled

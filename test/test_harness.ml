@@ -186,6 +186,142 @@ let test_cache_find_bytes_counts () =
   check Alcotest.int "miss counted" 1 s.misses;
   check Alcotest.int "no disk errors" 0 s.disk_errors
 
+(* ---------- in-memory LRU budget ----------
+
+   [find_bytes] serves raw snapshot bytes without decoding them, so the
+   LRU layer can be exercised with fake [.snap] files of known sizes:
+   four 100-byte entries against a 250-byte budget force evictions on the
+   third distinct access. *)
+
+module Cache = Ipa_harness.Cache
+
+let lru_body i = String.make 100 (Char.chr (Char.code 'a' + i))
+
+let lru_fixture dir n =
+  for i = 0 to n - 1 do
+    Out_channel.with_open_bin
+      (Filename.concat dir (Printf.sprintf "k%d.snap" i))
+      (fun oc -> Out_channel.output_string oc (lru_body i))
+  done
+
+let lru_get cache i =
+  check
+    (Alcotest.option Alcotest.string)
+    (Printf.sprintf "k%d content" i)
+    (Some (lru_body i))
+    (Cache.find_bytes cache ~key:(Printf.sprintf "k%d" i))
+
+let test_lru_eviction_order () =
+  Ipa_testlib.with_temp_dir (fun dir ->
+      lru_fixture dir 4;
+      let cache = Cache.create ~dir ~mem_budget:250 () in
+      lru_get cache 0;
+      lru_get cache 1;
+      check (Alcotest.list Alcotest.string) "both resident" [ "k0"; "k1" ]
+        (Cache.resident_keys cache);
+      lru_get cache 2;
+      (* 300 bytes > 250: the least recently used entry goes *)
+      check (Alcotest.list Alcotest.string) "k0 evicted first" [ "k1"; "k2" ]
+        (Cache.resident_keys cache);
+      lru_get cache 1;
+      (* the touch restamped k1, so the next eviction picks k2 *)
+      lru_get cache 3;
+      check (Alcotest.list Alcotest.string) "k2 evicted after k1 touch" [ "k1"; "k3" ]
+        (Cache.resident_keys cache);
+      let s = Cache.stats cache in
+      check Alcotest.int "two evictions" 2 s.evictions;
+      check Alcotest.int "resident bytes" 200 s.resident_bytes;
+      check Alcotest.int "one memory hit (the k1 touch)" 1 s.mem_hits;
+      (* eviction drops only the memory copy: the disk layer still serves
+         k0, and the promotion re-enters it into the LRU order *)
+      lru_get cache 0;
+      let s = Cache.stats cache in
+      check Alcotest.int "evicted entries re-read from disk" 5 s.disk_hits;
+      check (Alcotest.list Alcotest.string) "promotion displaced the LRU entry"
+        [ "k0"; "k3" ] (Cache.resident_keys cache))
+
+let test_lru_pinning () =
+  Ipa_testlib.with_temp_dir (fun dir ->
+      lru_fixture dir 2;
+      let cache = Cache.create ~dir ~mem_budget:150 () in
+      lru_get cache 0;
+      check Alcotest.bool "pin resident key" true (Cache.pin cache ~key:"k0");
+      check Alcotest.bool "pin counted twice" true (Cache.pin cache ~key:"k0");
+      check Alcotest.bool "pin absent key refused" false (Cache.pin cache ~key:"k1");
+      lru_get cache 1;
+      (* over budget, but k0 is pinned: the incoming unpinned entry is the
+         victim, even though it is the most recently used *)
+      check (Alcotest.list Alcotest.string) "pinned entry survives" [ "k0" ]
+        (Cache.resident_keys cache);
+      Cache.unpin cache ~key:"k0";
+      lru_get cache 1;
+      (* one pin released, one still held: k0 remains protected *)
+      check (Alcotest.list Alcotest.string) "counted pin still protects" [ "k0" ]
+        (Cache.resident_keys cache);
+      Cache.unpin cache ~key:"k0";
+      lru_get cache 1;
+      (* fully unpinned, plain LRU resumes: k0 is the older entry *)
+      check (Alcotest.list Alcotest.string) "unpinned entry evictable again" [ "k1" ]
+        (Cache.resident_keys cache);
+      let s = Cache.stats cache in
+      check Alcotest.int "evictions" 3 s.evictions;
+      check Alcotest.bool "resident within budget" true (s.resident_bytes <= 150))
+
+(* Replay one access sequence on two fresh caches: same resident set,
+   same eviction count — ticks are issued under the lock, so eviction
+   order is a deterministic function of the access order. The budget
+   holds as an invariant after every access (nothing is pinned). *)
+let lru_trace dir seq budget =
+  let cache = Cache.create ~dir ~mem_budget:budget () in
+  List.iter
+    (fun i ->
+      lru_get cache i;
+      let s = Cache.stats cache in
+      if s.resident_bytes > budget then
+        Alcotest.failf "resident %d bytes exceeds budget %d" s.resident_bytes budget)
+    seq;
+  (Cache.resident_keys cache, (Cache.stats cache).evictions)
+
+let test_lru_deterministic_under_budget () =
+  Ipa_testlib.with_temp_dir (fun dir ->
+      lru_fixture dir 4;
+      let seq = [ 0; 1; 2; 1; 3; 0; 2; 3; 1; 0; 3; 2; 0; 1 ] in
+      let a = lru_trace dir seq 250 in
+      let b = lru_trace dir seq 250 in
+      check
+        (Alcotest.pair (Alcotest.list Alcotest.string) Alcotest.int)
+        "same access order, same evictions" a b;
+      check Alcotest.bool "evictions occurred" true (snd a > 0))
+
+let test_parse_budget () =
+  let ok s n =
+    match Cache.parse_budget s with
+    | Ok v -> check Alcotest.int s n v
+    | Error e -> Alcotest.failf "%s rejected: %s" s e
+  and err s =
+    match Cache.parse_budget s with
+    | Ok v -> Alcotest.failf "%S accepted as %d" s v
+    | Error _ -> ()
+  in
+  ok "0" 0;
+  ok "123" 123;
+  ok "64k" 65_536;
+  ok "64K" 65_536;
+  ok "2M" 2_097_152;
+  ok "1g" 1_073_741_824;
+  err "";
+  err "12q";
+  err "-5";
+  err "k";
+  err "1.5m"
+
+let test_negative_budget_rejected () =
+  (match Cache.create ~mem_budget:(-1) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative budget accepted");
+  check Alcotest.bool "zero budget allowed" true
+    (Cache.mem_budget (Cache.create ~mem_budget:0 ()) = Some 0)
+
 let () =
   Alcotest.run "harness"
     [
@@ -196,6 +332,15 @@ let () =
             test_cache_dir_beneath_a_file;
           Alcotest.test_case "missing cache dir is created" `Quick test_cache_missing_dir_created;
           Alcotest.test_case "find_bytes counts misses" `Quick test_cache_find_bytes_counts;
+        ] );
+      ( "cache-lru",
+        [
+          Alcotest.test_case "eviction follows access order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "pinned entries survive" `Quick test_lru_pinning;
+          Alcotest.test_case "deterministic and within budget" `Quick
+            test_lru_deterministic_under_budget;
+          Alcotest.test_case "parse_budget" `Quick test_parse_budget;
+          Alcotest.test_case "negative budget rejected" `Quick test_negative_budget_rejected;
         ] );
       ( "experiments",
         [
