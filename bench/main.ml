@@ -42,7 +42,7 @@
    in BENCH_solver.json under "solver_scaling" with a speedup_vs_1 column.
 
    Usage:
-     main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|serve|lint|solver|micro|all]
+     main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|serve|demand|lint|solver|micro|all]
               [--scale S] [--budget N] [--jobs N] [--shards K1,K2,...]
               [--clients N1,N2,...] [--cache-dir DIR] [--check-against FILE]
 *)
@@ -52,7 +52,7 @@ module Experiments = Ipa_harness.Experiments
 
 let usage () =
   prerr_endline
-    "usage: main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|serve|lint|solver|micro|all] [--scale S] [--budget N] [--jobs N] [--shards K1,K2,...] [--clients N1,N2,...] [--cache-dir DIR] [--check-against FILE]";
+    "usage: main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|serve|demand|lint|solver|micro|all] [--scale S] [--budget N] [--jobs N] [--shards K1,K2,...] [--clients N1,N2,...] [--cache-dir DIR] [--check-against FILE]";
   exit 2
 
 type selection =
@@ -64,6 +64,7 @@ type selection =
   | Cache_smoke
   | Query_bench
   | Serve_bench
+  | Demand_bench
   | Lint_bench
   | Solver_scaling
   | Micro
@@ -113,6 +114,9 @@ let parse_args () =
       go rest
     | "serve" :: rest ->
       selection := Serve_bench;
+      go rest
+    | "demand" :: rest ->
+      selection := Demand_bench;
       go rest
     | "--clients" :: v :: rest ->
       let ns = List.map int_of_string_opt (String.split_on_char ',' v) in
@@ -1037,6 +1041,197 @@ let run_serve_bench (cfg : Ipa_harness.Config.t) ~clients_list ~baseline =
   print_endline
     "serve bench OK: every answer byte-identical to the sequential simulation, served counts exact"
 
+(* ---------- BENCH_demand.json: slice-vs-full demand solving ---------- *)
+
+let demand_json_path = "BENCH_demand.json"
+
+(* The demand corpus: the eligible forms whose slices are meant to be
+   small — pts (the acceptance form), alias, callees and fieldpts.
+   pointed-by is demand-eligible but its root set is every variable (the
+   slice degenerates to the whole program), so it would only restate the
+   full solve; it is covered by the agreement tests, not the cost story. *)
+let demand_mix program =
+  let module P = Ipa_ir.Program in
+  let take cap n of_i = List.init (min n cap) of_i in
+  let var v = P.var_full_name program v in
+  let n_vars = P.n_vars program in
+  let instance_fields =
+    List.filter
+      (fun f -> not (P.field_info program f).is_static_field)
+      (List.init (P.n_fields program) Fun.id)
+  in
+  List.concat
+    [
+      take 32 n_vars (fun v -> Ipa_query.Query.Pts (var v));
+      take 8
+        (max 0 (n_vars - 1))
+        (fun v -> Ipa_query.Query.Alias (var v, var (v + 1)));
+      take 8 (P.n_invos program) (fun i ->
+          Ipa_query.Query.Callees (P.invo_info program i).invo_name);
+      (match instance_fields with
+      | [] -> []
+      | fields ->
+        let fields = Array.of_list fields in
+        take 8 (P.n_heaps program) (fun h ->
+            Ipa_query.Query.Fieldpts
+              ( P.heap_full_name program h,
+                P.field_full_name program fields.(h mod Array.length fields) )));
+    ]
+
+let check_demand_against ~file fields =
+  let fail msg =
+    prerr_endline (Printf.sprintf "bench check FAILED: %s: %s" file msg);
+    exit 1
+  in
+  let contents =
+    match In_channel.with_open_text file In_channel.input_all with
+    | s -> s
+    | exception Sys_error msg -> fail ("cannot read baseline: " ^ msg)
+  in
+  let scan name =
+    match find_substring contents (Printf.sprintf "\"%s\":" name) 0 with
+    | None -> fail (Printf.sprintf "no %S field" name)
+    | Some at ->
+      let i = ref (at + String.length name + 3) in
+      let len = String.length contents in
+      while !i < len && contents.[!i] = ' ' do
+        incr i
+      done;
+      let start = !i in
+      while !i < len && contents.[!i] >= '0' && contents.[!i] <= '9' do
+        incr i
+      done;
+      if !i = start then fail (Printf.sprintf "field %S is not an integer" name)
+      else int_of_string (String.sub contents start (!i - start))
+  in
+  List.iter
+    (fun (name, fresh) ->
+      let committed = scan name in
+      if fresh <> committed then
+        fail
+          (Printf.sprintf "%s drifted: fresh %d vs committed %d" name fresh committed)
+      else Printf.printf "bench check: %s %d == committed\n%!" name fresh)
+    fields;
+  print_endline "bench check OK: demand counters match the committed baseline"
+
+let run_demand_bench (cfg : Ipa_harness.Config.t) ~baseline =
+  let module Solution = Ipa_core.Solution in
+  let flavor = Flavors.Object_sens { depth = 2; heap = 1 } in
+  let spec = List.hd Ipa_synthetic.Dacapo.all in
+  let program = Ipa_synthetic.Dacapo.build ~scale:cfg.scale spec in
+  (* Ground truth: the unbudgeted full solve. *)
+  let full = Ipa_core.Analysis.run_plain ~budget:0 program flavor in
+  let full_engine = Ipa_query.Engine.create full.solution in
+  let full_derivations = full.solution.Solution.derivations in
+  (* The motivating scenario: the same solve under a budget it blows. *)
+  let truncated_budget = max 1 (full_derivations / 10) in
+  let truncated = Ipa_core.Analysis.run_plain ~budget:truncated_budget program flavor in
+  if truncated.solution.Solution.outcome <> Solution.Budget_exceeded then
+    failwith "demand bench: truncated solve unexpectedly completed";
+  let truncated_engine = Ipa_query.Engine.create truncated.solution in
+  let queries = demand_mix program in
+  let n_queries = List.length queries in
+  Printf.printf "demand bench: %s at scale %g, %s: %d queries\n%!" spec.name cfg.scale
+    full.label n_queries;
+  let demand =
+    Ipa_query.Demand.create ~program ~label:full.label
+      (Ipa_core.Solver.plain program (Flavors.strategy program flavor))
+  in
+  let render q r = Ipa_query.Engine.render_text q r in
+  (* Cold pass: every query slices and solves (memo hits only when two
+     queries share a root set). Each answer is checked byte-identical to
+     the full solve's; the truncated solve's divergence count is what
+     demand mode repairs. The cost gate is per query — the most expensive
+     single slice solve must stay materially below one full solve. *)
+  let divergent = ref 0 in
+  let max_slice_derivations = ref 0 in
+  let (), cold_seconds =
+    Ipa_support.Timer.time (fun () ->
+        List.iter
+          (fun q ->
+            let before = (Ipa_query.Demand.stats demand).Ipa_query.Demand.slice_derivations in
+            let served =
+              match Ipa_query.Demand.eval demand q with
+              | Some s -> s
+              | None -> failwith "demand bench: corpus query not demand-eligible"
+            in
+            let after = (Ipa_query.Demand.stats demand).Ipa_query.Demand.slice_derivations in
+            max_slice_derivations := max !max_slice_derivations (after - before);
+            let expected = render q (Ipa_query.Engine.eval full_engine q) in
+            let got = render q served.Ipa_query.Demand.result in
+            if got <> expected then
+              failwith
+                (Printf.sprintf "demand bench: answer mismatch\n  full:   %s\n  demand: %s"
+                   expected got);
+            if render q (Ipa_query.Engine.eval truncated_engine q) <> expected then
+              incr divergent)
+          queries)
+  in
+  let cold = Ipa_query.Demand.stats demand in
+  (* Warm pass: every repeat must hit the slice memo. *)
+  let (), warm_seconds =
+    Ipa_support.Timer.time (fun () ->
+        List.iter (fun q -> ignore (Ipa_query.Demand.eval demand q)) queries)
+  in
+  let warm = Ipa_query.Demand.stats demand in
+  let warm_hits = warm.Ipa_query.Demand.slice_hits - cold.Ipa_query.Demand.slice_hits in
+  if warm_hits <> n_queries then
+    failwith
+      (Printf.sprintf "demand bench: expected %d warm slice hits, got %d" n_queries warm_hits);
+  if !max_slice_derivations >= full_derivations then
+    failwith
+      (Printf.sprintf
+         "demand bench: worst slice solve (%d derivations) not below the full solve (%d) — slicing saved nothing"
+         !max_slice_derivations full_derivations);
+  let ratio = float_of_int !max_slice_derivations /. float_of_int full_derivations in
+  Printf.printf
+    "full solve: %d derivations; truncated (budget %d): %d divergent answers of %d\n%!"
+    full_derivations truncated_budget !divergent n_queries;
+  Printf.printf
+    "demand cold: %.4fs, %d queries, %d slice nodes total, worst slice %d derivations (%.3fx full)\n%!"
+    cold_seconds cold.Ipa_query.Demand.demand_queries cold.Ipa_query.Demand.slice_nodes
+    !max_slice_derivations ratio;
+  Printf.printf "demand warm: %.4fs, %d memo hits\n%!" warm_seconds warm_hits;
+  let fields =
+    [
+      ("n_queries", n_queries);
+      ("full_derivations", full_derivations);
+      ("truncated_budget", truncated_budget);
+      ("truncated_derivations", truncated.solution.Solution.derivations);
+      ("divergent_truncated_answers", !divergent);
+      ("demand_slice_nodes", cold.Ipa_query.Demand.slice_nodes);
+      ("demand_derivations", cold.Ipa_query.Demand.slice_derivations);
+      ("demand_max_slice_derivations", !max_slice_derivations);
+      ("demand_warm_hits", warm_hits);
+    ]
+  in
+  let body =
+    String.concat ",\n"
+      (List.concat
+         [
+           [
+             Printf.sprintf "  \"scale\": %g" cfg.scale;
+             Printf.sprintf "  \"bench\": \"%s\"" spec.name;
+             Printf.sprintf "  \"analysis\": \"%s\"" full.label;
+           ];
+           List.map (fun (k, v) -> Printf.sprintf "  \"%s\": %d" k v) fields;
+           [
+             Printf.sprintf "  \"answers_identical\": true";
+             Printf.sprintf "  \"derivations_ratio\": %.4f" ratio;
+             Printf.sprintf "  \"demand_cold_seconds\": %.6f" cold_seconds;
+             Printf.sprintf "  \"demand_warm_seconds\": %.6f" warm_seconds;
+           ];
+         ])
+  in
+  Out_channel.with_open_text demand_json_path (fun oc ->
+      Out_channel.output_string oc ("{\n" ^ body ^ "\n}\n"));
+  Printf.printf "wrote %s\n%!" demand_json_path;
+  (match baseline with
+  | None -> ()
+  | Some file -> check_demand_against ~file fields);
+  print_endline
+    "demand bench OK: every demand answer byte-identical to the unbudgeted full solve"
+
 (* ---------- BENCH_lint.json: per-rule lint timings ---------- *)
 
 let lint_json_path = "BENCH_lint.json"
@@ -1250,6 +1445,7 @@ let () =
   | Cache_smoke -> run_cache_smoke cfg ~dir:cache_dir
   | Query_bench -> run_query_bench cfg
   | Serve_bench -> run_serve_bench cfg ~clients_list ~baseline
+  | Demand_bench -> run_demand_bench cfg ~baseline
   | Lint_bench -> run_lint_bench cfg
   | Solver_scaling ->
     let rows = compute_scaling cfg shards_list in

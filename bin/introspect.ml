@@ -718,14 +718,53 @@ let json_arg =
 let timings_arg =
   Arg.(value & flag & info [ "timings" ] ~doc:"Append per-query evaluation latency to each answer.")
 
+let demand_mode_arg =
+  let mode_conv =
+    Arg.enum
+      [
+        ("off", Ipa_query.Server.Demand_off);
+        ("auto", Ipa_query.Server.Demand_auto);
+        ("on", Ipa_query.Server.Demand_on);
+      ]
+  in
+  Arg.(
+    value
+    & opt ~vopt:Ipa_query.Server.Demand_auto mode_conv Ipa_query.Server.Demand_off
+    & info [ "demand" ] ~docv:"MODE"
+        ~doc:
+          "Demand-driven solving: answer eligible queries (pts, pointed-by, alias, callees, \
+           callers, reach, fieldpts) from a backward constraint slice solved without budget, \
+           instead of the loaded solution. $(b,auto) (the bare-flag default) slices only when \
+           the loaded solution was budget-truncated; $(b,on) always slices; $(b,off) (default) \
+           never. Sessions can switch with the $(b,demand on|off|auto) command.")
+
+(* The demand evaluator always slices the *plain* flavor configuration at
+   budget 0 — exact answers are the point; introspective refinement is a
+   precision trade the slice does not reproduce. *)
+let make_demand ?cache ~warm p flavor mode =
+  if mode = Ipa_query.Server.Demand_off then None
+  else
+    let config = Ipa_core.Solver.plain p (Flavors.strategy p flavor) in
+    Some
+      (Ipa_query.Demand.create ?cache ~warm ~program:p ~label:(Flavors.to_string flavor)
+         config)
+
 let query_cmd =
-  let run path flavor heuristic budget shards load queries json timings =
-    match obtain_solution path flavor heuristic budget shards load with
+  let run path flavor heuristic budget shards load queries json timings demand_mode timeout =
+    match
+      match timeout with
+      | Some s when s <= 0.0 -> Error "query: --timeout must be > 0"
+      | _ -> obtain_solution path flavor heuristic budget shards load
+    with
     | Error msg ->
       prerr_endline msg;
       1
     | Ok (p, label, sol) ->
-      let server = Ipa_query.Server.create ~json ~timings ~program:p ~label sol in
+      let demand = make_demand ~warm:false p flavor demand_mode in
+      let server =
+        Ipa_query.Server.create ?demand ~demand_mode ?query_timeout:timeout ~json ~timings
+          ~program:p ~label sol
+      in
       let session ic = ignore (Ipa_query.Server.session server ic stdout) in
       (match queries with
       | None -> session stdin
@@ -740,16 +779,27 @@ let query_cmd =
       & opt (some file) None
       & info [ "queries" ] ~docv:"FILE" ~doc:"Query script, one query per line (default: stdin).")
   in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Per-query wall-clock guard: an evaluation running longer than SECS is abandoned \
+             and answered with a structured $(b,timeout) error record. Batch (sequential) \
+             query mode only.")
+  in
   Cmd.v
     (Cmd.info "query"
        ~doc:"Answer points-to queries (pts, alias, callees, reach, taint, ...) over a solution.")
     Term.(
       const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ shards_arg
-      $ load_solution_arg $ queries_arg $ json_arg $ timings_arg)
+      $ load_solution_arg $ queries_arg $ json_arg $ timings_arg $ demand_mode_arg
+      $ timeout_arg)
 
 let serve_cmd =
   let run path flavor heuristic budget shards load cache_dir mem_budget jobs json timings socket
-      log_path read_timeout max_line max_queries =
+      log_path read_timeout max_line max_queries demand_mode =
     let ( let* ) r k =
       match r with
       | Error msg ->
@@ -783,8 +833,10 @@ let serve_cmd =
     in
     with_log @@ fun log ->
     let serve pool =
+      let demand = make_demand ?cache ~warm:(pool <> None) p flavor demand_mode in
       let server =
-        Ipa_query.Server.create ?cache ?pool ?log ~limits ~json ~timings ~program:p ~label sol
+        Ipa_query.Server.create ?cache ?pool ?log ?demand ~demand_mode ~limits ~json ~timings
+          ~program:p ~label sol
       in
       let t0 = Ipa_support.Timer.now () in
       let status =
@@ -881,7 +933,8 @@ let serve_cmd =
     Term.(
       const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ shards_arg
       $ load_solution_arg $ serve_cache_dir_arg $ mem_budget_arg $ jobs_arg $ json_arg
-      $ timings_arg $ socket_arg $ log_arg $ read_timeout_arg $ max_line_arg $ max_queries_arg)
+      $ timings_arg $ socket_arg $ log_arg $ read_timeout_arg $ max_line_arg $ max_queries_arg
+      $ demand_mode_arg)
 
 (* ---------- lint ---------- *)
 

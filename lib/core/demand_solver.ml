@@ -1,0 +1,241 @@
+module Program = Ipa_ir.Program
+
+type roots = {
+  root_vars : Program.var_id list;
+  root_fields : Program.field_id list;
+}
+
+let no_roots = { root_vars = []; root_fields = [] }
+
+let root_key roots =
+  let canon ids =
+    List.sort_uniq compare ids |> List.map string_of_int |> String.concat ","
+  in
+  Printf.sprintf "v:%s;f:%s" (canon roots.root_vars) (canon roots.root_fields)
+
+let all_var_roots p =
+  { root_vars = List.init (Program.n_vars p) Fun.id; root_fields = [] }
+
+type t = {
+  original : Program.t;
+  pruned : Program.t;
+  relevant_vars : bool array;
+  relevant_fields : bool array;
+  slice_nodes : int;
+  kept_instrs : int;
+  total_instrs : int;
+  root_key : string;
+}
+
+(* A variable's backward defs, independent of instruction position: the
+   value sources that the closure must chase when the variable is marked. *)
+type def =
+  | Copy_from of Program.var_id  (* move / cast / return-into-ret_var *)
+  | Load_from of Program.var_id * Program.field_id
+  | Static_load_from of Program.field_id
+
+(* Inter-procedural roles a variable can play; resolved against the CHA
+   may-call relation (a sound superset of the on-the-fly call graph). *)
+type role = Formal_of of Program.meth_id * int | Catch_in of Program.meth_id
+
+let slice p roots =
+  let n_vars = Program.n_vars p
+  and n_fields = Program.n_fields p
+  and n_meths = Program.n_meths p
+  and n_invos = Program.n_invos p in
+  (* CHA: signature -> set of concrete dispatch targets, from the paper's
+     LOOKUP relation. Sound superset of the solver's on-the-fly targets. *)
+  let sig_targets = Hashtbl.create 64 in
+  Program.iter_dispatch p (fun _cls s m ->
+      let cur = try Hashtbl.find sig_targets s with Not_found -> [] in
+      if not (List.memq m cur) then Hashtbl.replace sig_targets s (m :: cur));
+  let may_targets i =
+    match (Program.invo_info p i).call with
+    | Static { callee } -> [ callee ]
+    | Virtual { signature; _ } -> (
+      try Hashtbl.find sig_targets signature with Not_found -> [])
+  in
+  (* One pass to index the def-use structure backwards. *)
+  let defs : def list array = Array.make n_vars [] in
+  let roles : role list array = Array.make n_vars [] in
+  let recv_invos : Program.invo_id list array = Array.make n_vars [] in
+  let field_stores : (Program.var_id option * Program.var_id) list array =
+    Array.make n_fields []
+  in
+  let throws : Program.var_id list array = Array.make n_meths [] in
+  let rev_calls : Program.invo_id list array = Array.make n_meths [] in
+  let meth_callees : Program.meth_id list array = Array.make n_meths [] in
+  for i = 0 to n_invos - 1 do
+    let ii = Program.invo_info p i in
+    (match ii.recv with
+    | Some r -> recv_invos.(r) <- i :: recv_invos.(r)
+    | None -> ());
+    List.iter
+      (fun m ->
+        rev_calls.(m) <- i :: rev_calls.(m);
+        if not (List.memq m meth_callees.(ii.invo_owner)) then
+          meth_callees.(ii.invo_owner) <- m :: meth_callees.(ii.invo_owner))
+      (may_targets i)
+  done;
+  for m = 0 to n_meths - 1 do
+    let mi = Program.meth_info p m in
+    Array.iteri (fun idx f -> roles.(f) <- Formal_of (m, idx) :: roles.(f)) mi.formals;
+    Array.iter
+      (fun (c : Program.catch_clause) ->
+        roles.(c.catch_var) <- Catch_in m :: roles.(c.catch_var))
+      mi.catches;
+    Array.iter
+      (fun (instr : Program.instr) ->
+        match instr with
+        | Alloc _ | Call _ -> ()
+        | Move { target; source } | Cast { target; source; _ } ->
+          defs.(target) <- Copy_from source :: defs.(target)
+        | Load { target; base; field } ->
+          defs.(target) <- Load_from (base, field) :: defs.(target)
+        | Load_static { target; field } ->
+          defs.(target) <- Static_load_from field :: defs.(target)
+        | Store { base; field; source } ->
+          field_stores.(field) <- (Some base, source) :: field_stores.(field)
+        | Store_static { field; source } ->
+          field_stores.(field) <- (None, source) :: field_stores.(field)
+        | Return { source } -> (
+          match mi.ret_var with
+          | Some r -> defs.(r) <- Copy_from source :: defs.(r)
+          | None -> ())
+        | Throw { source } -> throws.(m) <- source :: throws.(m))
+      mi.body
+  done;
+  (* Backward closure over three node families: variables, fields (field-
+     based granularity: one mark covers every (object, field) slot), and
+     per-method exception flows. *)
+  let vrel = Array.make n_vars false in
+  let frel = Array.make n_fields false in
+  let erel = Array.make n_meths false in
+  let vq = Queue.create () and fq = Queue.create () and eq = Queue.create () in
+  let mark_var v = if not vrel.(v) then (vrel.(v) <- true; Queue.add v vq) in
+  let mark_field f = if not frel.(f) then (frel.(f) <- true; Queue.add f fq) in
+  let mark_exc m = if not erel.(m) then (erel.(m) <- true; Queue.add m eq) in
+  List.iter mark_var roots.root_vars;
+  List.iter mark_field roots.root_fields;
+  (* Keep dispatch exact: every virtual receiver is transitively relevant,
+     so the restricted solve builds the full solve's call graph, contexts
+     and reachable set. This is what makes in-slice answers exact rather
+     than merely sound-on-the-slice. *)
+  for i = 0 to n_invos - 1 do
+    match (Program.invo_info p i).call with
+    | Virtual { base; _ } -> mark_var base
+    | Static _ -> ()
+  done;
+  let drained = ref false in
+  while not !drained do
+    if not (Queue.is_empty vq) then (
+      let v = Queue.pop vq in
+      List.iter
+        (function
+          | Copy_from s -> mark_var s
+          | Load_from (b, f) ->
+            mark_var b;
+            mark_field f
+          | Static_load_from f -> mark_field f)
+        defs.(v);
+      List.iter
+        (function
+          | Formal_of (m, idx) ->
+            List.iter
+              (fun i ->
+                let actuals = (Program.invo_info p i).actuals in
+                if idx < Array.length actuals then mark_var actuals.(idx))
+              rev_calls.(m)
+          | Catch_in m -> mark_exc m)
+        roles.(v);
+      List.iter
+        (fun i ->
+          List.iter
+            (fun m ->
+              match (Program.meth_info p m).ret_var with
+              | Some r -> mark_var r
+              | None -> ())
+            (may_targets i))
+        recv_invos.(v))
+    else if not (Queue.is_empty fq) then (
+      let f = Queue.pop fq in
+      List.iter
+        (fun (base, source) ->
+          mark_var source;
+          match base with Some b -> mark_var b | None -> ())
+        field_stores.(f))
+    else if not (Queue.is_empty eq) then (
+      let m = Queue.pop eq in
+      List.iter mark_var throws.(m);
+      List.iter mark_exc meth_callees.(m))
+    else drained := true
+  done;
+  let count a = Array.fold_left (fun n b -> if b then n + 1 else n) 0 a in
+  let slice_nodes = count vrel + count frel + count erel in
+  (* Rebuild the program with the same entity arrays and filtered bodies:
+     ids are shared, so the restricted solution's tables line up with the
+     original program and snapshots decode against its digest. *)
+  let kept = ref 0 and total = ref 0 in
+  let keep m (instr : Program.instr) =
+    match instr with
+    | Alloc { target; _ }
+    | Move { target; _ }
+    | Cast { target; _ }
+    | Load { target; _ }
+    | Load_static { target; _ } ->
+      vrel.(target)
+    | Store { field; _ } | Store_static { field; _ } -> frel.(field)
+    | Call _ -> true
+    | Return _ -> (
+      match (Program.meth_info p m).ret_var with Some r -> vrel.(r) | None -> false)
+    | Throw _ -> erel.(m)
+  in
+  let meths =
+    Array.init n_meths (fun m ->
+        let mi = Program.meth_info p m in
+        let body =
+          Array.of_list
+            (List.filter
+               (fun i ->
+                 incr total;
+                 let k = keep m i in
+                 if k then incr kept;
+                 k)
+               (Array.to_list mi.body))
+        in
+        { mi with body })
+  in
+  let pruned =
+    Program.make
+      ?srcloc:(Program.srcloc p)
+      ~classes:(Array.init (Program.n_classes p) (Program.class_info p))
+      ~fields:(Array.init n_fields (Program.field_info p))
+      ~sigs:(Array.init (Program.n_sigs p) (Program.sig_info p))
+      ~meths
+      ~vars:(Array.init n_vars (Program.var_info p))
+      ~heaps:(Array.init (Program.n_heaps p) (Program.heap_info p))
+      ~invos:(Array.init n_invos (Program.invo_info p))
+      ~entries:(Program.entries p) ()
+  in
+  {
+    original = p;
+    pruned;
+    relevant_vars = vrel;
+    relevant_fields = frel;
+    slice_nodes;
+    kept_instrs = !kept;
+    total_instrs = !total;
+    root_key = root_key roots;
+  }
+
+let var_relevant t v = t.relevant_vars.(v)
+let field_relevant t f = t.relevant_fields.(f)
+
+let key ~config_key roots =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "demand-slice-v1\n%s\n%s" config_key (root_key roots)))
+
+let run t config =
+  let sol = Solver.run t.pruned config in
+  { sol with Solution.program = t.original }

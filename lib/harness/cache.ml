@@ -277,6 +277,10 @@ let disk_publish t key bytes =
         cleanup ()
       end)
 
+let put_bytes t ~key bytes =
+  mem_store t key bytes;
+  disk_publish t key bytes
+
 let find_bytes t ~key =
   match mem_find t key with
   | Some bytes ->

@@ -103,6 +103,13 @@ val find_bytes : t -> key:string -> string option
     hit or a miss in {!stats}. Used by the query server to hot-load
     solutions by cache key; decode with {!Ipa_core.Snapshot.decode}. *)
 
+val put_bytes : t -> key:string -> string -> unit
+(** Store already-encoded snapshot bytes under [key]: memory layer
+    (LRU-budgeted), then single-writer disk publication. Used by the
+    demand evaluator to memoize solved slices under slice-derived keys —
+    same publication discipline as {!solve}, but the caller owns the key,
+    which need not be the snapshot's own [config_key]. *)
+
 val solve :
   t ->
   Ipa_ir.Program.t ->

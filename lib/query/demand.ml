@@ -1,0 +1,186 @@
+module Program = Ipa_ir.Program
+module Solver = Ipa_core.Solver
+module Snapshot = Ipa_core.Snapshot
+module Demand_solver = Ipa_core.Demand_solver
+module Cache = Ipa_harness.Cache
+
+type entry = { engine : Engine.t; nodes : int }
+
+type t = {
+  program : Program.t;
+  label : string;
+  config : Solver.config;
+  config_key : string;
+  program_digest : string;
+  cache : Cache.t option;
+  warm : bool;
+  memo : (string, entry) Hashtbl.t;
+  lock : Mutex.t;
+  (* name tables for root derivation only; answer-side resolution (and its
+     error messages) stays the base engine's, so replies match byte-for-byte *)
+  var_ids : (string, int) Hashtbl.t;
+  field_ids : (string, int list) Hashtbl.t;
+  c_queries : int Atomic.t;
+  c_hits : int Atomic.t;
+  c_nodes : int Atomic.t;
+  c_derivations : int Atomic.t;
+}
+
+let create ?cache ?(warm = false) ~program ~label config =
+  let config = { config with Solver.budget = 0 } in
+  let program_digest = Snapshot.digest_program program in
+  let var_ids = Hashtbl.create (Program.n_vars program) in
+  for v = 0 to Program.n_vars program - 1 do
+    Hashtbl.replace var_ids (Program.var_full_name program v) v
+  done;
+  let field_ids = Hashtbl.create (Program.n_fields program) in
+  let add_field key f =
+    Hashtbl.replace field_ids key
+      (f :: (try Hashtbl.find field_ids key with Not_found -> []))
+  in
+  for f = 0 to Program.n_fields program - 1 do
+    add_field (Program.field_full_name program f) f;
+    add_field (Program.field_info program f).field_name f
+  done;
+  {
+    program;
+    label;
+    config;
+    config_key = Snapshot.config_key ~program_digest config;
+    program_digest;
+    cache;
+    warm;
+    memo = Hashtbl.create 16;
+    lock = Mutex.create ();
+    var_ids;
+    field_ids;
+    c_queries = Atomic.make 0;
+    c_hits = Atomic.make 0;
+    c_nodes = Atomic.make 0;
+    c_derivations = Atomic.make 0;
+  }
+
+let eligible = function
+  | Query.Pts _ | Query.Pointed_by _ | Query.Alias _ | Query.Callees _
+  | Query.Callers _ | Query.Reach _ | Query.Fieldpts _ ->
+    true
+  | Query.Taint _ | Query.Stats -> false
+
+(* Root derivation is best-effort: an unresolvable name yields fewer roots,
+   and the slice engine then reports exactly the base engine's resolution
+   error. A *resolvable* name always contributes its root, which is what
+   the exactness contract needs. *)
+let roots_of t (q : Query.t) : Demand_solver.roots option =
+  let var v =
+    match Hashtbl.find_opt t.var_ids v with Some id -> [ id ] | None -> []
+  in
+  match q with
+  | Query.Pts v -> Some { Demand_solver.root_vars = var v; root_fields = [] }
+  | Query.Alias (a, b) ->
+    Some { Demand_solver.root_vars = var a @ var b; root_fields = [] }
+  | Query.Pointed_by _ -> Some (Demand_solver.all_var_roots t.program)
+  | Query.Callees _ | Query.Callers _ | Query.Reach _ ->
+    (* the call graph is exact in every slice; no data roots needed *)
+    Some Demand_solver.no_roots
+  | Query.Fieldpts (_, f) ->
+    let root_fields =
+      match Hashtbl.find_opt t.field_ids f with Some [ f ] -> [ f ] | _ -> []
+    in
+    Some { Demand_solver.root_vars = []; root_fields }
+  | Query.Taint _ | Query.Stats -> None
+
+type served = {
+  result : (Engine.answer, string) result;
+  slice_nodes : int;
+  hit : bool;
+}
+
+let find_memo t key =
+  Mutex.lock t.lock;
+  let found = Hashtbl.find_opt t.memo key in
+  Mutex.unlock t.lock;
+  found
+
+let publish_memo t key entry =
+  Mutex.lock t.lock;
+  let published =
+    match Hashtbl.find_opt t.memo key with
+    | Some prior -> prior (* lost the race; keep the first publication *)
+    | None ->
+      Hashtbl.add t.memo key entry;
+      entry
+  in
+  Mutex.unlock t.lock;
+  published
+
+let cached_solution t key =
+  match t.cache with
+  | None -> None
+  | Some c -> (
+    match Cache.find_bytes c ~key with
+    | None -> None
+    | Some bytes -> (
+      match Snapshot.decode ~program:t.program ~expect_key:key bytes with
+      | Ok snap -> Some snap.Snapshot.solution
+      | Error _ -> None))
+
+let eval t q =
+  match roots_of t q with
+  | None -> None
+  | Some roots ->
+    Atomic.incr t.c_queries;
+    let key = Demand_solver.key ~config_key:t.config_key roots in
+    let entry, hit =
+      match find_memo t key with
+      | Some e -> (e, true)
+      | None ->
+        (* slice + (decode | solve) outside the lock: concurrent misses may
+           duplicate work, never diverge — the solver is deterministic *)
+        let sl = Demand_solver.slice t.program roots in
+        let sol, hit =
+          match cached_solution t key with
+          | Some sol -> (sol, true)
+          | None ->
+            let t0 = Unix.gettimeofday () in
+            let sol = Demand_solver.run sl t.config in
+            ignore (Atomic.fetch_and_add t.c_nodes sl.Demand_solver.slice_nodes);
+            ignore
+              (Atomic.fetch_and_add t.c_derivations
+                 sol.Ipa_core.Solution.derivations);
+            (match t.cache with
+            | None -> ()
+            | Some c ->
+              let snap =
+                {
+                  Snapshot.key;
+                  program_digest = t.program_digest;
+                  label = "demand:" ^ t.label;
+                  seconds = Unix.gettimeofday () -. t0;
+                  solution = sol;
+                  metrics = None;
+                }
+              in
+              Cache.put_bytes c ~key (Snapshot.encode snap));
+            (sol, false)
+        in
+        let engine = Engine.create sol in
+        if t.warm then Engine.warm engine;
+        (publish_memo t key { engine; nodes = sl.Demand_solver.slice_nodes }, hit)
+    in
+    if hit then Atomic.incr t.c_hits;
+    Some { result = Engine.eval entry.engine q; slice_nodes = entry.nodes; hit }
+
+type stats = {
+  demand_queries : int;
+  slice_hits : int;
+  slice_nodes : int;
+  slice_derivations : int;
+}
+
+let stats t =
+  {
+    demand_queries = Atomic.get t.c_queries;
+    slice_hits = Atomic.get t.c_hits;
+    slice_nodes = Atomic.get t.c_nodes;
+    slice_derivations = Atomic.get t.c_derivations;
+  }

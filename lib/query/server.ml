@@ -1,7 +1,21 @@
 module Cache = Ipa_harness.Cache
 module Domain_pool = Ipa_support.Domain_pool
 module Snapshot = Ipa_core.Snapshot
+module Solution = Ipa_core.Solution
 module Timer = Ipa_support.Timer
+
+type demand_mode = Demand_off | Demand_auto | Demand_on
+
+let demand_mode_to_string = function
+  | Demand_off -> "off"
+  | Demand_auto -> "auto"
+  | Demand_on -> "on"
+
+let demand_mode_of_string = function
+  | "off" -> Some Demand_off
+  | "auto" -> Some Demand_auto
+  | "on" -> Some Demand_on
+  | _ -> None
 
 (* ---------- per-session limits ---------- *)
 
@@ -69,6 +83,9 @@ type t = {
   log_lock : Mutex.t;
   base_engine : Engine.t;
   base_label : string;
+  demand : Demand.t option;
+  demand_default : demand_mode;
+  query_timeout : float option;  (** sequential (pool-less) sessions only *)
   served : int Atomic.t;
   errors : int Atomic.t;
   loads : int Atomic.t;
@@ -85,8 +102,12 @@ type t = {
 
 let warm_if_pooled t engine = match t.pool with Some _ -> Engine.warm engine | None -> ()
 
-let create ?cache ?pool ?(limits = default_limits) ?log ~json ~timings ~program ~label sol =
+let create ?cache ?pool ?(limits = default_limits) ?log ?demand
+    ?(demand_mode = Demand_off) ?query_timeout ~json ~timings ~program ~label sol =
   if limits.max_line < 1 then invalid_arg "Server.create: max_line must be >= 1";
+  (match query_timeout with
+  | Some s when s <= 0.0 -> invalid_arg "Server.create: query timeout must be > 0"
+  | _ -> ());
   let t =
     {
       program;
@@ -99,6 +120,11 @@ let create ?cache ?pool ?(limits = default_limits) ?log ~json ~timings ~program 
       log_lock = Mutex.create ();
       base_engine = Engine.create sol;
       base_label = label;
+      demand;
+      demand_default = demand_mode;
+      (* SIGALRM-based guard — meaningless (and unsafe) across pool
+         domains; only sequential sessions honor it *)
+      query_timeout = (match pool with Some _ -> None | None -> query_timeout);
       served = Atomic.make 0;
       errors = Atomic.make 0;
       loads = Atomic.make 0;
@@ -126,6 +152,8 @@ let request_stop t = Atomic.set t.stopping true
 let metrics t =
   let cache_stats = Option.map Cache.stats t.cache in
   let of_cache f = match cache_stats with Some s -> f s | None -> 0 in
+  let demand_stats = Option.map Demand.stats t.demand in
+  let of_demand f = match demand_stats with Some s -> f s | None -> 0 in
   [
     ("served", Atomic.get t.served);
     ("errors", Atomic.get t.errors);
@@ -136,6 +164,9 @@ let metrics t =
     ("line_limit_hits", Atomic.get t.line_limit_hits);
     ("query_limit_hits", Atomic.get t.query_limit_hits);
     ("disconnects", Atomic.get t.disconnects);
+    ("demand_queries", of_demand (fun (s : Demand.stats) -> s.demand_queries));
+    ("slice_nodes", of_demand (fun (s : Demand.stats) -> s.slice_nodes));
+    ("slice_hits", of_demand (fun (s : Demand.stats) -> s.slice_hits));
     ("evictions", of_cache (fun (s : Cache.stats) -> s.evictions));
     ("resident_bytes", of_cache (fun (s : Cache.stats) -> s.resident_bytes));
     ("p50_us", Hist.quantile_us t.hist 0.50);
@@ -187,6 +218,7 @@ type view = {
   mutable pinned : string option;
   mutable answered : int;  (** records answered in this session *)
   mutable queries : int;  (** query and [load] lines accepted (the limited kind) *)
+  mutable demand : demand_mode;  (** per-session; seeded from the server default *)
 }
 
 let release_pin t view =
@@ -207,24 +239,39 @@ let install t view ?key (snap : Snapshot.t) =
   view.label <- snap.label;
   snap.label
 
+(* Load failures carry structured (field, value) pairs — the cache key and
+   the on-disk path — alongside the human message, so JSON clients can
+   extract them and fall back without parsing free text. *)
 let load_path t view file =
   match In_channel.with_open_bin file In_channel.input_all with
-  | exception Sys_error e -> Error e
+  | exception Sys_error e -> Error (e, [ ("path", file) ])
   | bytes -> (
     match Snapshot.decode ~program:t.program bytes with
     | Ok snap -> Ok (install t view snap)
-    | Error e -> Error (Printf.sprintf "%s: %s" file (Snapshot.error_to_string e)))
+    | Error e ->
+      Error
+        (Printf.sprintf "%s: %s" file (Snapshot.error_to_string e), [ ("path", file) ]))
+
+let snap_fields t key =
+  ("key", key)
+  ::
+  (match Option.bind t.cache Cache.dir with
+  | Some dir -> [ ("path", Filename.concat dir (key ^ ".snap")) ]
+  | None -> [])
 
 let load_key t view key =
   match t.cache with
-  | None -> Error "no cache configured (start the server with --cache-dir)"
+  | None -> Error ("no cache configured (start the server with --cache-dir)", [])
   | Some cache -> (
     match Cache.find_bytes cache ~key with
-    | None -> Error (Printf.sprintf "cache miss for key %s" key)
+    | None -> Error (Printf.sprintf "cache miss for key %s" key, snap_fields t key)
     | Some bytes -> (
       match Snapshot.decode ~program:t.program ~expect_key:key bytes with
       | Ok snap -> Ok (install t view ~key snap)
-      | Error e -> Error (Printf.sprintf "key %s: %s" key (Snapshot.error_to_string e))))
+      | Error e ->
+        Error
+          ( Printf.sprintf "key %s: %s" key (Snapshot.error_to_string e),
+            snap_fields t key )))
 
 (* ---------- input sources ----------
 
@@ -418,15 +465,97 @@ type item = { line : string; parsed : (Query.t, string) result }
 
 let batch_cap t = match t.pool with Some p -> 16 * Domain_pool.jobs p | None -> 1
 
+(* Every rendered JSON record closes with '}'; splice extra fields in
+   before it (same trick Engine uses for latency). *)
+let splice_json line extra = String.sub line 0 (String.length line - 1) ^ extra ^ "}"
+
+exception Query_timed_out
+
+(* Per-query wall-clock guard (sequential sessions only): SIGALRM raises
+   at the next allocation safepoint, unwinding the evaluation. The timer
+   is disarmed before the handler is restored, so no stray alarm fires. *)
+let with_query_timeout secs f =
+  match secs with
+  | None -> Ok (f ())
+  | Some s -> (
+    let prev =
+      Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> raise Query_timed_out))
+    in
+    let disarm () =
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL { Unix.it_value = 0.0; it_interval = 0.0 });
+      Sys.set_signal Sys.sigalrm prev
+    in
+    ignore (Unix.setitimer Unix.ITIMER_REAL { Unix.it_value = s; it_interval = 0.0 });
+    match Fun.protect ~finally:disarm f with
+    | v -> Ok v
+    | exception Query_timed_out -> Error `Timeout)
+
+let demand_for (t : t) (view : view) =
+  match t.demand with
+  | None -> None
+  | Some d -> (
+    match view.demand with
+    | Demand_off -> None
+    | Demand_on -> Some d
+    | Demand_auto ->
+      (* fall back to slices only when the loaded solution was truncated *)
+      if (Engine.solution view.engine).Solution.outcome = Solution.Budget_exceeded
+      then Some d
+      else None)
+
 let eval_one t view item =
   match item.parsed with
   | Error e -> (Engine.render_error ~json:t.json ~q:item.line e, true, None)
-  | Ok q ->
-    let res, secs = Timer.time (fun () -> Engine.eval view.engine q) in
+  | Ok q -> (
+    let evaluate () =
+      match demand_for t view with
+      | Some d -> (
+        match Demand.eval d q with
+        | Some (s : Demand.served) -> (s.result, Some s.slice_nodes)
+        | None -> (Engine.eval view.engine q, None))
+      | None -> (Engine.eval view.engine q, None)
+    in
+    let outcome, secs =
+      Timer.time (fun () -> with_query_timeout t.query_timeout evaluate)
+    in
     let us = int_of_float (secs *. 1e6) in
     let latency_us = if t.timings then Some us else None in
-    let render = if t.json then Engine.render_json else Engine.render_text in
-    (render ?latency_us q res, Result.is_error res, Some us)
+    match outcome with
+    | Error `Timeout ->
+      Atomic.incr t.timeouts;
+      let limit = Option.value ~default:0.0 t.query_timeout in
+      let line =
+        if t.json then
+          splice_json
+            (Engine.render_error ~json:true ~q:item.line "timeout")
+            (Printf.sprintf {|,"limit_s":%g|} limit)
+        else Printf.sprintf "%s: error: timeout after %gs" item.line limit
+      in
+      (line, true, Some us)
+    | Ok (res, demand_nodes) ->
+      let render = if t.json then Engine.render_json else Engine.render_text in
+      let line = render ?latency_us q res in
+      let line =
+        match demand_nodes with
+        | Some n ->
+          (* answered from a solved slice: exact for the queried facts *)
+          if t.json then
+            splice_json line (Printf.sprintf {|,"demand":true,"slice":%d|} n)
+          else Printf.sprintf "%s [demand slice %d]" line n
+        | None ->
+          (* soundness marker: a successful answer computed from a
+             budget-truncated solution is a lower bound, not the fixpoint *)
+          if
+            Result.is_ok res
+            && (Engine.solution view.engine).Solution.outcome
+               = Solution.Budget_exceeded
+          then
+            if t.json then splice_json line {|,"partial":true|}
+            else line ^ " [partial]"
+          else line
+      in
+      (line, Result.is_error res, Some us))
 
 exception Client_gone
 
@@ -472,10 +601,71 @@ let respond_control t view oc ~q outcome =
         Printf.sprintf {|{"q":%s,"ok":true,"kind":"load","label":%s}|} (Engine.json_string q)
           (Engine.json_string label)
       else Printf.sprintf "%s: ok (%s)" q label
-    | Error e -> Engine.render_error ~json:t.json ~q e
+    | Error (e, fields) ->
+      let base = Engine.render_error ~json:t.json ~q e in
+      (* the human message keeps its shape; JSON replies additionally carry
+         the key/path as dedicated fields so clients can fall back *)
+      if t.json && fields <> [] then
+        splice_json base
+          (String.concat ""
+             (List.map
+                (fun (k, v) ->
+                  Printf.sprintf ",%s:%s" (Engine.json_string k) (Engine.json_string v))
+                fields))
+      else base
   in
   log_record t ~session:view.id ~q ~ok:(Result.is_ok outcome) ~us:None;
   emit_flush t view oc line (Result.is_error outcome)
+
+(* [demand on|off|auto|status]: per-session control of the demand-solving
+   fallback. Like [metrics], it is not counted against the query limit. *)
+let respond_demand t view oc ~line args =
+  let reply ~ok body =
+    log_record t ~session:view.id ~q:line ~ok ~us:None;
+    emit_flush t view oc body (not ok)
+  in
+  let status () =
+    let mode = demand_mode_to_string view.demand in
+    let available = t.demand <> None in
+    let st =
+      Option.value
+        (Option.map Demand.stats t.demand)
+        ~default:
+          { Demand.demand_queries = 0; slice_hits = 0; slice_nodes = 0; slice_derivations = 0 }
+    in
+    if t.json then
+      Printf.sprintf
+        {|{"q":%s,"ok":true,"kind":"demand","mode":%s,"available":%b,"demand_queries":%d,"slice_hits":%d,"slice_nodes":%d}|}
+        (Engine.json_string line) (Engine.json_string mode) available
+        st.Demand.demand_queries st.Demand.slice_hits st.Demand.slice_nodes
+    else
+      Printf.sprintf
+        "%s: mode %s, available %b, demand_queries %d, slice_hits %d, slice_nodes %d"
+        line mode available st.Demand.demand_queries st.Demand.slice_hits
+        st.Demand.slice_nodes
+  in
+  match args with
+  | [] | [ "status" ] -> reply ~ok:true (status ())
+  | [ arg ] -> (
+    match (demand_mode_of_string arg, t.demand) with
+    | Some mode, Some _ ->
+      view.demand <- mode;
+      reply ~ok:true
+        (if t.json then
+           Printf.sprintf {|{"q":%s,"ok":true,"kind":"demand","mode":%s}|}
+             (Engine.json_string line)
+             (Engine.json_string (demand_mode_to_string mode))
+         else Printf.sprintf "%s: ok (mode %s)" line (demand_mode_to_string mode))
+    | Some _, None ->
+      reply ~ok:false
+        (Engine.render_error ~json:t.json ~q:line
+           "demand solving unavailable (start with --demand)")
+    | None, _ ->
+      reply ~ok:false
+        (Engine.render_error ~json:t.json ~q:line "usage: demand on|off|auto|status"))
+  | _ ->
+    reply ~ok:false
+      (Engine.render_error ~json:t.json ~q:line "usage: demand on|off|auto|status")
 
 type outcome = [ `Quit | `Stop | `Timeout | `Limit | `Disconnect ]
 
@@ -488,6 +678,7 @@ let run_session t input oc : outcome =
       pinned = None;
       answered = 0;
       queries = 0;
+      demand = t.demand_default;
     }
   in
   Atomic.incr t.active;
@@ -577,6 +768,10 @@ let run_session t input oc : outcome =
                n_pending := 0;
                log_record t ~session:view.id ~q:line ~ok:false ~us:None;
                emit_flush t view oc (Engine.render_error ~json:t.json ~q:line "usage: metrics") true
+             | Ok ("demand" :: args) ->
+               flush_pending t view oc pending;
+               n_pending := 0;
+               respond_demand t view oc ~line args
              | Ok ("load" :: args) ->
                admit_query line (fun () ->
                    flush_pending t view oc pending;
@@ -592,7 +787,7 @@ let run_session t input oc : outcome =
                        (load_key t view key)
                    | _ ->
                      respond_control t view oc ~q:line
-                       (Error "usage: load path <file> | load key <key>"))
+                       (Error ("usage: load path <file> | load key <key>", [])))
              | Ok _ | Error _ ->
                (* a query line; tokenizer errors resurface from [Query.parse] *)
                admit_query line (fun () ->

@@ -10,6 +10,8 @@
     load path <file>     swap in the snapshot stored at <file>
     load key <key>       swap in the snapshot stored in the cache under <key>
     metrics              answer one record of server-wide counters
+    demand on|off|auto   set this session's demand-solving mode
+    demand [status]      report the mode and the demand counters
     quit                 end the session
     stop                 end the session and, under a socket server,
                          stop accepting connections
@@ -38,6 +40,20 @@
 
 type t
 
+(** Demand-solving fallback policy (see {!Demand}): [Demand_off] never
+    slices; [Demand_auto] serves eligible queries from slices only while
+    the session's loaded solution is budget-truncated (the "no usable
+    snapshot" fallback); [Demand_on] always serves eligible queries from
+    slices. Demand-served answers carry [,"demand":true,"slice":N] (JSON)
+    or a [ [demand slice N]] suffix (text); successful answers computed
+    from a budget-truncated solution {e without} demand carry
+    [,"partial":true] / [ [partial]] — the soundness marker for facts the
+    slice machinery did not certify. *)
+type demand_mode = Demand_off | Demand_auto | Demand_on
+
+val demand_mode_to_string : demand_mode -> string
+val demand_mode_of_string : string -> demand_mode option
+
 (** Per-session limits, enforced with structured error replies. *)
 type limits = {
   max_line : int;
@@ -61,6 +77,9 @@ val create :
   ?pool:Ipa_support.Domain_pool.t ->
   ?limits:limits ->
   ?log:out_channel ->
+  ?demand:Demand.t ->
+  ?demand_mode:demand_mode ->
+  ?query_timeout:float ->
   json:bool ->
   timings:bool ->
   program:Ipa_ir.Program.t ->
@@ -73,7 +92,17 @@ val create :
     to each answer record. [log] receives one JSONL record per request —
     [{"seq":N,"session":N,"q":...,"ok":...[,"us":N]}] — flushed per line
     under a lock, so concurrent sessions interleave whole records.
-    Raises [Invalid_argument] when [limits.max_line < 1]. *)
+
+    [demand] enables the demand-solving fallback; [demand_mode] (default
+    [Demand_off]) seeds each session's mode, adjustable per session with
+    the [demand] command. [query_timeout] bounds each query's wall clock
+    (seconds): an over-limit evaluation is abandoned and answered with a
+    structured [timeout] error record ([,"limit_s":S] in JSON). The guard
+    is SIGALRM-based and applies only to sequential sessions — it is
+    ignored when a [pool] is configured.
+
+    Raises [Invalid_argument] when [limits.max_line < 1] or
+    [query_timeout <= 0]. *)
 
 (** How a session ended. [`Quit]: [quit] or end of input. [`Stop]: [stop],
     {!request_stop}, or a shutdown signal. [`Timeout]: idle timeout.
@@ -115,10 +144,12 @@ val metrics : t -> (string * int) list
 (** Everything the [metrics] command reports, in its emission order:
     [served], [errors], [loads], [sessions], [active_sessions],
     [timeouts], [line_limit_hits], [query_limit_hits], [disconnects],
-    [evictions], [resident_bytes] (both 0 without a cache), [p50_us],
-    [p99_us] (upper bucket bounds of a power-of-two latency histogram;
-    0 until a query is timed). The counters before the latency estimates
-    are deterministic for a fixed workload regardless of [jobs]. *)
+    [demand_queries], [slice_nodes], [slice_hits] (all 0 without a
+    {!Demand.t}), [evictions], [resident_bytes] (both 0 without a cache),
+    [p50_us], [p99_us] (upper bucket bounds of a power-of-two latency
+    histogram; 0 until a query is timed). The counters before the latency
+    estimates are deterministic for a fixed workload regardless of
+    [jobs]. *)
 
 val metrics_line : t -> string
 (** One-line plain-text rendering of {!metrics}, for end-of-serve CLI

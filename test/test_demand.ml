@@ -1,0 +1,156 @@
+(* Demand-driven solving: the slice answer contract.
+
+   - Property: on random programs, under every context-sensitivity flavor,
+     every demand-eligible query answered through Demand.eval renders
+     byte-identical to the same query against a full unbudgeted solve.
+   - The slice memo: repeated demands hit; distinct root sets miss.
+   - The cache layer: a second Demand value sharing the same on-disk cache
+     serves its first demand from the published slice snapshot. *)
+
+module P = Ipa_ir.Program
+module Flavors = Ipa_core.Flavors
+module Demand = Ipa_query.Demand
+module Engine = Ipa_query.Engine
+module Query = Ipa_query.Query
+
+let check = Alcotest.check
+
+let qtest ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let flavors =
+  Flavors.
+    [
+      Insensitive;
+      Object_sens { depth = 2; heap = 1 };
+      Type_sens { depth = 2; heap = 1 };
+      Call_site { depth = 2; heap = 1 };
+    ]
+
+(* Every eligible query form the program's entities can instantiate, with
+   per-form caps so a property iteration stays fast. *)
+let eligible_queries p =
+  let take cap n of_i = List.init (min cap n) of_i in
+  let var v = P.var_full_name p v in
+  let meth m = P.meth_full_name p m in
+  let entry = meth (List.hd (P.entries p)) in
+  List.concat
+    [
+      take 12 (P.n_vars p) (fun v -> Query.Pts (var v));
+      take 6 (P.n_heaps p) (fun h -> Query.Pointed_by (P.heap_full_name p h));
+      take 6 (max 0 (P.n_vars p - 1)) (fun v -> Query.Alias (var v, var (v + 1)));
+      take 6 (P.n_invos p) (fun i -> Query.Callees (P.invo_info p i).invo_name);
+      take 4 (P.n_meths p) (fun m -> Query.Callers (meth m));
+      take 4 (P.n_meths p) (fun m -> Query.Reach (entry, meth m));
+      take 6
+        (min (P.n_heaps p) (P.n_fields p))
+        (fun i -> Query.Fieldpts (P.heap_full_name p i, P.field_full_name p i));
+    ]
+
+let demand_for p flavor =
+  Demand.create ~program:p
+    ~label:(Flavors.to_string flavor)
+    (Ipa_core.Solver.plain p (Flavors.strategy p flavor))
+
+(* ---------- demand answers == full-solve answers ---------- *)
+
+let test_demand_matches_full =
+  qtest ~count:6 "demand answers equal the full solve, all flavors"
+    (QCheck2.Gen.int_range 2100 2199)
+    (fun seed ->
+      let p = Ipa_testlib.random_program seed in
+      let queries = eligible_queries p in
+      List.iter
+        (fun flavor ->
+          let full = Ipa_core.Analysis.run_plain p flavor in
+          let full_engine = Engine.create full.solution in
+          let demand = demand_for p flavor in
+          List.iter
+            (fun q ->
+              if not (Demand.eligible q) then
+                QCheck2.Test.fail_reportf "%s not eligible" (Query.to_string q);
+              match Demand.eval demand q with
+              | None ->
+                QCheck2.Test.fail_reportf "eval returned None for %s" (Query.to_string q)
+              | Some served ->
+                let expected = Engine.render_text q (Engine.eval full_engine q) in
+                let got = Engine.render_text q served.Demand.result in
+                if got <> expected then
+                  QCheck2.Test.fail_reportf
+                    "seed %d %s: demand diverged on %s\n  full:   %s\n  demand: %s" seed
+                    (Flavors.to_string flavor) (Query.to_string q) expected got)
+            queries)
+        flavors;
+      true)
+
+let test_ineligible_forms () =
+  let p = Ipa_testlib.parse_exn Ipa_testlib.boxes_src in
+  let demand = demand_for p Flavors.Insensitive in
+  List.iter
+    (fun q ->
+      check Alcotest.bool (Query.to_string q ^ " not eligible") false (Demand.eligible q);
+      check Alcotest.bool (Query.to_string q ^ " eval is None") true
+        (Demand.eval demand q = None))
+    [ Query.Taint None; Query.Stats ];
+  check Alcotest.int "no counters moved" 0 (Demand.stats demand).Demand.demand_queries
+
+(* ---------- the slice memo ---------- *)
+
+let test_memo_hit_rate () =
+  let p = Ipa_testlib.parse_exn Ipa_testlib.boxes_src in
+  let demand = demand_for p (Flavors.Object_sens { depth = 2; heap = 1 }) in
+  let q = Query.Pts "Main::main/0$ra" in
+  ignore (Option.get (Demand.eval demand q));
+  let s1 = Demand.stats demand in
+  check Alcotest.int "first demand solves" 0 s1.Demand.slice_hits;
+  check Alcotest.int "one demand query" 1 s1.Demand.demand_queries;
+  check Alcotest.bool "slice is non-empty" true (s1.Demand.slice_nodes > 0);
+  ignore (Option.get (Demand.eval demand q));
+  let s2 = Demand.stats demand in
+  check Alcotest.int "repeat hits the memo" 1 s2.Demand.slice_hits;
+  check Alcotest.int "hit adds no slice nodes" s1.Demand.slice_nodes s2.Demand.slice_nodes;
+  (* same root set through a different form still hits *)
+  ignore (Option.get (Demand.eval demand (Query.Alias ("Main::main/0$ra", "Main::main/0$ra"))));
+  check Alcotest.int "same roots, different form: hit" 2
+    (Demand.stats demand).Demand.slice_hits;
+  (* a different root set misses and solves its own slice *)
+  ignore (Option.get (Demand.eval demand (Query.Pts "Main::main/0$rb")));
+  let s3 = Demand.stats demand in
+  check Alcotest.int "new roots miss" 2 s3.Demand.slice_hits;
+  check Alcotest.int "four demand queries" 4 s3.Demand.demand_queries
+
+(* ---------- cache round-trip ---------- *)
+
+let test_cache_round_trip () =
+  Ipa_testlib.with_temp_dir (fun dir ->
+      let p = Ipa_testlib.parse_exn Ipa_testlib.boxes_src in
+      let flavor = Flavors.Object_sens { depth = 2; heap = 1 } in
+      let config = Ipa_core.Solver.plain p (Flavors.strategy p flavor) in
+      let q = Query.Pts "Main::main/0$rb" in
+      let cache1 = Ipa_harness.Cache.create ~dir () in
+      let d1 = Demand.create ~cache:cache1 ~program:p ~label:"2objH" config in
+      let served1 = Option.get (Demand.eval d1 q) in
+      check Alcotest.bool "first instance solves" false served1.Demand.hit;
+      (* a fresh Demand value over a fresh cache handle on the same directory
+         must find the published slice snapshot instead of solving *)
+      let cache2 = Ipa_harness.Cache.create ~dir () in
+      let d2 = Demand.create ~cache:cache2 ~program:p ~label:"2objH" config in
+      let served2 = Option.get (Demand.eval d2 q) in
+      check Alcotest.bool "second instance hits the disk cache" true served2.Demand.hit;
+      check Alcotest.int "hit counted" 1 (Demand.stats d2).Demand.slice_hits;
+      let full = Ipa_core.Analysis.run_plain p flavor in
+      let expected = Engine.render_text q (Engine.eval (Engine.create full.solution) q) in
+      check Alcotest.string "cached answer identical" expected
+        (Engine.render_text q served2.Demand.result))
+
+let () =
+  Alcotest.run "demand"
+    [
+      ( "answers",
+        [
+          test_demand_matches_full;
+          Alcotest.test_case "ineligible forms" `Quick test_ineligible_forms;
+        ] );
+      ("memo", [ Alcotest.test_case "hit rate" `Quick test_memo_hit_rate ]);
+      ("cache", [ Alcotest.test_case "round trip" `Quick test_cache_round_trip ]);
+    ]
