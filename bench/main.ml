@@ -31,6 +31,15 @@
    latency percentiles, and --check-against diffs the deterministic
    fields against the committed baseline.
 
+   The [incr] selection is the compositional/incremental smoke test: a
+   cold compositional solve checked byte-identical to the monolithic one,
+   a warm re-solve of the unchanged program from cached summaries, and a
+   warm re-solve after a one-method monotone edit — gated to re-derive
+   less than 25% of what the cold solve of the edited program derives.
+   The deterministic counters land in BENCH_incr.json; --check-against
+   diffs them leniently (fields absent from the committed baseline are
+   skipped with a note, so the baseline can trail the bench).
+
    The [lint] selection times every lint rule over two solved synthetic
    benchmarks and writes the per-rule wall-clocks and finding counts to
    BENCH_lint.json.
@@ -42,7 +51,7 @@
    in BENCH_solver.json under "solver_scaling" with a speedup_vs_1 column.
 
    Usage:
-     main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|serve|demand|lint|solver|micro|all]
+     main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|serve|demand|incr|lint|solver|micro|all]
               [--scale S] [--budget N] [--jobs N] [--shards K1,K2,...]
               [--clients N1,N2,...] [--cache-dir DIR] [--check-against FILE]
 *)
@@ -52,7 +61,7 @@ module Experiments = Ipa_harness.Experiments
 
 let usage () =
   prerr_endline
-    "usage: main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|serve|demand|lint|solver|micro|all] [--scale S] [--budget N] [--jobs N] [--shards K1,K2,...] [--clients N1,N2,...] [--cache-dir DIR] [--check-against FILE]";
+    "usage: main.exe [fig1|fig4|fig5|fig6|fig7|figs|ablation|cache|query|serve|demand|incr|lint|solver|micro|all] [--scale S] [--budget N] [--jobs N] [--shards K1,K2,...] [--clients N1,N2,...] [--cache-dir DIR] [--check-against FILE]";
   exit 2
 
 type selection =
@@ -65,6 +74,7 @@ type selection =
   | Query_bench
   | Serve_bench
   | Demand_bench
+  | Incr_bench
   | Lint_bench
   | Solver_scaling
   | Micro
@@ -117,6 +127,9 @@ let parse_args () =
       go rest
     | "demand" :: rest ->
       selection := Demand_bench;
+      go rest
+    | "incr" :: rest ->
+      selection := Incr_bench;
       go rest
     | "--clients" :: v :: rest ->
       let ns = List.map int_of_string_opt (String.split_on_char ',' v) in
@@ -310,6 +323,9 @@ let write_json ?(scaling = []) (cfg : Ipa_harness.Config.t) (report : Experiment
           sync_rounds = acc.sync_rounds + c.sync_rounds;
           deltas_exchanged = acc.deltas_exchanged + c.deltas_exchanged;
           cross_shard_edges = acc.cross_shard_edges + c.cross_shard_edges;
+          sccs_summarized = acc.sccs_summarized + c.sccs_summarized;
+          summaries_reused = acc.summaries_reused + c.summaries_reused;
+          sccs_resolved = acc.sccs_resolved + c.sccs_resolved;
         })
       Ipa_core.Solution.zero_counters runs
   in
@@ -552,7 +568,7 @@ let stats_json (s : Ipa_harness.Cache.stats) =
     s.resident_bytes
 
 let run_cache_smoke (cfg : Ipa_harness.Config.t) ~dir =
-  let removed = Ipa_harness.Cache.clear ~dir in
+  let removed = Ipa_harness.Cache.clear ~dir () in
   if removed > 0 then Printf.printf "cleared %d stale snapshot(s) from %s\n%!" removed dir;
   let timed_report cache =
     Ipa_support.Timer.time (fun () -> Experiments.compute_report { cfg with cache })
@@ -1232,6 +1248,183 @@ let run_demand_bench (cfg : Ipa_harness.Config.t) ~baseline =
   print_endline
     "demand bench OK: every demand answer byte-identical to the unbudgeted full solve"
 
+(* ---------- BENCH_incr.json: compositional + incremental re-analysis ---------- *)
+
+let incr_json_path = "BENCH_incr.json"
+
+(* Lenient variant of the baseline diff: a field the committed file does
+   not carry is skipped with a note instead of failing, so the committed
+   baseline can trail a bench that grows new counters. A field both sides
+   carry must still match exactly. *)
+let check_incr_against ~file fields =
+  let fail msg =
+    prerr_endline (Printf.sprintf "bench check FAILED: %s: %s" file msg);
+    exit 1
+  in
+  let contents =
+    match In_channel.with_open_text file In_channel.input_all with
+    | s -> s
+    | exception Sys_error msg -> fail ("cannot read baseline: " ^ msg)
+  in
+  let scan name =
+    match find_substring contents (Printf.sprintf "\"%s\":" name) 0 with
+    | None -> None
+    | Some at ->
+      let i = ref (at + String.length name + 3) in
+      let len = String.length contents in
+      while !i < len && contents.[!i] = ' ' do
+        incr i
+      done;
+      let start = !i in
+      while !i < len && contents.[!i] >= '0' && contents.[!i] <= '9' do
+        incr i
+      done;
+      if !i = start then fail (Printf.sprintf "field %S is not an integer" name)
+      else Some (int_of_string (String.sub contents start (!i - start)))
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun (name, fresh) ->
+      match scan name with
+      | None -> Printf.printf "bench check: %s absent from baseline, skipped\n%!" name
+      | Some committed ->
+        if fresh <> committed then
+          fail
+            (Printf.sprintf "%s drifted: fresh %d vs committed %d" name fresh committed)
+        else begin
+          incr checked;
+          Printf.printf "bench check: %s %d == committed\n%!" name fresh
+        end)
+    fields;
+  if !checked = 0 then fail "no field matched the committed baseline";
+  print_endline "bench check OK: incremental counters match the committed baseline"
+
+let run_incr_bench (cfg : Ipa_harness.Config.t) ~baseline =
+  let module Solution = Ipa_core.Solution in
+  let module Analysis = Ipa_core.Analysis in
+  let module Edits = Ipa_synthetic.Edits in
+  let flavor = Flavors.Insensitive in
+  let spec = List.hd Ipa_synthetic.Dacapo.all in
+  let program = Ipa_synthetic.Dacapo.build ~scale:cfg.scale spec in
+  (* Summaries go through an in-memory store: the bench measures reuse
+     accounting and re-derivation cost, not disk traffic. *)
+  let tbl = Hashtbl.create 64 in
+  let store =
+    {
+      Ipa_core.Compositional_solver.find_bytes = (fun key -> Hashtbl.find_opt tbl key);
+      put_bytes =
+        (fun key bytes -> if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key bytes);
+    }
+  in
+  (* A warm solution differs from a cold one only in the phase accounting:
+     seeding re-asserts the baseline facts without counting them, so the
+     derivation count and propagation counters describe the incremental
+     work, not the fixpoint. Identity is judged on everything else. *)
+  let canonical_warm program (s : Solution.t) =
+    canonical_bytes program { s with Solution.derivations = 0 }
+  in
+  (* 1. Cold compositional solve == monolithic solve, byte for byte
+     (modulo the compositional counters the monolithic solve cannot
+     carry — canonical_bytes zeroes all counters). *)
+  let mono = Analysis.run_plain ~budget:0 program flavor in
+  let cold, cold_report = Analysis.run_compositional ~store ~budget:0 program flavor in
+  if
+    cold.solution.Solution.derivations <> mono.solution.Solution.derivations
+    || not
+         (String.equal
+            (canonical_bytes program cold.solution)
+            (canonical_bytes program mono.solution))
+  then failwith "incr bench: compositional solve differs from the monolithic solve";
+  Printf.printf "incr bench: %s at scale %g, %s: %d derivations, %d component(s)\n%!"
+    spec.name cfg.scale mono.label mono.solution.Solution.derivations
+    cold_report.Ipa_core.Compositional_solver.n_sccs;
+  (* 2. Warm re-solve of the unchanged program: every summary hits the
+     store, nothing is dirty, and the seeded solve re-derives nothing. *)
+  let same, same_report =
+    Analysis.run_incremental ~store program ~base_program:program
+      ~base_solution:cold.solution flavor
+  in
+  if not same_report.Ipa_core.Compositional_solver.incremental then
+    failwith "incr bench: unchanged-program re-solve fell back to a cold solve";
+  if not (String.equal (canonical_warm program same.solution) (canonical_warm program cold.solution))
+  then failwith "incr bench: unchanged-program re-solve differs from the cold solve";
+  Printf.printf "incr warm (unchanged): %d derivations, %d summaries reused, %d dirty\n%!"
+    same.solution.Solution.derivations
+    same_report.Ipa_core.Compositional_solver.summaries_reused
+    (List.length same_report.Ipa_core.Compositional_solver.dirty_sccs);
+  (* 3. One-method monotone edit: warm re-solve from the baseline vs a
+     cold solve of the edited program. The gate is the acceptance bar —
+     the warm solve must re-derive under a quarter of the cold solve. *)
+  let edits = Edits.pick ~kinds:Edits.monotone_kinds ~seed:42 ~n:1 program in
+  (match edits with
+  | [ e ] -> Printf.printf "incr edit: %s\n%!" (Edits.describe program e)
+  | _ -> failwith "incr bench: expected exactly one edit");
+  let edited = Edits.apply_all program edits in
+  let edited_cold = Analysis.run_plain ~budget:0 edited flavor in
+  let warm, warm_report =
+    Analysis.run_incremental ~store edited ~base_program:program
+      ~base_solution:cold.solution flavor
+  in
+  (match warm_report.Ipa_core.Compositional_solver.fallback with
+  | None -> ()
+  | Some reason -> failwith ("incr bench: edited re-solve fell back cold: " ^ reason));
+  if not (String.equal (canonical_warm edited warm.solution) (canonical_warm edited edited_cold.solution))
+  then failwith "incr bench: edited warm re-solve differs from the cold solve";
+  let cold_derivations = edited_cold.solution.Solution.derivations in
+  let warm_derivations = warm.solution.Solution.derivations in
+  if warm_derivations * 4 >= cold_derivations then
+    failwith
+      (Printf.sprintf
+         "incr bench: warm re-solve derived %d of %d — not under the 25%% gate"
+         warm_derivations cold_derivations);
+  let ratio = float_of_int warm_derivations /. float_of_int cold_derivations in
+  Printf.printf
+    "incr warm (1 edit): %d derivations vs %d cold (%.3fx), %d reused, %d re-solved of %d\n%!"
+    warm_derivations cold_derivations ratio
+    warm_report.Ipa_core.Compositional_solver.summaries_reused
+    warm_report.Ipa_core.Compositional_solver.sccs_resolved
+    warm_report.Ipa_core.Compositional_solver.n_sccs;
+  let fields =
+    [
+      ("n_sccs", cold_report.Ipa_core.Compositional_solver.n_sccs);
+      ("cold_derivations", mono.solution.Solution.derivations);
+      ("cold_summarized", cold_report.Ipa_core.Compositional_solver.sccs_summarized);
+      ("warm_same_derivations", same.solution.Solution.derivations);
+      ("warm_same_reused", same_report.Ipa_core.Compositional_solver.summaries_reused);
+      ("edit_dirty_sccs", List.length warm_report.Ipa_core.Compositional_solver.dirty_sccs);
+      ("edit_reused", warm_report.Ipa_core.Compositional_solver.summaries_reused);
+      ("edit_resolved", warm_report.Ipa_core.Compositional_solver.sccs_resolved);
+      ("edit_cold_derivations", cold_derivations);
+      ("edit_warm_derivations", warm_derivations);
+    ]
+  in
+  let body =
+    String.concat ",\n"
+      (List.concat
+         [
+           [
+             Printf.sprintf "  \"scale\": %g" cfg.scale;
+             Printf.sprintf "  \"bench\": \"%s\"" spec.name;
+             Printf.sprintf "  \"analysis\": \"%s\"" mono.label;
+           ];
+           List.map (fun (k, v) -> Printf.sprintf "  \"%s\": %d" k v) fields;
+           [
+             Printf.sprintf "  \"answers_identical\": true";
+             Printf.sprintf "  \"derivations_ratio\": %.4f" ratio;
+             Printf.sprintf "  \"cold_seconds\": %.6f" cold.seconds;
+             Printf.sprintf "  \"warm_seconds\": %.6f" warm.seconds;
+           ];
+         ])
+  in
+  Out_channel.with_open_text incr_json_path (fun oc ->
+      Out_channel.output_string oc ("{\n" ^ body ^ "\n}\n"));
+  Printf.printf "wrote %s\n%!" incr_json_path;
+  (match baseline with
+  | None -> ()
+  | Some file -> check_incr_against ~file fields);
+  print_endline
+    "incr bench OK: warm re-solves byte-identical to cold, edit re-derivation under the 25% gate"
+
 (* ---------- BENCH_lint.json: per-rule lint timings ---------- *)
 
 let lint_json_path = "BENCH_lint.json"
@@ -1253,9 +1446,15 @@ let run_lint_bench (cfg : Ipa_harness.Config.t) =
     in
     Printf.printf "lint bench: %s at scale %g: %d finding(s)  (solve %.3fs, lint %.3fs)\n%!"
       spec.name cfg.scale (List.length findings) result.seconds lint_seconds;
+    let id_width =
+      List.fold_left
+        (fun acc (t : Ipa_lint.Lint.timing) -> max acc (String.length t.rule_id))
+        10 timings
+    in
     List.iter
       (fun (t : Ipa_lint.Lint.timing) ->
-        Printf.printf "  %-10s %8.4fs  %6d finding(s)\n%!" t.rule_id t.seconds t.n_findings)
+        Printf.printf "  %-*s %8.4fs  %6d finding(s)\n%!" id_width t.rule_id t.seconds
+          t.n_findings)
       timings;
     J.Obj
       [
@@ -1420,14 +1619,17 @@ let run_bechamel () =
     (fun test ->
       let results = Benchmark.all benchmark_cfg instances test in
       let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      let name_width =
+        Hashtbl.fold (fun name _ acc -> max acc (String.length name)) analyzed 28
+      in
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/run\n%!" name est
+          | Some [ est ] -> Printf.printf "  %-*s %12.1f ns/run\n%!" name_width name est
           | Some ests ->
-            Printf.printf "  %-28s %s\n%!" name
+            Printf.printf "  %-*s %s\n%!" name_width name
               (String.concat ", " (List.map (Printf.sprintf "%.1f") ests))
-          | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
+          | None -> Printf.printf "  %-*s (no estimate)\n%!" name_width name)
         analyzed)
     tests
 
@@ -1446,6 +1648,7 @@ let () =
   | Query_bench -> run_query_bench cfg
   | Serve_bench -> run_serve_bench cfg ~clients_list ~baseline
   | Demand_bench -> run_demand_bench cfg ~baseline
+  | Incr_bench -> run_incr_bench cfg ~baseline
   | Lint_bench -> run_lint_bench cfg
   | Solver_scaling ->
     let rows = compute_scaling cfg shards_list in

@@ -426,23 +426,56 @@ let metrics_cmd =
 (* ---------- gen ---------- *)
 
 let gen_cmd =
-  let run name scale output =
+  let run name scale output edits seed kinds_str =
     match Ipa_synthetic.Dacapo.find name with
     | None ->
       Printf.eprintf "unknown benchmark %S; available: %s\n" name
         (String.concat ", "
            (List.map (fun (s : Ipa_synthetic.Dacapo.spec) -> s.name) Ipa_synthetic.Dacapo.all));
       1
-    | Some spec ->
-      let p = Ipa_synthetic.Dacapo.build ~scale spec in
-      let text = Ipa_ir.Pretty.program p in
-      (match output with
-      | Some path ->
-        Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text);
-        Printf.printf "wrote %s (%d classes, %d methods)\n" path (Program.n_classes p)
-          (Program.n_meths p)
-      | None -> print_string text);
-      0
+    | Some spec -> (
+      let spec = match seed with None -> spec | Some s -> { spec with seed = s } in
+      let kinds =
+        match kinds_str with
+        | "all" -> Ok Ipa_synthetic.Edits.all_kinds
+        | "monotone" -> Ok Ipa_synthetic.Edits.monotone_kinds
+        | s -> (
+          match Ipa_synthetic.Edits.kind_of_name s with
+          | Some k -> Ok [ k ]
+          | None ->
+            Error
+              (Printf.sprintf
+                 "unknown edit kind %S (expected all, monotone, add-alloc, add-call, or \
+                  rewrite-body)"
+                 s))
+      in
+      match kinds with
+      | Error msg ->
+        prerr_endline msg;
+        1
+      | Ok kinds ->
+        let p = Ipa_synthetic.Dacapo.build ~scale spec in
+        let p =
+          if edits <= 0 then p
+          else begin
+            (* The picker is seeded by the same value that seeded generation,
+               so one --seed pins the whole edited program. Descriptions go
+               to stderr: stdout may be the program text itself. *)
+            let picked = Ipa_synthetic.Edits.pick ~kinds ~seed:spec.seed ~n:edits p in
+            List.iter
+              (fun e -> Printf.eprintf "edit: %s\n" (Ipa_synthetic.Edits.describe p e))
+              picked;
+            Ipa_synthetic.Edits.apply_all p picked
+          end
+        in
+        let text = Ipa_ir.Pretty.program p in
+        (match output with
+        | Some path ->
+          Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text);
+          Printf.printf "wrote %s (%d classes, %d methods)\n" path (Program.n_classes p)
+            (Program.n_meths p)
+        | None -> print_string text);
+        0)
   in
   let name_arg =
     Arg.(
@@ -453,9 +486,37 @@ let gen_cmd =
   let output_arg =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
   in
+  let edit_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "edit" ] ~docv:"N"
+          ~doc:
+            "Apply $(docv) seeded random edits after generation (for the incremental-analysis \
+             harness); the chosen deltas are described on stderr.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Override the benchmark's generation seed; also seeds the $(b,--edit) delta picker, \
+             so equal seeds yield byte-identical edited programs.")
+  in
+  let edit_kinds_arg =
+    Arg.(
+      value
+      & opt string "all"
+      & info [ "edit-kinds" ] ~docv:"KINDS"
+          ~doc:
+            "Restrict $(b,--edit) deltas: $(b,all), $(b,monotone) (extensions only — what the \
+             warm incremental path accepts), or a single kind ($(b,add-alloc), $(b,add-call), \
+             $(b,rewrite-body)).")
+  in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a synthetic DaCapo-like benchmark as .jir text.")
-    Term.(const run $ name_arg $ scale_arg $ output_arg)
+    Term.(const run $ name_arg $ scale_arg $ output_arg $ edit_arg $ seed_arg $ edit_kinds_arg)
 
 let export_dl_cmd =
   let run path output =
@@ -515,7 +576,17 @@ let datalog_cmd =
 module Snapshot = Ipa_core.Snapshot
 
 let solve_cmd =
-  let run path flavor heuristic budget shards save load =
+  let print_report (r : Ipa_core.Compositional_solver.report) =
+    Printf.printf "components    %d (%d summarized, %d reused from cache, %d (re-)solved)\n"
+      r.n_sccs r.sccs_summarized r.summaries_reused r.sccs_resolved;
+    match r.fallback with
+    | Some reason -> Printf.printf "fallback      cold compositional solve (%s)\n" reason
+    | None ->
+      if r.incremental then
+        Printf.printf "dirty sccs    [%s]\n"
+          (String.concat "; " (List.map string_of_int r.dirty_sccs))
+  in
+  let run path flavor heuristic budget shards save load compositional edit_from cache_dir jobs =
     match load with
     | Some snap_path -> (
       (* Load a previously saved snapshot instead of solving. *)
@@ -552,6 +623,79 @@ let solve_cmd =
               Printf.printf "self-check    %d violation(s)\n" (List.length errs);
               List.iter print_endline errs;
               1))))
+    | None when compositional || edit_from <> None -> (
+      match load_program path with
+      | Error msg ->
+        prerr_endline msg;
+        1
+      | Ok p when heuristic <> None ->
+        ignore p;
+        prerr_endline
+          "--compositional and --edit-from run a single-pass analysis; drop --heuristic";
+        1
+      | Ok p -> (
+        let store =
+          Option.map
+            (fun d -> Ipa_harness.Cache.summary_store (Ipa_harness.Cache.create ~dir:d ()))
+            cache_dir
+        in
+        let solved =
+          match edit_from with
+          | None -> Ok (p, Ipa_core.Analysis.run_compositional ?store ~jobs ~budget p flavor)
+          | Some base_path -> (
+            (* [path] is the edited program, [base_path] the baseline it
+               (presumably) extends; the baseline is solved cold here, then
+               the edited program warm-starts from it. Parsed ids are
+               file-order artifacts, so the edited program is first
+               realigned onto the baseline's ids by entity name; an
+               unalignable delta simply fails the monotonicity check and
+               solves cold. *)
+            match load_program base_path with
+            | Error msg -> Error msg
+            | Ok base_program ->
+              let p =
+                match Ipa_core.Summary.align ~old_p:base_program ~new_p:p with
+                | Some aligned -> aligned
+                | None -> p
+              in
+              let base, base_report =
+                Ipa_core.Analysis.run_compositional ?store ~jobs base_program flavor
+              in
+              Printf.printf "baseline      %s  %.3fs  (%d derivations, %d sccs summarized)\n"
+                base.label base.seconds base.solution.derivations
+                base_report.sccs_summarized;
+              Ok
+                ( p,
+                  Ipa_core.Analysis.run_incremental ?store ~jobs p ~base_program
+                    ~base_solution:base.solution flavor ))
+        in
+        match solved with
+        | Error msg ->
+          prerr_endline msg;
+          1
+        | Ok (p, (result, report)) ->
+          print_result ~verbose:false p result;
+          print_report report;
+          (match save with
+          | None -> ()
+          | Some out ->
+            let program_digest = Snapshot.digest_program p in
+            let config = Ipa_core.Solver.plain p (Ipa_core.Flavors.strategy p flavor) in
+            let key = Snapshot.config_key ~program_digest config in
+            let snap =
+              {
+                Snapshot.key;
+                program_digest;
+                label = result.label;
+                seconds = result.seconds;
+                solution = result.solution;
+                metrics = Some (Ipa_core.Introspection.compute result.solution);
+              }
+            in
+            let bytes = Snapshot.encode snap in
+            Out_channel.with_open_bin out (fun oc -> Out_channel.output_string oc bytes);
+            Printf.printf "saved         %s (%d bytes, key %s)\n" out (String.length bytes) key);
+          0))
     | None -> (
       match load_program path with
       | Error msg ->
@@ -609,12 +753,47 @@ let solve_cmd =
             "Load a snapshot saved with $(b,--save-solution) instead of solving; the program \
              must be the same one the snapshot was computed from.")
   in
+  let compositional_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "compositional" ]
+          ~doc:
+            "Solve per call-graph SCC with content-addressed boundary summaries. The solution \
+             is byte-identical to the monolithic solve; the summary counters are reported.")
+  in
+  let edit_from_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "edit-from" ] ~docv:"BASE.jir"
+          ~doc:
+            "Incremental mode: treat $(i,FILE) as an edited version of $(docv), solve the \
+             baseline, and re-solve the edit warm from its fixpoint — only digest-changed \
+             components and their consequences are re-derived.")
+  in
+  let solve_cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Content-addressed cache for SCC summaries (with $(b,--compositional) or \
+             $(b,--edit-from)); unchanged components are reused across runs.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:"Domains for parallel summary extraction (default 1, sequential).")
+  in
   Cmd.v
     (Cmd.info "solve"
        ~doc:"Run an analysis and save the solution as a snapshot, or reload a saved one.")
     Term.(
       const run $ file_arg $ analysis_arg $ heuristic_arg $ budget_arg $ shards_arg $ save_arg
-      $ load_arg)
+      $ load_arg $ compositional_arg $ edit_from_arg $ solve_cache_dir_arg $ jobs_arg)
 
 (* ---------- cache maintenance ---------- *)
 
@@ -628,37 +807,105 @@ let cache_dir_arg =
 let cache_stats_cmd =
   let run dir =
     let entries = Ipa_harness.Cache.entries ~dir in
-    if entries = [] then Printf.printf "%s: no snapshots\n" dir
+    if entries = [] then Printf.printf "%s: no cached entries\n" dir
     else begin
-      Printf.printf "%s: %d snapshot(s)\n" dir (List.length entries);
+      Printf.printf "%s: %d cached entr%s\n" dir (List.length entries)
+        (if List.length entries = 1 then "y" else "ies");
       let rows =
         List.map
-          (fun (file, size, info) ->
-            match info with
-            | Ok (i : Snapshot.info) ->
-              [ file; string_of_int size; i.info_label; Printf.sprintf "%.3f" i.info_seconds ]
-            | Error e -> [ file; string_of_int size; Snapshot.error_to_string e; "-" ])
+          (fun (e : Ipa_harness.Cache.disk_entry) ->
+            [
+              e.entry_file;
+              (match e.entry_kind with
+              | Some k -> Ipa_harness.Cache.kind_name k
+              | None -> "invalid");
+              string_of_int e.entry_bytes;
+              e.entry_describe;
+              (match e.entry_seconds with Some s -> Printf.sprintf "%.3f" s | None -> "-");
+            ])
           entries
       in
-      Ipa_support.Ascii_table.print ~header:[ "snapshot"; "bytes"; "label"; "solve(s)" ] rows;
-      let total = List.fold_left (fun acc (_, size, _) -> acc + size) 0 entries in
+      Ipa_support.Ascii_table.print
+        ~header:[ "entry"; "kind"; "bytes"; "label"; "solve(s)" ]
+        rows;
+      (* Per-kind rollup: entry counts and resident (on-disk) bytes. *)
+      let bucket kind =
+        List.fold_left
+          (fun (n, bytes) (e : Ipa_harness.Cache.disk_entry) ->
+            if e.entry_kind = kind then (n + 1, bytes + e.entry_bytes) else (n, bytes))
+          (0, 0) entries
+      in
+      let kinds =
+        [
+          Some Ipa_harness.Cache.Snapshot_entry;
+          Some Ipa_harness.Cache.Demand_entry;
+          Some Ipa_harness.Cache.Summary_entry;
+          None;
+        ]
+      in
+      List.iter
+        (fun kind ->
+          let n, bytes = bucket kind in
+          if n > 0 then
+            Printf.printf "%s: %d entr%s, %d bytes\n"
+              (match kind with
+              | Some k -> Ipa_harness.Cache.kind_name k
+              | None -> "invalid")
+              n
+              (if n = 1 then "y" else "ies")
+              bytes)
+        kinds;
+      let total =
+        List.fold_left
+          (fun acc (e : Ipa_harness.Cache.disk_entry) -> acc + e.entry_bytes)
+          0 entries
+      in
       Printf.printf "total %d bytes\n" total
     end;
     0
   in
   Cmd.v
-    (Cmd.info "stats" ~doc:"List the cached analysis snapshots.")
+    (Cmd.info "stats"
+       ~doc:"List the cached entries: analysis snapshots, demand slices, and SCC summaries.")
     Term.(const run $ cache_dir_arg)
 
+let cache_kind_arg =
+  let kind_conv =
+    let parse s =
+      match s with
+      | "snapshot" -> Ok Ipa_harness.Cache.Snapshot_entry
+      | "demand-slice-v1" -> Ok Ipa_harness.Cache.Demand_entry
+      | "summary-v1" -> Ok Ipa_harness.Cache.Summary_entry
+      | _ ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown cache entry kind %S (expected %s)" s
+               "snapshot, demand-slice-v1, or summary-v1"))
+    in
+    Arg.conv (parse, fun ppf k -> Format.pp_print_string ppf (Ipa_harness.Cache.kind_name k))
+  in
+  Arg.(
+    value
+    & opt (some kind_conv) None
+    & info [ "kind" ] ~docv:"KIND"
+        ~doc:
+          "Only remove entries of this kind: $(b,snapshot), $(b,demand-slice-v1), or \
+           $(b,summary-v1). Default: every kind.")
+
 let cache_clear_cmd =
-  let run dir =
-    let n = Ipa_harness.Cache.clear ~dir in
-    Printf.printf "removed %d snapshot(s) from %s\n" n dir;
+  let run dir kind =
+    let n = Ipa_harness.Cache.clear ?kind ~dir () in
+    (match kind with
+    | None -> Printf.printf "removed %d cached entr%s from %s\n" n (if n = 1 then "y" else "ies") dir
+    | Some k ->
+      Printf.printf "removed %d %s entr%s from %s\n" n (Ipa_harness.Cache.kind_name k)
+        (if n = 1 then "y" else "ies")
+        dir);
     0
   in
   Cmd.v
-    (Cmd.info "clear" ~doc:"Remove every cached snapshot.")
-    Term.(const run $ cache_dir_arg)
+    (Cmd.info "clear" ~doc:"Remove cached entries, optionally filtered by kind.")
+    Term.(const run $ cache_dir_arg $ cache_kind_arg)
 
 let cache_cmd =
   Cmd.group

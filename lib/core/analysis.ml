@@ -68,6 +68,28 @@ let run_client_driven ?(budget = 0) ?(shards = 1) p flavor query =
   let base = run_plain ~budget ~shards p Flavors.Insensitive in
   run_client_driven_from_base ~budget ~shards p ~base flavor query
 
+let run_compositional ?store ?(jobs = 1) ?(budget = 0) p flavor =
+  let strategy = Flavors.strategy p flavor in
+  let config = Solver.plain p ~budget strategy in
+  let (solution, report), seconds =
+    Timer.time (fun () -> Compositional_solver.solve ?store ~jobs p config)
+  in
+  let label = Printf.sprintf "%s-compositional" (Flavors.to_string flavor) in
+  ( { label; solution; seconds; timed_out = solution.Solution.outcome = Budget_exceeded },
+    report )
+
+let run_incremental ?store ?(jobs = 1) p ~base_program ~base_solution flavor =
+  let strategy = Flavors.strategy p flavor in
+  let config = Solver.plain p strategy in
+  let (solution, report), seconds =
+    Timer.time (fun () ->
+        Compositional_solver.solve_incremental ?store ~jobs ~base_program ~base_solution p
+          config)
+  in
+  let label = Printf.sprintf "%s-incremental" (Flavors.to_string flavor) in
+  ( { label; solution; seconds; timed_out = solution.Solution.outcome = Budget_exceeded },
+    report )
+
 let run_mixed ?(budget = 0) ?(shards = 1) p ~default ~refined ~refine =
   let config =
     {

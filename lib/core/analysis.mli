@@ -99,6 +99,35 @@ val run_client_driven_from_base :
 (** {!run_client_driven} with the caller-supplied (possibly cached)
     context-insensitive first pass. *)
 
+(** {1 Compositional and incremental solving} *)
+
+val run_compositional :
+  ?store:Compositional_solver.store ->
+  ?jobs:int ->
+  ?budget:int ->
+  Ipa_ir.Program.t ->
+  Flavors.spec ->
+  result * Compositional_solver.report
+(** [run_plain] via {!Compositional_solver.solve}: summaries are published
+    to (and reused from) [store], component digesting and boundary
+    computation fan out over [jobs] domains, and the solution is
+    byte-identical to the monolithic run except the compositional counters.
+    The label is suffixed ["-compositional"]. *)
+
+val run_incremental :
+  ?store:Compositional_solver.store ->
+  ?jobs:int ->
+  Ipa_ir.Program.t ->
+  base_program:Ipa_ir.Program.t ->
+  base_solution:Solution.t ->
+  Flavors.spec ->
+  result * Compositional_solver.report
+(** Warm re-solve of an edited program from a baseline solve of
+    [base_program] under the same flavor — see
+    {!Compositional_solver.solve_incremental}. Unbudgeted by construction
+    (a budget would force the cold fallback). The label is suffixed
+    ["-incremental"]. *)
+
 (** {1 Mixed context-sensitivity} *)
 
 val run_mixed :

@@ -111,6 +111,17 @@ let print_counters (s : Solution.t) =
         pct c.deltas_exchanged c.batch_objs ^ " of batch objects";
       ];
       [ "cross-shard edges"; string_of_int c.cross_shard_edges; "in the last partition" ];
+      [ "sccs summarized"; string_of_int c.sccs_summarized; "compositional solve" ];
+      [
+        "summaries reused";
+        string_of_int c.summaries_reused;
+        pct c.summaries_reused (c.sccs_summarized + c.summaries_reused) ^ " of components";
+      ];
+      [
+        "sccs re-solved";
+        string_of_int c.sccs_resolved;
+        "dirty closure on an incremental solve";
+      ];
     ]
 
 let top_methods ?(limit = 15) s = take limit (compute s).methods

@@ -12,8 +12,13 @@ module Program = Ipa_ir.Program
    Version 3: sharded-solve counters joined [Solution.counters] (shards,
    sync_rounds, deltas_exchanged, cross_shard_edges). The configuration key
    deliberately does NOT include the shard count: a sharded solve is
-   byte-identical to a sequential one, so both share a cache entry. *)
-let version = 3
+   byte-identical to a sequential one, so both share a cache entry.
+   Version 4: compositional-solve counters joined [Solution.counters]
+   (sccs_summarized, summaries_reused, sccs_resolved). Like the shard
+   count, they are bookkeeping about how the fixpoint was reached, not part
+   of it, so the configuration key is unchanged in structure (only the
+   version constant above rotates the key space). *)
+let version = 4
 let magic = "IPSN"
 let trailer = "NSPI"
 
@@ -185,6 +190,12 @@ let config_key ~program_digest (c : Solver.config) =
   Writer.bool w c.field_sensitive;
   Digest.to_hex (Digest.string (Writer.contents w))
 
+(* The program-independent part of [config_key]: what must match between
+   two solves for one's summaries (or fixpoint seeds) to be meaningful to
+   the other. Incremental re-analysis compares fingerprints, not keys — the
+   program digest necessarily differs across an edit. *)
+let config_fingerprint c = config_key ~program_digest:"" c
+
 (* ---------- solution ---------- *)
 
 let encode_pair_tbl w tbl =
@@ -247,7 +258,10 @@ let encode_solution w (s : Solution.t) =
   Writer.uint w c.shards;
   Writer.uint w c.sync_rounds;
   Writer.uint w c.deltas_exchanged;
-  Writer.uint w c.cross_shard_edges
+  Writer.uint w c.cross_shard_edges;
+  Writer.uint w c.sccs_summarized;
+  Writer.uint w c.summaries_reused;
+  Writer.uint w c.sccs_resolved
 
 let decode_solution r program : Solution.t =
   let ctxs = decode_ctxs r in
@@ -285,6 +299,9 @@ let decode_solution r program : Solution.t =
   let sync_rounds = Reader.uint r in
   let deltas_exchanged = Reader.uint r in
   let cross_shard_edges = Reader.uint r in
+  let sccs_summarized = Reader.uint r in
+  let summaries_reused = Reader.uint r in
+  let sccs_resolved = Reader.uint r in
   {
     Solution.program;
     ctxs;
@@ -311,6 +328,9 @@ let decode_solution r program : Solution.t =
         sync_rounds;
         deltas_exchanged;
         cross_shard_edges;
+        sccs_summarized;
+        summaries_reused;
+        sccs_resolved;
       };
     collapsed_vpt_cache = None;
     collapsed_fpt_cache = None;

@@ -19,6 +19,9 @@ type counters = {
   sync_rounds : int;
   deltas_exchanged : int;
   cross_shard_edges : int;
+  sccs_summarized : int;
+  summaries_reused : int;
+  sccs_resolved : int;
 }
 
 let zero_counters =
@@ -36,6 +39,9 @@ let zero_counters =
     sync_rounds = 0;
     deltas_exchanged = 0;
     cross_shard_edges = 0;
+    sccs_summarized = 0;
+    summaries_reused = 0;
+    sccs_resolved = 0;
   }
 
 type t = {

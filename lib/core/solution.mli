@@ -41,6 +41,13 @@ type counters = {
       (** (target-node, object) deltas delivered through shard outboxes *)
   cross_shard_edges : int;
       (** copy edges crossing a shard boundary in the last partition *)
+  sccs_summarized : int;
+      (** call-graph components freshly summarized by a compositional solve *)
+  summaries_reused : int;
+      (** components whose summary came out of the content-addressed cache *)
+  sccs_resolved : int;
+      (** components (re-)solved: all of them on a cold compositional solve,
+          only the dirty closure on an incremental one *)
 }
 
 val zero_counters : counters

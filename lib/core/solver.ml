@@ -157,6 +157,19 @@ type state = {
   cg_seen : Int_set.t; (* packed (caller-pair, reach-pair) *)
   base_uses : use list array;
   filters : Filters.t;
+  (* Compositional solving. [replay] substitutes compiled per-method
+     constraint modules for the instruction walk of [process_body] (same
+     stream, same order — byte-identity is preserved). The incremental mode
+     seeds the state from a baseline fixpoint: while [seeding] is set,
+     [spend] neither counts nor enforces the budget (the facts are not new),
+     and bodies of methods marked in [defer_body] — the dirty components of
+     an edit — are postponed, along with the base-use consumptions of their
+     variables, to the counted phase that follows. *)
+  replay : Summary.ops option;
+  mutable seeding : bool;
+  defer_body : bool array;
+  deferred_bodies : int Dynarr.t; (* reach ids whose body processing waits *)
+  deferred_uses : int Dynarr.t; (* flattened (var-node pair id, obj) *)
   (* Per method: the filter spec of each catch clause (the clause's type
      positively, all earlier clause types negatively) and the escape spec
      (every clause type negatively). *)
@@ -195,10 +208,18 @@ let compute_base_uses (p : Program.t) : use list array =
   done;
   uses
 
-let create p cfg =
+let create ?replay ?defer p cfg =
   {
     p;
     cfg;
+    replay;
+    seeding = false;
+    defer_body =
+      (match defer with
+      | Some d -> d
+      | None -> Array.make (Program.n_meths p) false);
+    deferred_bodies = Dynarr.create ~capacity:16 ~dummy:0 ();
+    deferred_uses = Dynarr.create ~capacity:64 ~dummy:0 ();
     ctxs = Ctx.create ();
     objs = Pair_tbl.create ~capacity:1024 ();
     var_nodes = Pair_tbl.create ~capacity:1024 ();
@@ -288,8 +309,12 @@ let node_use_members st n =
     d
 
 let spend st =
-  st.derivations <- st.derivations + 1;
-  if st.cfg.budget > 0 && st.derivations > st.cfg.budget then raise Out_of_budget
+  (* Seeded facts are re-assertions of a baseline fixpoint, not new
+     derivations: they are neither counted nor charged to the budget. *)
+  if not st.seeding then begin
+    st.derivations <- st.derivations + 1;
+    if st.cfg.budget > 0 && st.derivations > st.cfg.budget then raise Out_of_budget
+  end
 
 (* [spend] one at a time so the budget aborts at exactly [budget + 1]
    derivations, as it would without collapsing. *)
@@ -559,6 +584,18 @@ and merge_into st ~rep ~loser =
 
 and apply_var_uses st vn obj =
   let var = Pair_tbl.fst st.var_nodes vn in
+  if st.seeding && st.defer_body.((Program.var_info st.p var).var_owner) then begin
+    (* All uses of a variable sit in its owner's body. If that body is
+       dirty, its loads/stores/dispatches may be new — firing them while
+       seeding would derive new facts uncounted. Buffer the consumption and
+       fire it in the counted phase (re-derived old edges dedup there). *)
+    Dynarr.push st.deferred_uses vn;
+    Dynarr.push st.deferred_uses obj
+  end
+  else apply_var_uses_now st vn obj
+
+and apply_var_uses_now st vn obj =
+  let var = Pair_tbl.fst st.var_nodes vn in
   let ctx = Pair_tbl.snd st.var_nodes vn in
   List.iter
     (fun use ->
@@ -595,10 +632,55 @@ and ensure_reachable st meth ctx =
   | None ->
     let id = Pair_tbl.intern st.reach meth ctx in
     spend st;
-    process_body st meth ctx ~reach_id:id;
+    if st.seeding && st.defer_body.(meth) then Dynarr.push st.deferred_bodies id
+    else process_body st meth ctx ~reach_id:id;
     id
 
 and process_body st meth ctx ~reach_id =
+  match st.replay with
+  | Some ops -> replay_body st ops.(meth) meth ctx ~reach_id
+  | None -> process_body_instrs st meth ctx ~reach_id
+
+(* Replay a compiled constraint module: the exact constraint stream of
+   [process_body_instrs], in the same order (loads, stores and virtual
+   calls emit nothing there either — they are base-use-driven). *)
+and replay_body st ops meth ctx ~reach_id =
+  Array.iter
+    (fun (op : Summary.op) ->
+      match op with
+      | Summary.O_alloc { target; heap } ->
+        let strat =
+          if Refine.refine_object st.cfg.refine heap then st.cfg.refined_strategy
+          else st.cfg.default_strategy
+        in
+        let hctx = strat.record st.ctxs ~heap ~ctx in
+        let obj = Pair_tbl.intern st.objs heap hctx in
+        add_obj st (var_node st target ctx) obj ~spec:Filters.none
+      | Summary.O_copy { target; source } ->
+        add_edge st ~src:(var_node st source ctx) ~dst:(var_node st target ctx)
+          ~spec:Filters.none
+      | Summary.O_cast { target; source; cast_to } ->
+        add_edge st ~src:(var_node st source ctx) ~dst:(var_node st target ctx)
+          ~spec:(cast_spec st cast_to)
+      | Summary.O_load_static { target; field } ->
+        add_edge st ~src:(Node.of_static_fld field) ~dst:(var_node st target ctx)
+          ~spec:Filters.none
+      | Summary.O_store_static { field; source } ->
+        add_edge st ~src:(var_node st source ctx) ~dst:(Node.of_static_fld field)
+          ~spec:Filters.none
+      | Summary.O_scall { invo; callee } ->
+        let strat =
+          if Refine.refine_site st.cfg.refine ~invo ~meth:callee then st.cfg.refined_strategy
+          else st.cfg.default_strategy
+        in
+        let callee_ctx = strat.merge_static st.ctxs ~invo ~caller:ctx in
+        add_cg_edge st ~invo ~caller_ctx:ctx ~meth:callee ~callee_ctx
+      | Summary.O_throw { source } ->
+        route_exceptions st ~src:(var_node st source ctx) ~handler:meth ~ctx
+          ~handler_reach_id:reach_id)
+    ops
+
+and process_body_instrs st meth ctx ~reach_id =
   let mi = Program.meth_info st.p meth in
   Array.iter
     (fun (i : Program.instr) ->
@@ -1404,6 +1486,11 @@ let materialize st outcome ~set_promotions =
         sync_rounds = st.sync_rounds;
         deltas_exchanged = st.deltas_exchanged;
         cross_shard_edges = st.cross_shard_edges;
+        (* Owned by Compositional_solver, which patches them onto the
+           returned solution; a direct solve reports zeros. *)
+        sccs_summarized = 0;
+        summaries_reused = 0;
+        sccs_resolved = 0;
       };
     collapsed_vpt_cache = None;
     collapsed_fpt_cache = None;
@@ -1415,50 +1502,133 @@ let materialize st outcome ~set_promotions =
     caller_sites_cache = None;
   }
 
-let run_sequential p cfg =
-  let st = create p cfg in
-  let promotions_before = Int_set.promotion_count () in
+(* Process worklist entries until the fixpoint, honoring the configured
+   order. An entry may be stale: the node may have been merged away (or its
+   representative already drained) since it was queued. *)
+let drain st =
   let pop_and_process st n =
-    (* The entry may be stale: the node may have been merged away (or its
-       representative already drained) since it was queued. *)
     let r = Union_find.find st.uf n in
     if Dynarr.get st.on_list r then process_node st r;
     if should_sweep st then sweep st
   in
+  match st.cfg.order with
+  | Lifo ->
+    while Dynarr.length st.worklist > 0 do
+      match Dynarr.pop st.worklist with
+      | Some n -> pop_and_process st n
+      | None -> assert false
+    done
+  | Fifo ->
+    while st.worklist_head < Dynarr.length st.worklist do
+      let n = Dynarr.get st.worklist st.worklist_head in
+      st.worklist_head <- st.worklist_head + 1;
+      (* Reclaim the consumed prefix once it dominates the array. *)
+      if
+        st.worklist_head >= fifo_compact_threshold
+        && 2 * st.worklist_head >= Dynarr.length st.worklist
+      then begin
+        Dynarr.drop_prefix st.worklist st.worklist_head;
+        st.worklist_head <- 0
+      end;
+      pop_and_process st n
+    done
+  | Topo ->
+    let exhausted = ref false in
+    while not !exhausted do
+      match Int_heap.pop_min st.heap with
+      | None -> exhausted := true
+      | Some key -> pop_and_process st (heap_node key)
+    done
+
+type seed = { base : Solution.t; defer : bool array }
+
+(* Replay a previously materialized solution into fresh solver state:
+   re-intern its contexts and objects (context elements name heaps, invos
+   and classes by raw program id, all stable across a monotone program
+   extension), mark its reachable pairs — processing each clean body,
+   whose constraints dedup against the seeds — and re-assert every
+   recorded points-to fact. Runs with [st.seeding] set, so none of it is
+   counted or budgeted; only work enabled by deferred (dirty) bodies is
+   derived later, in the counted phase. *)
+let apply_seeds st (base : Solution.t) =
+  let n_ctxs = Ctx.count base.ctxs in
+  let ctx_of = Array.make (max 1 n_ctxs) 0 in
+  for i = 0 to n_ctxs - 1 do
+    ctx_of.(i) <- Ctx.intern st.ctxs (Array.copy (Ctx.elems base.ctxs i))
+  done;
+  let n_objs = Pair_tbl.count base.objs in
+  let obj_of = Array.make (max 1 n_objs) 0 in
+  for i = 0 to n_objs - 1 do
+    obj_of.(i) <-
+      Pair_tbl.intern st.objs (Pair_tbl.fst base.objs i) ctx_of.(Pair_tbl.snd base.objs i)
+  done;
+  for i = 0 to Pair_tbl.count base.reach - 1 do
+    ignore (ensure_reachable st (Pair_tbl.fst base.reach i) ctx_of.(Pair_tbl.snd base.reach i))
+  done;
+  for n = 0 to Dynarr.length base.pts - 1 do
+    match Dynarr.get base.pts n with
+    | None -> ()
+    | Some s ->
+      let node =
+        match Node.kind n with
+        | Node.Var_node vn ->
+          var_node st (Pair_tbl.fst base.var_nodes vn) ctx_of.(Pair_tbl.snd base.var_nodes vn)
+        | Node.Fld_node fn ->
+          (* Field-based mode stores a literal 0 as every base object. *)
+          let obj = Pair_tbl.fst base.fld_nodes fn in
+          let obj' = if st.cfg.field_sensitive then obj_of.(obj) else obj in
+          fld_node st obj' (Pair_tbl.snd base.fld_nodes fn)
+        | Node.Static_fld f -> Node.of_static_fld f
+        | Node.Exc_node r -> (
+          match
+            Pair_tbl.find_opt st.reach (Pair_tbl.fst base.reach r)
+              ctx_of.(Pair_tbl.snd base.reach r)
+          with
+          | Some id -> Node.of_exc id
+          | None -> assert false (* every base reach pair was seeded above *))
+      in
+      (* Seeds carry no filter: each object already passed whatever filter
+         guarded its original derivation. *)
+      List.iter
+        (fun o -> add_obj st node obj_of.(o) ~spec:Filters.none)
+        (Int_set.to_sorted_list s)
+  done
+
+let run_sequential ?replay ?seed p cfg =
+  let st = create ?replay ?defer:(Option.map (fun s -> s.defer) seed) p cfg in
+  let promotions_before = Int_set.promotion_count () in
   let outcome =
     try
+      (match seed with
+      | None -> ()
+      | Some { base; _ } ->
+        (* Phase 1, uncounted: rebuild the base fixpoint. Clean bodies are
+           re-processed as they become reachable; dirty bodies — and the
+           base-variable uses owned by them — are buffered instead of
+           fired, because their instructions may be new. *)
+        st.seeding <- true;
+        apply_seeds st base;
+        if st.cfg.collapse_cycles || cfg.order = Topo then sweep st;
+        drain st;
+        st.seeding <- false;
+        (* Phase 2, counted: everything the edit enables. Re-derivations of
+           facts already seeded dedup to nothing; only genuinely new flow
+           spends derivations. *)
+        for i = 0 to Dynarr.length st.deferred_bodies - 1 do
+          let id = Dynarr.get st.deferred_bodies i in
+          process_body st (Pair_tbl.fst st.reach id) (Pair_tbl.snd st.reach id) ~reach_id:id
+        done;
+        let n_uses = Dynarr.length st.deferred_uses / 2 in
+        for i = 0 to n_uses - 1 do
+          apply_var_uses st
+            (Dynarr.get st.deferred_uses (2 * i))
+            (Dynarr.get st.deferred_uses ((2 * i) + 1))
+        done);
       List.iter (fun m -> ignore (ensure_reachable st m Ctx.empty)) (Program.entries p);
       (* Rank the seeded graph (and collapse its static cycles) before the
          first pop, so the heap starts in topological order. *)
       if st.cfg.collapse_cycles || cfg.order = Topo then sweep st;
-      (match cfg.order with
-      | Lifo ->
-        while Dynarr.length st.worklist > 0 do
-          match Dynarr.pop st.worklist with
-          | Some n -> pop_and_process st n
-          | None -> assert false
-        done
-      | Fifo ->
-        while st.worklist_head < Dynarr.length st.worklist do
-          let n = Dynarr.get st.worklist st.worklist_head in
-          st.worklist_head <- st.worklist_head + 1;
-          (* Reclaim the consumed prefix once it dominates the array. *)
-          if
-            st.worklist_head >= fifo_compact_threshold
-            && 2 * st.worklist_head >= Dynarr.length st.worklist
-          then begin
-            Dynarr.drop_prefix st.worklist st.worklist_head;
-            st.worklist_head <- 0
-          end;
-          pop_and_process st n
-        done
-      | Topo ->
-        let exhausted = ref false in
-        while not !exhausted do
-          match Int_heap.pop_min st.heap with
-          | None -> exhausted := true
-          | Some key -> pop_and_process st (heap_node key)
-        done);
+      drain st;
       Solution.Complete
     with Out_of_budget -> Solution.Budget_exceeded
   in
@@ -1471,9 +1641,9 @@ let run_sequential p cfg =
    this path alternates sequential grow phases with parallel propagation
    rounds as described at [partition_blocks]. The worklist [order] knob is
    ignored: sharded propagation is always topology-aware per shard. *)
-let run_sharded p cfg =
+let run_sharded ?replay p cfg =
   let shards = cfg.shards in
-  let st = create p { cfg with order = Topo } in
+  let st = create ?replay p { cfg with order = Topo } in
   let promotions_before = Int_set.promotion_count () in
   let extra_promotions = ref 0 in
   let outcome =
@@ -1515,4 +1685,11 @@ let run_sharded p cfg =
   let set_promotions = Int_set.promotion_count () - promotions_before + !extra_promotions in
   materialize st outcome ~set_promotions
 
-let run p cfg = if cfg.shards > 1 then run_sharded p cfg else run_sequential p cfg
+let run ?replay p cfg =
+  if cfg.shards > 1 then run_sharded ?replay p cfg else run_sequential ?replay p cfg
+
+(* Incremental solving is sequential: the sharded path is a bulk-synchronous
+   refactoring of the same fixpoint and would accept seeds just as well, but
+   the warm phase is small by construction (that is the point), so the
+   orchestration lives above, in [Compositional_solver]. *)
+let run_incremental ?replay ~seed p cfg = run_sequential ?replay ~seed p cfg

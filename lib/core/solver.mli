@@ -78,8 +78,40 @@ val plain : Ipa_ir.Program.t -> ?budget:int -> ?shards:int -> Strategy.t -> conf
     sets, topological worklist, cycle elimination on, field-sensitive,
     [shards] worklist shards (default 1, i.e. sequential). *)
 
-val run : Ipa_ir.Program.t -> config -> Solution.t
-(** Run to fixpoint (or budget exhaustion) from the program's entry points. *)
+val run : ?replay:Summary.ops -> Ipa_ir.Program.t -> config -> Solution.t
+(** Run to fixpoint (or budget exhaustion) from the program's entry points.
+
+    With [?replay], method bodies are not walked: each body's constraints
+    come from the given compiled module stream (see {!Summary.compile}),
+    which emits the exact same constraints in the exact same order — the
+    solve is byte-identical, including counters and derivation counts. The
+    hook exists so {!Compositional_solver} can drive the solve from cached
+    per-SCC artifacts without re-touching program bodies. *)
+
+(** A warm-start seed for {!run_incremental}: a previously materialized
+    complete solution of a program that the current one monotonically
+    extends ({!Summary.extends}), plus a per-method mask of {e dirty}
+    bodies — methods whose instructions may differ from what [base] was
+    solved under (all methods of edited SCCs, and every method new to the
+    program). *)
+type seed = { base : Solution.t; defer : bool array }
+
+val run_incremental :
+  ?replay:Summary.ops -> seed:seed -> Ipa_ir.Program.t -> config -> Solution.t
+(** Re-solve after an edit, warm-starting from [seed.base]. Phase 1 replays
+    the base solution into fresh solver state without counting: contexts,
+    objects and reachable pairs are re-interned (context elements name
+    program entities by raw id, which a monotone extension keeps stable),
+    every recorded points-to fact is re-asserted, and consequences are
+    re-drained — deduping to nothing — except that dirty bodies and the
+    base-variable uses they own are buffered rather than fired. Phase 2
+    then processes the buffered work with counting on, so [derivations]
+    measures only what the edit enabled. The returned solution is
+    byte-identical to a cold solve of the edited program (modulo counters
+    and the derivation count — asserted by differential tests). Always
+    sequential; requires an unbudgeted config and a [Complete] base (the
+    caller — {!Compositional_solver} — falls back to a cold solve
+    otherwise). *)
 
 val partition_blocks : weights:int array -> shards:int -> int array
 (** The sharded solver's pure partitioner, exposed for tests. Assigns each

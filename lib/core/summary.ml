@@ -1,0 +1,715 @@
+module Dynarr = Ipa_support.Dynarr
+module Codec = Ipa_support.Codec
+module Writer = Codec.Writer
+module Reader = Codec.Reader
+module Program = Ipa_ir.Program
+
+(* ---------- call-graph condensation ---------- *)
+
+type scc = {
+  scc_id : int;
+  members : int array; (* meth ids, ascending *)
+  callees : int array; (* scc ids of CHA-possible callees, ascending, self excluded *)
+}
+
+type condensation = { sccs : scc array; scc_of_meth : int array }
+
+(* CHA over-approximation of the call graph: a static call targets its
+   declared callee; a virtual call targets every concrete method the
+   signature can dispatch to anywhere in the hierarchy. The solver's
+   on-the-fly call graph is a subset, so SCCs here are unions of semantic
+   SCCs — safe for both summary boundaries and dirtiness propagation. *)
+let call_targets p =
+  let sig_targets = Array.make (Program.n_sigs p) [] in
+  Program.iter_dispatch p (fun _cls s m ->
+      if not (List.mem m sig_targets.(s)) then sig_targets.(s) <- m :: sig_targets.(s));
+  let targets = Array.make (Program.n_meths p) [] in
+  for m = 0 to Program.n_meths p - 1 do
+    let acc = ref [] in
+    Array.iter
+      (fun (i : Program.instr) ->
+        match i with
+        | Call invo -> (
+          match (Program.invo_info p invo).call with
+          | Static { callee } -> acc := callee :: !acc
+          | Virtual { signature; _ } -> acc := sig_targets.(signature) @ !acc)
+        | _ -> ())
+      (Program.meth_info p m).body;
+    targets.(m) <- List.sort_uniq compare !acc
+  done;
+  targets
+
+(* Iterative Tarjan over methods, emitting every component (singletons
+   included) in close order — callees before callers, i.e. the array is a
+   bottom-up topological order of the condensation. Deterministic: roots
+   ascend, successor lists are sorted. *)
+let condense p =
+  let n = Program.n_meths p in
+  let succs = call_targets p in
+  let index = Array.make (max 1 n) (-1) in
+  let lowlink = Array.make (max 1 n) 0 in
+  let on_stack = Array.make (max 1 n) false in
+  let scc_stack = ref [] in
+  let next_index = ref 0 in
+  let comps = Dynarr.create ~capacity:(max 16 n) ~dummy:[||] () in
+  let frame_node = Dynarr.create ~capacity:64 ~dummy:0 () in
+  let frame_succ = Dynarr.create ~capacity:64 ~dummy:[] () in
+  let discover v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    on_stack.(v) <- true;
+    scc_stack := v :: !scc_stack;
+    Dynarr.push frame_node v;
+    Dynarr.push frame_succ succs.(v)
+  in
+  for root = 0 to n - 1 do
+    if index.(root) = -1 then begin
+      discover root;
+      while Dynarr.length frame_node > 0 do
+        let top = Dynarr.length frame_node - 1 in
+        let v = Dynarr.get frame_node top in
+        match Dynarr.get frame_succ top with
+        | w :: rest when index.(w) = -1 ->
+          Dynarr.set frame_succ top rest;
+          discover w
+        | w :: rest ->
+          Dynarr.set frame_succ top rest;
+          if on_stack.(w) && index.(w) < lowlink.(v) then lowlink.(v) <- index.(w)
+        | [] ->
+          ignore (Dynarr.pop frame_node);
+          ignore (Dynarr.pop frame_succ);
+          (if Dynarr.length frame_node > 0 then begin
+             let parent = Dynarr.get frame_node (Dynarr.length frame_node - 1) in
+             if lowlink.(v) < lowlink.(parent) then lowlink.(parent) <- lowlink.(v)
+           end);
+          if lowlink.(v) = index.(v) then begin
+            let comp = ref [] in
+            let stop = ref false in
+            while not !stop do
+              match !scc_stack with
+              | [] -> assert false
+              | w :: rest ->
+                scc_stack := rest;
+                on_stack.(w) <- false;
+                comp := w :: !comp;
+                if w = v then stop := true
+            done;
+            let members = Array.of_list !comp in
+            Array.sort compare members;
+            Dynarr.push comps members
+          end
+      done
+    end
+  done;
+  let n_sccs = Dynarr.length comps in
+  let scc_of_meth = Array.make (max 1 n) 0 in
+  for sid = 0 to n_sccs - 1 do
+    Array.iter (fun m -> scc_of_meth.(m) <- sid) (Dynarr.get comps sid)
+  done;
+  let sccs =
+    Array.init n_sccs (fun sid ->
+        let members = Dynarr.get comps sid in
+        let callee_sccs = ref [] in
+        Array.iter
+          (fun m ->
+            List.iter
+              (fun callee ->
+                let c = scc_of_meth.(callee) in
+                if c <> sid && not (List.mem c !callee_sccs) then callee_sccs := c :: !callee_sccs)
+              succs.(m))
+          members;
+        let callees = Array.of_list !callee_sccs in
+        Array.sort compare callees;
+        { scc_id = sid; members; callees })
+  in
+  { sccs; scc_of_meth }
+
+(* Dirtiness closure: the given components plus every call-graph ancestor
+   (transitive caller) — the components whose facts can depend on a changed
+   callee. Reverse-BFS over the condensation's callee edges. *)
+let dirty_closure cond seeds =
+  let n = Array.length cond.sccs in
+  let callers = Array.make (max 1 n) [] in
+  Array.iter
+    (fun scc -> Array.iter (fun c -> callers.(c) <- scc.scc_id :: callers.(c)) scc.callees)
+    cond.sccs;
+  let dirty = Array.make (max 1 n) false in
+  let rec mark sid =
+    if not dirty.(sid) then begin
+      dirty.(sid) <- true;
+      List.iter mark callers.(sid)
+    end
+  in
+  List.iter mark seeds;
+  dirty
+
+(* ---------- content digest ---------- *)
+
+(* The digest is computed over entity *names*, never raw ids: two programs
+   that contain the same methods (same bodies, same referenced classes,
+   fields, heaps and callees by name) produce the same per-SCC digests even
+   when the surrounding program assigns different ids. That is what lets an
+   edited program reuse the untouched components' cache entries. *)
+let digest p cond sid =
+  let b = Buffer.create 1024 in
+  let add s =
+    Buffer.add_string b s;
+    Buffer.add_char b '\n'
+  in
+  let var v = add (Program.var_full_name p v) in
+  let var_opt = function None -> add "-" | Some v -> var v in
+  let members = Array.copy cond.sccs.(sid).members in
+  let names = Array.map (fun m -> (Program.meth_full_name p m, m)) members in
+  Array.sort compare names;
+  Array.iter
+    (fun (full_name, m) ->
+      let mi = Program.meth_info p m in
+      add "meth";
+      add full_name;
+      add (Program.class_name p mi.meth_owner);
+      add (if mi.is_static_meth then "static" else "instance");
+      add (if mi.is_abstract then "abstract" else "concrete");
+      var_opt mi.this_var;
+      Array.iter var mi.formals;
+      add "|";
+      var_opt mi.ret_var;
+      Array.iter
+        (fun (c : Program.catch_clause) ->
+          add "catch";
+          add (Program.class_name p c.catch_type);
+          var c.catch_var)
+        mi.catches;
+      Array.iter
+        (fun (i : Program.instr) ->
+          match i with
+          | Alloc { target; heap } ->
+            add "alloc";
+            var target;
+            add (Program.heap_full_name p heap);
+            add (Program.class_name p (Program.heap_info p heap).heap_class)
+          | Move { target; source } ->
+            add "move";
+            var target;
+            var source
+          | Cast { target; source; cast_to } ->
+            add "cast";
+            var target;
+            var source;
+            add (Program.class_name p cast_to)
+          | Load { target; base; field } ->
+            add "load";
+            var target;
+            var base;
+            add (Program.field_full_name p field)
+          | Store { base; field; source } ->
+            add "store";
+            var base;
+            add (Program.field_full_name p field);
+            var source
+          | Load_static { target; field } ->
+            add "loadS";
+            var target;
+            add (Program.field_full_name p field)
+          | Store_static { field; source } ->
+            add "storeS";
+            add (Program.field_full_name p field);
+            var source
+          | Call invo ->
+            let ii = Program.invo_info p invo in
+            (match ii.call with
+            | Static { callee } ->
+              add "scall";
+              add (Program.meth_full_name p callee)
+            | Virtual { base; signature } ->
+              let si = Program.sig_info p signature in
+              add "vcall";
+              var base;
+              add (Printf.sprintf "%s/%d" si.sig_name si.arity));
+            Array.iter var ii.actuals;
+            add "|";
+            var_opt ii.recv
+          | Return { source } ->
+            add "return";
+            var source
+          | Throw { source } ->
+            add "throw";
+            var source)
+        mi.body)
+    names;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* ---------- boundary abstraction ---------- *)
+
+type boundary = {
+  b_formals : int;  (** formal/this parameters crossing into the component *)
+  b_returns : int;  (** members returning a value to callers *)
+  b_catches : int;  (** catch clauses guarding member bodies *)
+  b_escaping_throws : int;  (** throw sites whose object can leave the component *)
+  b_escaping_loads : int;  (** loads whose base may hold a non-local object *)
+  b_escaping_stores : int;  (** stores whose base may hold a non-local object *)
+  b_local_loads : int;
+  b_local_stores : int;
+  b_allocs : int;
+  b_virtual_sites : int;  (** dispatch sites — context-selection boundary *)
+  b_external_calls : int;  (** static calls leaving the component *)
+}
+
+(* A small intra-component may-escape analysis over the member bodies:
+   a variable is [local] while every value it can hold was allocated inside
+   the component and never passed through the heap, a call boundary, or a
+   formal. Loads and stores on a local base are invisible to callers; the
+   rest are the component's escaping heap effect. Fixpoint over the
+   members' copy edges (order-insensitive: the lattice is two-valued). *)
+let boundary p cond sid =
+  let members = cond.sccs.(sid).members in
+  let in_scc m = m < Array.length cond.scc_of_meth && cond.scc_of_meth.(m) = sid in
+  let local : (int, bool) Hashtbl.t = Hashtbl.create 64 in
+  let is_local v = match Hashtbl.find_opt local v with Some b -> b | None -> true in
+  let changed = ref true in
+  let taint v = if is_local v then (Hashtbl.replace local v false; changed := true) in
+  (* Sources of external values. *)
+  Array.iter
+    (fun m ->
+      let mi = Program.meth_info p m in
+      (match mi.this_var with Some v -> taint v | None -> ());
+      Array.iter taint mi.formals;
+      Array.iter (fun (c : Program.catch_clause) -> taint c.catch_var) mi.catches)
+    members;
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun m ->
+        let mi = Program.meth_info p m in
+        Array.iter
+          (fun (i : Program.instr) ->
+            match i with
+            | Move { target; source } | Cast { target; source; _ } ->
+              if not (is_local source) then taint target
+            | Load { target; _ } | Load_static { target; _ } ->
+              (* heap-mediated: another component may have stored there *)
+              taint target
+            | Call invo -> (
+              let ii = Program.invo_info p invo in
+              let internal =
+                match ii.call with
+                | Static { callee } -> in_scc callee
+                | Virtual _ -> false
+              in
+              match ii.recv with
+              | Some r when not internal -> taint r
+              | Some r -> (
+                (* intra-component call: the result is local iff the callee
+                   only returns local values *)
+                match ii.call with
+                | Static { callee } -> (
+                  match (Program.meth_info p callee).ret_var with
+                  | Some rv when not (is_local rv) -> taint r
+                  | _ -> ())
+                | Virtual _ -> taint r)
+              | None -> ())
+            | Alloc _ | Store _ | Store_static _ | Return _ | Throw _ -> ())
+          mi.body)
+      members
+  done;
+  let b_formals = ref 0
+  and b_returns = ref 0
+  and b_catches = ref 0
+  and b_escaping_throws = ref 0
+  and b_escaping_loads = ref 0
+  and b_escaping_stores = ref 0
+  and b_local_loads = ref 0
+  and b_local_stores = ref 0
+  and b_allocs = ref 0
+  and b_virtual_sites = ref 0
+  and b_external_calls = ref 0 in
+  Array.iter
+    (fun m ->
+      let mi = Program.meth_info p m in
+      b_formals :=
+        !b_formals + Array.length mi.formals + (match mi.this_var with Some _ -> 1 | None -> 0);
+      if mi.ret_var <> None then incr b_returns;
+      b_catches := !b_catches + Array.length mi.catches;
+      Array.iter
+        (fun (i : Program.instr) ->
+          match i with
+          | Alloc _ -> incr b_allocs
+          | Load { base; _ } ->
+            if is_local base then incr b_local_loads else incr b_escaping_loads
+          | Store { base; _ } ->
+            if is_local base then incr b_local_stores else incr b_escaping_stores
+          | Load_static _ -> incr b_escaping_loads
+          | Store_static _ -> incr b_escaping_stores
+          | Throw _ ->
+            (* routed through the member's catch chain; it escapes unless a
+               clause catches everything — conservatively always boundary *)
+            incr b_escaping_throws
+          | Call invo -> (
+            match (Program.invo_info p invo).call with
+            | Virtual _ -> incr b_virtual_sites
+            | Static { callee } -> if not (in_scc callee) then incr b_external_calls)
+          | Move _ | Cast _ | Return _ -> ())
+        mi.body)
+    members;
+  {
+    b_formals = !b_formals;
+    b_returns = !b_returns;
+    b_catches = !b_catches;
+    b_escaping_throws = !b_escaping_throws;
+    b_escaping_loads = !b_escaping_loads;
+    b_escaping_stores = !b_escaping_stores;
+    b_local_loads = !b_local_loads;
+    b_local_stores = !b_local_stores;
+    b_allocs = !b_allocs;
+    b_virtual_sites = !b_virtual_sites;
+    b_external_calls = !b_external_calls;
+  }
+
+type t = { summary_scc : int; summary_digest : string; summary_boundary : boundary }
+
+(* ---------- cache blob codec ---------- *)
+
+(* Distinct magic from snapshots ("IPSN") and a trailing copy of the digest
+   so the cache can classify and audit entries without decoding. *)
+let blob_magic = "IPSM"
+let blob_version = 1
+
+let encode_blob ~digest:dg members_names b =
+  let w = Writer.create ~capacity:256 () in
+  Writer.raw w blob_magic;
+  Writer.uint w blob_version;
+  Writer.string w dg;
+  Writer.uint w (List.length members_names);
+  List.iter (Writer.string w) members_names;
+  Writer.uint w b.b_formals;
+  Writer.uint w b.b_returns;
+  Writer.uint w b.b_catches;
+  Writer.uint w b.b_escaping_throws;
+  Writer.uint w b.b_escaping_loads;
+  Writer.uint w b.b_escaping_stores;
+  Writer.uint w b.b_local_loads;
+  Writer.uint w b.b_local_stores;
+  Writer.uint w b.b_allocs;
+  Writer.uint w b.b_virtual_sites;
+  Writer.uint w b.b_external_calls;
+  Writer.contents w
+
+let decode_blob bytes =
+  let n = String.length blob_magic in
+  if String.length bytes < n || String.sub bytes 0 n <> blob_magic then None
+  else
+    try
+      let r = Reader.of_string ~pos:n bytes in
+      let v = Reader.uint r in
+      if v <> blob_version then None
+      else begin
+        let dg = Reader.string r in
+        let n_members = Reader.uint r in
+        let members = List.init n_members (fun _ -> Reader.string r) in
+        let b_formals = Reader.uint r in
+        let b_returns = Reader.uint r in
+        let b_catches = Reader.uint r in
+        let b_escaping_throws = Reader.uint r in
+        let b_escaping_loads = Reader.uint r in
+        let b_escaping_stores = Reader.uint r in
+        let b_local_loads = Reader.uint r in
+        let b_local_stores = Reader.uint r in
+        let b_allocs = Reader.uint r in
+        let b_virtual_sites = Reader.uint r in
+        let b_external_calls = Reader.uint r in
+        Some
+          ( dg,
+            members,
+            {
+              b_formals;
+              b_returns;
+              b_catches;
+              b_escaping_throws;
+              b_escaping_loads;
+              b_escaping_stores;
+              b_local_loads;
+              b_local_stores;
+              b_allocs;
+              b_virtual_sites;
+              b_external_calls;
+            } )
+      end
+    with Codec.Corrupt _ -> None
+
+(* ---------- compiled constraint modules ---------- *)
+
+(* One op per constraint-emitting instruction, in body order. Replaying a
+   module produces the exact call sequence [Solver.process_body] makes for
+   the instruction walk: [Load]/[Store]/virtual [Call] emit nothing (they
+   are driven by base-variable points-to growth), [Return] compiles to the
+   copy onto the method's canonical return variable. *)
+type op =
+  | O_alloc of { target : int; heap : int }
+  | O_copy of { target : int; source : int }
+  | O_cast of { target : int; source : int; cast_to : int }
+  | O_load_static of { target : int; field : int }
+  | O_store_static of { field : int; source : int }
+  | O_scall of { invo : int; callee : int }
+  | O_throw of { source : int }
+
+type ops = op array array
+
+let compile_meth p m : op array =
+  let mi = Program.meth_info p m in
+  let acc = Dynarr.create ~capacity:(Array.length mi.body) ~dummy:(O_throw { source = 0 }) () in
+  Array.iter
+    (fun (i : Program.instr) ->
+      match i with
+      | Alloc { target; heap } -> Dynarr.push acc (O_alloc { target; heap })
+      | Move { target; source } -> Dynarr.push acc (O_copy { target; source })
+      | Cast { target; source; cast_to } -> Dynarr.push acc (O_cast { target; source; cast_to })
+      | Load _ | Store _ -> ()
+      | Load_static { target; field } -> Dynarr.push acc (O_load_static { target; field })
+      | Store_static { field; source } -> Dynarr.push acc (O_store_static { field; source })
+      | Call invo -> (
+        match (Program.invo_info p invo).call with
+        | Virtual _ -> ()
+        | Static { callee } -> Dynarr.push acc (O_scall { invo; callee }))
+      | Return { source } -> (
+        match mi.ret_var with
+        | Some ret -> Dynarr.push acc (O_copy { target = ret; source })
+        | None -> assert false (* ruled out by Wf *))
+      | Throw { source } -> Dynarr.push acc (O_throw { source }))
+    mi.body;
+  Dynarr.to_array acc
+
+let compile p : ops = Array.init (Program.n_meths p) (compile_meth p)
+
+(* ---------- monotone-extension check ---------- *)
+
+(* [extends ~old_p ~new_p] holds when [new_p] is a structural superset of
+   [old_p] with stable ids: every entity array of [old_p] is an identical
+   prefix of [new_p]'s (method bodies may gain appended instructions, a
+   missing return variable may appear), dispatch is preserved on every old
+   (class, signature) pair, and the entry set only grows. Under these
+   conditions every constraint of the old program is present unchanged in
+   the new one and all retained ids (hence context elements) are stable, so
+   the old fixpoint is a sound seed for the new solve. *)
+let extends ~old_p ~new_p =
+  let open Program in
+  n_classes old_p <= n_classes new_p
+  && n_fields old_p <= n_fields new_p
+  && n_sigs old_p <= n_sigs new_p
+  && n_meths old_p <= n_meths new_p
+  && n_vars old_p <= n_vars new_p
+  && n_heaps old_p <= n_heaps new_p
+  && n_invos old_p <= n_invos new_p
+  && (let ok = ref true in
+      for c = 0 to n_classes old_p - 1 do
+        let a = class_info old_p c and b = class_info new_p c in
+        if
+          a.class_name <> b.class_name || a.super <> b.super || a.interfaces <> b.interfaces
+          || a.is_interface <> b.is_interface
+        then ok := false
+      done;
+      for f = 0 to n_fields old_p - 1 do
+        if field_info old_p f <> field_info new_p f then ok := false
+      done;
+      for s = 0 to n_sigs old_p - 1 do
+        if sig_info old_p s <> sig_info new_p s then ok := false
+      done;
+      for v = 0 to n_vars old_p - 1 do
+        if var_info old_p v <> var_info new_p v then ok := false
+      done;
+      for h = 0 to n_heaps old_p - 1 do
+        if heap_info old_p h <> heap_info new_p h then ok := false
+      done;
+      for i = 0 to n_invos old_p - 1 do
+        if invo_info old_p i <> invo_info new_p i then ok := false
+      done;
+      for m = 0 to n_meths old_p - 1 do
+        let a = meth_info old_p m and b = meth_info new_p m in
+        let body_prefix =
+          Array.length a.body <= Array.length b.body
+          && (let pre = ref true in
+              Array.iteri (fun i ia -> if b.body.(i) <> ia then pre := false) a.body;
+              !pre)
+        in
+        let ret_ok =
+          match (a.ret_var, b.ret_var) with
+          | None, _ -> true (* a return variable may appear *)
+          | Some x, Some y -> x = y
+          | Some _, None -> false
+        in
+        if
+          not
+            (a.meth_name = b.meth_name && a.meth_owner = b.meth_owner
+           && a.meth_sig = b.meth_sig
+            && a.is_static_meth = b.is_static_meth
+            && a.is_abstract = b.is_abstract && a.this_var = b.this_var
+            && a.formals = b.formals && a.catches = b.catches && ret_ok && body_prefix)
+        then ok := false
+      done;
+      (* New classes and overrides must not redirect any old dispatch. *)
+      (if !ok then
+         for c = 0 to n_classes old_p - 1 do
+           for s = 0 to n_sigs old_p - 1 do
+             if dispatch old_p c s <> dispatch new_p c s then ok := false
+           done
+         done);
+      !ok)
+  && List.for_all (fun e -> List.mem e (entries new_p)) (entries old_p)
+
+(* ---------- name-based id realignment ---------- *)
+
+(* Entity ids are assignment-order artifacts: the frontend numbers entities
+   by first appearance in the file, so inserting an instruction mid-file
+   shifts every later id even though nothing else changed. Since every
+   entity kind carries a program-unique name (classes by name, fields and
+   methods by qualified name, variables by [Meth$var], heaps and invocation
+   sites by their builder labels), a parsed edit can be renumbered back
+   onto the baseline's ids — after which [extends] sees the edit for the
+   monotone extension it is. *)
+let align ~old_p ~new_p =
+  let ( let* ) = Option.bind in
+  (* [build n_old old_name n_new new_name] maps each new id to the old id
+     of the same name, or to a fresh id past the old range (in new-id
+     order). [None] when names are not unique, or an old name has no new
+     counterpart (the edit deleted something — not alignable, and not a
+     monotone extension either way). *)
+  let build n_old old_name n_new new_name =
+    if n_new < n_old then None
+    else begin
+      let tbl = Hashtbl.create (max 16 n_old) in
+      let dup = ref false in
+      for i = 0 to n_old - 1 do
+        let nm = old_name i in
+        if Hashtbl.mem tbl nm then dup := true else Hashtbl.add tbl nm i
+      done;
+      let map = Array.make (max 1 n_new) (-1) in
+      let next = ref n_old in
+      let matched = ref 0 in
+      let seen = Hashtbl.create (max 16 n_new) in
+      for i = 0 to n_new - 1 do
+        let nm = new_name i in
+        if Hashtbl.mem seen nm then dup := true else Hashtbl.add seen nm ();
+        match Hashtbl.find_opt tbl nm with
+        | Some oid ->
+          map.(i) <- oid;
+          incr matched
+        | None ->
+          map.(i) <- !next;
+          incr next
+      done;
+      if (not !dup) && !matched = n_old then Some map else None
+    end
+  in
+  let open Program in
+  let* cmap =
+    build (n_classes old_p) (class_name old_p) (n_classes new_p) (class_name new_p)
+  in
+  let* fmap =
+    build (n_fields old_p) (field_full_name old_p) (n_fields new_p) (field_full_name new_p)
+  in
+  let sig_key p s =
+    let si = sig_info p s in
+    Printf.sprintf "%s/%d" si.sig_name si.arity
+  in
+  let* smap = build (n_sigs old_p) (sig_key old_p) (n_sigs new_p) (sig_key new_p) in
+  let* mmap =
+    build (n_meths old_p) (meth_full_name old_p) (n_meths new_p) (meth_full_name new_p)
+  in
+  let* vmap =
+    build (n_vars old_p) (var_full_name old_p) (n_vars new_p) (var_full_name new_p)
+  in
+  let* hmap =
+    build (n_heaps old_p) (heap_full_name old_p) (n_heaps new_p) (heap_full_name new_p)
+  in
+  let invo_key p i = (invo_info p i).invo_name in
+  let* imap = build (n_invos old_p) (invo_key old_p) (n_invos new_p) (invo_key new_p) in
+  let identity m =
+    let id = ref true in
+    Array.iteri (fun i x -> if x <> i then id := false) m;
+    !id
+  in
+  if
+    identity cmap && identity fmap && identity smap && identity mmap && identity vmap
+    && identity hmap && identity imap
+  then Some new_p
+  else begin
+    let permute n map info remap =
+      let a = Array.make (max 1 n) (remap (info 0)) in
+      for i = 0 to n - 1 do
+        a.(map.(i)) <- remap (info i)
+      done;
+      Array.sub a 0 n
+    in
+    let remap_instr (ins : instr) =
+      match ins with
+      | Alloc { target; heap } -> Alloc { target = vmap.(target); heap = hmap.(heap) }
+      | Move { target; source } -> Move { target = vmap.(target); source = vmap.(source) }
+      | Cast { target; source; cast_to } ->
+        Cast { target = vmap.(target); source = vmap.(source); cast_to = cmap.(cast_to) }
+      | Load { target; base; field } ->
+        Load { target = vmap.(target); base = vmap.(base); field = fmap.(field) }
+      | Store { base; field; source } ->
+        Store { base = vmap.(base); field = fmap.(field); source = vmap.(source) }
+      | Load_static { target; field } ->
+        Load_static { target = vmap.(target); field = fmap.(field) }
+      | Store_static { field; source } ->
+        Store_static { field = fmap.(field); source = vmap.(source) }
+      | Call i -> Call imap.(i)
+      | Return { source } -> Return { source = vmap.(source) }
+      | Throw { source } -> Throw { source = vmap.(source) }
+    in
+    let classes =
+      permute (n_classes new_p) cmap (class_info new_p) (fun ci ->
+          {
+            ci with
+            super = Option.map (fun c -> cmap.(c)) ci.super;
+            interfaces = List.map (fun c -> cmap.(c)) ci.interfaces;
+            declared = List.map (fun (s, m) -> (smap.(s), mmap.(m))) ci.declared;
+          })
+    in
+    let fields =
+      permute (n_fields new_p) fmap (field_info new_p) (fun fi ->
+          { fi with field_owner = cmap.(fi.field_owner) })
+    in
+    let sigs = permute (n_sigs new_p) smap (sig_info new_p) (fun si -> si) in
+    let meths =
+      permute (n_meths new_p) mmap (meth_info new_p) (fun mi ->
+          {
+            mi with
+            meth_owner = cmap.(mi.meth_owner);
+            meth_sig = smap.(mi.meth_sig);
+            this_var = Option.map (fun v -> vmap.(v)) mi.this_var;
+            formals = Array.map (fun v -> vmap.(v)) mi.formals;
+            ret_var = Option.map (fun v -> vmap.(v)) mi.ret_var;
+            catches =
+              Array.map
+                (fun (cc : catch_clause) ->
+                  { catch_type = cmap.(cc.catch_type); catch_var = vmap.(cc.catch_var) })
+                mi.catches;
+            body = Array.map remap_instr mi.body;
+          })
+    in
+    let vars =
+      permute (n_vars new_p) vmap (var_info new_p) (fun vi ->
+          { vi with var_owner = mmap.(vi.var_owner) })
+    in
+    let heaps =
+      permute (n_heaps new_p) hmap (heap_info new_p) (fun hi ->
+          { hi with heap_class = cmap.(hi.heap_class); heap_owner = mmap.(hi.heap_owner) })
+    in
+    let invos =
+      permute (n_invos new_p) imap (invo_info new_p) (fun ii ->
+          {
+            ii with
+            call =
+              (match ii.call with
+              | Virtual { base; signature } ->
+                Virtual { base = vmap.(base); signature = smap.(signature) }
+              | Static { callee } -> Static { callee = mmap.(callee) });
+            actuals = Array.map (fun v -> vmap.(v)) ii.actuals;
+            recv = Option.map (fun v -> vmap.(v)) ii.recv;
+            invo_owner = mmap.(ii.invo_owner);
+          })
+    in
+    let entries = List.map (fun m -> mmap.(m)) (Program.entries new_p) in
+    Some (Program.make ~classes ~fields ~sigs ~meths ~vars ~heaps ~invos ~entries ())
+  end

@@ -129,11 +129,41 @@ val base_pass :
     ["insens"] — exactly the configuration {!Ipa_core.Analysis.run_plain}
     uses, so the key matches across every caller. *)
 
+val summary_store : t -> Ipa_core.Compositional_solver.store
+(** The cache as a {!Ipa_core.Compositional_solver.store}: summary blobs go
+    through the same two layers (LRU-budgeted memory, single-writer disk
+    publication) and the same hit/miss accounting as snapshots, under their
+    own content-derived [summary-v1] keys. *)
+
 (** {1 Disk-store maintenance} (the [introspect cache] subcommands) *)
 
-val entries : dir:string -> (string * int * (Ipa_core.Snapshot.info, Ipa_core.Snapshot.error) result) list
-(** [(filename, size in bytes, header info)] for every [.snap] file,
-    sorted by filename. *)
+(** What a cached file holds. All three share the key space and the [.snap]
+    suffix; they are told apart by content — summary blobs by their
+    ["IPSM"] magic, demand slices by their ["demand:"]-prefixed snapshot
+    label. *)
+type kind = Snapshot_entry | Demand_entry | Summary_entry
 
-val clear : dir:string -> int
-(** Remove every [.snap] file; returns how many were removed. *)
+val kind_name : kind -> string
+(** ["snapshot"], ["demand-slice-v1"], ["summary-v1"] — the names the CLI
+    accepts for [cache clear --kind] and prints in [cache stats]. *)
+
+val classify : string -> kind option
+(** Classify raw cached bytes; [None] when they decode as neither a
+    snapshot nor a summary blob. *)
+
+type disk_entry = {
+  entry_file : string;
+  entry_bytes : int;  (** file size *)
+  entry_kind : kind option;  (** [None] for unreadable or corrupt entries *)
+  entry_describe : string;
+      (** snapshot label, summary shape ([N method(s), digest ...]), or the
+          decode error *)
+  entry_seconds : float option;  (** original solve time; snapshots only *)
+}
+
+val entries : dir:string -> disk_entry list
+(** One {!disk_entry} per [.snap] file, sorted by filename. *)
+
+val clear : ?kind:kind -> dir:string -> unit -> int
+(** Remove every [.snap] file — or, with [kind], only the entries that
+    classify as that kind — and return how many were removed. *)

@@ -175,7 +175,7 @@ let test_cache_missing_dir_created () =
       check Alcotest.int "no disk errors" 0 s.disk_errors;
       check Alcotest.int "snapshot published" 1 s.writes;
       (* remove the published snapshot so with_temp_dir can clean up *)
-      ignore (Ipa_harness.Cache.clear ~dir:sub);
+      ignore (Ipa_harness.Cache.clear ~dir:sub ());
       Unix.rmdir sub)
 
 let test_cache_find_bytes_counts () =

@@ -302,10 +302,10 @@ let test_version_mismatch () =
   (* The version varint is the byte right after the 4-byte magic and lives
      outside the checksum: a format bump reports itself as such. *)
   let bytes = Bytes.of_string (Lazy.force reference_bytes) in
-  check Alcotest.char "layout: version byte" '\003' (Bytes.get bytes 4);
-  Bytes.set bytes 4 '\004';
+  check Alcotest.char "layout: version byte" '\004' (Bytes.get bytes 4);
+  Bytes.set bytes 4 '\005';
   match Snapshot.decode ~program:(Lazy.force boxes) (Bytes.to_string bytes) with
-  | Error (Snapshot.Version_mismatch { found = 4; expected = 3 }) -> ()
+  | Error (Snapshot.Version_mismatch { found = 5; expected = 4 }) -> ()
   | Error e -> Alcotest.failf "expected Version_mismatch: %s" (Snapshot.error_to_string e)
   | Ok _ -> Alcotest.fail "future version accepted"
 
